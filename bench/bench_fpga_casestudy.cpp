@@ -1,0 +1,134 @@
+// Experiment E11 — the §1 motivation: scheduling on a dynamically
+// reconfigurable FPGA (Virtex-II style column reconfiguration).
+//
+// Two workloads: the JPEG encoding pipeline (stripes sweep) and random
+// CAD-like task mixes. Every schedule is produced by strip packing
+// (DC / list scheduling / level packing), converted to column-time
+// coordinates, and re-verified by the discrete-event simulator, once as
+// pure geometry and once with serialized per-column reconfiguration
+// overhead — the realism knob the theory abstracts away.
+#include <algorithm>
+#include <iostream>
+
+#include "core/bounds.hpp"
+#include "core/validate.hpp"
+#include "fpga/adapters.hpp"
+#include "fpga/simulator.hpp"
+#include "fpga/workloads.hpp"
+#include "precedence/dc.hpp"
+#include "precedence/level_pack.hpp"
+#include "precedence/list_schedule.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace stripack;
+
+struct Row {
+  double makespan = 0.0;
+  double utilization = 0.0;
+  double reconfig_makespan = 0.0;
+  bool ok = false;
+};
+
+Row run(const fpga::TaskSet& set, const fpga::Device& device,
+        const Placement& placement) {
+  Row row;
+  require_valid(fpga::to_instance(set, device), placement);
+  const fpga::Schedule schedule = fpga::to_schedule(set, device, placement);
+  const fpga::SimResult geo = fpga::simulate(set, device, schedule);
+  const auto executed =
+      fpga::execute_with_reconfiguration(set, device, schedule);
+  row.makespan = geo.makespan;
+  row.utilization = geo.utilization;
+  row.reconfig_makespan = executed.result.makespan;
+  row.ok = geo.ok && executed.result.ok;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E11 (Sec. 1 motivation): column-reconfigurable FPGA case "
+               "study\nreconfig overhead: 0.02 time units per column, "
+               "single configuration port\n\n";
+
+  Table jpeg_table({"stripes", "tasks", "K", "LB", "scheduler", "makespan",
+                    "vs LB", "util %", "w/ reconfig", "sim ok"});
+  for (std::size_t stripes : {4u, 8u, 16u}) {
+    for (int columns : {12, 24}) {
+      fpga::Device device;
+      device.columns = columns;
+      device.reconfig_time_per_column = 0.02;
+      const fpga::TaskSet set = fpga::jpeg_pipeline(stripes);
+      const Instance ins = fpga::to_instance(set, device);
+      const double lb = std::max(area_lower_bound(ins),
+                                 critical_path_lower_bound(ins));
+      const std::vector<std::pair<std::string, Placement>> schedulers = {
+          {"DC", dc_pack(ins).packing.placement},
+          {"list-sched", list_schedule(ins).placement},
+          {"level-pack", level_pack(ins).packing.placement},
+      };
+      for (const auto& [name, placement] : schedulers) {
+        const Row row = run(set, device, placement);
+        jpeg_table.row()
+            .add(stripes)
+            .add(set.size())
+            .add(columns)
+            .add(lb, 3)
+            .add(name)
+            .add(row.makespan, 3)
+            .add(row.makespan / lb, 3)
+            .add(100.0 * row.utilization, 1)
+            .add(row.reconfig_makespan, 3)
+            .add(row.ok ? "yes" : "NO");
+      }
+    }
+  }
+  jpeg_table.print(std::cout, "JPEG pipeline");
+  jpeg_table.write_csv("e11_fpga_jpeg.csv");
+
+  Table mix_table({"n", "K", "scheduler", "makespan", "vs LB", "util %",
+                   "w/ reconfig", "sim ok"});
+  for (std::size_t n : {40u, 120u}) {
+    for (int columns : {16, 48}) {
+      Rng rng(n + columns);
+      fpga::Device device;
+      device.columns = columns;
+      device.reconfig_time_per_column = 0.02;
+      const fpga::TaskSet set =
+          fpga::random_task_mix(n, std::max(2, columns / 4), 6, rng);
+      const Instance ins = fpga::to_instance(set, device);
+      const double lb = std::max(area_lower_bound(ins),
+                                 critical_path_lower_bound(ins));
+      const std::vector<std::pair<std::string, Placement>> schedulers = {
+          {"DC", dc_pack(ins).packing.placement},
+          {"list-sched", list_schedule(ins).placement},
+          {"level-pack", level_pack(ins).packing.placement},
+      };
+      for (const auto& [name, placement] : schedulers) {
+        const Row row = run(set, device, placement);
+        mix_table.row()
+            .add(n)
+            .add(columns)
+            .add(name)
+            .add(row.makespan, 3)
+            .add(row.makespan / lb, 3)
+            .add(100.0 * row.utilization, 1)
+            .add(row.reconfig_makespan, 3)
+            .add(row.ok ? "yes" : "NO");
+      }
+    }
+  }
+  std::cout << '\n';
+  mix_table.print(std::cout, "random CAD task mixes");
+  mix_table.write_csv("e11_fpga_mix.csv");
+  std::cout << "\nexpected shape: all schedules simulator-verified; "
+               "reconfiguration adds a\nbounded overhead. On *random* mixes "
+               "greedy list scheduling wins on average —\nDC's value is its "
+               "worst-case guarantee, which E1 shows list scheduling lacks\n"
+               "(it degrades on the Fig. 1 adversarial family while DC "
+               "tracks OPT).\nwrote e11_fpga_jpeg.csv, e11_fpga_mix.csv\n";
+  return 0;
+}

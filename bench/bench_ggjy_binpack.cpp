@@ -1,0 +1,82 @@
+// Experiment E5 — the §2.2 reduction: precedence-constrained strip packing
+// with uniform heights == precedence-constrained bin packing (GGJY [13]).
+//
+// The paper inherits GGJY's asymptotic 2.7-approximation through this
+// equivalence. We measure the asymptotic ratios of the First-Fit-family
+// heuristics on the bin-packing side and verify the shelf <-> bin
+// equivalence numerically (Algorithm F's shelves == ready-queue Next-Fit's
+// bins on identical inputs).
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "binpack/precedence_binpack.hpp"
+#include "gen/dag_gen.hpp"
+#include "precedence/uniform_shelf.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace stripack;
+
+  std::cout << "E5 (Sec. 2.2 reduction): precedence bin packing heuristics\n"
+               "ratios vs max(L2 size bound, longest DAG path) <= OPT, "
+               "averaged over 5 seeds\n\n";
+
+  Table table({"n", "edge p", "NF(ready)", "FF-avail", "FFD-avail",
+               "NF skips<=LB path", "equiv holds"});
+
+  for (std::size_t n : {20u, 50u, 100u, 200u, 500u, 1000u}) {
+    for (double p : {2.0 / static_cast<double>(n), 0.02}) {
+      double nf_sum = 0, ff_sum = 0, ffd_sum = 0;
+      bool lemma25 = true, equivalence = true;
+      const int seeds = 5;
+      for (int s = 0; s < seeds; ++s) {
+        Rng rng(s * 911 + n);
+        std::vector<double> sizes;
+        for (std::size_t i = 0; i < n; ++i) {
+          sizes.push_back(rng.uniform(0.05, 0.95));
+        }
+        const Dag dag = gen::gnp_dag(n, p, rng);
+        const double lb = static_cast<double>(
+            binpack::lb_precedence(sizes, dag, 1.0));
+
+        const auto nf = binpack::ready_queue_next_fit(sizes, dag, 1.0);
+        const auto ff = binpack::first_fit_available(sizes, dag, 1.0);
+        const auto ffd = binpack::ffd_available(sizes, dag, 1.0);
+        nf_sum += nf.assignment.num_bins() / lb;
+        ff_sum += ff.assignment.num_bins() / lb;
+        ffd_sum += ffd.assignment.num_bins() / lb;
+
+        std::vector<double> unit(n, 1.0);
+        lemma25 = lemma25 &&
+                  nf.skips <= static_cast<std::size_t>(
+                                  std::llround(dag.critical_path(unit)));
+
+        // Shelf <-> bin equivalence on the strip side.
+        Instance ins;
+        for (double w : sizes) ins.add_item(w, 1.0);
+        for (const Edge& e : dag.edges()) ins.add_precedence(e.from, e.to);
+        const auto strip = uniform_shelf_pack(ins);
+        equivalence = equivalence &&
+                      strip.stats.shelves == nf.assignment.num_bins() &&
+                      strip.stats.skips == nf.skips;
+      }
+      table.row()
+          .add(n)
+          .add(p, 4)
+          .add(nf_sum / seeds, 3)
+          .add(ff_sum / seeds, 3)
+          .add(ffd_sum / seeds, 3)
+          .add(lemma25 ? "yes" : "NO")
+          .add(equivalence ? "yes" : "NO");
+    }
+  }
+  table.print(std::cout);
+  table.write_csv("e5_ggjy_binpack.csv");
+  std::cout << "\nexpected shape: FFD-avail <= FF-avail <= NF; all ratios "
+               "stay below the\nGGJY asymptotic constant 2.7 on random "
+               "inputs; the equivalence column is all-yes.\nwrote "
+               "e5_ggjy_binpack.csv\n";
+  return 0;
+}

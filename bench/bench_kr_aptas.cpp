@@ -1,0 +1,87 @@
+// Experiment E13 (extension) — Kenyon–Rémila-style APTAS for plain strip
+// packing (the paper's reference [16], whose machinery §3 builds on).
+//
+// Two points: (a) on instances *within* the paper's §3 domain (widths
+// quantized to columns) the same grouping+LP+rounding toolchain drives
+// both algorithms — KR here is the single-release special case; (b) KR
+// lifts the width >= 1/K restriction, handling arbitrarily narrow items
+// the §3 APTAS must reject. Ratios are vs the exact fractional LP lower
+// bound (certified).
+#include <cmath>
+#include <iostream>
+
+#include "core/bounds.hpp"
+#include "core/validate.hpp"
+#include "gen/rect_gen.hpp"
+#include "kr/kr_aptas.hpp"
+#include "packers/registry.hpp"
+#include "release/config_lp.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace stripack;
+
+Instance quantized_instance(std::size_t n, double min_w, std::uint64_t seed) {
+  Rng rng(seed);
+  gen::RectParams params;
+  params.min_width = min_w;
+  params.min_height = 0.05;
+  params.max_height = 0.8;
+  auto rects = gen::random_rects(n, params, rng);
+  // 0.05 grid keeps the exact-LP lower bound tractable.
+  for (Rect& r : rects) r.width = std::ceil(r.width * 20.0) / 20.0;
+  std::vector<Item> items;
+  for (const Rect& r : rects) items.push_back(Item{r, 0.0});
+  return Instance(std::move(items));
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E13 (extension, ref. [16]): KR-style APTAS for plain strip "
+               "packing\nratios vs the exact fractional LP lower bound\n\n";
+
+  Table table({"n", "min w", "eps", "KR/LB", "NFDH/LB", "FFDH/LB",
+               "Skyline/LB", "margins filled", "on top"});
+
+  for (std::size_t n : {100u, 200u, 400u, 800u}) {
+    for (double min_w : {0.01, 0.1}) {
+      for (double eps : {1.0, 0.5}) {
+        const Instance ins = quantized_instance(n, min_w, n + 7);
+        const double lb = release::fractional_lower_bound(ins);
+
+        kr::KrParams params;
+        params.epsilon = eps;
+        const kr::KrResult kr = kr::kr_pack(ins, params);
+        require_valid(ins, kr.packing.placement);
+
+        std::vector<Rect> rects;
+        for (const Item& it : ins.items()) rects.push_back(it.rect);
+        const double nfdh = make_packer("NFDH")->pack(rects, 1.0).height;
+        const double ffdh = make_packer("FFDH")->pack(rects, 1.0).height;
+        const double sky = make_packer("SkylineBL")->pack(rects, 1.0).height;
+
+        table.row()
+            .add(n)
+            .add(min_w, 2)
+            .add(eps, 2)
+            .add(kr.height / lb, 4)
+            .add(nfdh / lb, 4)
+            .add(ffdh / lb, 4)
+            .add(sky / lb, 4)
+            .add(kr.stats.narrow_in_margins)
+            .add(kr.stats.narrow_on_top);
+      }
+    }
+  }
+  table.print(std::cout);
+  table.write_csv("e13_kr_aptas.csv");
+  std::cout << "\nexpected shape: KR/LB approaches 1+eps-ish from above as "
+               "n grows and beats\nthe shelf heuristics on wide-heavy "
+               "mixes; min w = 0.01 rows are *outside* the\npaper's Sec. 3 "
+               "domain (width >= 1/K) — the extension handles them.\nwrote "
+               "e13_kr_aptas.csv\n";
+  return 0;
+}

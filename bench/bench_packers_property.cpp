@@ -1,0 +1,98 @@
+// Experiment E10 — the subroutine-A property.
+//
+// Theorem 2.3 requires the unconstrained packer to satisfy
+//     A(S) <= 2*AREA(S)/W + h_max.
+// The paper cites Steinberg/Schiermeyer; we substitute NFDH (certified,
+// CGJT 1980) and verify the inequality empirically for every packer in the
+// registry across adversarial width/height distributions. Reported:
+// worst observed (height - additive*h_max) / AREA, i.e. the empirical
+// multiplier, which must stay <= 2 for the property to hold.
+#include <algorithm>
+#include <iostream>
+
+#include "gen/rect_gen.hpp"
+#include "packers/registry.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace stripack;
+
+struct Distribution {
+  std::string name;
+  gen::RectParams params;
+};
+
+std::vector<Distribution> distributions() {
+  std::vector<Distribution> out;
+  gen::RectParams base;
+  out.push_back({"uniform", base});
+  gen::RectParams narrow = base;
+  narrow.max_width = 0.25;
+  out.push_back({"narrow", narrow});
+  gen::RectParams wide = base;
+  wide.min_width = 0.4;
+  out.push_back({"wide", wide});
+  gen::RectParams flat = base;
+  flat.max_height = 0.15;
+  out.push_back({"flat", flat});
+  gen::RectParams tall = base;
+  tall.min_height = 0.6;
+  out.push_back({"tall", tall});
+  gen::RectParams powerlaw = base;
+  powerlaw.width_power_law_alpha = 2.2;
+  out.push_back({"powerlaw-w", powerlaw});
+  gen::RectParams halfish = base;
+  halfish.min_width = 0.45;
+  halfish.max_width = 0.55;
+  out.push_back({"half-width", halfish});
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E10: the subroutine-A property A(S) <= 2*AREA + h_max\n"
+               "empirical multiplier = max over trials of "
+               "(height - h_max)/AREA; 40 trials, n=120 each\n\n";
+
+  Table table({"packer", "distribution", "empirical mult", "property holds",
+               "claimed mult", "certified"});
+
+  for (const auto& packer : all_packers()) {
+    for (const Distribution& dist : distributions()) {
+      double worst = 0.0;
+      bool holds = true;
+      for (std::uint64_t seed = 0; seed < 40; ++seed) {
+        Rng rng(seed * 131 + 7);
+        const auto rects = gen::random_rects(120, dist.params, rng);
+        double area = 0.0, h_max = 0.0;
+        for (const Rect& r : rects) {
+          area += r.area();
+          h_max = std::max(h_max, r.height);
+        }
+        const double height = packer->pack(rects, 1.0).height;
+        worst = std::max(worst, (height - h_max) / area);
+        holds = holds && height <= 2.0 * area + h_max + 1e-9;
+      }
+      const HeightGuarantee g = packer->guarantee();
+      table.row()
+          .add(std::string(packer->name()))
+          .add(dist.name)
+          .add(worst, 4)
+          .add(holds ? "yes" : "NO")
+          .add(g.valid() ? format_double(g.multiplier, 2) : "-")
+          .add(g.valid() ? (g.certified ? "yes" : "empirical") : "-");
+    }
+  }
+  table.print(std::cout);
+  table.write_csv("e10_packer_property.csv");
+  std::cout << "\nexpected shape: NFDH/FFDH empirical multipliers < their "
+               "certified 2.0/1.7;\nall offline packers satisfy the Theorem "
+               "2.3 property on these distributions.\nOnlineShelf (no "
+               "lookahead; shelf heights quantized to powers of 0.7) may\n"
+               "legitimately exceed it — it is not a valid subroutine A, "
+               "which is the point.\nwrote e10_packer_property.csv\n";
+  return 0;
+}

@@ -1,0 +1,194 @@
+// Experiment E3 — Theorem 2.3: DC is a (2 + log2(n+1))-approximation.
+//
+// Random precedence instances across DAG shapes and sizes. For each cell we
+// report DC's height against the certified lower bound max(AREA, F) — an
+// upper bound on the true approximation ratio — next to the theorem's
+// guarantee. The ablation sweeps the subroutine A (Theorem 2.3 only needs
+// A(S) <= 2*AREA + h_max; NFDH/FFDH are certified, Sleator/BFDH empirical)
+// and compares against the list-scheduling and level-packing baselines.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "core/bounds.hpp"
+#include "core/validate.hpp"
+#include "gen/dag_gen.hpp"
+#include "gen/rect_gen.hpp"
+#include "packers/exact.hpp"
+#include "packers/registry.hpp"
+#include "precedence/dc.hpp"
+#include "precedence/level_pack.hpp"
+#include "precedence/list_schedule.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace stripack;
+
+Instance build(std::size_t n, const std::string& shape, Rng& rng) {
+  gen::RectParams params;
+  params.min_width = 0.02;
+  params.max_width = 0.8;
+  params.min_height = 0.05;
+  params.max_height = 1.0;
+  const auto rects = gen::random_rects(n, params, rng);
+  std::vector<Item> items;
+  for (const Rect& r : rects) items.push_back(Item{r, 0.0});
+  Instance ins{std::move(items)};
+  Dag dag(0);
+  if (shape == "layered") {
+    dag = gen::layered_dag(n, std::max<std::size_t>(2, n / 12), 3, rng);
+  } else if (shape == "gnp") {
+    dag = gen::gnp_dag(n, 4.0 / static_cast<double>(n), rng);
+  } else if (shape == "tree") {
+    dag = gen::random_tree_dag(n, rng);
+  } else if (shape == "chains") {
+    // Eight parallel chains.
+    dag = Dag(n);
+    for (VertexId v = 8; v < n; ++v) dag.add_edge(v - 8, v);
+  }
+  for (const Edge& e : dag.edges()) ins.add_precedence(e.from, e.to);
+  return ins;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E3 (Theorem 2.3): DC <= log2(n+1)*F + 2*AREA "
+               "<= (2+log2(n+1))*OPT\nratios below are vs the certified "
+               "lower bound max(AREA, F) <= OPT, averaged over 3 seeds\n\n";
+
+  const std::vector<std::string> shapes{"layered", "gnp", "tree", "chains"};
+  Table table({"shape", "n", "DC/LB", "list/LB", "level/LB", "guarantee",
+               "DC depth", "A-bands"});
+
+  for (const std::string& shape : shapes) {
+    for (std::size_t n : {50u, 100u, 200u, 400u, 800u, 1600u}) {
+      double dc_sum = 0, ls_sum = 0, lv_sum = 0, guarantee = 0;
+      std::size_t depth = 0, bands = 0;
+      const int seeds = 3;
+      for (int s = 0; s < seeds; ++s) {
+        Rng rng(1000 * s + n);
+        const Instance ins = build(n, shape, rng);
+        const double lb = std::max(area_lower_bound(ins),
+                                   critical_path_lower_bound(ins));
+        const DcResult dc = dc_pack(ins);
+        if (s == 0) require_valid(ins, dc.packing.placement);
+        dc_sum += dc.packing.height() / lb;
+        ls_sum += list_schedule(ins).height() / lb;
+        lv_sum += level_pack(ins).packing.height() / lb;
+        guarantee = (2.0 + std::log2(static_cast<double>(n) + 1.0));
+        depth = std::max(depth, dc.stats.max_depth);
+        bands += dc.stats.mid_bands;
+      }
+      table.row()
+          .add(shape)
+          .add(n)
+          .add(dc_sum / seeds, 3)
+          .add(ls_sum / seeds, 3)
+          .add(lv_sum / seeds, 3)
+          .add(guarantee, 2)
+          .add(depth)
+          .add(bands / seeds);
+    }
+  }
+  table.print(std::cout);
+  table.write_csv("e3_dc_ratio.csv");
+
+  // Subroutine-A ablation (Theorem 2.3 is parameterized by A).
+  Table ablation({"packer", "n", "DC/LB", "certified"});
+  for (const auto& packer : all_packers()) {
+    for (std::size_t n : {200u, 800u}) {
+      double sum = 0;
+      const int seeds = 3;
+      for (int s = 0; s < seeds; ++s) {
+        Rng rng(77 * s + n);
+        const Instance ins = build(n, "layered", rng);
+        DcOptions options;
+        options.packer = packer.get();
+        const double lb = std::max(area_lower_bound(ins),
+                                   critical_path_lower_bound(ins));
+        sum += dc_pack(ins, options).packing.height() / lb;
+      }
+      ablation.row()
+          .add(std::string(packer->name()))
+          .add(n)
+          .add(sum / seeds, 3)
+          .add(packer->guarantee().certified ? "yes" : "no");
+    }
+  }
+  std::cout << '\n';
+  ablation.print(std::cout, "subroutine-A ablation (layered DAGs)");
+  ablation.write_csv("e3_dc_ablation.csv");
+
+  // Split-fraction ablation: the analysis pins the cut at H/2, but the
+  // algorithm is correct for any fraction in (0,1) — how sensitive is the
+  // packing quality to this design choice?
+  Table split_table({"split", "n", "DC/LB", "depth", "A-bands"});
+  for (double split : {0.3, 0.4, 0.5, 0.6, 0.7}) {
+    for (std::size_t n : {200u, 800u}) {
+      double sum = 0;
+      std::size_t depth = 0, bands = 0;
+      const int seeds = 3;
+      for (int s = 0; s < seeds; ++s) {
+        Rng rng(55 * s + n);
+        const Instance ins = build(n, "layered", rng);
+        DcOptions options;
+        options.split_fraction = split;
+        const double lb = std::max(area_lower_bound(ins),
+                                   critical_path_lower_bound(ins));
+        const DcResult dc = dc_pack(ins, options);
+        if (s == 0) require_valid(ins, dc.packing.placement);
+        sum += dc.packing.height() / lb;
+        depth = std::max(depth, dc.stats.max_depth);
+        bands += dc.stats.mid_bands;
+      }
+      split_table.row()
+          .add(split, 2)
+          .add(n)
+          .add(sum / seeds, 3)
+          .add(depth)
+          .add(bands / seeds);
+    }
+  }
+  std::cout << '\n';
+  split_table.print(std::cout, "split-fraction ablation (paper uses 0.5)");
+  split_table.write_csv("e3_dc_split_ablation.csv");
+
+  // True-optimum regime: for n <= 7 the branch-and-bound oracle gives the
+  // exact OPT, so these ratios are exact (not upper bounds).
+  Table exact_table({"n", "seed", "OPT", "DC", "DC/OPT", "LB", "OPT/LB"});
+  double worst = 0.0;
+  for (std::size_t n : {5u, 6u, 7u}) {
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+      Rng rng(seed * 17 + n);
+      const Instance ins = build(n, "gnp", rng);
+      const auto exact = exact_pack(ins);
+      if (!exact.has_value()) continue;
+      const DcResult dc = dc_pack(ins);
+      const double lb = std::max(area_lower_bound(ins),
+                                 critical_path_lower_bound(ins));
+      worst = std::max(worst, dc.packing.height() / exact->height);
+      exact_table.row()
+          .add(n)
+          .add(static_cast<std::size_t>(seed))
+          .add(exact->height, 4)
+          .add(dc.packing.height(), 4)
+          .add(dc.packing.height() / exact->height, 3)
+          .add(lb, 4)
+          .add(exact->height / lb, 3);
+    }
+  }
+  std::cout << '\n';
+  exact_table.print(std::cout, "exact-OPT regime (branch and bound, n <= 7)");
+  exact_table.write_csv("e3_dc_exact.csv");
+  std::cout << "worst DC/OPT on the exact grid: " << format_double(worst, 3)
+            << "  (guarantee at n=7: " << format_double(2 + std::log2(8.0), 2)
+            << ")\n";
+  std::cout << "\nexpected shape: measured DC/LB stays far below the "
+               "guarantee and\nroughly flat in n; DC beats level-pack, "
+               "competes with list scheduling.\nwrote e3_dc_ratio.csv, "
+               "e3_dc_ablation.csv\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Side-by-side comparison of the unconstrained strip packers (the paper's
+// subroutine `A` and the baselines), on a reproducible random instance.
+//
+//   $ ./packer_gallery [n] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "gen/rect_gen.hpp"
+#include "io/svg.hpp"
+#include "stripack.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace stripack;
+
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 60;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+
+  Rng rng(seed);
+  gen::RectParams params;
+  params.min_width = 0.05;
+  params.max_width = 0.6;
+  params.min_height = 0.05;
+  params.max_height = 0.8;
+  const auto rects = gen::random_rects(n, params, rng);
+
+  std::vector<Item> items;
+  for (const Rect& r : rects) items.push_back(Item{r, 0.0});
+  const Instance instance{std::vector<Item>(items)};
+
+  double area = 0.0, h_max = 0.0;
+  for (const Rect& r : rects) {
+    area += r.area();
+    h_max = std::max(h_max, r.height);
+  }
+  std::cout << "instance: n=" << n << " seed=" << seed << " AREA=" << area
+            << " h_max=" << h_max << "\n\n";
+
+  Table table({"packer", "height", "vs AREA", "2*AREA+h_max holds",
+               "certified bound"});
+  for (const auto& packer : all_packers()) {
+    const PackResult result = packer->pack(rects, 1.0);
+    require_valid(instance, result.placement);
+    const bool paper_property = result.height <= 2.0 * area + h_max + 1e-9;
+    const HeightGuarantee g = packer->guarantee();
+    table.row()
+        .add(std::string(packer->name()))
+        .add(result.height, 4)
+        .add(result.height / area, 3)
+        .add(paper_property ? "yes" : "NO")
+        .add(g.valid() ? format_double(g.multiplier, 1) + "*AREA + " +
+                             format_double(g.additive, 1) + "*h_max" +
+                             (g.certified ? "" : " (empirical)")
+                       : "none");
+
+    io::save_svg("gallery_" + std::string(packer->name()) + ".svg", instance,
+                 result.placement);
+  }
+  table.print(std::cout,
+              "unconstrained packers (the paper's subroutine A candidates)");
+  std::cout << "\nwrote gallery_<packer>.svg for each packer\n";
+  return 0;
+}

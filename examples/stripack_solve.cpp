@@ -1,0 +1,130 @@
+// stripack_solve — command-line solver for instance files.
+//
+//   $ ./stripack_solve <instance.txt> [--algo dc|uniform|aptas|kr|list|
+//                                       nfdh|ffdh|bfdh|sleator|skyline]
+//                      [--eps E] [--K k] [--svg out.svg] [--out placement.txt]
+//
+// Reads the text format of io/instance_io.hpp, picks the algorithm (or
+// chooses one from the instance's constraints when --algo is omitted),
+// validates the result, and reports the height against the certified lower
+// bounds. A downstream user's one-stop entry point.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "io/instance_io.hpp"
+#include "io/svg.hpp"
+#include "kr/kr_aptas.hpp"
+#include "stripack.hpp"
+
+namespace {
+
+using namespace stripack;
+
+int usage() {
+  std::cerr
+      << "usage: stripack_solve <instance.txt> [--algo NAME] [--eps E]\n"
+         "                      [--K k] [--svg out.svg] [--out place.txt]\n"
+         "algorithms: dc uniform aptas kr list nfdh ffdh bfdh sleator "
+         "skyline\n";
+  return 2;
+}
+
+Placement run_packer(const Instance& instance, const std::string& name) {
+  const auto packer = make_packer(name);
+  STRIPACK_ASSERT(packer != nullptr, "unknown packer: " + name);
+  std::vector<Rect> rects;
+  for (const Item& it : instance.items()) rects.push_back(it.rect);
+  return packer->pack(rects, instance.strip_width()).placement;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string algo;
+  std::string svg_path;
+  std::string out_path;
+  double eps = 0.5;
+  int K = 4;
+  const std::string input = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      STRIPACK_ASSERT(i + 1 < argc, "missing value after " + flag);
+      return argv[++i];
+    };
+    if (flag == "--algo") algo = next();
+    else if (flag == "--eps") eps = std::stod(next());
+    else if (flag == "--K") K = std::stoi(next());
+    else if (flag == "--svg") svg_path = next();
+    else if (flag == "--out") out_path = next();
+    else return usage();
+  }
+
+  try {
+    const Instance instance = io::load_instance(input);
+    std::cout << "instance: n=" << instance.size()
+              << " precedence=" << (instance.has_precedence() ? "yes" : "no")
+              << " releases=" << (instance.has_release_times() ? "yes" : "no")
+              << "\n";
+
+    if (algo.empty()) {
+      // Choose the paper's algorithm for the instance's constraint family.
+      if (instance.has_precedence()) algo = "dc";
+      else if (instance.has_release_times()) algo = "aptas";
+      else algo = "kr";
+      std::cout << "auto-selected algorithm: " << algo << "\n";
+    }
+
+    Placement placement;
+    if (algo == "dc") {
+      placement = dc_pack(instance).packing.placement;
+    } else if (algo == "uniform") {
+      placement = uniform_shelf_pack(instance).packing.placement;
+    } else if (algo == "aptas") {
+      release::AptasParams params;
+      params.epsilon = eps;
+      params.K = K;
+      placement = release::aptas_pack(instance, params).packing.placement;
+    } else if (algo == "kr") {
+      kr::KrParams params;
+      params.epsilon = eps;
+      placement = kr::kr_pack(instance, params).packing.placement;
+    } else if (algo == "list") {
+      placement = list_schedule(instance).placement;
+    } else {
+      std::string packer_name = algo;
+      for (char& c : packer_name) c = static_cast<char>(std::toupper(c));
+      if (algo == "sleator") packer_name = "Sleator";
+      if (algo == "skyline") packer_name = "SkylineBL";
+      placement = run_packer(instance, packer_name);
+    }
+
+    const ValidationReport report = validate(instance, placement);
+    if (!report.ok()) {
+      std::cerr << "INVALID packing: " << report.summary() << "\n";
+      return 1;
+    }
+    const double height = packing_height(instance, placement);
+    std::cout << "height: " << height
+              << "  (lower bound: " << combined_lower_bound(instance)
+              << ", ratio " << height / combined_lower_bound(instance)
+              << ")\n";
+
+    if (!out_path.empty()) {
+      std::ofstream out(out_path);
+      io::write_placement(out, placement);
+      std::cout << "wrote " << out_path << "\n";
+    }
+    if (!svg_path.empty()) {
+      io::save_svg(svg_path, instance, placement);
+      std::cout << "wrote " << svg_path << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,228 @@
+#include "binpack/binpack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/assert.hpp"
+#include "util/float_eq.hpp"
+
+namespace stripack::binpack {
+
+std::vector<std::size_t> BinAssignment::item_to_bin(std::size_t n) const {
+  std::vector<std::size_t> owner(n, static_cast<std::size_t>(-1));
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    for (std::size_t i : bins[b]) {
+      STRIPACK_ASSERT(i < n && owner[i] == static_cast<std::size_t>(-1),
+                      "item appears twice or is out of range");
+      owner[i] = b;
+    }
+  }
+  return owner;
+}
+
+namespace {
+
+struct OpenBin {
+  double load = 0.0;
+  std::size_t index = 0;
+};
+
+}  // namespace
+
+BinAssignment pack(std::span<const double> sizes, double capacity, Fit fit) {
+  STRIPACK_EXPECTS(capacity > 0);
+  BinAssignment out;
+  std::vector<double> load;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const double s = sizes[i];
+    STRIPACK_EXPECTS(s > 0);
+    STRIPACK_ASSERT(approx_le(s, capacity), "item larger than bin capacity");
+    std::size_t chosen = out.bins.size();
+    switch (fit) {
+      case Fit::NextFit:
+        if (!out.bins.empty() && approx_le(load.back() + s, capacity)) {
+          chosen = out.bins.size() - 1;
+        }
+        break;
+      case Fit::FirstFit:
+        for (std::size_t b = 0; b < out.bins.size(); ++b) {
+          if (approx_le(load[b] + s, capacity)) {
+            chosen = b;
+            break;
+          }
+        }
+        break;
+      case Fit::BestFit: {
+        double best_residual = std::numeric_limits<double>::infinity();
+        for (std::size_t b = 0; b < out.bins.size(); ++b) {
+          const double residual = capacity - load[b] - s;
+          if (residual >= -kEps && residual < best_residual) {
+            best_residual = residual;
+            chosen = b;
+          }
+        }
+        break;
+      }
+    }
+    if (chosen == out.bins.size()) {
+      out.bins.emplace_back();
+      load.push_back(0.0);
+    }
+    out.bins[chosen].push_back(i);
+    load[chosen] += s;
+  }
+  return out;
+}
+
+BinAssignment pack_decreasing(std::span<const double> sizes, double capacity,
+                              Fit fit) {
+  std::vector<std::size_t> order(sizes.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (sizes[a] != sizes[b]) return sizes[a] > sizes[b];
+    return a < b;
+  });
+  std::vector<double> sorted;
+  sorted.reserve(sizes.size());
+  for (std::size_t i : order) sorted.push_back(sizes[i]);
+  BinAssignment sorted_assignment = pack(sorted, capacity, fit);
+  // Map back to original indices.
+  for (auto& bin : sorted_assignment.bins) {
+    for (std::size_t& i : bin) i = order[i];
+  }
+  return sorted_assignment;
+}
+
+std::size_t lb_size(std::span<const double> sizes, double capacity) {
+  const double total = std::accumulate(sizes.begin(), sizes.end(), 0.0);
+  return static_cast<std::size_t>(std::ceil(total / capacity - 1e-9));
+}
+
+std::size_t lb_martello_toth(std::span<const double> sizes, double capacity) {
+  // L2(alpha) = |J1| + |J2| + max(0, ceil((S(J3) - (|J2|*C - S(J2))) / C))
+  // where J1 = {s > C-alpha}, J2 = {C/2 < s <= C-alpha},
+  //       J3 = {alpha <= s <= C/2}; maximized over alpha in [0, C/2].
+  std::size_t best = lb_size(sizes, capacity);
+  std::vector<double> alphas;
+  for (double s : sizes) {
+    if (s <= capacity / 2 + kEps) alphas.push_back(s);
+  }
+  alphas.push_back(0.0);
+  std::sort(alphas.begin(), alphas.end());
+  alphas.erase(std::unique(alphas.begin(), alphas.end()), alphas.end());
+  for (double alpha : alphas) {
+    std::size_t j1 = 0, j2 = 0;
+    double s2 = 0.0, s3 = 0.0;
+    for (double s : sizes) {
+      if (s > capacity - alpha + kEps) {
+        ++j1;
+      } else if (s > capacity / 2 + kEps) {
+        ++j2;
+        s2 += s;
+      } else if (s >= alpha - kEps) {
+        s3 += s;
+      }
+    }
+    const double spare_in_j2 = static_cast<double>(j2) * capacity - s2;
+    const double overflow = s3 - spare_in_j2;
+    std::size_t extra = 0;
+    if (overflow > kEps) {
+      extra = static_cast<std::size_t>(std::ceil(overflow / capacity - 1e-9));
+    }
+    best = std::max(best, j1 + j2 + extra);
+  }
+  return best;
+}
+
+namespace {
+
+// Branch and bound: place items in non-increasing size order; each item goes
+// into an existing bin (distinct loads only) or a new bin.
+class ExactSolver {
+ public:
+  ExactSolver(std::span<const double> sizes, double capacity)
+      : capacity_(capacity) {
+    sizes_.assign(sizes.begin(), sizes.end());
+    std::sort(sizes_.rbegin(), sizes_.rend());
+    best_ = pack_decreasing(sizes_, capacity_, Fit::BestFit).num_bins();
+  }
+
+  std::size_t solve() {
+    std::vector<double> loads;
+    dfs(0, loads);
+    return best_;
+  }
+
+ private:
+  void dfs(std::size_t next, std::vector<double>& loads) {
+    if (next == sizes_.size()) {
+      best_ = std::min(best_, loads.size());
+      return;
+    }
+    if (loads.size() >= best_) return;  // can't improve
+    // Remaining-volume bound.
+    double remaining = 0.0;
+    for (std::size_t i = next; i < sizes_.size(); ++i) remaining += sizes_[i];
+    double slack = 0.0;
+    for (double l : loads) slack += capacity_ - l;
+    const double deficit = remaining - slack;
+    if (deficit > kEps) {
+      const auto extra = static_cast<std::size_t>(
+          std::ceil(deficit / capacity_ - 1e-9));
+      if (loads.size() + extra >= best_) return;
+    }
+    const double s = sizes_[next];
+    // Try existing bins with distinct loads (symmetry breaking).
+    std::vector<double> tried;
+    for (std::size_t b = 0; b < loads.size(); ++b) {
+      if (!approx_le(loads[b] + s, capacity_)) continue;
+      bool seen = false;
+      for (double t : tried) {
+        if (approx_eq(t, loads[b])) {
+          seen = true;
+          break;
+        }
+      }
+      if (seen) continue;
+      tried.push_back(loads[b]);
+      loads[b] += s;
+      dfs(next + 1, loads);
+      loads[b] -= s;
+    }
+    // New bin.
+    loads.push_back(s);
+    dfs(next + 1, loads);
+    loads.pop_back();
+  }
+
+  std::vector<double> sizes_;
+  double capacity_;
+  std::size_t best_;
+};
+
+}  // namespace
+
+std::size_t exact_min_bins(std::span<const double> sizes, double capacity) {
+  STRIPACK_EXPECTS(capacity > 0);
+  if (sizes.empty()) return 0;
+  return ExactSolver(sizes, capacity).solve();
+}
+
+bool is_valid(const BinAssignment& assignment, std::span<const double> sizes,
+              double capacity) {
+  std::vector<bool> seen(sizes.size(), false);
+  for (const auto& bin : assignment.bins) {
+    double load = 0.0;
+    for (std::size_t i : bin) {
+      if (i >= sizes.size() || seen[i]) return false;
+      seen[i] = true;
+      load += sizes[i];
+    }
+    if (!approx_le(load, capacity, 1e-7)) return false;
+  }
+  return std::all_of(seen.begin(), seen.end(), [](bool b) { return b; });
+}
+
+}  // namespace stripack::binpack

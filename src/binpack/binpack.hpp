@@ -1,0 +1,51 @@
+// Classical one-dimensional bin packing.
+//
+// The §2.2 reduction identifies shelves of a uniform-height strip packing
+// with bins (a rectangle of width w becomes an item of size w in a bin of
+// capacity = strip width). This module provides the standard heuristics and
+// lower bounds the reduction builds on; precedence-constrained variants live
+// in precedence_binpack.hpp.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace stripack::binpack {
+
+/// bins()[b] lists the item indices assigned to bin b, in placement order.
+struct BinAssignment {
+  std::vector<std::vector<std::size_t>> bins;
+  [[nodiscard]] std::size_t num_bins() const { return bins.size(); }
+  /// Item index -> bin index.
+  [[nodiscard]] std::vector<std::size_t> item_to_bin(std::size_t n) const;
+};
+
+enum class Fit { NextFit, FirstFit, BestFit };
+
+/// Online heuristics in the given item order.
+[[nodiscard]] BinAssignment pack(std::span<const double> sizes, double capacity,
+                                 Fit fit);
+
+/// Offline variants: sort by non-increasing size first (FFD/BFD/NFD).
+[[nodiscard]] BinAssignment pack_decreasing(std::span<const double> sizes,
+                                            double capacity, Fit fit);
+
+/// ceil(sum / capacity): the trivial (continuous) lower bound.
+[[nodiscard]] std::size_t lb_size(std::span<const double> sizes,
+                                  double capacity);
+
+/// Martello–Toth L2 lower bound (maximized over the alpha cut).
+[[nodiscard]] std::size_t lb_martello_toth(std::span<const double> sizes,
+                                           double capacity);
+
+/// Exact minimum via branch and bound (first-fit-style search with L2
+/// pruning). Practical for n <= ~20.
+[[nodiscard]] std::size_t exact_min_bins(std::span<const double> sizes,
+                                         double capacity);
+
+/// True iff each bin's content fits within capacity (with tolerance) and
+/// every item appears exactly once.
+[[nodiscard]] bool is_valid(const BinAssignment& assignment,
+                            std::span<const double> sizes, double capacity);
+
+}  // namespace stripack::binpack

@@ -1,0 +1,289 @@
+#include "binpack/precedence_binpack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+#include "util/float_eq.hpp"
+
+namespace stripack::binpack {
+
+namespace {
+
+void check_inputs(std::span<const double> sizes, const Dag& dag,
+                  double capacity) {
+  STRIPACK_EXPECTS(capacity > 0);
+  STRIPACK_EXPECTS(dag.num_vertices() == sizes.size());
+  STRIPACK_ASSERT(!dag.has_cycle(), "precedence constraints contain a cycle");
+  for (double s : sizes) {
+    STRIPACK_EXPECTS(s > 0);
+    STRIPACK_ASSERT(approx_le(s, capacity), "item larger than bin capacity");
+  }
+}
+
+}  // namespace
+
+PrecedenceResult ready_queue_next_fit(std::span<const double> sizes,
+                                      const Dag& dag, double capacity) {
+  check_inputs(sizes, dag, capacity);
+  PrecedenceResult result;
+  if (sizes.empty()) return result;
+
+  const std::size_t n = sizes.size();
+  // closed_preds[v] counts predecessors already on *closed* bins.
+  std::vector<std::size_t> closed_preds(n, 0);
+  std::vector<bool> placed(n, false), queued(n, false);
+  std::deque<std::size_t> ready;
+
+  for (std::size_t v = 0; v < n; ++v) {
+    if (dag.predecessors(static_cast<VertexId>(v)).empty()) {
+      ready.push_back(v);
+      queued[v] = true;
+    }
+  }
+
+  std::vector<std::size_t> open_bin;
+  double open_load = 0.0;
+  std::size_t placed_count = 0;
+
+  // Closes the open bin: its items' successors may become available.
+  auto close_bin = [&] {
+    for (std::size_t v : open_bin) {
+      for (VertexId succ : dag.successors(static_cast<VertexId>(v))) {
+        if (++closed_preds[succ] ==
+                dag.predecessors(succ).size() &&
+            !queued[succ] && !placed[succ]) {
+          ready.push_back(succ);
+          queued[succ] = true;
+        }
+      }
+    }
+    result.assignment.bins.push_back(std::move(open_bin));
+    open_bin.clear();
+    open_load = 0.0;
+  };
+
+  while (placed_count < n) {
+    if (ready.empty()) {
+      // A skip: nothing is available until the open bin's contents close.
+      STRIPACK_ASSERT(!open_bin.empty(),
+                      "ready queue empty with an empty open bin: cycle?");
+      ++result.skips;
+      close_bin();
+      continue;
+    }
+    const std::size_t head = ready.front();
+    if (approx_le(open_load + sizes[head], capacity)) {
+      ready.pop_front();
+      open_bin.push_back(head);
+      open_load += sizes[head];
+      placed[head] = true;
+      ++placed_count;
+    } else {
+      close_bin();
+    }
+  }
+  if (!open_bin.empty()) {
+    // The final bin closes with an empty ready queue: a skip in the sense
+    // of Lemma 2.5 (matches uniform_shelf_pack's accounting).
+    ++result.skips;
+    close_bin();
+  }
+  return result;
+}
+
+namespace {
+
+// Shared machinery for the First-Fit-style heuristics: place items one at a
+// time (selection policy differs); each item goes into the earliest bin with
+// room whose index exceeds all of its predecessors' bins.
+PrecedenceResult fit_available(std::span<const double> sizes, const Dag& dag,
+                               double capacity, bool largest_first) {
+  check_inputs(sizes, dag, capacity);
+  PrecedenceResult result;
+  const std::size_t n = sizes.size();
+  if (n == 0) return result;
+
+  std::vector<std::size_t> bin_of(n, 0);
+  std::vector<std::size_t> placed_preds(n, 0);
+  std::vector<bool> placed(n, false);
+  std::vector<std::size_t> available;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (dag.predecessors(static_cast<VertexId>(v)).empty()) {
+      available.push_back(v);
+    }
+  }
+  std::vector<double> load;
+
+  for (std::size_t step = 0; step < n; ++step) {
+    STRIPACK_ASSERT(!available.empty(), "no available item: cycle?");
+    // Selection: FIFO-ish smallest index, or largest size first.
+    std::size_t pick_pos = 0;
+    if (largest_first) {
+      for (std::size_t k = 1; k < available.size(); ++k) {
+        const std::size_t a = available[k], b = available[pick_pos];
+        if (sizes[a] > sizes[b] + kEps ||
+            (approx_eq(sizes[a], sizes[b]) && a < b)) {
+          pick_pos = k;
+        }
+      }
+    } else {
+      for (std::size_t k = 1; k < available.size(); ++k) {
+        if (available[k] < available[pick_pos]) pick_pos = k;
+      }
+    }
+    const std::size_t v = available[pick_pos];
+    available.erase(available.begin() + static_cast<std::ptrdiff_t>(pick_pos));
+
+    // Earliest feasible bin index: strictly after every predecessor.
+    std::size_t min_bin = 0;
+    for (VertexId p : dag.predecessors(static_cast<VertexId>(v))) {
+      min_bin = std::max(min_bin, bin_of[p] + 1);
+    }
+    std::size_t chosen = load.size();
+    for (std::size_t b = min_bin; b < load.size(); ++b) {
+      if (approx_le(load[b] + sizes[v], capacity)) {
+        chosen = b;
+        break;
+      }
+    }
+    if (chosen >= load.size()) {
+      chosen = std::max(min_bin, load.size());
+      while (load.size() <= chosen) {
+        load.push_back(0.0);
+        result.assignment.bins.emplace_back();
+      }
+    }
+    result.assignment.bins[chosen].push_back(v);
+    load[chosen] += sizes[v];
+    bin_of[v] = chosen;
+    placed[v] = true;
+    for (VertexId s : dag.successors(static_cast<VertexId>(v))) {
+      if (++placed_preds[s] == dag.predecessors(s).size()) {
+        available.push_back(s);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+PrecedenceResult first_fit_available(std::span<const double> sizes,
+                                     const Dag& dag, double capacity) {
+  return fit_available(sizes, dag, capacity, /*largest_first=*/false);
+}
+
+PrecedenceResult ffd_available(std::span<const double> sizes, const Dag& dag,
+                               double capacity) {
+  return fit_available(sizes, dag, capacity, /*largest_first=*/true);
+}
+
+std::size_t exact_min_bins_precedence(std::span<const double> sizes,
+                                      const Dag& dag, double capacity) {
+  check_inputs(sizes, dag, capacity);
+  const std::size_t n = sizes.size();
+  STRIPACK_EXPECTS(n <= 20);
+  if (n == 0) return 0;
+
+  using Mask = std::uint32_t;
+  const Mask full = n == 32 ? ~Mask{0} : ((Mask{1} << n) - 1);
+
+  // Precompute predecessor masks.
+  std::vector<Mask> pred_mask(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (VertexId p : dag.predecessors(static_cast<VertexId>(v))) {
+      pred_mask[v] |= Mask{1} << p;
+    }
+  }
+
+  // State: (placed set P, contents of the currently open bin C ⊆ P).
+  // Value: number of *closed* bins. Transitions: add item v ∉ P with
+  // pred_mask[v] ⊆ P \ C (predecessors strictly earlier) if it fits in the
+  // open bin; or close the open bin.
+  struct KeyHash {
+    std::size_t operator()(std::uint64_t k) const {
+      return std::hash<std::uint64_t>{}(k);
+    }
+  };
+  auto key = [n](Mask placed, Mask cur) {
+    return (static_cast<std::uint64_t>(placed) << n) | cur;
+  };
+  std::unordered_map<std::uint64_t, std::size_t, KeyHash> best;
+  best.reserve(1u << (2 * std::min<std::size_t>(n, 10)));
+
+  const std::size_t upper =
+      ready_queue_next_fit(sizes, dag, capacity).assignment.num_bins();
+  std::size_t answer = upper;
+
+  auto load_of = [&](Mask set) {
+    double load = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (set & (Mask{1} << v)) load += sizes[v];
+    }
+    return load;
+  };
+
+  // DFS with memoization on minimum closed bins reaching a state.
+  std::vector<std::tuple<Mask, Mask, std::size_t>> stack;
+  stack.emplace_back(0, 0, 0);
+  while (!stack.empty()) {
+    auto [placed_set, cur, closed] = stack.back();
+    stack.pop_back();
+    if (closed + (cur ? 1 : 0) >= answer) continue;
+    auto it = best.find(key(placed_set, cur));
+    if (it != best.end() && it->second <= closed) continue;
+    best[key(placed_set, cur)] = closed;
+
+    if (placed_set == full) {
+      answer = std::min(answer, closed + (cur ? 1 : 0));
+      continue;
+    }
+    const Mask strictly_earlier = placed_set & ~cur;
+    const double cur_load = load_of(cur);
+    bool extended = false;
+    for (std::size_t v = 0; v < n; ++v) {
+      const Mask bit = Mask{1} << v;
+      if (placed_set & bit) continue;
+      if ((pred_mask[v] & ~strictly_earlier) != 0) continue;
+      if (!approx_le(cur_load + sizes[v], capacity)) continue;
+      stack.emplace_back(placed_set | bit, cur | bit, closed);
+      extended = true;
+    }
+    // Closing the bin is only useful if it is non-empty.
+    if (cur) {
+      stack.emplace_back(placed_set, 0, closed + 1);
+    } else {
+      STRIPACK_ASSERT(extended, "dead state: empty bin and nothing placeable");
+    }
+  }
+  return answer;
+}
+
+bool is_valid_precedence(const BinAssignment& assignment,
+                         std::span<const double> sizes, const Dag& dag,
+                         double capacity) {
+  if (!is_valid(assignment, sizes, capacity)) return false;
+  const auto owner = assignment.item_to_bin(sizes.size());
+  for (const Edge& e : dag.edges()) {
+    if (owner[e.from] >= owner[e.to]) return false;
+  }
+  return true;
+}
+
+std::size_t lb_precedence(std::span<const double> sizes, const Dag& dag,
+                          double capacity) {
+  std::size_t lb = lb_martello_toth(sizes, capacity);
+  // Longest path counted in items: each needs its own bin.
+  std::vector<double> unit(sizes.size(), 1.0);
+  if (sizes.size() > 0) {
+    lb = std::max(lb, static_cast<std::size_t>(
+                          std::llround(dag.critical_path(unit))));
+  }
+  return lb;
+}
+
+}  // namespace stripack::binpack

@@ -1,0 +1,66 @@
+// Precedence-constrained bin packing (Garey–Graham–Johnson–Yao model).
+//
+// Items have sizes in (0, capacity]; bins form a sequence; if a ≺ b then a
+// must be placed in a *strictly earlier* bin than b. Under the §2.2 shelf
+// equivalence this is exactly precedence-constrained strip packing with
+// uniform heights: bin index = shelf index, item size = rectangle width.
+//
+// Heuristics:
+//  * ready-queue Next-Fit — the bin-packing image of the paper's Algorithm F
+//    (Thm. 2.6: absolute 3-approximation);
+//  * First-Fit-Available / FFD-Available — GGJY-flavoured level heuristics
+//    used by bench E5 to measure the asymptotic constants the paper inherits
+//    from [13].
+// The exact DP (states: <placed set, current-bin set>) provides ground truth
+// for n <= ~14.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "binpack/binpack.hpp"
+#include "dag/dag.hpp"
+
+namespace stripack::binpack {
+
+struct PrecedenceResult {
+  BinAssignment assignment;
+  /// Number of bins closed while the ready queue was empty (the paper's
+  /// "skips"; Lemma 2.5 bounds these by OPT).
+  std::size_t skips = 0;
+};
+
+/// The paper's Algorithm F in bin-packing form. Maintains a FIFO queue of
+/// available items (all predecessors in *closed* bins); repeatedly places
+/// the head into the open bin; when the head does not fit (or the queue is
+/// empty — a "skip"), closes the bin and repopulates the queue.
+[[nodiscard]] PrecedenceResult ready_queue_next_fit(
+    std::span<const double> sizes, const Dag& dag, double capacity);
+
+/// First-Fit respecting precedence: items in a fixed topological priority
+/// order; each goes into the earliest bin that has room and whose index is
+/// strictly greater than every predecessor's bin.
+[[nodiscard]] PrecedenceResult first_fit_available(
+    std::span<const double> sizes, const Dag& dag, double capacity);
+
+/// As first_fit_available, but at every step the largest available item is
+/// placed first (the FFD analogue).
+[[nodiscard]] PrecedenceResult ffd_available(std::span<const double> sizes,
+                                             const Dag& dag, double capacity);
+
+/// Exact minimum number of bins; exponential (3^n states), use n <= ~14.
+[[nodiscard]] std::size_t exact_min_bins_precedence(
+    std::span<const double> sizes, const Dag& dag, double capacity);
+
+/// Validity: capacity respected, every item placed once, and every edge
+/// (u,v) has bin(u) < bin(v).
+[[nodiscard]] bool is_valid_precedence(const BinAssignment& assignment,
+                                       std::span<const double> sizes,
+                                       const Dag& dag, double capacity);
+
+/// Lower bound: max(lb_size, longest path in the DAG measured in items),
+/// both valid for the precedence problem.
+[[nodiscard]] std::size_t lb_precedence(std::span<const double> sizes,
+                                        const Dag& dag, double capacity);
+
+}  // namespace stripack::binpack

@@ -1,0 +1,62 @@
+#include "core/bounds.hpp"
+
+#include <algorithm>
+
+namespace stripack {
+
+double area_lower_bound(const Instance& instance) {
+  return instance.total_area() / instance.strip_width();
+}
+
+double max_height_lower_bound(const Instance& instance) {
+  return instance.max_height();
+}
+
+std::vector<double> critical_path_values(const Instance& instance) {
+  return instance.dag().longest_path_to(instance.heights());
+}
+
+double critical_path_lower_bound(const Instance& instance) {
+  if (instance.empty()) return 0.0;
+  return instance.dag().critical_path(instance.heights());
+}
+
+double release_lower_bound(const Instance& instance) {
+  // Sort distinct releases descending and accumulate the area released at or
+  // after each: any item released at rho must lie fully above rho.
+  std::vector<std::size_t> order(instance.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return instance.item(a).release > instance.item(b).release;
+  });
+  double best = 0.0;
+  double area_suffix = 0.0;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const Item& it = instance.item(order[k]);
+    area_suffix += it.area();
+    const bool last_of_value =
+        k + 1 == order.size() ||
+        instance.item(order[k + 1]).release < it.release;
+    if (last_of_value) {
+      best = std::max(best,
+                      it.release + area_suffix / instance.strip_width());
+    }
+    // Every item must also finish after release + its own height.
+    best = std::max(best, it.release + it.height());
+  }
+  return best;
+}
+
+double combined_lower_bound(const Instance& instance) {
+  double lb = std::max(area_lower_bound(instance),
+                       max_height_lower_bound(instance));
+  if (instance.has_precedence()) {
+    lb = std::max(lb, critical_path_lower_bound(instance));
+  }
+  if (instance.has_release_times()) {
+    lb = std::max(lb, release_lower_bound(instance));
+  }
+  return lb;
+}
+
+}  // namespace stripack

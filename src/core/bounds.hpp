@@ -1,0 +1,41 @@
+// Lower bounds on the optimal packing height.
+//
+// These are exactly the quantities the paper's guarantees are stated
+// against:
+//   §2  (precedence):  OPT >= AREA(S)      (bound 2)
+//                      OPT >= F(S)         (bound 1, critical path)
+//   §3  (releases):    OPT >= AREA(S), OPT >= h_max, and for every release
+//                      value rho: OPT >= rho + AREA(items released >= rho)
+// The benches report measured heights against these bounds; since every
+// bound is <= OPT, measured ratios are upper bounds on the true
+// approximation ratios (conservative in the right direction).
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace stripack {
+
+/// Sum of item areas divided by the strip width (a packing of height H
+/// covers at most W*H area).
+[[nodiscard]] double area_lower_bound(const Instance& instance);
+
+/// Tallest single item.
+[[nodiscard]] double max_height_lower_bound(const Instance& instance);
+
+/// The paper's F(S): the longest chain of heights in the precedence DAG.
+/// Equals max height when there are no edges.
+[[nodiscard]] double critical_path_lower_bound(const Instance& instance);
+
+/// Per-item F values (top edge lower bounds), in item order.
+[[nodiscard]] std::vector<double> critical_path_values(const Instance& instance);
+
+/// max over distinct releases rho of (rho + AREA(released >= rho) / W);
+/// also covers rho = 0 (plain area bound) and r_max.
+[[nodiscard]] double release_lower_bound(const Instance& instance);
+
+/// The best of all applicable bounds for this instance.
+[[nodiscard]] double combined_lower_bound(const Instance& instance);
+
+}  // namespace stripack

@@ -1,0 +1,83 @@
+#include "core/instance.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/float_eq.hpp"
+
+namespace stripack {
+
+Instance::Instance(std::vector<Item> items, double strip_width)
+    : items_(std::move(items)), dag_(items_.size()), strip_width_(strip_width) {
+  STRIPACK_EXPECTS(strip_width_ > 0);
+}
+
+VertexId Instance::add_item(double width, double height, double release) {
+  items_.push_back(Item{Rect{width, height}, release});
+  dag_.resize(items_.size());
+  return static_cast<VertexId>(items_.size() - 1);
+}
+
+void Instance::add_precedence(VertexId before, VertexId after) {
+  dag_.add_edge(before, after);
+}
+
+bool Instance::has_release_times() const {
+  return std::any_of(items_.begin(), items_.end(),
+                     [](const Item& it) { return it.release > 0.0; });
+}
+
+std::vector<double> Instance::heights() const {
+  std::vector<double> h;
+  h.reserve(items_.size());
+  for (const Item& it : items_) h.push_back(it.height());
+  return h;
+}
+
+std::vector<double> Instance::widths() const {
+  std::vector<double> w;
+  w.reserve(items_.size());
+  for (const Item& it : items_) w.push_back(it.width());
+  return w;
+}
+
+double Instance::total_area() const {
+  double a = 0.0;
+  for (const Item& it : items_) a += it.area();
+  return a;
+}
+
+double Instance::max_height() const {
+  double h = 0.0;
+  for (const Item& it : items_) h = std::max(h, it.height());
+  return h;
+}
+
+double Instance::max_width() const {
+  double w = 0.0;
+  for (const Item& it : items_) w = std::max(w, it.width());
+  return w;
+}
+
+double Instance::max_release() const {
+  double r = 0.0;
+  for (const Item& it : items_) r = std::max(r, it.release);
+  return r;
+}
+
+void Instance::check_well_formed() const {
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    const Item& it = items_[i];
+    STRIPACK_ASSERT(it.width() > 0 && it.height() > 0,
+                    "item " + std::to_string(i) + " has non-positive size");
+    STRIPACK_ASSERT(approx_le(it.width(), strip_width_),
+                    "item " + std::to_string(i) + " is wider than the strip");
+    STRIPACK_ASSERT(it.release >= 0,
+                    "item " + std::to_string(i) + " has negative release");
+  }
+  STRIPACK_ASSERT(dag_.num_vertices() == items_.size(),
+                  "DAG size does not match item count");
+  STRIPACK_ASSERT(!dag_.has_cycle(), "precedence constraints contain a cycle");
+}
+
+}  // namespace stripack

@@ -1,0 +1,65 @@
+// Problem instances for all three variants studied in the paper:
+//   - plain strip packing               (no precedence, all releases 0)
+//   - precedence-constrained (§2)       (DAG over the items)
+//   - release times (§3)                (per-item release, no DAG)
+//
+// A single Instance type covers all three; algorithms state which fields
+// they honour and validators check everything that is present.
+#pragma once
+
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "core/rect.hpp"
+#include "dag/dag.hpp"
+
+namespace stripack {
+
+class Instance {
+ public:
+  /// Empty instance with a unit-width strip.
+  Instance() : dag_(0) {}
+
+  /// Plain rectangles, unit strip.
+  explicit Instance(std::vector<Item> items, double strip_width = 1.0);
+
+  /// Adds an item; returns its index. Precedence edges may reference it
+  /// afterwards.
+  VertexId add_item(double width, double height, double release = 0.0);
+
+  /// Adds the constraint "before must complete before after starts".
+  void add_precedence(VertexId before, VertexId after);
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] const Item& item(std::size_t i) const { return items_[i]; }
+  [[nodiscard]] std::span<const Item> items() const { return items_; }
+  [[nodiscard]] const Dag& dag() const { return dag_; }
+  [[nodiscard]] double strip_width() const { return strip_width_; }
+
+  [[nodiscard]] bool has_precedence() const { return !dag_.empty_edges(); }
+  [[nodiscard]] bool has_release_times() const;
+
+  /// Heights of all items, in index order (the weight vector for F).
+  [[nodiscard]] std::vector<double> heights() const;
+  /// Widths of all items, in index order.
+  [[nodiscard]] std::vector<double> widths() const;
+
+  [[nodiscard]] double total_area() const;
+  [[nodiscard]] double max_height() const;
+  [[nodiscard]] double max_width() const;
+  [[nodiscard]] double max_release() const;
+
+  /// Structural well-formedness: positive dimensions, widths within the
+  /// strip, non-negative releases, acyclic DAG. Throws ContractViolation
+  /// with a description of the first problem found.
+  void check_well_formed() const;
+
+ private:
+  std::vector<Item> items_;
+  Dag dag_;
+  double strip_width_ = 1.0;
+};
+
+}  // namespace stripack

@@ -1,0 +1,22 @@
+#include "core/packing.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace stripack {
+
+double packing_height(const Instance& instance, const Placement& placement) {
+  STRIPACK_EXPECTS(placement.size() == instance.size());
+  double top = 0.0;
+  for (std::size_t i = 0; i < placement.size(); ++i) {
+    top = std::max(top, placement[i].y + instance.item(i).height());
+  }
+  return top;
+}
+
+void shift_up(Placement& placement, double dy) {
+  for (Position& p : placement) p.y += dy;
+}
+
+}  // namespace stripack

@@ -1,0 +1,33 @@
+// Placements and packings (solutions).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/rect.hpp"
+
+namespace stripack {
+
+/// A placement assigns a lower-left corner to every item, by index.
+using Placement = std::vector<Position>;
+
+/// Height of the packing: max over items of y + h, and 0 when empty.
+[[nodiscard]] double packing_height(const Instance& instance,
+                                    const Placement& placement);
+
+/// Shifts every position upward by dy (used by DC and the APTAS when
+/// composing sub-packings).
+void shift_up(Placement& placement, double dy);
+
+/// A solved instance: the instance plus one placement per item.
+struct Packing {
+  Instance instance;
+  Placement placement;
+
+  [[nodiscard]] double height() const {
+    return packing_height(instance, placement);
+  }
+};
+
+}  // namespace stripack

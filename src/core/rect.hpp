@@ -1,0 +1,40 @@
+// Basic geometry: rectangles (tasks) to be packed in the strip.
+#pragma once
+
+#include "util/assert.hpp"
+
+namespace stripack {
+
+/// An axis-aligned rectangle to pack: width is the resource requirement
+/// (fraction of the strip), height is the task duration. Rotation is never
+/// allowed (paper §1).
+struct Rect {
+  double width = 0.0;
+  double height = 0.0;
+
+  [[nodiscard]] double area() const { return width * height; }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// A rectangle plus its release time (0 when the variant has none).
+struct Item {
+  Rect rect;
+  double release = 0.0;
+
+  [[nodiscard]] double width() const { return rect.width; }
+  [[nodiscard]] double height() const { return rect.height; }
+  [[nodiscard]] double area() const { return rect.area(); }
+
+  friend bool operator==(const Item&, const Item&) = default;
+};
+
+/// Lower-left corner of a placed rectangle.
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Position&, const Position&) = default;
+};
+
+}  // namespace stripack

@@ -1,0 +1,146 @@
+#include "core/validate.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+#include "util/float_eq.hpp"
+#include "util/table.hpp"
+
+namespace stripack {
+
+std::string ValidationReport::summary() const {
+  if (ok()) return "valid";
+  std::string out = std::to_string(violations.size()) + " violation(s): ";
+  for (std::size_t i = 0; i < violations.size() && i < 4; ++i) {
+    if (i) out += "; ";
+    out += violations[i].detail;
+  }
+  if (violations.size() > 4) out += "; ...";
+  return out;
+}
+
+namespace {
+
+std::string format_x(double v) { return format_double(v, 6); }
+
+const char* kind_name(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::OutOfStrip: return "out-of-strip";
+    case ViolationKind::Overlap: return "overlap";
+    case ViolationKind::Precedence: return "precedence";
+    case ViolationKind::ReleaseTime: return "release-time";
+    case ViolationKind::PlacementLength: return "placement-length";
+  }
+  return "?";
+}
+
+void add_violation(ValidationReport& report, const ValidateOptions& options,
+                   ViolationKind kind, std::size_t a, std::size_t b,
+                   std::string detail) {
+  if (report.violations.size() >= options.max_violations) return;
+  report.violations.push_back(
+      {kind, a, b, std::string(kind_name(kind)) + ": " + std::move(detail)});
+}
+
+}  // namespace
+
+ValidationReport validate(const Instance& instance, const Placement& placement,
+                          const ValidateOptions& options) {
+  ValidationReport report;
+  if (placement.size() != instance.size()) {
+    add_violation(report, options, ViolationKind::PlacementLength, 0, 0,
+                  "placement has " + std::to_string(placement.size()) +
+                      " entries for " + std::to_string(instance.size()) +
+                      " items");
+    return report;
+  }
+  const double tol = options.tol;
+  const double strip_w = instance.strip_width();
+
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    const Item& it = instance.item(i);
+    const Position& p = placement[i];
+    if (p.x < -tol || p.x + it.width() > strip_w + tol || p.y < -tol) {
+      add_violation(report, options, ViolationKind::OutOfStrip, i, 0,
+                    "item " + std::to_string(i) + " at (" +
+                        format_x(p.x) + "," + format_x(p.y) + ")");
+    }
+    if (it.release > 0 && p.y < it.release - tol) {
+      add_violation(report, options, ViolationKind::ReleaseTime, i, 0,
+                    "item " + std::to_string(i) + " placed at y=" +
+                        format_x(p.y) + " before release " +
+                        format_x(it.release));
+    }
+  }
+
+  // Sweep line over y: insert rectangles at their bottom edge, expire at the
+  // top edge, and test x-interval overlap against the active set. Expiry via
+  // a sorted pointer keeps the active set small for shelf-like packings.
+  const std::size_t n = instance.size();
+  std::vector<std::size_t> by_bottom(n), by_top(n);
+  std::iota(by_bottom.begin(), by_bottom.end(), std::size_t{0});
+  by_top = by_bottom;
+  std::sort(by_bottom.begin(), by_bottom.end(), [&](std::size_t a, std::size_t b) {
+    return placement[a].y < placement[b].y;
+  });
+  std::sort(by_top.begin(), by_top.end(), [&](std::size_t a, std::size_t b) {
+    return placement[a].y + instance.item(a).height() <
+           placement[b].y + instance.item(b).height();
+  });
+
+  std::vector<std::size_t> active;  // indices currently spanning the sweep y
+  std::size_t expire_ptr = 0;
+  for (std::size_t bi = 0; bi < n; ++bi) {
+    const std::size_t i = by_bottom[bi];
+    const double y_bottom = placement[i].y;
+    // Retire rectangles whose top is at or below this bottom (touching
+    // rectangles do not overlap).
+    while (expire_ptr < n) {
+      const std::size_t j = by_top[expire_ptr];
+      const double j_top = placement[j].y + instance.item(j).height();
+      if (j_top <= y_bottom + tol) {
+        active.erase(std::remove(active.begin(), active.end(), j),
+                     active.end());
+        ++expire_ptr;
+      } else {
+        break;
+      }
+    }
+    for (std::size_t j : active) {
+      const bool x_overlap = intervals_overlap(
+          placement[i].x, placement[i].x + instance.item(i).width(),
+          placement[j].x, placement[j].x + instance.item(j).width(), tol);
+      const bool y_overlap = intervals_overlap(
+          placement[i].y, placement[i].y + instance.item(i).height(),
+          placement[j].y, placement[j].y + instance.item(j).height(), tol);
+      if (x_overlap && y_overlap) {
+        add_violation(report, options, ViolationKind::Overlap, std::min(i, j),
+                      std::max(i, j),
+                      "items " + std::to_string(i) + " and " +
+                          std::to_string(j));
+      }
+    }
+    active.push_back(i);
+  }
+
+  for (const Edge& e : instance.dag().edges()) {
+    const double u_top = placement[e.from].y + instance.item(e.from).height();
+    if (u_top > placement[e.to].y + tol) {
+      add_violation(report, options, ViolationKind::Precedence, e.from, e.to,
+                    "edge (" + std::to_string(e.from) + " -> " +
+                        std::to_string(e.to) + "): predecessor top " +
+                        format_x(u_top) + " above successor base " +
+                        format_x(placement[e.to].y));
+    }
+  }
+  return report;
+}
+
+void require_valid(const Instance& instance, const Placement& placement,
+                   const ValidateOptions& options) {
+  const ValidationReport report = validate(instance, placement, options);
+  STRIPACK_ASSERT(report.ok(), report.summary());
+}
+
+}  // namespace stripack

@@ -1,0 +1,51 @@
+// Independent validation of packings.
+//
+// Every algorithm's output is cross-checked by this validator in the tests
+// (and once per configuration in the benches); the validator shares no code
+// with the packers, so a bug in a packer cannot hide itself.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/packing.hpp"
+
+namespace stripack {
+
+enum class ViolationKind {
+  OutOfStrip,       // x < 0, x + w > strip width, or y < 0
+  Overlap,          // two rectangles intersect with positive area
+  Precedence,       // edge (u,v) with y_u + h_u > y_v
+  ReleaseTime,      // y_s < r_s
+  PlacementLength,  // placement.size() != instance.size()
+};
+
+struct Violation {
+  ViolationKind kind{};
+  std::size_t a = 0;  // primary item index
+  std::size_t b = 0;  // secondary item (Overlap/Precedence), else unused
+  std::string detail;
+};
+
+struct ValidationReport {
+  std::vector<Violation> violations;
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+struct ValidateOptions {
+  double tol = 1e-7;            // coordinates are doubles; allow slack
+  std::size_t max_violations = 32;  // stop collecting after this many
+};
+
+/// Checks strip bounds, pairwise overlap (sweep line over y), precedence
+/// edges, and release times. All checks honour options.tol.
+[[nodiscard]] ValidationReport validate(const Instance& instance,
+                                        const Placement& placement,
+                                        const ValidateOptions& options = {});
+
+/// Convenience: validate and throw ContractViolation if invalid.
+void require_valid(const Instance& instance, const Placement& placement,
+                   const ValidateOptions& options = {});
+
+}  // namespace stripack

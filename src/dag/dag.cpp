@@ -1,0 +1,230 @@
+#include "dag/dag.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace stripack {
+
+Dag::Dag(std::size_t n) : succ_(n), pred_(n) {}
+
+std::optional<Dag> Dag::from_edges(std::size_t n, std::span<const Edge> edges) {
+  Dag g(n);
+  for (const Edge& e : edges) {
+    if (e.from >= n || e.to >= n || e.from == e.to) return std::nullopt;
+    g.add_edge(e.from, e.to);
+  }
+  if (g.has_cycle()) return std::nullopt;
+  return g;
+}
+
+void Dag::resize(std::size_t n) {
+  STRIPACK_EXPECTS(n >= num_vertices());
+  succ_.resize(n);
+  pred_.resize(n);
+}
+
+void Dag::add_edge(VertexId from, VertexId to) {
+  STRIPACK_EXPECTS(from < num_vertices() && to < num_vertices());
+  STRIPACK_EXPECTS(from != to);
+  if (has_edge(from, to)) return;
+  succ_[from].push_back(to);
+  pred_[to].push_back(from);
+  ++num_edges_;
+}
+
+std::span<const VertexId> Dag::successors(VertexId v) const {
+  STRIPACK_EXPECTS(v < num_vertices());
+  return succ_[v];
+}
+
+std::span<const VertexId> Dag::predecessors(VertexId v) const {
+  STRIPACK_EXPECTS(v < num_vertices());
+  return pred_[v];
+}
+
+bool Dag::has_edge(VertexId from, VertexId to) const {
+  STRIPACK_EXPECTS(from < num_vertices() && to < num_vertices());
+  const auto& adj = succ_[from];
+  return std::find(adj.begin(), adj.end(), to) != adj.end();
+}
+
+std::vector<Edge> Dag::edges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges_);
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    for (VertexId v : succ_[u]) out.push_back({u, v});
+  }
+  return out;
+}
+
+bool Dag::has_cycle() const {
+  // Kahn's algorithm: a cycle exists iff not all vertices get popped.
+  std::vector<std::size_t> indeg(num_vertices());
+  for (VertexId v = 0; v < num_vertices(); ++v) indeg[v] = pred_[v].size();
+  std::vector<VertexId> stack;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    if (indeg[v] == 0) stack.push_back(v);
+  }
+  std::size_t popped = 0;
+  while (!stack.empty()) {
+    const VertexId u = stack.back();
+    stack.pop_back();
+    ++popped;
+    for (VertexId v : succ_[u]) {
+      if (--indeg[v] == 0) stack.push_back(v);
+    }
+  }
+  return popped != num_vertices();
+}
+
+std::vector<VertexId> Dag::topological_order() const {
+  std::vector<std::size_t> indeg(num_vertices());
+  for (VertexId v = 0; v < num_vertices(); ++v) indeg[v] = pred_[v].size();
+  // Min-heap on vertex id gives a stable, deterministic order.
+  std::priority_queue<VertexId, std::vector<VertexId>, std::greater<>> ready;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    if (indeg[v] == 0) ready.push(v);
+  }
+  std::vector<VertexId> order;
+  order.reserve(num_vertices());
+  while (!ready.empty()) {
+    const VertexId u = ready.top();
+    ready.pop();
+    order.push_back(u);
+    for (VertexId v : succ_[u]) {
+      if (--indeg[v] == 0) ready.push(v);
+    }
+  }
+  STRIPACK_ASSERT(order.size() == num_vertices(),
+                  "topological_order called on a cyclic graph");
+  return order;
+}
+
+std::vector<double> Dag::longest_path_to(std::span<const double> weight) const {
+  STRIPACK_EXPECTS(weight.size() == num_vertices());
+  const auto order = topological_order();
+  std::vector<double> f(num_vertices(), 0.0);
+  for (VertexId v : order) {
+    double best_pred = 0.0;
+    for (VertexId p : pred_[v]) best_pred = std::max(best_pred, f[p]);
+    f[v] = weight[v] + best_pred;
+  }
+  return f;
+}
+
+double Dag::critical_path(std::span<const double> weight) const {
+  const auto f = longest_path_to(weight);
+  double best = 0.0;
+  for (double v : f) best = std::max(best, v);
+  return best;
+}
+
+Dag Dag::induced_subgraph(std::span<const VertexId> vertices) const {
+  constexpr VertexId kAbsent = static_cast<VertexId>(-1);
+  std::vector<VertexId> local(num_vertices(), kAbsent);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    STRIPACK_EXPECTS(vertices[i] < num_vertices());
+    STRIPACK_ASSERT(local[vertices[i]] == kAbsent,
+                    "induced_subgraph: duplicate vertex");
+    local[vertices[i]] = static_cast<VertexId>(i);
+  }
+  Dag sub(vertices.size());
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (VertexId w : succ_[vertices[i]]) {
+      if (local[w] != kAbsent) {
+        sub.add_edge(static_cast<VertexId>(i), local[w]);
+      }
+    }
+  }
+  return sub;
+}
+
+std::vector<std::size_t> Dag::levels() const {
+  const auto order = topological_order();
+  std::vector<std::size_t> level(num_vertices(), 0);
+  for (VertexId v : order) {
+    for (VertexId p : pred_[v]) level[v] = std::max(level[v], level[p] + 1);
+  }
+  return level;
+}
+
+std::vector<bool> Dag::reachable_from(VertexId source) const {
+  STRIPACK_EXPECTS(source < num_vertices());
+  std::vector<bool> seen(num_vertices(), false);
+  std::vector<VertexId> stack{source};
+  seen[source] = true;
+  while (!stack.empty()) {
+    const VertexId u = stack.back();
+    stack.pop_back();
+    for (VertexId v : succ_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+
+Dag Dag::transitive_closure() const {
+  Dag closure(num_vertices());
+  // Process in reverse topological order, accumulating descendant sets.
+  const auto order = topological_order();
+  std::vector<std::vector<bool>> reach(num_vertices());
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const VertexId u = *it;
+    std::vector<bool> set(num_vertices(), false);
+    for (VertexId v : succ_[u]) {
+      set[v] = true;
+      for (VertexId w = 0; w < num_vertices(); ++w) {
+        if (reach[v][w]) set[w] = true;
+      }
+    }
+    for (VertexId w = 0; w < num_vertices(); ++w) {
+      if (set[w]) closure.add_edge(u, w);
+    }
+    reach[u] = std::move(set);
+  }
+  return closure;
+}
+
+Dag Dag::transitive_reduction() const {
+  STRIPACK_ASSERT(!has_cycle(), "transitive_reduction requires a DAG");
+  Dag reduced(num_vertices());
+  // Edge (u,v) is redundant iff v is reachable from u through some other
+  // successor of u.
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    for (VertexId v : succ_[u]) {
+      bool redundant = false;
+      for (VertexId w : succ_[u]) {
+        if (w == v) continue;
+        if (reachable_from(w)[v]) {
+          redundant = true;
+          break;
+        }
+      }
+      if (!redundant) reduced.add_edge(u, v);
+    }
+  }
+  return reduced;
+}
+
+std::vector<VertexId> Dag::sources() const {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    if (pred_[v].empty()) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<VertexId> Dag::sinks() const {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    if (succ_[v].empty()) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace stripack

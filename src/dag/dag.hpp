@@ -1,0 +1,100 @@
+// Directed acyclic graphs representing precedence constraints.
+//
+// Vertices are rectangle indices. An edge (u, v) means "u must finish before
+// v starts": in any valid placement y_u + h_u <= y_v (paper §2). The class
+// provides the graph machinery the algorithms need: topological order,
+// induced subgraphs (DC recomputes F on induced sub-DAGs at every level of
+// the recursion), the longest weighted path function F, level decomposition,
+// and transitive closure/reduction for the generators and tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace stripack {
+
+using VertexId = std::uint32_t;
+
+/// A precedence edge: `from` must complete before `to` begins.
+struct Edge {
+  VertexId from{};
+  VertexId to{};
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Adjacency-list DAG. Construction does not enforce acyclicity (edges can
+/// be added incrementally); call has_cycle() / topological_order() to check.
+/// All algorithms that require acyclicity throw ContractViolation on cyclic
+/// input.
+class Dag {
+ public:
+  /// An edgeless graph on n vertices.
+  explicit Dag(std::size_t n = 0);
+
+  /// Builds from an edge list; returns nullopt if any endpoint is out of
+  /// range or the result has a cycle.
+  static std::optional<Dag> from_edges(std::size_t n,
+                                       std::span<const Edge> edges);
+
+  /// Adds a precedence edge; duplicate edges are ignored.
+  void add_edge(VertexId from, VertexId to);
+
+  /// Grows the vertex set (existing edges keep their endpoints).
+  void resize(std::size_t n);
+
+  [[nodiscard]] std::size_t num_vertices() const { return succ_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
+  [[nodiscard]] bool empty_edges() const { return num_edges_ == 0; }
+
+  [[nodiscard]] std::span<const VertexId> successors(VertexId v) const;
+  [[nodiscard]] std::span<const VertexId> predecessors(VertexId v) const;
+  [[nodiscard]] bool has_edge(VertexId from, VertexId to) const;
+
+  [[nodiscard]] std::vector<Edge> edges() const;
+
+  [[nodiscard]] bool has_cycle() const;
+
+  /// Kahn topological order (stable: ready vertices are taken in increasing
+  /// id). Throws if the graph has a cycle.
+  [[nodiscard]] std::vector<VertexId> topological_order() const;
+
+  /// The paper's F function: F(v) = weight[v] + max over predecessors of
+  /// F(pred), i.e. the earliest possible top edge of v in an infinitely wide
+  /// strip. Throws on cycles. weight.size() must equal num_vertices().
+  [[nodiscard]] std::vector<double> longest_path_to(
+      std::span<const double> weight) const;
+
+  /// max_v F(v): the critical-path lower bound F(S).
+  [[nodiscard]] double critical_path(std::span<const double> weight) const;
+
+  /// Subgraph induced by `vertices` (which must be distinct). Vertex i of
+  /// the result corresponds to vertices[i] of this graph.
+  [[nodiscard]] Dag induced_subgraph(std::span<const VertexId> vertices) const;
+
+  /// Level of each vertex: length (in edges) of the longest path ending at
+  /// it. Sources are level 0; every edge goes to a strictly higher level.
+  [[nodiscard]] std::vector<std::size_t> levels() const;
+
+  /// Reachability set from a single source (including the source).
+  [[nodiscard]] std::vector<bool> reachable_from(VertexId source) const;
+
+  /// Transitive closure: edge (u,v) for every nontrivial path u -> v.
+  [[nodiscard]] Dag transitive_closure() const;
+
+  /// Transitive reduction: the unique minimal DAG with the same reachability.
+  [[nodiscard]] Dag transitive_reduction() const;
+
+  /// Vertices with no incoming / no outgoing edges.
+  [[nodiscard]] std::vector<VertexId> sources() const;
+  [[nodiscard]] std::vector<VertexId> sinks() const;
+
+ private:
+  std::vector<std::vector<VertexId>> succ_;
+  std::vector<std::vector<VertexId>> pred_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace stripack

@@ -1,0 +1,50 @@
+#include "fpga/adapters.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace stripack::fpga {
+
+double Schedule::makespan(const TaskSet& set) const {
+  STRIPACK_EXPECTS(entries.size() == set.size());
+  double end = 0.0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    end = std::max(end, entries[i].start + set.tasks[i].duration);
+  }
+  return end;
+}
+
+Instance to_instance(const TaskSet& set, const Device& device) {
+  STRIPACK_EXPECTS(device.columns >= 1);
+  std::vector<Item> items;
+  items.reserve(set.size());
+  for (const Task& t : set.tasks) {
+    STRIPACK_EXPECTS(t.columns >= 1 && t.columns <= device.columns);
+    STRIPACK_EXPECTS(t.duration > 0 && t.arrival >= 0);
+    items.push_back(Item{
+        Rect{static_cast<double>(t.columns) * device.column_width(),
+             t.duration},
+        t.arrival});
+  }
+  Instance instance(std::move(items));
+  for (const Edge& e : set.deps.edges()) instance.add_precedence(e.from, e.to);
+  return instance;
+}
+
+Schedule to_schedule(const TaskSet& set, const Device& device,
+                     const Placement& placement) {
+  STRIPACK_EXPECTS(placement.size() == set.size());
+  Schedule schedule;
+  schedule.entries.resize(set.size());
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const double col = placement[i].x / device.column_width();
+    int first = static_cast<int>(std::floor(col + 1e-6));
+    first = std::clamp(first, 0, device.columns - set.tasks[i].columns);
+    schedule.entries[i] = ScheduledTask{first, placement[i].y};
+  }
+  return schedule;
+}
+
+}  // namespace stripack::fpga

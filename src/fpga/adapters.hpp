@@ -1,0 +1,21 @@
+// Bridges between the scheduling world (tasks on a K-column device) and the
+// strip packing world (rectangles in a unit strip): the reduction of §1 of
+// the paper. Width = columns / K, height = duration, release = arrival,
+// y = time, x = first column / K.
+#pragma once
+
+#include "core/packing.hpp"
+#include "fpga/device.hpp"
+
+namespace stripack::fpga {
+
+/// Task set -> strip packing instance on a unit-width strip.
+[[nodiscard]] Instance to_instance(const TaskSet& set, const Device& device);
+
+/// Strip packing placement -> schedule: x snapped to column boundaries
+/// (placements produced from column-quantized instances are exact
+/// multiples; others are snapped left, which is validated afterwards).
+[[nodiscard]] Schedule to_schedule(const TaskSet& set, const Device& device,
+                                   const Placement& placement);
+
+}  // namespace stripack::fpga

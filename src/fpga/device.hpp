@@ -1,0 +1,55 @@
+// Model of a 1-D dynamically reconfigurable FPGA (Virtex-II style, paper
+// §1): K homogeneous columns; a task occupies a contiguous block of columns
+// for its whole duration; reconfiguring a column before a task starts takes
+// time (optionally serialized through a single configuration port, as on
+// real devices).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dag/dag.hpp"
+
+namespace stripack::fpga {
+
+struct Device {
+  int columns = 16;
+  /// Seconds to reconfigure one column (0 = ideal device, pure geometry).
+  double reconfig_time_per_column = 0.0;
+  /// Real devices have one configuration port: reconfigurations serialize.
+  bool single_reconfig_port = true;
+
+  [[nodiscard]] double column_width() const {
+    return 1.0 / static_cast<double>(columns);
+  }
+};
+
+/// A hardware task: `columns` contiguous columns for `duration` time units,
+/// not startable before `arrival`.
+struct Task {
+  std::string name;
+  int columns = 1;
+  double duration = 1.0;
+  double arrival = 0.0;
+};
+
+/// A task set plus its data-dependency DAG.
+struct TaskSet {
+  std::vector<Task> tasks;
+  Dag deps;
+
+  [[nodiscard]] std::size_t size() const { return tasks.size(); }
+};
+
+/// A scheduled task: start time plus the first column it occupies.
+struct ScheduledTask {
+  int first_column = 0;
+  double start = 0.0;
+};
+
+struct Schedule {
+  std::vector<ScheduledTask> entries;  // one per task
+  [[nodiscard]] double makespan(const TaskSet& set) const;
+};
+
+}  // namespace stripack::fpga

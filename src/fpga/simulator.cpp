@@ -1,0 +1,156 @@
+#include "fpga/simulator.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+#include "util/float_eq.hpp"
+
+namespace stripack::fpga {
+
+namespace {
+
+constexpr double kTimeTol = 1e-7;
+
+void check_shape(const TaskSet& set, const Device& device,
+                 const Schedule& schedule) {
+  STRIPACK_EXPECTS(schedule.entries.size() == set.size());
+  STRIPACK_EXPECTS(set.deps.num_vertices() == set.size());
+  STRIPACK_EXPECTS(device.columns >= 1);
+}
+
+double compute_utilization(const TaskSet& set, double makespan,
+                           const Device& device) {
+  if (makespan <= 0.0) return 0.0;
+  double busy = 0.0;
+  for (const Task& t : set.tasks) {
+    busy += static_cast<double>(t.columns) * t.duration;
+  }
+  return busy / (static_cast<double>(device.columns) * makespan);
+}
+
+}  // namespace
+
+SimResult simulate(const TaskSet& set, const Device& device,
+                   const Schedule& schedule) {
+  check_shape(set, device, schedule);
+  SimResult result;
+
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const Task& t = set.tasks[i];
+    const ScheduledTask& s = schedule.entries[i];
+    if (s.first_column < 0 ||
+        s.first_column + t.columns > device.columns) {
+      result.violations.push_back(
+          {i, i, "task " + t.name + " exceeds device columns"});
+    }
+    if (s.start < t.arrival - kTimeTol) {
+      result.violations.push_back(
+          {i, i, "task " + t.name + " starts before its arrival"});
+    }
+  }
+
+  // Column exclusivity: tasks overlapping in time must use disjoint columns.
+  std::vector<std::size_t> by_start(set.size());
+  std::iota(by_start.begin(), by_start.end(), std::size_t{0});
+  std::sort(by_start.begin(), by_start.end(), [&](std::size_t a, std::size_t b) {
+    return schedule.entries[a].start < schedule.entries[b].start;
+  });
+  for (std::size_t ai = 0; ai < by_start.size(); ++ai) {
+    const std::size_t a = by_start[ai];
+    const double a_end =
+        schedule.entries[a].start + set.tasks[a].duration;
+    for (std::size_t bi = ai + 1; bi < by_start.size(); ++bi) {
+      const std::size_t b = by_start[bi];
+      if (schedule.entries[b].start >= a_end - kTimeTol) break;
+      const int a0 = schedule.entries[a].first_column;
+      const int a1 = a0 + set.tasks[a].columns;
+      const int b0 = schedule.entries[b].first_column;
+      const int b1 = b0 + set.tasks[b].columns;
+      if (a0 < b1 && b0 < a1) {
+        result.violations.push_back(
+            {a, b,
+             "tasks " + set.tasks[a].name + " and " + set.tasks[b].name +
+                 " share columns while running concurrently"});
+      }
+    }
+  }
+
+  for (const Edge& e : set.deps.edges()) {
+    const double pred_end =
+        schedule.entries[e.from].start + set.tasks[e.from].duration;
+    if (schedule.entries[e.to].start < pred_end - kTimeTol) {
+      result.violations.push_back(
+          {static_cast<std::size_t>(e.from), static_cast<std::size_t>(e.to),
+           "dependency " + set.tasks[e.from].name + " -> " +
+               set.tasks[e.to].name + " violated"});
+    }
+  }
+
+  result.ok = result.violations.empty();
+  result.makespan = schedule.makespan(set);
+  result.utilization = compute_utilization(set, result.makespan, device);
+  return result;
+}
+
+ExecutedSchedule execute_with_reconfiguration(const TaskSet& set,
+                                              const Device& device,
+                                              const Schedule& schedule) {
+  check_shape(set, device, schedule);
+  ExecutedSchedule out;
+  out.realized = schedule;
+
+  // Process tasks in planned start order; each start is pushed to satisfy
+  // dependencies, arrival, column availability, and reconfiguration.
+  std::vector<std::size_t> order(set.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (schedule.entries[a].start != schedule.entries[b].start) {
+      return schedule.entries[a].start < schedule.entries[b].start;
+    }
+    return a < b;
+  });
+
+  std::vector<double> column_free(static_cast<std::size_t>(device.columns),
+                                  0.0);
+  std::vector<double> finish(set.size(), 0.0);
+  double port_free = 0.0;
+
+  for (std::size_t i : order) {
+    const Task& t = set.tasks[i];
+    const int c0 = out.realized.entries[i].first_column;
+    double earliest = t.arrival;
+    for (VertexId p : set.deps.predecessors(static_cast<VertexId>(i))) {
+      earliest = std::max(earliest, finish[p]);
+    }
+    for (int c = c0; c < c0 + t.columns; ++c) {
+      earliest = std::max(earliest, column_free[static_cast<std::size_t>(c)]);
+    }
+    const double reconfig =
+        device.reconfig_time_per_column * static_cast<double>(t.columns);
+    double start = earliest;
+    if (reconfig > 0.0) {
+      double reconfig_start = earliest;
+      if (device.single_reconfig_port) {
+        reconfig_start = std::max(reconfig_start, port_free);
+        port_free = reconfig_start + reconfig;
+      }
+      out.result.reconfig_busy += reconfig;
+      start = reconfig_start + reconfig;
+    }
+    out.realized.entries[i].start = start;
+    finish[i] = start + t.duration;
+    for (int c = c0; c < c0 + t.columns; ++c) {
+      column_free[static_cast<std::size_t>(c)] = finish[i];
+    }
+  }
+
+  const SimResult check = simulate(set, device, out.realized);
+  out.result.ok = check.ok;
+  out.result.violations = check.violations;
+  out.result.makespan = check.makespan;
+  out.result.utilization = check.utilization;
+  return out;
+}
+
+}  // namespace stripack::fpga

@@ -1,0 +1,76 @@
+#include "fpga/workloads.hpp"
+
+#include <algorithm>
+
+#include "gen/dag_gen.hpp"
+#include "util/assert.hpp"
+
+namespace stripack::fpga {
+
+TaskSet jpeg_pipeline(std::size_t stripes, int columns_scale) {
+  STRIPACK_EXPECTS(stripes >= 1 && columns_scale >= 1);
+  TaskSet set;
+  const int s = columns_scale;
+  // Per-stripe stages: {name, columns, duration}.
+  struct Stage {
+    const char* name;
+    int columns;
+    double duration;
+  };
+  const Stage stages[] = {
+      {"cc", 2 * s, 0.30},   // RGB -> YCbCr colour conversion
+      {"dct", 4 * s, 0.50},  // 2-D DCT, the widest core
+      {"q", 1 * s, 0.20},    // quantization
+      {"rle", 2 * s, 0.40},  // zigzag + run-length encoding
+  };
+
+  std::vector<VertexId> rle_tasks;
+  std::size_t vertex = 0;
+  for (std::size_t stripe = 0; stripe < stripes; ++stripe) {
+    VertexId prev = 0;
+    for (std::size_t k = 0; k < std::size(stages); ++k) {
+      Task t;
+      t.name = std::string(stages[k].name) + "#" + std::to_string(stripe);
+      t.columns = stages[k].columns;
+      t.duration = stages[k].duration;
+      set.tasks.push_back(t);
+      const auto v = static_cast<VertexId>(vertex++);
+      if (k > 0) {
+        set.deps.resize(vertex);
+        set.deps.add_edge(prev, v);
+      } else {
+        set.deps.resize(vertex);
+      }
+      prev = v;
+    }
+    rle_tasks.push_back(prev);
+  }
+  // Shared Huffman entropy coder: long, narrow, depends on every stripe.
+  Task huffman;
+  huffman.name = "huffman";
+  huffman.columns = 1 * s;
+  huffman.duration = 0.25 * static_cast<double>(stripes);
+  set.tasks.push_back(huffman);
+  const auto sink = static_cast<VertexId>(vertex++);
+  set.deps.resize(vertex);
+  for (VertexId v : rle_tasks) set.deps.add_edge(v, sink);
+  return set;
+}
+
+TaskSet random_task_mix(std::size_t n, int max_columns, std::size_t layers,
+                        Rng& rng) {
+  STRIPACK_EXPECTS(max_columns >= 1 && layers >= 1);
+  TaskSet set;
+  set.tasks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Task t;
+    t.name = "task#" + std::to_string(i);
+    t.columns = static_cast<int>(rng.uniform_int(1, max_columns));
+    t.duration = rng.uniform(0.2, 1.0);
+    set.tasks.push_back(t);
+  }
+  set.deps = gen::layered_dag(n, layers, 3, rng);
+  return set;
+}
+
+}  // namespace stripack::fpga

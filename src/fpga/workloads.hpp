@@ -1,0 +1,26 @@
+// Application task graphs for the FPGA case study (bench E11, examples).
+//
+// The JPEG encoder pipeline is the running example of the paper's
+// introduction (image processing on run-time reconfigurable devices): per
+// image stripe, ColorConvert -> DCT -> Quantize -> ZigZag/RLE feeding a
+// shared Huffman encoder. Column counts and durations are synthetic but
+// keep the relative sizes of real cores (DCT widest, entropy coding
+// longest-serial).
+#pragma once
+
+#include "fpga/device.hpp"
+#include "util/rng.hpp"
+
+namespace stripack::fpga {
+
+/// JPEG encoding of `stripes` image stripes on a K-column device. Stages
+/// per stripe: CC -> DCT -> Q -> RLE, all stripes feeding one final Huffman
+/// task. Column counts scale with `columns_scale` (>= 1).
+[[nodiscard]] TaskSet jpeg_pipeline(std::size_t stripes, int columns_scale = 1);
+
+/// Random CAD-like task mix: layered DAG of tasks with column counts in
+/// [1, max_columns] and durations in [0.2, 1].
+[[nodiscard]] TaskSet random_task_mix(std::size_t n, int max_columns,
+                                      std::size_t layers, Rng& rng);
+
+}  // namespace stripack::fpga

@@ -1,0 +1,76 @@
+#include "gen/dag_gen.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace stripack::gen {
+
+Dag gnp_dag(std::size_t n, double p, Rng& rng) {
+  STRIPACK_EXPECTS(p >= 0.0 && p <= 1.0);
+  Dag dag(n);
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(p)) dag.add_edge(i, j);
+    }
+  }
+  return dag;
+}
+
+Dag layered_dag(std::size_t n, std::size_t layers, std::size_t max_preds,
+                Rng& rng) {
+  STRIPACK_EXPECTS(layers >= 1 && max_preds >= 1);
+  Dag dag(n);
+  if (n == 0) return dag;
+  // Round-robin layer assignment keeps layers balanced and deterministic.
+  std::vector<std::vector<VertexId>> layer(layers);
+  for (VertexId v = 0; v < n; ++v) layer[v % layers].push_back(v);
+  for (std::size_t l = 1; l < layers; ++l) {
+    if (layer[l - 1].empty()) continue;
+    for (VertexId v : layer[l]) {
+      const auto preds = static_cast<std::size_t>(rng.uniform_int(
+          1, static_cast<std::int64_t>(
+                 std::min(max_preds, layer[l - 1].size()))));
+      std::vector<VertexId> pool = layer[l - 1];
+      rng.shuffle(pool);
+      for (std::size_t k = 0; k < preds; ++k) dag.add_edge(pool[k], v);
+    }
+  }
+  return dag;
+}
+
+Dag chain_dag(std::size_t n) {
+  Dag dag(n);
+  for (VertexId v = 0; v + 1 < n; ++v) dag.add_edge(v, v + 1);
+  return dag;
+}
+
+Dag random_tree_dag(std::size_t n, Rng& rng) {
+  Dag dag(n);
+  for (VertexId v = 1; v < n; ++v) {
+    const auto parent = static_cast<VertexId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(v) - 1));
+    dag.add_edge(parent, v);
+  }
+  return dag;
+}
+
+Dag fork_join_dag(std::size_t width, std::size_t depth) {
+  STRIPACK_EXPECTS(width >= 1 && depth >= 1);
+  // Vertex 0 = source; branches follow; last vertex = sink.
+  const std::size_t n = 2 + width * depth;
+  Dag dag(n);
+  const VertexId sink = static_cast<VertexId>(n - 1);
+  for (std::size_t b = 0; b < width; ++b) {
+    VertexId prev = 0;
+    for (std::size_t d = 0; d < depth; ++d) {
+      const auto v = static_cast<VertexId>(1 + b * depth + d);
+      dag.add_edge(prev, v);
+      prev = v;
+    }
+    dag.add_edge(prev, sink);
+  }
+  return dag;
+}
+
+}  // namespace stripack::gen

@@ -1,0 +1,27 @@
+// Random DAG generators: the precedence structures of bench E3/E4 and the
+// FPGA application pipelines the paper's introduction motivates.
+#pragma once
+
+#include "dag/dag.hpp"
+#include "util/rng.hpp"
+
+namespace stripack::gen {
+
+/// Order-respecting Erdos–Renyi: edge (i, j) for i < j with probability p.
+[[nodiscard]] Dag gnp_dag(std::size_t n, double p, Rng& rng);
+
+/// Layered DAG: vertices split across `layers`; each vertex in layer l > 0
+/// gets 1..max_preds predecessors from layer l-1.
+[[nodiscard]] Dag layered_dag(std::size_t n, std::size_t layers,
+                              std::size_t max_preds, Rng& rng);
+
+/// A single chain 0 -> 1 -> ... -> n-1.
+[[nodiscard]] Dag chain_dag(std::size_t n);
+
+/// Random out-tree (each vertex v > 0 gets one parent among 0..v-1).
+[[nodiscard]] Dag random_tree_dag(std::size_t n, Rng& rng);
+
+/// Fork-join: source, `width` parallel branches of `depth` vertices, sink.
+[[nodiscard]] Dag fork_join_dag(std::size_t width, std::size_t depth);
+
+}  // namespace stripack::gen

@@ -1,0 +1,82 @@
+#include "gen/lowerbound_family.hpp"
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "util/assert.hpp"
+
+namespace stripack::gen {
+
+FamilyInstance lemma24_family(std::size_t k, double eps) {
+  STRIPACK_EXPECTS(k >= 1);
+  STRIPACK_EXPECTS(eps > 0);
+  FamilyInstance out;
+  Instance& ins = out.instance;
+
+  const double tall_width = 1.0 / static_cast<double>(k);
+  // Chain i (1-based): 2^(i-1) talls of height 1/2^(i-1), a full-width wide
+  // rectangle of height eps between consecutive talls.
+  std::size_t wides_used = 0;
+  for (std::size_t i = 1; i <= k; ++i) {
+    const auto talls = static_cast<std::size_t>(1) << (i - 1);
+    const double h = 1.0 / static_cast<double>(talls);
+    VertexId prev = 0;
+    for (std::size_t t = 0; t < talls; ++t) {
+      const VertexId tall = ins.add_item(tall_width, h);
+      if (t > 0) {
+        const VertexId wide = ins.add_item(1.0, eps);
+        ins.add_precedence(prev, wide);
+        ins.add_precedence(wide, tall);
+        ++wides_used;
+      }
+      prev = tall;
+    }
+  }
+  // The paper keeps |S_wide| = |S_tall| = 2^k - 1 by placing the unused
+  // wides (one per chain, k of them) in their own separate chain.
+  const std::size_t talls_total = (static_cast<std::size_t>(1) << k) - 1;
+  VertexId prev_extra = 0;
+  for (std::size_t e = wides_used; e < talls_total; ++e) {
+    const VertexId wide = ins.add_item(1.0, eps);
+    if (e > wides_used) ins.add_precedence(prev_extra, wide);
+    prev_extra = wide;
+  }
+
+  out.certificate.n = ins.size();
+  out.certificate.area = ins.total_area();
+  out.certificate.critical_path = critical_path_lower_bound(ins);
+  // Lemma 2.4's shelf argument: each chain adds at least 1/2 of height.
+  out.certificate.opt_lower_bound = static_cast<double>(k) / 2.0;
+  return out;
+}
+
+FamilyInstance lemma27_family(std::size_t k, double eps) {
+  STRIPACK_EXPECTS(k >= 1);
+  STRIPACK_EXPECTS(eps > 0 && eps < 0.5);
+  FamilyInstance out;
+  Instance& ins = out.instance;
+
+  // k narrow rectangles in a chain.
+  std::vector<VertexId> narrow;
+  narrow.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const VertexId v = ins.add_item(eps, 1.0);
+    if (i > 0) ins.add_precedence(narrow.back(), v);
+    narrow.push_back(v);
+  }
+  // 2k wide rectangles, each preceding the first narrow one.
+  for (std::size_t i = 0; i < 2 * k; ++i) {
+    const VertexId v = ins.add_item(0.5 + eps, 1.0);
+    ins.add_precedence(v, narrow.front());
+  }
+
+  out.certificate.n = ins.size();
+  out.certificate.area = ins.total_area();
+  out.certificate.critical_path = critical_path_lower_bound(ins);
+  // Two wides cannot share a shelf (2*(1/2+eps) > 1) and all precede the
+  // narrow chain: OPT = 2k + k = n exactly.
+  out.certificate.opt_lower_bound = static_cast<double>(3 * k);
+  return out;
+}
+
+}  // namespace stripack::gen

@@ -1,0 +1,42 @@
+// The paper's two adversarial instance families, with their analytic
+// certificates.
+//
+// Lemma 2.4 / Fig. 1: k chains; chain i holds 2^(i-1) tall rectangles of
+// width 1/k and height 1/2^(i-1), with full-width rectangles of height eps
+// sandwiched between consecutive talls. F(S) -> 1 and AREA(S) -> 1 as
+// eps -> 0, yet any valid packing needs height >= k/2: the wide rectangles
+// force shelf structure and each new chain can reuse at most half the
+// existing shelves. Hence OPT is Omega(log n) times both simple lower
+// bounds — the barrier of §2.1.
+//
+// Lemma 2.7 / Fig. 2: n = 3k uniform-height rectangles; 2k "wide" ones
+// (width 1/2 + eps) each precede a chain of k "narrow" ones (width eps).
+// OPT = n, while F(S) = n/3 + 1 and AREA(S) = n/3 + n*eps: the factor-3
+// barrier for uniform heights.
+#pragma once
+
+#include "core/instance.hpp"
+
+namespace stripack::gen {
+
+struct FamilyCertificate {
+  double area = 0.0;           // AREA(S), exact
+  double critical_path = 0.0;  // F(S), exact
+  double opt_lower_bound = 0.0;  // proven lower bound on OPT(S, E)
+  std::size_t n = 0;
+};
+
+struct FamilyInstance {
+  Instance instance;
+  FamilyCertificate certificate;
+};
+
+/// Lemma 2.4 family for a given k >= 1 (n = 2^(k+1) - 2). eps is the wide
+/// rectangles' height (the lemma takes eps -> 0).
+[[nodiscard]] FamilyInstance lemma24_family(std::size_t k, double eps);
+
+/// Lemma 2.7 family with k chains-of-narrow (n = 3k). eps is the narrow
+/// width surplus (the lemma takes eps -> 0).
+[[nodiscard]] FamilyInstance lemma27_family(std::size_t k, double eps);
+
+}  // namespace stripack::gen

@@ -1,0 +1,43 @@
+#include "gen/rect_gen.hpp"
+
+#include "util/assert.hpp"
+
+namespace stripack::gen {
+
+std::vector<Rect> random_rects(std::size_t n, const RectParams& params,
+                               Rng& rng) {
+  STRIPACK_EXPECTS(0 < params.min_width && params.min_width <= params.max_width);
+  STRIPACK_EXPECTS(0 < params.min_height &&
+                   params.min_height <= params.max_height);
+  std::vector<Rect> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double w;
+    if (params.width_power_law_alpha > 0.0) {
+      w = rng.power_law(params.min_width, params.max_width,
+                        params.width_power_law_alpha);
+    } else {
+      w = rng.uniform(params.min_width, params.max_width);
+    }
+    const double h = rng.uniform(params.min_height, params.max_height);
+    out.push_back(Rect{w, h});
+  }
+  return out;
+}
+
+std::vector<Rect> fpga_quantized_rects(std::size_t n, int K, int max_columns,
+                                       double min_height, double max_height,
+                                       Rng& rng) {
+  STRIPACK_EXPECTS(K >= 1 && max_columns >= 1 && max_columns <= K);
+  STRIPACK_EXPECTS(0 < min_height && min_height <= max_height);
+  std::vector<Rect> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto cols = static_cast<double>(rng.uniform_int(1, max_columns));
+    out.push_back(Rect{cols / static_cast<double>(K),
+                       rng.uniform(min_height, max_height)});
+  }
+  return out;
+}
+
+}  // namespace stripack::gen

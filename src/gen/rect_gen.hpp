@@ -1,0 +1,38 @@
+// Random rectangle generators for tests and benches.
+//
+// All generators are deterministic given the seed. The FPGA-quantized
+// distribution produces widths that are multiples of 1/K in [1/K, 1] — the
+// §3 input model (tasks spanning whole columns of a K-column device).
+#pragma once
+
+#include <vector>
+
+#include "core/rect.hpp"
+#include "util/rng.hpp"
+
+namespace stripack::gen {
+
+struct RectParams {
+  double min_width = 0.05;
+  double max_width = 1.0;
+  double min_height = 0.05;
+  double max_height = 1.0;
+  /// 0 disables; otherwise widths come from a power law with this exponent
+  /// (many narrow, few wide — typical of task mixes).
+  double width_power_law_alpha = 0.0;
+};
+
+/// n rectangles with dimensions drawn from `params`.
+[[nodiscard]] std::vector<Rect> random_rects(std::size_t n,
+                                             const RectParams& params,
+                                             Rng& rng);
+
+/// n rectangles with widths c/K (c uniform in [1, max_columns<=K]) and
+/// heights uniform in [min_height, max_height] (<= 1 per the paper).
+[[nodiscard]] std::vector<Rect> fpga_quantized_rects(std::size_t n, int K,
+                                                     int max_columns,
+                                                     double min_height,
+                                                     double max_height,
+                                                     Rng& rng);
+
+}  // namespace stripack::gen

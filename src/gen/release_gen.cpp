@@ -1,0 +1,51 @@
+#include "gen/release_gen.hpp"
+
+#include "gen/rect_gen.hpp"
+#include "util/assert.hpp"
+
+namespace stripack::gen {
+
+namespace {
+
+Instance assemble(const std::vector<Rect>& rects,
+                  const std::vector<double>& releases) {
+  std::vector<Item> items;
+  items.reserve(rects.size());
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    items.push_back(Item{rects[i], releases[i]});
+  }
+  return Instance(std::move(items));
+}
+
+}  // namespace
+
+Instance poisson_release_workload(const ReleaseWorkloadParams& params,
+                                  Rng& rng) {
+  STRIPACK_EXPECTS(params.arrival_rate > 0);
+  const int max_cols = params.max_columns > 0 ? params.max_columns : params.K;
+  const auto rects = fpga_quantized_rects(
+      params.n, params.K, max_cols, params.min_height, params.max_height, rng);
+  std::vector<double> releases(params.n);
+  double t = 0.0;
+  for (std::size_t i = 0; i < params.n; ++i) {
+    t += rng.exponential(params.arrival_rate);
+    releases[i] = t;
+  }
+  return assemble(rects, releases);
+}
+
+Instance bursty_release_workload(const ReleaseWorkloadParams& params,
+                                 std::size_t bursts, double spacing,
+                                 Rng& rng) {
+  STRIPACK_EXPECTS(bursts >= 1 && spacing >= 0);
+  const int max_cols = params.max_columns > 0 ? params.max_columns : params.K;
+  const auto rects = fpga_quantized_rects(
+      params.n, params.K, max_cols, params.min_height, params.max_height, rng);
+  std::vector<double> releases(params.n);
+  for (std::size_t i = 0; i < params.n; ++i) {
+    releases[i] = static_cast<double>(i % bursts) * spacing;
+  }
+  return assemble(rects, releases);
+}
+
+}  // namespace stripack::gen

@@ -1,0 +1,29 @@
+// Release-time workload generators (§3 benches, OS example): task arrivals
+// at a dynamically reconfigurable FPGA.
+#pragma once
+
+#include "core/instance.hpp"
+#include "util/rng.hpp"
+
+namespace stripack::gen {
+
+struct ReleaseWorkloadParams {
+  std::size_t n = 100;
+  int K = 4;               // widths are c/K, c in [1, K]
+  int max_columns = 0;     // 0 = K
+  double min_height = 0.1;
+  double max_height = 1.0;
+  double arrival_rate = 2.0;  // Poisson arrival rate (tasks per time unit)
+};
+
+/// Poisson arrivals: release times are a Poisson process with the given
+/// rate; widths quantized to columns; heights <= 1.
+[[nodiscard]] Instance poisson_release_workload(
+    const ReleaseWorkloadParams& params, Rng& rng);
+
+/// Bursty arrivals: `bursts` release values, tasks split evenly among them.
+[[nodiscard]] Instance bursty_release_workload(
+    const ReleaseWorkloadParams& params, std::size_t bursts, double spacing,
+    Rng& rng);
+
+}  // namespace stripack::gen

@@ -1,0 +1,142 @@
+#include "io/instance_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace stripack::io {
+
+namespace {
+
+// Reads the next non-comment, non-empty line.
+std::string next_line(std::istream& is) {
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return line.substr(first);
+  }
+  STRIPACK_ASSERT(false, "unexpected end of input");
+  return {};
+}
+
+void expect_token(std::istringstream& ss, const std::string& expected) {
+  std::string token;
+  ss >> token;
+  STRIPACK_ASSERT(token == expected,
+                  "expected '" + expected + "', found '" + token + "'");
+}
+
+}  // namespace
+
+void write_instance(std::ostream& os, const Instance& instance) {
+  os << "stripack-instance v1\n";
+  os << std::setprecision(17);
+  os << "strip_width " << instance.strip_width() << "\n";
+  os << "items " << instance.size() << "\n";
+  for (const Item& it : instance.items()) {
+    os << it.width() << ' ' << it.height() << ' ' << it.release << "\n";
+  }
+  const auto edges = instance.dag().edges();
+  os << "edges " << edges.size() << "\n";
+  for (const Edge& e : edges) os << e.from << ' ' << e.to << "\n";
+}
+
+Instance read_instance(std::istream& is) {
+  {
+    std::istringstream header(next_line(is));
+    expect_token(header, "stripack-instance");
+    expect_token(header, "v1");
+  }
+  double strip_width = 1.0;
+  {
+    std::istringstream ss(next_line(is));
+    expect_token(ss, "strip_width");
+    ss >> strip_width;
+    STRIPACK_ASSERT(ss && strip_width > 0, "bad strip_width");
+  }
+  std::size_t n = 0;
+  {
+    std::istringstream ss(next_line(is));
+    expect_token(ss, "items");
+    ss >> n;
+    STRIPACK_ASSERT(static_cast<bool>(ss), "bad item count");
+  }
+  std::vector<Item> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::istringstream ss(next_line(is));
+    Item it;
+    ss >> it.rect.width >> it.rect.height >> it.release;
+    STRIPACK_ASSERT(static_cast<bool>(ss),
+                    "bad item line " + std::to_string(i));
+    items.push_back(it);
+  }
+  Instance instance(std::move(items), strip_width);
+  std::size_t m = 0;
+  {
+    std::istringstream ss(next_line(is));
+    expect_token(ss, "edges");
+    ss >> m;
+    STRIPACK_ASSERT(static_cast<bool>(ss), "bad edge count");
+  }
+  for (std::size_t e = 0; e < m; ++e) {
+    std::istringstream ss(next_line(is));
+    VertexId from = 0, to = 0;
+    ss >> from >> to;
+    STRIPACK_ASSERT(static_cast<bool>(ss),
+                    "bad edge line " + std::to_string(e));
+    instance.add_precedence(from, to);
+  }
+  instance.check_well_formed();
+  return instance;
+}
+
+void write_placement(std::ostream& os, const Placement& placement) {
+  os << "stripack-placement v1\n";
+  os << std::setprecision(17);
+  os << "items " << placement.size() << "\n";
+  for (const Position& p : placement) os << p.x << ' ' << p.y << "\n";
+}
+
+Placement read_placement(std::istream& is) {
+  {
+    std::istringstream header(next_line(is));
+    expect_token(header, "stripack-placement");
+    expect_token(header, "v1");
+  }
+  std::size_t n = 0;
+  {
+    std::istringstream ss(next_line(is));
+    expect_token(ss, "items");
+    ss >> n;
+    STRIPACK_ASSERT(static_cast<bool>(ss), "bad item count");
+  }
+  Placement placement(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::istringstream ss(next_line(is));
+    ss >> placement[i].x >> placement[i].y;
+    STRIPACK_ASSERT(static_cast<bool>(ss),
+                    "bad placement line " + std::to_string(i));
+  }
+  return placement;
+}
+
+void save_instance(const std::string& path, const Instance& instance) {
+  std::ofstream out(path);
+  STRIPACK_ASSERT(out.good(), "cannot open " + path);
+  write_instance(out, instance);
+}
+
+Instance load_instance(const std::string& path) {
+  std::ifstream in(path);
+  STRIPACK_ASSERT(in.good(), "cannot open " + path);
+  return read_instance(in);
+}
+
+}  // namespace stripack::io

@@ -1,0 +1,33 @@
+// Plain-text serialization of instances and placements.
+//
+// Format (line oriented, '#' comments):
+//   stripack-instance v1
+//   strip_width <w>
+//   items <n>
+//   <width> <height> <release>     (n lines)
+//   edges <m>
+//   <from> <to>                    (m lines)
+// Placements:
+//   stripack-placement v1
+//   items <n>
+//   <x> <y>                        (n lines)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/packing.hpp"
+
+namespace stripack::io {
+
+void write_instance(std::ostream& os, const Instance& instance);
+[[nodiscard]] Instance read_instance(std::istream& is);
+
+void write_placement(std::ostream& os, const Placement& placement);
+[[nodiscard]] Placement read_placement(std::istream& is);
+
+/// File variants; throw ContractViolation on I/O or parse errors.
+void save_instance(const std::string& path, const Instance& instance);
+[[nodiscard]] Instance load_instance(const std::string& path);
+
+}  // namespace stripack::io

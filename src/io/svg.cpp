@@ -1,0 +1,82 @@
+#include "io/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "core/packing.hpp"
+#include "util/assert.hpp"
+
+namespace stripack::io {
+
+namespace {
+
+// A qualitative palette (ColorBrewer Set3-ish), cycled by colour key.
+const char* kPalette[] = {"#8dd3c7", "#ffffb3", "#bebada", "#fb8072",
+                          "#80b1d3", "#fdb462", "#b3de69", "#fccde5",
+                          "#d9d9d9", "#bc80bd", "#ccebc5", "#ffed6f"};
+
+}  // namespace
+
+std::string to_svg(const Instance& instance, const Placement& placement,
+                   const SvgOptions& options) {
+  STRIPACK_EXPECTS(placement.size() == instance.size());
+  const double height = packing_height(instance, placement);
+  const double px_w = instance.strip_width() * options.pixels_per_unit_x;
+  const double px_h = std::max(1.0, height * options.pixels_per_unit_y);
+
+  // Colour key: DAG level when precedence is present, else release rank.
+  std::vector<std::size_t> colour_key(instance.size(), 0);
+  if (instance.has_precedence()) {
+    colour_key = instance.dag().levels();
+  } else if (instance.has_release_times()) {
+    std::vector<double> releases;
+    for (const Item& it : instance.items()) releases.push_back(it.release);
+    std::vector<double> sorted = releases;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    for (std::size_t i = 0; i < instance.size(); ++i) {
+      colour_key[i] = static_cast<std::size_t>(
+          std::lower_bound(sorted.begin(), sorted.end(), releases[i]) -
+          sorted.begin());
+    }
+  }
+
+  std::ostringstream svg;
+  svg << "<svg xmlns='http://www.w3.org/2000/svg' width='" << px_w + 2
+      << "' height='" << px_h + 2 << "' viewBox='-1 -1 " << px_w + 2 << ' '
+      << px_h + 2 << "'>\n";
+  svg << "  <rect x='0' y='0' width='" << px_w << "' height='" << px_h
+      << "' fill='white' stroke='black' stroke-width='1'/>\n";
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    const Item& it = instance.item(i);
+    const double x = placement[i].x * options.pixels_per_unit_x;
+    // SVG y grows downward; flip so packing height grows upward.
+    const double y =
+        px_h - (placement[i].y + it.height()) * options.pixels_per_unit_y;
+    const double w = it.width() * options.pixels_per_unit_x;
+    const double h = it.height() * options.pixels_per_unit_y;
+    const char* fill =
+        kPalette[colour_key[i] % (sizeof kPalette / sizeof kPalette[0])];
+    svg << "  <rect x='" << x << "' y='" << y << "' width='" << w
+        << "' height='" << h << "' fill='" << fill
+        << "' stroke='#333' stroke-width='0.5'/>\n";
+    if (options.label_items && w > 18 && h > 10) {
+      svg << "  <text x='" << x + w / 2 << "' y='" << y + h / 2 + 3
+          << "' font-size='9' text-anchor='middle' fill='#222'>" << i
+          << "</text>\n";
+    }
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+void save_svg(const std::string& path, const Instance& instance,
+              const Placement& placement, const SvgOptions& options) {
+  std::ofstream out(path);
+  STRIPACK_ASSERT(out.good(), "cannot open " + path);
+  out << to_svg(instance, placement, options);
+}
+
+}  // namespace stripack::io

@@ -1,0 +1,25 @@
+// SVG rendering of packings, so examples and failed tests can be inspected
+// visually. Rectangles are coloured by DAG level (precedence instances) or
+// release time (release instances).
+#pragma once
+
+#include <string>
+
+#include "core/packing.hpp"
+
+namespace stripack::io {
+
+struct SvgOptions {
+  double pixels_per_unit_x = 400.0;
+  double pixels_per_unit_y = 60.0;
+  bool label_items = true;
+};
+
+[[nodiscard]] std::string to_svg(const Instance& instance,
+                                 const Placement& placement,
+                                 const SvgOptions& options = {});
+
+void save_svg(const std::string& path, const Instance& instance,
+              const Placement& placement, const SvgOptions& options = {});
+
+}  // namespace stripack::io

@@ -1,0 +1,228 @@
+#include "kr/kr_aptas.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "packers/shelf.hpp"
+#include "release/config_lp.hpp"
+#include "release/width_grouping.hpp"
+#include "util/assert.hpp"
+#include "util/float_eq.hpp"
+
+namespace stripack::kr {
+
+namespace {
+
+using release::ConfigLpOptions;
+using release::ConfigLpProblem;
+using release::FractionalSolution;
+using release::Slice;
+
+// A free rectangle to the right of a configuration slice's columns.
+struct Margin {
+  double x0 = 0.0;  // left edge of the free space
+  double y0 = 0.0;
+  double y1 = 0.0;
+  [[nodiscard]] double width(double strip_w) const { return strip_w - x0; }
+};
+
+// Places the wide items according to the fractional solution (single
+// phase), recording each slice's right margin. This mirrors
+// release::integralize but keeps the slice geometry the narrow filling
+// needs.
+struct WidePlacementResult {
+  double top = 0.0;
+  std::vector<Margin> margins;
+  std::size_t placed = 0;
+};
+
+WidePlacementResult place_wide(const Instance& instance,
+                               const std::vector<std::size_t>& wide_ids,
+                               const std::vector<std::size_t>& width_index,
+                               const ConfigLpProblem& problem,
+                               const FractionalSolution& fractional,
+                               Placement& placement) {
+  WidePlacementResult out;
+  // Pools per distinct width, deterministic order.
+  std::vector<std::deque<std::size_t>> pool(problem.widths.size());
+  for (std::size_t k = 0; k < wide_ids.size(); ++k) {
+    pool[width_index[k]].push_back(wide_ids[k]);
+  }
+
+  double y = 0.0;
+  for (const Slice& slice : fractional.slices) {
+    double used_height = 0.0;
+    double x_cursor = 0.0;
+    for (std::size_t i = 0; i < slice.config.counts.size(); ++i) {
+      for (int copy = 0; copy < slice.config.counts[i]; ++copy) {
+        double column = 0.0;
+        while (column < slice.height - kEps && !pool[i].empty()) {
+          const std::size_t id = pool[i].front();
+          pool[i].pop_front();
+          placement[id] = Position{x_cursor, y + column};
+          column += instance.item(id).height();
+          ++out.placed;
+        }
+        used_height = std::max(used_height, column);
+        x_cursor += problem.widths[i];
+      }
+    }
+    if (used_height > 0.0) {
+      out.margins.push_back(Margin{x_cursor, y, y + used_height});
+      y += used_height;
+    }
+  }
+  // Anything left over (tolerance shortfalls) stacks on top, full width.
+  for (auto& q : pool) {
+    while (!q.empty()) {
+      const std::size_t id = q.front();
+      q.pop_front();
+      placement[id] = Position{0.0, y};
+      y += instance.item(id).height();
+      ++out.placed;
+    }
+  }
+  out.top = y;
+  return out;
+}
+
+}  // namespace
+
+KrResult kr_pack(const Instance& instance, const KrParams& params) {
+  STRIPACK_EXPECTS(params.epsilon > 0 && params.epsilon <= 1.0);
+  instance.check_well_formed();
+  STRIPACK_ASSERT(!instance.has_precedence() && !instance.has_release_times(),
+                  "kr_pack solves plain strip packing only");
+
+  KrResult result;
+  result.packing.instance = instance;
+  result.packing.placement.assign(instance.size(), Position{});
+  if (instance.empty()) return result;
+
+  const double strip_w = instance.strip_width();
+  const double eps_prime = params.epsilon / 2.0;
+  const double delta = eps_prime;  // narrow threshold, as in [16]
+  result.stats.delta = delta;
+
+  // 1. Wide / narrow split.
+  std::vector<std::size_t> wide_ids, narrow_ids;
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    (instance.item(i).width() > delta * strip_w ? wide_ids : narrow_ids)
+        .push_back(i);
+  }
+  result.stats.wide_items = wide_ids.size();
+  result.stats.narrow_items = narrow_ids.size();
+
+  double wide_top = 0.0;
+  std::vector<Margin> margins;
+
+  if (!wide_ids.empty()) {
+    // 2. Linear grouping (single release class). G ~ 1/eps'^2 groups, the
+    // classic KR budget.
+    const auto groups = static_cast<std::size_t>(
+        std::ceil(1.0 / (eps_prime * eps_prime)));
+    result.stats.groups = groups;
+    std::vector<Item> wide_items;
+    wide_items.reserve(wide_ids.size());
+    for (std::size_t id : wide_ids) wide_items.push_back(instance.item(id));
+    const Instance wide_instance(std::move(wide_items), strip_w);
+    const auto grouping = release::group_widths(wide_instance, groups);
+    result.stats.distinct_widths = grouping.distinct_widths.size();
+
+    // 3. Single-phase configuration LP on the grouped wide items.
+    const ConfigLpProblem problem = release::make_problem(grouping.grouped);
+    ConfigLpOptions lp_options;
+    lp_options.max_configurations = params.max_configurations;
+    const std::size_t count = release::count_configurations(
+        problem.widths, strip_w, params.max_configurations);
+    if (count > params.max_configurations) {
+      lp_options.use_column_generation = true;
+    }
+    const FractionalSolution fractional =
+        release::solve_config_lp(problem, lp_options);
+    STRIPACK_ASSERT(fractional.feasible, "KR configuration LP infeasible");
+    result.stats.lp_height = fractional.height;
+    result.stats.slices = fractional.slices.size();
+
+    // 4. Integral wide placement with margins. Items are matched to the
+    // grouped widths: the grouping preserved item order within
+    // wide_instance, so width_index[k] belongs to wide_ids[k].
+    const WidePlacementResult wide = place_wide(
+        instance, wide_ids, grouping.width_index, problem, fractional,
+        result.packing.placement);
+    STRIPACK_ENSURES(wide.placed == wide_ids.size());
+    wide_top = wide.top;
+    margins = wide.margins;
+    result.stats.wide_height = wide_top;
+  }
+
+  // 5. Narrow filling: tallest-first rows inside each margin (no row may
+  // overhang its slice), leftovers via NFDH on top of everything.
+  std::vector<std::size_t> narrow_sorted = narrow_ids;
+  std::sort(narrow_sorted.begin(), narrow_sorted.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (instance.item(a).height() != instance.item(b).height()) {
+                return instance.item(a).height() > instance.item(b).height();
+              }
+              return a < b;
+            });
+  std::deque<std::size_t> queue(narrow_sorted.begin(), narrow_sorted.end());
+
+  for (const Margin& margin : margins) {
+    if (queue.empty()) break;
+    const double margin_w = margin.width(strip_w);
+    if (margin_w <= kEps) continue;
+    double row_y = margin.y0;
+    while (!queue.empty()) {
+      // Items are sorted by decreasing height, so if the current head
+      // does not fit vertically, nothing behind it does either.
+      const double room = margin.y1 - row_y;
+      if (instance.item(queue.front()).height() > room + kEps) break;
+      // Lay one row left to right.
+      const double row_h = instance.item(queue.front()).height();
+      double x = margin.x0;
+      std::size_t placed_in_row = 0;
+      while (!queue.empty()) {
+        const std::size_t id = queue.front();
+        const Item& it = instance.item(id);
+        if (it.height() > room + kEps) break;
+        if (x + it.width() > strip_w + kEps) break;
+        result.packing.placement[id] = Position{x, row_y};
+        x += it.width();
+        queue.pop_front();
+        ++placed_in_row;
+        ++result.stats.narrow_in_margins;
+      }
+      if (placed_in_row == 0) break;  // margin narrower than the head item
+      row_y += row_h;
+    }
+  }
+
+  double top = wide_top;
+  if (!queue.empty()) {
+    // NFDH for the remainder, starting at the current top.
+    std::vector<Rect> rects;
+    std::vector<std::size_t> ids;
+    while (!queue.empty()) {
+      ids.push_back(queue.front());
+      rects.push_back(instance.item(queue.front()).rect);
+      queue.pop_front();
+    }
+    const PackResult rest = make_nfdh().pack(rects, strip_w);
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+      result.packing.placement[ids[k]] =
+          Position{rest.placement[k].x, rest.placement[k].y + wide_top};
+    }
+    result.stats.narrow_on_top = ids.size();
+    top = wide_top + rest.height;
+  }
+
+  result.height = result.packing.height();
+  // Nothing is ever placed above `top` (margins end below wide_top).
+  STRIPACK_ENSURES(result.height <= top + 1e-9);
+  return result;
+}
+
+}  // namespace stripack::kr

@@ -1,0 +1,27 @@
+#include "lp/colgen.hpp"
+
+#include "util/assert.hpp"
+
+namespace stripack::lp {
+
+ColgenResult solve_with_column_generation(Model& model, PricingOracle& oracle,
+                                          const SimplexOptions& options,
+                                          int max_rounds) {
+  STRIPACK_EXPECTS(max_rounds > 0);
+  ColgenResult result;
+  while (true) {
+    result.solution = solve(model, options);
+    ++result.rounds;
+    if (result.solution.status != SolveStatus::Optimal) return result;
+    if (result.rounds >= max_rounds) return result;
+
+    const auto columns = oracle.price(result.solution.duals, options.tol);
+    if (columns.empty()) return result;
+    for (const PricedColumn& col : columns) {
+      model.add_column(col.cost, col.entries, col.name);
+      ++result.columns_added;
+    }
+  }
+}
+
+}  // namespace stripack::lp

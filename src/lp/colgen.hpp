@@ -1,0 +1,48 @@
+// Delayed column generation (Gilmore–Gomory style).
+//
+// The configuration LP of §3.2 has a column for every (configuration,
+// phase) pair — exponentially many in K. Rather than materializing all of
+// them, the restricted master starts from a feasible seed and a pricing
+// oracle supplies columns with negative reduced cost until none exist; the
+// final basis is then optimal for the full LP. This mirrors how the
+// bin-packing ancestors of the paper ([8],[15]) are solved in practice.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lp/simplex.hpp"
+
+namespace stripack::lp {
+
+struct PricedColumn {
+  double cost = 0.0;
+  std::vector<RowEntry> entries;
+  std::string name;
+};
+
+/// Supplies improving columns for the current duals.
+class PricingOracle {
+ public:
+  virtual ~PricingOracle() = default;
+
+  /// Returns columns whose reduced cost (cost - duals . entries) is below
+  /// -tol, or an empty vector when none exists (proving optimality).
+  [[nodiscard]] virtual std::vector<PricedColumn> price(
+      std::span<const double> duals, double tol) = 0;
+};
+
+struct ColgenResult {
+  Solution solution;   // for the final (grown) model
+  int rounds = 0;      // master re-solves performed
+  int columns_added = 0;
+};
+
+/// Alternates master solves and pricing until the oracle finds nothing.
+/// The model must be primal feasible with its seed columns.
+[[nodiscard]] ColgenResult solve_with_column_generation(
+    Model& model, PricingOracle& oracle, const SimplexOptions& options = {},
+    int max_rounds = 500);
+
+}  // namespace stripack::lp

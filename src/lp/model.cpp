@@ -1,0 +1,51 @@
+#include "lp/model.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace stripack::lp {
+
+int Model::add_row(Sense sense, double rhs, std::string name) {
+  sense_.push_back(sense);
+  rhs_.push_back(rhs);
+  row_name_.push_back(std::move(name));
+  return num_rows() - 1;
+}
+
+int Model::add_column(double cost, std::span<const RowEntry> entries,
+                      std::string name) {
+  std::vector<RowEntry> col(entries.begin(), entries.end());
+  std::sort(col.begin(), col.end(),
+            [](const RowEntry& a, const RowEntry& b) { return a.row < b.row; });
+  for (std::size_t i = 0; i < col.size(); ++i) {
+    STRIPACK_EXPECTS(col[i].row >= 0 && col[i].row < num_rows());
+    if (i > 0) {
+      STRIPACK_ASSERT(col[i].row != col[i - 1].row,
+                      "duplicate row entry in column");
+    }
+  }
+  cost_.push_back(cost);
+  columns_.push_back(std::move(col));
+  col_name_.push_back(std::move(name));
+  return num_cols() - 1;
+}
+
+double Model::objective_value(std::span<const double> x) const {
+  STRIPACK_EXPECTS(static_cast<int>(x.size()) == num_cols());
+  double obj = 0.0;
+  for (int c = 0; c < num_cols(); ++c) obj += cost_[c] * x[c];
+  return obj;
+}
+
+std::vector<double> Model::row_activity(std::span<const double> x) const {
+  STRIPACK_EXPECTS(static_cast<int>(x.size()) == num_cols());
+  std::vector<double> activity(static_cast<std::size_t>(num_rows()), 0.0);
+  for (int c = 0; c < num_cols(); ++c) {
+    if (x[c] == 0.0) continue;
+    for (const RowEntry& e : columns_[c]) activity[e.row] += e.coef * x[c];
+  }
+  return activity;
+}
+
+}  // namespace stripack::lp

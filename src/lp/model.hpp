@@ -1,0 +1,66 @@
+// Linear program container: minimize c'x subject to row constraints and
+// x >= 0, with sparse columns.
+//
+// Built for the paper's configuration LP (§3.2): a few hundred rows
+// (packing + suffix covering constraints), up to hundreds of thousands of
+// columns (configuration x phase pairs), always feasible or detectably
+// infeasible. Columns are first-class so the column-generation driver can
+// grow the model incrementally.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace stripack::lp {
+
+enum class Sense { LE, GE, EQ };
+
+/// One nonzero coefficient of a column.
+struct RowEntry {
+  int row = 0;
+  double coef = 0.0;
+};
+
+class Model {
+ public:
+  /// Adds a constraint row; returns its index.
+  int add_row(Sense sense, double rhs, std::string name = {});
+
+  /// Adds a variable (column) with the given objective cost and sparse
+  /// coefficients; returns its index. Entries must reference existing rows;
+  /// duplicate rows within one column are rejected.
+  int add_column(double cost, std::span<const RowEntry> entries,
+                 std::string name = {});
+
+  [[nodiscard]] int num_rows() const { return static_cast<int>(sense_.size()); }
+  [[nodiscard]] int num_cols() const { return static_cast<int>(cost_.size()); }
+
+  [[nodiscard]] Sense row_sense(int r) const { return sense_[r]; }
+  [[nodiscard]] double row_rhs(int r) const { return rhs_[r]; }
+  [[nodiscard]] const std::string& row_name(int r) const { return row_name_[r]; }
+
+  [[nodiscard]] double column_cost(int c) const { return cost_[c]; }
+  [[nodiscard]] std::span<const RowEntry> column_entries(int c) const {
+    return columns_[c];
+  }
+  [[nodiscard]] const std::string& column_name(int c) const {
+    return col_name_[c];
+  }
+
+  /// Objective value of a full assignment (for certification in tests).
+  [[nodiscard]] double objective_value(std::span<const double> x) const;
+
+  /// Row activity A_r . x for all rows.
+  [[nodiscard]] std::vector<double> row_activity(std::span<const double> x) const;
+
+ private:
+  std::vector<Sense> sense_;
+  std::vector<double> rhs_;
+  std::vector<std::string> row_name_;
+  std::vector<double> cost_;
+  std::vector<std::vector<RowEntry>> columns_;
+  std::vector<std::string> col_name_;
+};
+
+}  // namespace stripack::lp

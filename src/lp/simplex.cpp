@@ -1,0 +1,362 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace stripack::lp {
+
+namespace {
+
+// Internal solver state over the transformed problem:
+//   min c'x  s.t.  A x = b,  x >= 0,  b >= 0
+// with column layout [structural | slack+surplus | artificial].
+class Simplex {
+ public:
+  Simplex(const Model& model, const SimplexOptions& options)
+      : model_(model), options_(options), m_(model.num_rows()) {
+    build_columns();
+    binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
+    for (int i = 0; i < m_; ++i) binv(i, i) = 1.0;
+    xb_ = b_;
+    pivots_since_refactor_ = 0;
+  }
+
+  Solution run() {
+    Solution solution;
+    if (max_iters_ == 0) {
+      max_iters_ = options_.max_iterations > 0
+                       ? options_.max_iterations
+                       : 5000 + 20LL * (m_ + num_all_cols_);
+    }
+
+    // Phase 1: minimize the sum of artificials.
+    if (num_artificial_ > 0) {
+      phase_ = 1;
+      const SolveStatus s1 = iterate(solution);
+      if (s1 != SolveStatus::Optimal) {
+        solution.status = s1;
+        return solution;
+      }
+      double infeas = 0.0;
+      for (int i = 0; i < m_; ++i) {
+        if (is_artificial(basis_[i])) infeas += xb_[i];
+      }
+      if (infeas > 1e-7 * (1.0 + b_norm_)) {
+        solution.status = SolveStatus::Infeasible;
+        return solution;
+      }
+      // Clamp tiny residual infeasibility on still-basic artificials.
+      for (int i = 0; i < m_; ++i) {
+        if (is_artificial(basis_[i])) xb_[i] = 0.0;
+      }
+    }
+
+    phase_ = 2;
+    const SolveStatus s2 = iterate(solution);
+    solution.status = s2;
+    if (s2 != SolveStatus::Optimal) return solution;
+
+    extract(solution);
+    return solution;
+  }
+
+ private:
+  // ----- problem construction -------------------------------------------
+  void build_columns() {
+    b_.resize(m_);
+    flipped_.assign(m_, false);
+    std::vector<Sense> sense(static_cast<std::size_t>(m_));
+    for (int r = 0; r < m_; ++r) {
+      double rhs = model_.row_rhs(r);
+      Sense s = model_.row_sense(r);
+      if (rhs < 0) {
+        rhs = -rhs;
+        flipped_[r] = true;
+        if (s == Sense::LE) s = Sense::GE;
+        else if (s == Sense::GE) s = Sense::LE;
+      }
+      b_[r] = rhs;
+      sense[r] = s;
+      b_norm_ += rhs;
+    }
+
+    const int n = model_.num_cols();
+    cols_.reserve(static_cast<std::size_t>(n) + m_);
+    cost2_.reserve(static_cast<std::size_t>(n) + m_);
+    for (int c = 0; c < n; ++c) {
+      std::vector<RowEntry> col;
+      for (const RowEntry& e : model_.column_entries(c)) {
+        col.push_back({e.row, flipped_[e.row] ? -e.coef : e.coef});
+      }
+      cols_.push_back(std::move(col));
+      cost2_.push_back(model_.column_cost(c));
+    }
+    num_structural_ = n;
+
+    basis_.assign(static_cast<std::size_t>(m_), -1);
+    // Slack (LE) / surplus (GE) columns, then artificials for GE/EQ rows.
+    for (int r = 0; r < m_; ++r) {
+      if (sense[r] == Sense::LE) {
+        cols_.push_back({{r, 1.0}});
+        cost2_.push_back(0.0);
+        basis_[r] = static_cast<int>(cols_.size()) - 1;
+      } else if (sense[r] == Sense::GE) {
+        cols_.push_back({{r, -1.0}});
+        cost2_.push_back(0.0);
+      }
+    }
+    first_artificial_ = static_cast<int>(cols_.size());
+    for (int r = 0; r < m_; ++r) {
+      if (sense[r] != Sense::LE) {
+        cols_.push_back({{r, 1.0}});
+        cost2_.push_back(0.0);
+        basis_[r] = static_cast<int>(cols_.size()) - 1;
+        ++num_artificial_;
+      }
+    }
+    num_all_cols_ = static_cast<int>(cols_.size());
+    in_basis_.assign(static_cast<std::size_t>(num_all_cols_), false);
+    for (int i = 0; i < m_; ++i) in_basis_[basis_[i]] = true;
+  }
+
+  [[nodiscard]] bool is_artificial(int col) const {
+    return col >= first_artificial_;
+  }
+
+  [[nodiscard]] double cost_of(int col) const {
+    return phase_ == 1 ? (is_artificial(col) ? 1.0 : 0.0) : cost2_[col];
+  }
+
+  double& binv(int i, int j) { return binv_[static_cast<std::size_t>(i) * m_ + j]; }
+  [[nodiscard]] double binv(int i, int j) const {
+    return binv_[static_cast<std::size_t>(i) * m_ + j];
+  }
+
+  // ----- core iteration ---------------------------------------------------
+  SolveStatus iterate(Solution& solution) {
+    std::vector<double> y(static_cast<std::size_t>(m_));
+    std::vector<double> d(static_cast<std::size_t>(m_));
+    int degenerate_streak = 0;
+
+    while (true) {
+      if (solution.iterations >= max_iters_) return SolveStatus::IterationLimit;
+
+      // Simplex multipliers y = cB' * Binv.
+      std::fill(y.begin(), y.end(), 0.0);
+      for (int i = 0; i < m_; ++i) {
+        const double cb = cost_of(basis_[i]);
+        if (cb == 0.0) continue;
+        for (int j = 0; j < m_; ++j) y[j] += cb * binv(i, j);
+      }
+
+      // Pricing.
+      const int entering = price(y);
+      if (entering < 0) return SolveStatus::Optimal;
+
+      // Direction d = Binv * A_entering.
+      std::fill(d.begin(), d.end(), 0.0);
+      for (const RowEntry& e : cols_[entering]) {
+        for (int i = 0; i < m_; ++i) d[i] += binv(i, e.row) * e.coef;
+      }
+
+      // Ratio test. Artificial basic variables are pinned at zero: any
+      // nonzero direction component forces a degenerate pivot that drives
+      // them out (this keeps phase 2 from regrowing artificials).
+      int leave = -1;
+      double theta = std::numeric_limits<double>::infinity();
+      bool leave_is_artificial = false;
+      for (int i = 0; i < m_; ++i) {
+        const bool art = phase_ == 2 && is_artificial(basis_[i]);
+        double ratio;
+        if (art && std::fabs(d[i]) > kPivotTol) {
+          ratio = 0.0;
+        } else if (d[i] > kPivotTol) {
+          ratio = xb_[i] / d[i];
+        } else {
+          continue;
+        }
+        const bool better =
+            ratio < theta - options_.tol ||
+            (ratio < theta + options_.tol &&
+             ((art && !leave_is_artificial) ||
+              (art == leave_is_artificial && leave >= 0 &&
+               basis_[i] < basis_[leave])));
+        if (leave < 0 || better) {
+          theta = std::max(ratio, 0.0);
+          leave = i;
+          leave_is_artificial = art;
+        }
+      }
+      if (leave < 0) return SolveStatus::Unbounded;
+
+      if (theta <= options_.tol) {
+        if (++degenerate_streak > 5 * m_ + 200) bland_ = true;
+      } else {
+        degenerate_streak = 0;
+      }
+
+      pivot(entering, leave, d, theta);
+      ++solution.iterations;
+
+      if (++pivots_since_refactor_ >= options_.refactor_interval) refactor();
+    }
+  }
+
+  // Returns the entering column, or -1 at optimality.
+  int price(const std::vector<double>& y) const {
+    int best = -1;
+    double best_rc = -options_.tol;
+    const int limit = phase_ == 1 ? num_all_cols_ : first_artificial_;
+    for (int j = 0; j < limit; ++j) {
+      if (in_basis_[j]) continue;
+      double rc = cost_of(j);
+      for (const RowEntry& e : cols_[j]) rc -= y[e.row] * e.coef;
+      if (rc < best_rc) {
+        if (bland_) return j;  // Bland: first improving index
+        best_rc = rc;
+        best = j;
+      }
+    }
+    return best;
+  }
+
+  void pivot(int entering, int leave, const std::vector<double>& d,
+             double theta) {
+    const double dp = d[leave];
+    STRIPACK_ASSERT(std::fabs(dp) > kPivotTol, "pivot element too small");
+
+    for (int i = 0; i < m_; ++i) xb_[i] -= theta * d[i];
+    xb_[leave] = theta;
+
+    // Eta update of the dense inverse: row `leave` is scaled, others swept.
+    const double inv_dp = 1.0 / dp;
+    for (int j = 0; j < m_; ++j) binv(leave, j) *= inv_dp;
+    for (int i = 0; i < m_; ++i) {
+      if (i == leave) continue;
+      const double f = d[i];
+      if (std::fabs(f) < 1e-14) continue;
+      for (int j = 0; j < m_; ++j) binv(i, j) -= f * binv(leave, j);
+    }
+
+    in_basis_[basis_[leave]] = false;
+    basis_[leave] = entering;
+    in_basis_[entering] = true;
+  }
+
+  void refactor() {
+    pivots_since_refactor_ = 0;
+    // Gauss-Jordan inversion of the basis matrix with partial pivoting.
+    std::vector<double> a(static_cast<std::size_t>(m_) * m_, 0.0);
+    for (int i = 0; i < m_; ++i) {
+      for (const RowEntry& e : cols_[basis_[i]]) {
+        a[static_cast<std::size_t>(e.row) * m_ + i] = e.coef;
+      }
+    }
+    std::vector<double> inv(static_cast<std::size_t>(m_) * m_, 0.0);
+    for (int i = 0; i < m_; ++i) inv[static_cast<std::size_t>(i) * m_ + i] = 1.0;
+    auto A = [&](int i, int j) -> double& {
+      return a[static_cast<std::size_t>(i) * m_ + j];
+    };
+    auto I = [&](int i, int j) -> double& {
+      return inv[static_cast<std::size_t>(i) * m_ + j];
+    };
+    for (int col = 0; col < m_; ++col) {
+      int piv = col;
+      for (int r = col + 1; r < m_; ++r) {
+        if (std::fabs(A(r, col)) > std::fabs(A(piv, col))) piv = r;
+      }
+      STRIPACK_ASSERT(std::fabs(A(piv, col)) > 1e-12,
+                      "singular basis during refactorization");
+      if (piv != col) {
+        for (int j = 0; j < m_; ++j) {
+          std::swap(A(col, j), A(piv, j));
+          std::swap(I(col, j), I(piv, j));
+        }
+      }
+      const double inv_p = 1.0 / A(col, col);
+      for (int j = 0; j < m_; ++j) {
+        A(col, j) *= inv_p;
+        I(col, j) *= inv_p;
+      }
+      for (int r = 0; r < m_; ++r) {
+        if (r == col) continue;
+        const double f = A(r, col);
+        if (f == 0.0) continue;
+        for (int j = 0; j < m_; ++j) {
+          A(r, j) -= f * A(col, j);
+          I(r, j) -= f * I(col, j);
+        }
+      }
+    }
+    binv_ = std::move(inv);
+    // Recompute basic values from scratch.
+    for (int i = 0; i < m_; ++i) {
+      double v = 0.0;
+      for (int j = 0; j < m_; ++j) v += binv(i, j) * b_[j];
+      xb_[i] = std::max(v, 0.0);
+    }
+  }
+
+  void extract(Solution& solution) const {
+    solution.x.assign(static_cast<std::size_t>(num_structural_), 0.0);
+    solution.basic_columns.clear();
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[i] < num_structural_) {
+        solution.x[basis_[i]] = std::max(xb_[i], 0.0);
+        solution.basic_columns.push_back(basis_[i]);
+      }
+    }
+    solution.objective = 0.0;
+    for (int c = 0; c < num_structural_; ++c) {
+      solution.objective += cost2_[c] * solution.x[c];
+    }
+    // Duals y = cB' Binv, mapped back through row flips.
+    solution.duals.assign(static_cast<std::size_t>(m_), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const double cb = cost2_[basis_[i]];
+      if (cb == 0.0) continue;
+      for (int j = 0; j < m_; ++j) solution.duals[j] += cb * binv(i, j);
+    }
+    for (int r = 0; r < m_; ++r) {
+      if (flipped_[r]) solution.duals[r] = -solution.duals[r];
+    }
+  }
+
+  static constexpr double kPivotTol = 1e-9;
+
+  const Model& model_;
+  SimplexOptions options_;
+  int m_;
+  int num_structural_ = 0;
+  int first_artificial_ = 0;
+  int num_artificial_ = 0;
+  int num_all_cols_ = 0;
+  int phase_ = 1;
+  bool bland_ = false;
+  std::int64_t max_iters_ = 0;
+  double b_norm_ = 0.0;
+
+  std::vector<std::vector<RowEntry>> cols_;  // transformed columns
+  std::vector<double> cost2_;                // phase-2 costs
+  std::vector<double> b_;                    // transformed rhs (>= 0)
+  std::vector<bool> flipped_;
+  std::vector<int> basis_;       // row -> column index
+  std::vector<bool> in_basis_;   // column -> bool
+  std::vector<double> binv_;     // dense m x m
+  std::vector<double> xb_;       // basic values
+  int pivots_since_refactor_ = 0;
+};
+
+}  // namespace
+
+Solution solve(const Model& model, const SimplexOptions& options) {
+  STRIPACK_EXPECTS(model.num_rows() > 0);
+  Simplex simplex(model, options);
+  return simplex.run();
+}
+
+}  // namespace stripack::lp

@@ -1,0 +1,43 @@
+// Two-phase revised simplex.
+//
+// Dense basis inverse with eta updates and periodic refactorization, Dantzig
+// pricing with an automatic switch to Bland's rule after long degenerate
+// streaks (anti-cycling), sparse column storage. Returns a *basic* optimal
+// solution — which is precisely what Lemma 3.3 needs: a basic solution of
+// the configuration LP has at most (W+1)(R+1) nonzero variables.
+//
+// This substitutes for the ellipsoid/Karmarkar solvers the paper cites
+// ([10],[14]); see DESIGN.md §4.
+#pragma once
+
+#include <cstdint>
+
+#include "lp/model.hpp"
+
+namespace stripack::lp {
+
+enum class SolveStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+struct SimplexOptions {
+  std::int64_t max_iterations = 0;  // 0 = automatic (scales with m + n)
+  double tol = 1e-9;                // reduced-cost / feasibility tolerance
+  int refactor_interval = 64;       // rebuild the basis inverse this often
+};
+
+struct Solution {
+  SolveStatus status = SolveStatus::IterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;      // one value per model column
+  std::vector<double> duals;  // one value per model row (original senses)
+  std::int64_t iterations = 0;
+  /// Model columns that are basic in the final basis (excludes slacks).
+  std::vector<int> basic_columns;
+
+  [[nodiscard]] bool optimal() const { return status == SolveStatus::Optimal; }
+};
+
+/// Solves min c'x, Ax {<=,>=,=} b, x >= 0.
+[[nodiscard]] Solution solve(const Model& model,
+                             const SimplexOptions& options = {});
+
+}  // namespace stripack::lp

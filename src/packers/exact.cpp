@@ -1,0 +1,237 @@
+#include "packers/exact.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/validate.hpp"
+#include "packers/shelf.hpp"
+#include "packers/skyline.hpp"
+#include "precedence/list_schedule.hpp"
+#include "util/assert.hpp"
+#include "util/float_eq.hpp"
+
+namespace stripack {
+
+namespace {
+
+// Canonical-form search: in some optimal packing every rectangle's left
+// edge is 0 or another rectangle's right edge, and its bottom edge is 0,
+// another rectangle's top edge, or the max of its predecessors' tops
+// (push-left/push-down argument; precedence floors are preserved because
+// pushing a rectangle down only relaxes its successors' constraints).
+class ExactSearch {
+ public:
+  ExactSearch(const Instance& instance, const ExactPackOptions& options)
+      : instance_(instance),
+        options_(options),
+        n_(instance.size()),
+        strip_w_(instance.strip_width()) {
+    // Downward critical path per item (completion bound).
+    down_.assign(n_, 0.0);
+    const auto order = instance_.dag().topological_order();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      double best = 0.0;
+      for (VertexId s : instance_.dag().successors(*it)) {
+        best = std::max(best, down_[s]);
+      }
+      down_[*it] = instance_.item(*it).height() + best;
+    }
+    area_lb_ = area_lower_bound(instance_);
+  }
+
+  ExactPackResult run() {
+    ExactPackResult result;
+    // Seed the incumbent with the best heuristic packing.
+    seed_incumbent();
+    positions_.assign(n_, Position{});
+    placed_.assign(n_, false);
+    preds_placed_.assign(n_, 0);
+    dfs(0, 0.0);
+    result.packing = Packing{instance_, best_placement_};
+    result.height = best_;
+    result.nodes = nodes_;
+    result.proven_optimal = nodes_ < options_.max_nodes;
+    return result;
+  }
+
+ private:
+  void seed_incumbent() {
+    std::vector<Placement> candidates;
+    if (instance_.has_precedence()) {
+      candidates.push_back(list_schedule(instance_).placement);
+    } else {
+      std::vector<Rect> rects;
+      for (const Item& it : instance_.items()) rects.push_back(it.rect);
+      candidates.push_back(make_ffdh().pack(rects, strip_w_).placement);
+      candidates.push_back(SkylinePacker().pack(rects, strip_w_).placement);
+    }
+    best_ = std::numeric_limits<double>::infinity();
+    for (Placement& p : candidates) {
+      const double h = packing_height(instance_, p);
+      if (h < best_) {
+        best_ = h;
+        best_placement_ = std::move(p);
+      }
+    }
+  }
+
+  // Lower bound on the final height from this node.
+  double node_bound(std::size_t placed_count, double top) const {
+    double lb = std::max(top, area_lb_);
+    if (placed_count < n_) {
+      for (std::size_t u = 0; u < n_; ++u) {
+        if (placed_[u]) continue;
+        double ready = 0.0;
+        for (VertexId p : instance_.dag().predecessors(
+                 static_cast<VertexId>(u))) {
+          if (placed_[p]) {
+            ready = std::max(ready,
+                             positions_[p].y + instance_.item(p).height());
+          }
+        }
+        lb = std::max(lb, ready + down_[u]);
+      }
+    }
+    return lb;
+  }
+
+  void dfs(std::size_t placed_count, double top) {
+    if (nodes_ >= options_.max_nodes) return;
+    ++nodes_;
+    if (placed_count == n_) {
+      if (top < best_ - 1e-12) {
+        best_ = top;
+        best_placement_ = positions_;
+      }
+      return;
+    }
+    if (node_bound(placed_count, top) >= best_ - options_.tolerance) return;
+
+    // Candidate coordinates from placed rectangles (deduplicated).
+    std::vector<double> xs{0.0}, ys{0.0};
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (!placed_[j]) continue;
+      xs.push_back(positions_[j].x + instance_.item(j).width());
+      ys.push_back(positions_[j].y + instance_.item(j).height());
+    }
+    auto dedupe = [](std::vector<double>& v) {
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end(),
+                          [](double a, double b) { return approx_eq(a, b); }),
+              v.end());
+    };
+    dedupe(xs);
+    dedupe(ys);
+
+    for (std::size_t r = 0; r < n_; ++r) {
+      if (placed_[r]) continue;
+      if (preds_placed_[r] !=
+          instance_.dag().predecessors(static_cast<VertexId>(r)).size()) {
+        continue;
+      }
+      // Symmetry: skip identical unplaced twins with smaller index (only
+      // safe when neither participates in any precedence).
+      if (!instance_.has_precedence()) {
+        bool twin_before = false;
+        for (std::size_t q = 0; q < r; ++q) {
+          if (!placed_[q] && instance_.item(q) == instance_.item(r)) {
+            twin_before = true;
+            break;
+          }
+        }
+        if (twin_before) continue;
+      }
+      const double w = instance_.item(r).width();
+      const double h = instance_.item(r).height();
+      double ready = 0.0;
+      for (VertexId p :
+           instance_.dag().predecessors(static_cast<VertexId>(r))) {
+        ready = std::max(ready, positions_[p].y + instance_.item(p).height());
+      }
+      // max(y_cand, ready) collapses all candidates below `ready` onto the
+      // same effective y; visit each effective y once.
+      double last_y = -1.0;
+      for (double y_cand : ys) {
+        const double y = std::max(y_cand, ready);
+        if (approx_eq(y, last_y)) continue;
+        last_y = y;
+        if (y + h >= best_ - options_.tolerance) break;  // ys sorted
+        for (double x : xs) {
+          if (x + w > strip_w_ + kEps) continue;
+          if (collides(r, x, y)) continue;
+          place(r, x, y);
+          dfs(placed_count + 1, std::max(top, y + h));
+          unplace(r);
+          if (nodes_ >= options_.max_nodes) return;
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] bool collides(std::size_t r, double x, double y) const {
+    const double w = instance_.item(r).width();
+    const double h = instance_.item(r).height();
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (!placed_[j]) continue;
+      if (intervals_overlap(x, x + w, positions_[j].x,
+                            positions_[j].x + instance_.item(j).width()) &&
+          intervals_overlap(y, y + h, positions_[j].y,
+                            positions_[j].y + instance_.item(j).height())) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void place(std::size_t r, double x, double y) {
+    positions_[r] = Position{x, y};
+    placed_[r] = true;
+    for (VertexId s : instance_.dag().successors(static_cast<VertexId>(r))) {
+      ++preds_placed_[s];
+    }
+  }
+
+  void unplace(std::size_t r) {
+    placed_[r] = false;
+    for (VertexId s : instance_.dag().successors(static_cast<VertexId>(r))) {
+      --preds_placed_[s];
+    }
+  }
+
+  const Instance& instance_;
+  ExactPackOptions options_;
+  std::size_t n_;
+  double strip_w_;
+  double area_lb_ = 0.0;
+  std::vector<double> down_;
+
+  std::vector<Position> positions_;
+  std::vector<bool> placed_;
+  std::vector<std::size_t> preds_placed_;
+  Placement best_placement_;
+  double best_ = 0.0;
+  std::size_t nodes_ = 0;
+};
+
+}  // namespace
+
+std::optional<ExactPackResult> exact_pack(const Instance& instance,
+                                          const ExactPackOptions& options) {
+  instance.check_well_formed();
+  STRIPACK_ASSERT(!instance.has_release_times(),
+                  "exact_pack does not support release times");
+  if (instance.empty()) {
+    ExactPackResult empty;
+    empty.proven_optimal = true;
+    return empty;
+  }
+  ExactSearch search(instance, options);
+  ExactPackResult result = search.run();
+  if (!result.proven_optimal) return std::nullopt;
+  require_valid(instance, result.packing.placement);
+  return result;
+}
+
+}  // namespace stripack

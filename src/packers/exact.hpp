@@ -1,0 +1,39 @@
+// Exact strip packing for tiny instances, by branch and bound over
+// bottom-left-justified placements.
+//
+// Strip packing is strongly NP-hard; this solver is a *reference oracle*
+// (n <= ~9) used by tests and benches to measure true approximation ratios
+// of the heuristics and of DC. It searches placements where each rectangle
+// sits at a "corner" position (its left edge touches the strip border or a
+// placed rectangle's right edge; its bottom touches the floor or a placed
+// rectangle's top) — a canonical-form argument shows some optimal packing
+// has this shape. Optional precedence constraints restrict y-coordinates.
+#pragma once
+
+#include <optional>
+
+#include "core/packing.hpp"
+
+namespace stripack {
+
+struct ExactPackOptions {
+  /// Abort knob: give up (return nullopt) after this many search nodes.
+  std::size_t max_nodes = 20'000'000;
+  /// Prune: stop refining once within this of the area lower bound.
+  double tolerance = 1e-9;
+};
+
+struct ExactPackResult {
+  Packing packing;
+  double height = 0.0;
+  std::size_t nodes = 0;
+  bool proven_optimal = false;
+};
+
+/// Exact minimum-height packing (honours the instance's precedence DAG if
+/// present; release times are not supported). Returns nullopt only if the
+/// node budget is exhausted.
+[[nodiscard]] std::optional<ExactPackResult> exact_pack(
+    const Instance& instance, const ExactPackOptions& options = {});
+
+}  // namespace stripack

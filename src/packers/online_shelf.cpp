@@ -1,0 +1,71 @@
+#include "packers/online_shelf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/float_eq.hpp"
+
+namespace stripack {
+
+OnlineShelfPacker::OnlineShelfPacker(double r) : r_(r) {
+  STRIPACK_EXPECTS(r > 0.0 && r < 1.0);
+}
+
+PackResult OnlineShelfPacker::pack(std::span<const Rect> rects,
+                                   double strip_width) const {
+  STRIPACK_EXPECTS(strip_width > 0);
+  PackResult result;
+  result.placement.resize(rects.size());
+  if (rects.empty()) return result;
+
+  struct Shelf {
+    double y = 0.0;
+    double used = 0.0;
+  };
+  // Open shelves per height class; class k shelves have height r^k.
+  std::map<int, std::vector<Shelf>> shelves;
+  double top = 0.0;
+
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    const Rect& rect = rects[i];
+    STRIPACK_EXPECTS(rect.width > 0 && rect.height > 0);
+    STRIPACK_ASSERT(approx_le(rect.width, strip_width),
+                    "rectangle wider than the strip");
+    // Class k: the unique integer with r^(k+1) < h <= r^k, i.e.
+    // k = floor(log_r h) (log r < 0 flips the inequalities). The small
+    // positive nudge keeps heights exactly on a class boundary in the
+    // intended class despite rounding.
+    const int k = static_cast<int>(
+        std::floor(std::log(rect.height) / std::log(r_) + 1e-9));
+    const double shelf_height = std::pow(r_, k);
+    STRIPACK_ASSERT(rect.height <= shelf_height + 1e-9 &&
+                        rect.height > shelf_height * r_ - 1e-9,
+                    "height class bucketing is inconsistent");
+
+    auto& open = shelves[k];
+    Shelf* chosen = nullptr;
+    for (Shelf& s : open) {
+      if (approx_le(s.used + rect.width, strip_width)) {
+        chosen = &s;
+        break;
+      }
+    }
+    if (chosen == nullptr) {
+      open.push_back(Shelf{top, 0.0});
+      chosen = &open.back();
+      top += shelf_height;
+    }
+    result.placement[i] = Position{chosen->used, chosen->y};
+    chosen->used += rect.width;
+    // Report the occupied height (max top edge), not the shelf cursor:
+    // the topmost shelf is padded to its class height but unused space
+    // above the tallest rectangle is still usable by a caller.
+    result.height = std::max(result.height, chosen->y + rect.height);
+  }
+  return result;
+}
+
+}  // namespace stripack

@@ -1,0 +1,31 @@
+// Online shelf strip packing (Baker–Schwarz; analyzed online by
+// Csirik–Woeginger, the paper's related work [7]).
+//
+// Rectangles arrive one by one in input order. Heights are bucketed into
+// geometric classes (class k holds heights in (r^{k+1}, r^k]); each class
+// keeps First-Fit shelves of height r^k. This is the natural *online*
+// contrast to the offline packers: the FPGA operating system of §1/§3 sees
+// tasks arrive over time, and bench/example comparisons use this packer as
+// the "no lookahead at all" reference point.
+#pragma once
+
+#include "packers/packer.hpp"
+
+namespace stripack {
+
+class OnlineShelfPacker final : public StripPacker {
+ public:
+  /// r in (0,1): the geometric height-class ratio (classic choice ~0.7).
+  explicit OnlineShelfPacker(double r = 0.7);
+
+  [[nodiscard]] PackResult pack(std::span<const Rect> rects,
+                                double strip_width) const override;
+  [[nodiscard]] std::string_view name() const override {
+    return "OnlineShelf";
+  }
+
+ private:
+  double r_;
+};
+
+}  // namespace stripack

@@ -1,0 +1,65 @@
+// Interface for strip packing without precedence or release constraints.
+//
+// This is the subroutine the paper calls `A` (§2): DC packs each independent
+// middle band S_mid with A, and the analysis of Theorem 2.3 requires only
+//
+//     A(S) <= 2 * AREA(S) / W + max_s h_s.
+//
+// The paper cites Steinberg [24] and Schiermeyer [22] for this property; we
+// use NFDH, for which the same inequality is the classical
+// Coffman–Garey–Johnson–Tarjan bound (see DESIGN.md §4 for the
+// substitution). Each packer self-reports its guarantee so DC can assert the
+// inequality it relies on, and bench E10 verifies the property empirically
+// for every implementation.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "core/packing.hpp"
+#include "core/rect.hpp"
+
+namespace stripack {
+
+/// The result of packing `rects` into a strip starting at y = 0:
+/// placement[i] is the lower-left corner of rects[i]; height is
+/// max_i (y_i + h_i).
+struct PackResult {
+  Placement placement;
+  double height = 0.0;
+};
+
+/// A proven bound of the form height <= multiplier * AREA/W + additive * h_max.
+/// `certified` distinguishes bounds proven in the literature from empirical
+/// observations (Sleator / skyline); DC only asserts certified bounds.
+struct HeightGuarantee {
+  double multiplier = 0.0;
+  double additive = 0.0;
+  bool certified = false;
+
+  [[nodiscard]] bool valid() const { return multiplier > 0.0; }
+  [[nodiscard]] double bound(double total_area, double strip_width,
+                             double h_max) const {
+    return multiplier * total_area / strip_width + additive * h_max;
+  }
+};
+
+/// Strategy interface. Implementations must be deterministic and must not
+/// rotate rectangles.
+class StripPacker {
+ public:
+  virtual ~StripPacker() = default;
+
+  /// Packs rects into [0, strip_width) x [0, inf). Every rect must satisfy
+  /// 0 < width <= strip_width and height > 0.
+  [[nodiscard]] virtual PackResult pack(std::span<const Rect> rects,
+                                        double strip_width) const = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// The packer's height guarantee (invalid() if none is claimed).
+  [[nodiscard]] virtual HeightGuarantee guarantee() const { return {}; }
+};
+
+}  // namespace stripack

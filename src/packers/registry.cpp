@@ -1,0 +1,31 @@
+#include "packers/registry.hpp"
+
+#include "packers/online_shelf.hpp"
+#include "packers/shelf.hpp"
+#include "packers/skyline.hpp"
+#include "packers/sleator.hpp"
+
+namespace stripack {
+
+std::vector<std::unique_ptr<StripPacker>> all_packers() {
+  std::vector<std::unique_ptr<StripPacker>> out;
+  out.push_back(std::make_unique<ShelfPacker>(ShelfFit::NextFit));
+  out.push_back(std::make_unique<ShelfPacker>(ShelfFit::FirstFit));
+  out.push_back(std::make_unique<ShelfPacker>(ShelfFit::BestFit));
+  out.push_back(std::make_unique<SleatorPacker>());
+  out.push_back(std::make_unique<SkylinePacker>());
+  out.push_back(std::make_unique<OnlineShelfPacker>());
+  return out;
+}
+
+std::unique_ptr<StripPacker> make_packer(const std::string& name) {
+  if (name == "NFDH") return std::make_unique<ShelfPacker>(ShelfFit::NextFit);
+  if (name == "FFDH") return std::make_unique<ShelfPacker>(ShelfFit::FirstFit);
+  if (name == "BFDH") return std::make_unique<ShelfPacker>(ShelfFit::BestFit);
+  if (name == "Sleator") return std::make_unique<SleatorPacker>();
+  if (name == "SkylineBL") return std::make_unique<SkylinePacker>();
+  if (name == "OnlineShelf") return std::make_unique<OnlineShelfPacker>();
+  return nullptr;
+}
+
+}  // namespace stripack

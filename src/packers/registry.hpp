@@ -1,0 +1,20 @@
+// Factory for all built-in strip packers, used by the DC ablation bench and
+// the packer gallery example.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "packers/packer.hpp"
+
+namespace stripack {
+
+/// One instance of every built-in packer (NFDH, FFDH, BFDH, Sleator,
+/// SkylineBL), in a stable order.
+[[nodiscard]] std::vector<std::unique_ptr<StripPacker>> all_packers();
+
+/// A packer by name, or nullptr if unknown. Names match StripPacker::name().
+[[nodiscard]] std::unique_ptr<StripPacker> make_packer(const std::string& name);
+
+}  // namespace stripack

@@ -1,0 +1,122 @@
+#include "packers/shelf.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/float_eq.hpp"
+
+namespace stripack {
+
+namespace {
+
+struct Shelf {
+  double y = 0.0;       // bottom of the shelf
+  double height = 0.0;  // set by the first (tallest) rectangle
+  double used = 0.0;    // occupied width
+};
+
+// Decreasing height, ties by decreasing width then index, so results are
+// deterministic under permutation of equal rectangles.
+std::vector<std::size_t> decreasing_height_order(std::span<const Rect> rects) {
+  std::vector<std::size_t> order(rects.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (rects[a].height != rects[b].height)
+      return rects[a].height > rects[b].height;
+    if (rects[a].width != rects[b].width) return rects[a].width > rects[b].width;
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace
+
+PackResult ShelfPacker::pack(std::span<const Rect> rects,
+                             double strip_width) const {
+  STRIPACK_EXPECTS(strip_width > 0);
+  PackResult result;
+  result.placement.resize(rects.size());
+  if (rects.empty()) return result;
+
+  for (const Rect& r : rects) {
+    STRIPACK_EXPECTS(r.width > 0 && r.height > 0);
+    STRIPACK_ASSERT(approx_le(r.width, strip_width),
+                    "rectangle wider than the strip");
+  }
+
+  const auto order = decreasing_height_order(rects);
+  std::vector<Shelf> shelves;
+  double top = 0.0;
+
+  for (std::size_t idx : order) {
+    const Rect& r = rects[idx];
+    std::size_t chosen = shelves.size();  // sentinel: open a new shelf
+
+    switch (fit_) {
+      case ShelfFit::NextFit:
+        if (!shelves.empty() &&
+            approx_le(shelves.back().used + r.width, strip_width)) {
+          chosen = shelves.size() - 1;
+        }
+        break;
+      case ShelfFit::FirstFit:
+        for (std::size_t s = 0; s < shelves.size(); ++s) {
+          if (approx_le(shelves[s].used + r.width, strip_width)) {
+            chosen = s;
+            break;
+          }
+        }
+        break;
+      case ShelfFit::BestFit: {
+        double best_residual = std::numeric_limits<double>::infinity();
+        for (std::size_t s = 0; s < shelves.size(); ++s) {
+          const double residual = strip_width - shelves[s].used - r.width;
+          if (residual >= -kEps && residual < best_residual) {
+            best_residual = residual;
+            chosen = s;
+          }
+        }
+        break;
+      }
+    }
+
+    if (chosen == shelves.size()) {
+      // New shelf at the current top; its height is this rectangle's height
+      // (rectangles arrive in non-increasing height order, so it is the
+      // tallest the shelf will see).
+      shelves.push_back(Shelf{top, r.height, 0.0});
+      top += r.height;
+    }
+    Shelf& shelf = shelves[chosen];
+    STRIPACK_ASSERT(approx_le(r.height, shelf.height),
+                    "shelf invariant: item taller than its shelf");
+    result.placement[idx] = Position{shelf.used, shelf.y};
+    shelf.used += r.width;
+  }
+
+  result.height = top;
+  return result;
+}
+
+std::string_view ShelfPacker::name() const {
+  switch (fit_) {
+    case ShelfFit::NextFit: return "NFDH";
+    case ShelfFit::FirstFit: return "FFDH";
+    case ShelfFit::BestFit: return "BFDH";
+  }
+  return "?";
+}
+
+HeightGuarantee ShelfPacker::guarantee() const {
+  switch (fit_) {
+    case ShelfFit::NextFit: return {2.0, 1.0, true};   // CGJT 1980
+    case ShelfFit::FirstFit: return {1.7, 1.0, true};  // CGJT 1980
+    case ShelfFit::BestFit: return {1.7, 1.0, false};  // empirical
+  }
+  return {};
+}
+
+}  // namespace stripack

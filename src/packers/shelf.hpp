@@ -1,0 +1,45 @@
+// Shelf (level-oriented) strip packers: NFDH, FFDH, BFDH.
+//
+// All three sort rectangles by non-increasing height and fill horizontal
+// shelves whose height is set by their first (tallest) rectangle; they
+// differ in which shelf an incoming rectangle may join:
+//   Next-Fit  (NFDH): only the most recently opened shelf.
+//   First-Fit (FFDH): the lowest shelf with room.
+//   Best-Fit  (BFDH): the shelf with the least residual room.
+// Certified guarantees (Coffman, Garey, Johnson, Tarjan, SIAM J. Comput.
+// 1980): NFDH <= 2*AREA/W + h_max and FFDH <= 1.7*AREA/W + h_max. BFDH has
+// no published bound of this form; we report FFDH-like behaviour as
+// empirical only.
+#pragma once
+
+#include "packers/packer.hpp"
+
+namespace stripack {
+
+enum class ShelfFit { NextFit, FirstFit, BestFit };
+
+class ShelfPacker final : public StripPacker {
+ public:
+  explicit ShelfPacker(ShelfFit fit) : fit_(fit) {}
+
+  [[nodiscard]] PackResult pack(std::span<const Rect> rects,
+                                double strip_width) const override;
+  [[nodiscard]] std::string_view name() const override;
+  [[nodiscard]] HeightGuarantee guarantee() const override;
+
+ private:
+  ShelfFit fit_;
+};
+
+/// Convenience factories.
+[[nodiscard]] inline ShelfPacker make_nfdh() {
+  return ShelfPacker(ShelfFit::NextFit);
+}
+[[nodiscard]] inline ShelfPacker make_ffdh() {
+  return ShelfPacker(ShelfFit::FirstFit);
+}
+[[nodiscard]] inline ShelfPacker make_bfdh() {
+  return ShelfPacker(ShelfFit::BestFit);
+}
+
+}  // namespace stripack

@@ -1,0 +1,154 @@
+#include "packers/skyline.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/assert.hpp"
+#include "util/float_eq.hpp"
+
+namespace stripack {
+
+namespace {
+
+// The skyline is a left-to-right list of segments [x, next.x) at height y.
+struct Segment {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+class Skyline {
+ public:
+  explicit Skyline(double width) : width_(width) { line_.push_back({0.0, 0.0}); }
+
+  // Lowest-then-leftmost position for a rect of the given width whose base
+  // must be >= floor.
+  [[nodiscard]] Position find(double w, double floor) const {
+    Position best{0.0, std::numeric_limits<double>::infinity()};
+    for (std::size_t s = 0; s < line_.size(); ++s) {
+      const double x = line_[s].x;
+      if (x + w > width_ + kEps) break;  // segments are sorted by x
+      const double support = support_height(x, w);
+      const double y = std::max(support, floor);
+      if (y < best.y - kEps) best = Position{x, y};
+    }
+    STRIPACK_ASSERT(best.y < std::numeric_limits<double>::infinity(),
+                    "skyline: no feasible position (rect wider than strip?)");
+    return best;
+  }
+
+  void place(double x, double w, double top) {
+    // Replace the skyline over [x, x+w) with height `top`.
+    std::vector<Segment> updated;
+    updated.reserve(line_.size() + 2);
+    const double x_end = x + w;
+    for (std::size_t s = 0; s < line_.size(); ++s) {
+      const double seg_start = line_[s].x;
+      const double seg_end = segment_end(s);
+      if (seg_end <= x + kEps || seg_start >= x_end - kEps) {
+        updated.push_back(line_[s]);
+        continue;
+      }
+      if (seg_start < x - kEps) updated.push_back({seg_start, line_[s].y});
+      // The covered middle part is emitted once, below.
+      if (seg_end > x_end + kEps) updated.push_back({x_end, line_[s].y});
+    }
+    updated.push_back({x, top});
+    std::sort(updated.begin(), updated.end(),
+              [](const Segment& a, const Segment& b) { return a.x < b.x; });
+    // Merge adjacent segments with equal height.
+    line_.clear();
+    for (const Segment& seg : updated) {
+      if (!line_.empty() && approx_eq(line_.back().y, seg.y)) continue;
+      if (!line_.empty() && approx_eq(line_.back().x, seg.x)) {
+        // Zero-width segment: keep the later (it overrides).
+        line_.back().y = seg.y;
+        if (line_.size() >= 2 && approx_eq(line_[line_.size() - 2].y, seg.y)) {
+          line_.pop_back();
+        }
+        continue;
+      }
+      line_.push_back(seg);
+    }
+  }
+
+ private:
+  [[nodiscard]] double segment_end(std::size_t s) const {
+    return s + 1 < line_.size() ? line_[s + 1].x : width_;
+  }
+
+  [[nodiscard]] double support_height(double x, double w) const {
+    double h = 0.0;
+    const double x_end = x + w;
+    for (std::size_t s = 0; s < line_.size(); ++s) {
+      if (segment_end(s) <= x + kEps) continue;
+      if (line_[s].x >= x_end - kEps) break;
+      h = std::max(h, line_[s].y);
+    }
+    return h;
+  }
+
+  double width_;
+  std::vector<Segment> line_;
+};
+
+std::vector<std::size_t> make_order(std::span<const Rect> rects,
+                                    SkylineOrder order) {
+  std::vector<std::size_t> idx(rects.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  auto by = [&](auto key) {
+    std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return key(rects[a]) > key(rects[b]);
+    });
+  };
+  switch (order) {
+    case SkylineOrder::InputOrder: break;
+    case SkylineOrder::DecreasingHeight:
+      by([](const Rect& r) { return r.height; });
+      break;
+    case SkylineOrder::DecreasingWidth:
+      by([](const Rect& r) { return r.width; });
+      break;
+    case SkylineOrder::DecreasingArea:
+      by([](const Rect& r) { return r.area(); });
+      break;
+  }
+  return idx;
+}
+
+}  // namespace
+
+PackResult SkylinePacker::pack(std::span<const Rect> rects,
+                               double strip_width) const {
+  return pack_with_floors(rects, {}, strip_width);
+}
+
+PackResult SkylinePacker::pack_with_floors(std::span<const Rect> rects,
+                                           std::span<const double> floors,
+                                           double strip_width) const {
+  STRIPACK_EXPECTS(strip_width > 0);
+  STRIPACK_EXPECTS(floors.empty() || floors.size() == rects.size());
+  PackResult result;
+  result.placement.resize(rects.size());
+  if (rects.empty()) return result;
+
+  for (const Rect& r : rects) {
+    STRIPACK_EXPECTS(r.width > 0 && r.height > 0);
+    STRIPACK_ASSERT(approx_le(r.width, strip_width),
+                    "rectangle wider than the strip");
+  }
+
+  Skyline skyline(strip_width);
+  double top = 0.0;
+  for (std::size_t idx : make_order(rects, order_)) {
+    const double floor = floors.empty() ? 0.0 : floors[idx];
+    const Position pos = skyline.find(rects[idx].width, floor);
+    result.placement[idx] = pos;
+    skyline.place(pos.x, rects[idx].width, pos.y + rects[idx].height);
+    top = std::max(top, pos.y + rects[idx].height);
+  }
+  result.height = top;
+  return result;
+}
+
+}  // namespace stripack

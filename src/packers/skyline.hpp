@@ -1,0 +1,44 @@
+// Skyline bottom-left strip packing heuristic.
+//
+// Maintains the upper envelope ("skyline") of the packed region and places
+// each rectangle at the lowest (then leftmost) feasible position. No
+// worst-case guarantee — it is the quality-oriented baseline the benches
+// compare the analyzed algorithms against, and (with per-item floor
+// constraints) the greedy baseline for the release-time variant.
+#pragma once
+
+#include <vector>
+
+#include "packers/packer.hpp"
+
+namespace stripack {
+
+enum class SkylineOrder {
+  InputOrder,
+  DecreasingHeight,
+  DecreasingWidth,
+  DecreasingArea,
+};
+
+class SkylinePacker final : public StripPacker {
+ public:
+  explicit SkylinePacker(SkylineOrder order = SkylineOrder::DecreasingHeight)
+      : order_(order) {}
+
+  [[nodiscard]] PackResult pack(std::span<const Rect> rects,
+                                double strip_width) const override;
+
+  /// As pack(), but item i may not be placed below floor[i] (floor may be
+  /// empty for "no constraint"). Used by the release-time greedy baseline:
+  /// floor[i] = release time of item i.
+  [[nodiscard]] PackResult pack_with_floors(std::span<const Rect> rects,
+                                            std::span<const double> floors,
+                                            double strip_width) const;
+
+  [[nodiscard]] std::string_view name() const override { return "SkylineBL"; }
+
+ private:
+  SkylineOrder order_;
+};
+
+}  // namespace stripack

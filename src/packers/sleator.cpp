@@ -1,0 +1,96 @@
+#include "packers/sleator.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/float_eq.hpp"
+
+namespace stripack {
+
+PackResult SleatorPacker::pack(std::span<const Rect> rects,
+                               double strip_width) const {
+  STRIPACK_EXPECTS(strip_width > 0);
+  PackResult result;
+  result.placement.resize(rects.size());
+  if (rects.empty()) return result;
+
+  for (const Rect& r : rects) {
+    STRIPACK_EXPECTS(r.width > 0 && r.height > 0);
+    STRIPACK_ASSERT(approx_le(r.width, strip_width),
+                    "rectangle wider than the strip");
+  }
+
+  const double half = strip_width / 2.0;
+
+  // Phase 1: stack all rectangles wider than half the strip.
+  std::vector<std::size_t> wide, narrow;
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    (rects[i].width > half ? wide : narrow).push_back(i);
+  }
+  double h0 = 0.0;
+  std::sort(wide.begin(), wide.end(), [&](std::size_t a, std::size_t b) {
+    if (rects[a].width != rects[b].width) return rects[a].width > rects[b].width;
+    return a < b;
+  });
+  for (std::size_t i : wide) {
+    result.placement[i] = Position{0.0, h0};
+    h0 += rects[i].height;
+  }
+
+  // Remaining rectangles in non-increasing height order.
+  std::sort(narrow.begin(), narrow.end(), [&](std::size_t a, std::size_t b) {
+    if (rects[a].height != rects[b].height)
+      return rects[a].height > rects[b].height;
+    return a < b;
+  });
+
+  // Phase 2a: one full-width level at h0.
+  std::size_t next = 0;
+  double cursor = 0.0;
+  double level_top = h0;
+  while (next < narrow.size() &&
+         approx_le(cursor + rects[narrow[next]].width, strip_width)) {
+    const std::size_t i = narrow[next++];
+    result.placement[i] = Position{cursor, h0};
+    cursor += rects[i].width;
+    level_top = std::max(level_top, h0 + rects[i].height);
+  }
+
+  // Tops of the two halves after the first level: a level rectangle raises
+  // the top of every half its x-extent intersects.
+  double top_left = h0;
+  double top_right = h0;
+  for (std::size_t k = 0; k < next; ++k) {
+    const std::size_t i = narrow[k];
+    const double x0 = result.placement[i].x;
+    const double x1 = x0 + rects[i].width;
+    const double t = result.placement[i].y + rects[i].height;
+    if (definitely_less(x0, half)) top_left = std::max(top_left, t);
+    if (definitely_less(half, x1)) top_right = std::max(top_right, t);
+  }
+
+  // Phase 2b: fill a row in whichever half is currently lower. Every
+  // remaining rectangle has width <= strip/2, so it fits in a half-strip.
+  while (next < narrow.size()) {
+    const bool use_left = top_left <= top_right;
+    const double x_base = use_left ? 0.0 : half;
+    double& top = use_left ? top_left : top_right;
+    double row_cursor = 0.0;
+    const double row_height = rects[narrow[next]].height;
+    while (next < narrow.size() &&
+           approx_le(row_cursor + rects[narrow[next]].width, half)) {
+      const std::size_t i = narrow[next++];
+      result.placement[i] = Position{x_base + row_cursor, top};
+      row_cursor += rects[i].width;
+    }
+    STRIPACK_ASSERT(row_cursor > 0, "half-strip row placed no rectangle");
+    top += row_height;
+  }
+
+  result.height = std::max({level_top, top_left, top_right});
+  return result;
+}
+
+}  // namespace stripack

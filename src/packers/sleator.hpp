@@ -1,0 +1,26 @@
+// Sleator's two-phase strip packing algorithm (Inf. Process. Lett. 1980).
+//
+// Phase 1 stacks every rectangle wider than half the strip. Phase 2 lays one
+// level of the remaining rectangles (sorted by non-increasing height), then
+// splits the strip into two halves and repeatedly fills a row in whichever
+// half is currently lower. We expose it as an alternative subroutine `A`
+// for the DC ablation (bench E3/E10); its 2*AREA/W + h_max behaviour is
+// verified empirically there but not certified (the published analysis
+// bounds it against OPT, not area).
+#pragma once
+
+#include "packers/packer.hpp"
+
+namespace stripack {
+
+class SleatorPacker final : public StripPacker {
+ public:
+  [[nodiscard]] PackResult pack(std::span<const Rect> rects,
+                                double strip_width) const override;
+  [[nodiscard]] std::string_view name() const override { return "Sleator"; }
+  [[nodiscard]] HeightGuarantee guarantee() const override {
+    return {2.0, 1.0, false};
+  }
+};
+
+}  // namespace stripack

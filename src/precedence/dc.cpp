@@ -1,0 +1,125 @@
+#include "precedence/dc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "packers/shelf.hpp"
+#include "util/assert.hpp"
+#include "util/float_eq.hpp"
+
+namespace stripack {
+
+double theorem23_bound(const Instance& instance) {
+  const double n = static_cast<double>(instance.size());
+  return std::log2(n + 1.0) * critical_path_lower_bound(instance) +
+         2.0 * area_lower_bound(instance);
+}
+
+namespace {
+
+class DcRunner {
+ public:
+  DcRunner(const Instance& instance, const StripPacker& packer,
+           double split_fraction, DcStats& stats)
+      : instance_(instance),
+        packer_(packer),
+        split_(split_fraction),
+        stats_(stats) {
+    placement_.resize(instance.size());
+  }
+
+  // Packs `items` (indices into the instance) starting at height y; returns
+  // the height used.
+  double run(std::vector<VertexId> items, double y, std::size_t depth) {
+    if (items.empty()) return 0.0;
+    stats_.recursive_calls += 1;
+    stats_.max_depth = std::max(stats_.max_depth, depth);
+
+    // Step 2: F on the induced sub-DAG.
+    const Dag sub = instance_.dag().induced_subgraph(items);
+    std::vector<double> heights(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      heights[i] = instance_.item(items[i]).height();
+    }
+    const std::vector<double> f = sub.longest_path_to(heights);
+    const double big_h = *std::max_element(f.begin(), f.end());
+
+    // Step 4-6: the three bands. The paper classifies by F(s)-h_s vs H/2;
+    // we use max_pred F (mathematically equal on the tight chain) instead
+    // of the subtraction f[i]-h[i], whose rounding could misclassify a
+    // boundary item and empty S_mid. Comparing stored doubles is exact, so
+    // the item with minimal F among {F > H/2} always lands in S_mid and
+    // Lemma 2.2 holds verbatim in floating point.
+    std::vector<VertexId> bot, mid, top;
+    std::vector<Rect> mid_rects;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      double pred_max = 0.0;
+      for (VertexId p : sub.predecessors(static_cast<VertexId>(i))) {
+        pred_max = std::max(pred_max, f[p]);
+      }
+      const double cut = big_h * split_;
+      if (f[i] <= cut) {
+        bot.push_back(items[i]);
+      } else if (pred_max > cut) {
+        top.push_back(items[i]);
+      } else {
+        mid.push_back(items[i]);
+        mid_rects.push_back(instance_.item(items[i]).rect);
+      }
+    }
+    STRIPACK_ASSERT(!mid.empty(), "Lemma 2.2 violated: S_mid is empty");
+
+    // Steps 7-12: recurse below, pack the antichain, recurse above.
+    double used = run(std::move(bot), y, depth + 1);
+
+    const PackResult band = packer_.pack(mid_rects, instance_.strip_width());
+    for (std::size_t i = 0; i < mid.size(); ++i) {
+      placement_[mid[i]] =
+          Position{band.placement[i].x, band.placement[i].y + y + used};
+    }
+    stats_.mid_bands += 1;
+    stats_.sum_mid_heights += band.height;
+    used += band.height;
+
+    used += run(std::move(top), y + used, depth + 1);
+    return used;
+  }
+
+  Placement take_placement() { return std::move(placement_); }
+
+ private:
+  const Instance& instance_;
+  const StripPacker& packer_;
+  double split_;
+  DcStats& stats_;
+  Placement placement_;
+};
+
+}  // namespace
+
+DcResult dc_pack(const Instance& instance, const DcOptions& options) {
+  instance.check_well_formed();
+  STRIPACK_ASSERT(!instance.has_release_times(),
+                  "dc_pack handles precedence constraints, not release times");
+  STRIPACK_EXPECTS(options.split_fraction > 0.0 &&
+                   options.split_fraction < 1.0);
+
+  const ShelfPacker default_packer = make_nfdh();
+  const StripPacker& packer =
+      options.packer != nullptr ? *options.packer : default_packer;
+
+  DcResult result;
+  std::vector<VertexId> all(instance.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    all[i] = static_cast<VertexId>(i);
+  }
+  DcRunner runner(instance, packer, options.split_fraction, result.stats);
+  const double height = runner.run(std::move(all), 0.0, 0);
+  result.packing = Packing{instance, runner.take_placement()};
+  result.theorem23_bound = theorem23_bound(instance);
+
+  STRIPACK_ENSURES(approx_eq(result.packing.height(), height, 1e-6));
+  return result;
+}
+
+}  // namespace stripack

@@ -1,0 +1,56 @@
+// Algorithm 1 of the paper: DC, the divide-and-conquer
+// (2 + log2(n+1))-approximation for precedence-constrained strip packing.
+//
+// DC(y, S):
+//   1. recompute F on the sub-DAG induced by S;  H = F(S)
+//   2. S_mid = { s : F(s) > H/2 and F(s) - h_s <= H/2 }
+//      S_bot = { s : F(s) <= H/2 },  S_top = { s : F(s) - h_s > H/2 }
+//   3. recurse on S_bot, pack S_mid with the unconstrained packer A
+//      (Lemma 2.1: S_mid is an antichain), recurse on S_top.
+// Lemma 2.2 guarantees S_mid is nonempty, so the recursion terminates.
+// Theorem 2.3: DC(S) <= log2(n+1) * F(S) + 2 * AREA(S)
+//           <= (2 + log2(n+1)) * OPT  when A satisfies
+//              A(S') <= 2*AREA(S')/W + max h.
+#pragma once
+
+#include "core/bounds.hpp"
+#include "core/packing.hpp"
+#include "packers/packer.hpp"
+
+namespace stripack {
+
+struct DcOptions {
+  /// The unconstrained subroutine A. Must satisfy the height property above
+  /// for the Theorem 2.3 guarantee to hold; defaults to NFDH when null.
+  const StripPacker* packer = nullptr;
+  /// Where to cut each recursion level, as a fraction of H = F(S). The
+  /// paper (and the Theorem 2.3 analysis) uses 1/2; any value in (0, 1)
+  /// yields a correct algorithm (S_mid stays a nonempty antichain), which
+  /// bench E3's ablation exploits.
+  double split_fraction = 0.5;
+};
+
+struct DcStats {
+  std::size_t recursive_calls = 0;   // DC invocations on nonempty sets
+  std::size_t mid_bands = 0;         // calls to the subroutine A
+  std::size_t max_depth = 0;
+  double sum_mid_heights = 0.0;      // total height contributed by A-bands
+};
+
+struct DcResult {
+  Packing packing;
+  DcStats stats;
+  /// The proven guarantee evaluated on this instance:
+  /// log2(n+1)*F(S) + 2*AREA(S). The packing height never exceeds it when
+  /// the chosen packer's certified guarantee holds (asserted in tests).
+  double theorem23_bound = 0.0;
+};
+
+/// Packs a precedence-constrained instance (releases must be zero).
+[[nodiscard]] DcResult dc_pack(const Instance& instance,
+                               const DcOptions& options = {});
+
+/// The Theorem 2.3 right-hand side for an instance.
+[[nodiscard]] double theorem23_bound(const Instance& instance);
+
+}  // namespace stripack

@@ -1,0 +1,51 @@
+#include "precedence/level_pack.hpp"
+
+#include <algorithm>
+
+#include "packers/shelf.hpp"
+#include "util/assert.hpp"
+
+namespace stripack {
+
+LevelPackResult level_pack(const Instance& instance,
+                           const LevelPackOptions& options) {
+  instance.check_well_formed();
+  STRIPACK_ASSERT(!instance.has_release_times(),
+                  "level_pack handles precedence constraints only");
+
+  const ShelfPacker default_packer = make_nfdh();
+  const StripPacker& packer =
+      options.packer != nullptr ? *options.packer : default_packer;
+
+  LevelPackResult result;
+  result.packing.instance = instance;
+  result.packing.placement.resize(instance.size());
+  if (instance.empty()) return result;
+
+  const auto level = instance.dag().levels();
+  const std::size_t num_levels =
+      1 + *std::max_element(level.begin(), level.end());
+  result.levels = num_levels;
+
+  std::vector<std::vector<VertexId>> members(num_levels);
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    members[level[i]].push_back(static_cast<VertexId>(i));
+  }
+
+  double y = 0.0;
+  for (const auto& group : members) {
+    // Every edge increases the level, so each level is an antichain.
+    std::vector<Rect> rects;
+    rects.reserve(group.size());
+    for (VertexId v : group) rects.push_back(instance.item(v).rect);
+    const PackResult band = packer.pack(rects, instance.strip_width());
+    for (std::size_t k = 0; k < group.size(); ++k) {
+      result.packing.placement[group[k]] =
+          Position{band.placement[k].x, band.placement[k].y + y};
+    }
+    y += band.height;
+  }
+  return result;
+}
+
+}  // namespace stripack

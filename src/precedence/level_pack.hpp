@@ -1,0 +1,24 @@
+// Level-packing baseline: decompose the DAG into levels (longest path in
+// edges), pack each level — an antichain — with an unconstrained packer,
+// and stack the level bands. Simple, valid, and the natural "structure
+// oblivious" contrast to DC in bench E3.
+#pragma once
+
+#include "core/packing.hpp"
+#include "packers/packer.hpp"
+
+namespace stripack {
+
+struct LevelPackOptions {
+  const StripPacker* packer = nullptr;  // defaults to NFDH
+};
+
+struct LevelPackResult {
+  Packing packing;
+  std::size_t levels = 0;
+};
+
+[[nodiscard]] LevelPackResult level_pack(const Instance& instance,
+                                         const LevelPackOptions& options = {});
+
+}  // namespace stripack

@@ -1,0 +1,129 @@
+#include "precedence/list_schedule.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/bounds.hpp"
+#include "util/assert.hpp"
+#include "util/float_eq.hpp"
+
+namespace stripack {
+
+namespace {
+
+// Occupied x-intervals of already-placed items alive anywhere in [y, y+h).
+// Returns the leftmost x where a width-w gap exists, or -1 if none.
+double leftmost_gap(const std::vector<std::pair<double, double>>& busy,
+                    double w, double strip_w) {
+  // busy must be sorted by start; scan the merged free space.
+  double cursor = 0.0;
+  for (const auto& [b0, b1] : busy) {
+    if (b0 - cursor >= w - kEps) return cursor;
+    cursor = std::max(cursor, b1);
+  }
+  if (strip_w - cursor >= w - kEps) return cursor;
+  return -1.0;
+}
+
+}  // namespace
+
+Packing list_schedule(const Instance& instance,
+                      const ListScheduleOptions& options) {
+  instance.check_well_formed();
+  Packing out;
+  out.instance = instance;
+  out.placement.resize(instance.size());
+  if (instance.empty()) return out;
+
+  const Dag& dag = instance.dag();
+  const std::size_t n = instance.size();
+  const double strip_w = instance.strip_width();
+
+  // Priority keys. For HLF we use the *downward* critical path (longest
+  // chain hanging below the item), the classic list-scheduling rule.
+  std::vector<double> key(n, 0.0);
+  if (options.priority == ListPriority::CriticalPathFirst) {
+    const auto order = dag.topological_order();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const VertexId v = *it;
+      double best = 0.0;
+      for (VertexId s : dag.successors(v)) best = std::max(best, key[s]);
+      key[v] = instance.item(v).height() + best;
+    }
+  } else if (options.priority == ListPriority::DecreasingArea) {
+    for (std::size_t i = 0; i < n; ++i) key[i] = instance.item(i).area();
+  }
+
+  // Process available items by priority; placed items constrain the free
+  // space via their x-interval over their y-extent.
+  std::vector<std::size_t> placed_preds(n, 0);
+  std::vector<bool> placed(n, false);
+  std::vector<VertexId> available;
+  for (VertexId v = 0; v < n; ++v) {
+    if (dag.predecessors(v).empty()) available.push_back(v);
+  }
+  std::vector<VertexId> done;  // indices of placed items
+
+  for (std::size_t step = 0; step < n; ++step) {
+    STRIPACK_ASSERT(!available.empty(), "no available item: cycle?");
+    std::size_t pick = 0;
+    for (std::size_t k = 1; k < available.size(); ++k) {
+      const VertexId a = available[k], b = available[pick];
+      if (key[a] > key[b] + kEps || (approx_eq(key[a], key[b]) && a < b)) {
+        pick = k;
+      }
+    }
+    const VertexId v = available[pick];
+    available.erase(available.begin() + static_cast<std::ptrdiff_t>(pick));
+
+    double ready = instance.item(v).release;
+    for (VertexId p : dag.predecessors(v)) {
+      ready = std::max(ready, out.placement[p].y + instance.item(p).height());
+    }
+
+    // Candidate start times: ready, plus the top edge of every placed item
+    // ending after ready (the free space only changes at those events).
+    std::vector<double> candidates{ready};
+    for (VertexId u : done) {
+      const double top = out.placement[u].y + instance.item(u).height();
+      if (top > ready + kEps) candidates.push_back(top);
+    }
+    std::sort(candidates.begin(), candidates.end());
+
+    const double w = instance.item(v).width();
+    const double h = instance.item(v).height();
+    bool found = false;
+    for (double t : candidates) {
+      // Busy x-intervals during [t, t+h).
+      std::vector<std::pair<double, double>> busy;
+      for (VertexId u : done) {
+        const double uy = out.placement[u].y;
+        const double utop = uy + instance.item(u).height();
+        if (intervals_overlap(uy, utop, t, t + h)) {
+          busy.emplace_back(out.placement[u].x,
+                            out.placement[u].x + instance.item(u).width());
+        }
+      }
+      std::sort(busy.begin(), busy.end());
+      const double x = leftmost_gap(busy, w, strip_w);
+      if (x >= 0.0) {
+        out.placement[v] = Position{x, t};
+        found = true;
+        break;
+      }
+    }
+    STRIPACK_ASSERT(found,
+                    "list_schedule: no feasible slot (the slot above all "
+                    "items is always feasible)");
+    placed[v] = true;
+    done.push_back(v);
+    for (VertexId s : dag.successors(v)) {
+      if (++placed_preds[s] == dag.predecessors(s).size()) {
+        available.push_back(s);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace stripack

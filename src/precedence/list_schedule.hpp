@@ -1,0 +1,30 @@
+// Greedy contiguous-allocation list scheduling — the practical baseline DC
+// is measured against (bench E3, FPGA case study E11).
+//
+// Items are considered in a priority order (default: critical-path /
+// highest-level-first, the classic HLF rule). Each item is placed at the
+// earliest y >= max over predecessors of (y_pred + h_pred) (and >= its
+// release time, so the same baseline serves the §3 benches) where a
+// contiguous x-interval of its width is free for its full duration. This is
+// exactly how a dynamically reconfigurable FPGA scheduler would greedily
+// place column-contiguous tasks over time.
+#pragma once
+
+#include "core/packing.hpp"
+
+namespace stripack {
+
+enum class ListPriority {
+  CriticalPathFirst,  // decreasing F(s) (HLF)
+  InputOrder,         // topological, by index
+  DecreasingArea,
+};
+
+struct ListScheduleOptions {
+  ListPriority priority = ListPriority::CriticalPathFirst;
+};
+
+[[nodiscard]] Packing list_schedule(const Instance& instance,
+                                    const ListScheduleOptions& options = {});
+
+}  // namespace stripack

@@ -1,0 +1,96 @@
+#include "precedence/shelf_convert.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "util/assert.hpp"
+#include "util/float_eq.hpp"
+
+namespace stripack {
+
+namespace {
+
+double uniform_height(const Instance& instance) {
+  STRIPACK_EXPECTS(!instance.empty());
+  const double h = instance.item(0).height();
+  for (const Item& it : instance.items()) {
+    STRIPACK_ASSERT(approx_eq(it.height(), h, 1e-9 * (1.0 + h)),
+                    "shelf conversion requires uniform heights");
+  }
+  return h;
+}
+
+// Shelf index of a y coordinate; shelf k covers [k*h, (k+1)*h).
+std::size_t shelf_of(double y, double h) {
+  return static_cast<std::size_t>(std::floor(y / h + 1e-9));
+}
+
+bool spans_two_shelves(double y, double h) {
+  const double rel = y / h;
+  const double frac = rel - std::floor(rel + 1e-9);
+  return frac > 1e-9;
+}
+
+}  // namespace
+
+bool is_shelf_packing(const Instance& instance, const Placement& placement) {
+  if (instance.empty()) return true;
+  const double h = uniform_height(instance);
+  for (const Position& p : placement) {
+    if (spans_two_shelves(p.y, h)) return false;
+  }
+  return true;
+}
+
+ShelfConvertResult to_shelf_packing(const Instance& instance,
+                                    const Placement& placement) {
+  ShelfConvertResult result;
+  result.placement = placement;
+  if (instance.empty()) return result;
+  const double h = uniform_height(instance);
+
+  // Repeatedly take the lowest rectangle spanning two shelves and slide it
+  // down to its lower shelf boundary. The proof of §2.2 shows this never
+  // collides: any obstructing rectangle would itself span two shelves at a
+  // lower y, contradicting minimality. We nevertheless assert no collision.
+  while (true) {
+    std::size_t candidate = instance.size();
+    double lowest = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < instance.size(); ++i) {
+      if (spans_two_shelves(result.placement[i].y, h) &&
+          result.placement[i].y < lowest) {
+        lowest = result.placement[i].y;
+        candidate = i;
+      }
+    }
+    if (candidate == instance.size()) break;
+
+    const double new_y =
+        static_cast<double>(shelf_of(result.placement[candidate].y, h)) * h;
+    // Assert the slide is unobstructed (validator-grade check).
+    for (std::size_t j = 0; j < instance.size(); ++j) {
+      if (j == candidate) continue;
+      const bool x_overlap = intervals_overlap(
+          result.placement[candidate].x,
+          result.placement[candidate].x + instance.item(candidate).width(),
+          result.placement[j].x,
+          result.placement[j].x + instance.item(j).width());
+      if (!x_overlap) continue;
+      const bool y_overlap = intervals_overlap(
+          new_y, new_y + h, result.placement[j].y, result.placement[j].y + h);
+      STRIPACK_ASSERT(!y_overlap,
+                      "slide-down collision: §2.2 argument violated");
+    }
+    result.placement[candidate].y = new_y;
+    ++result.slides;
+  }
+
+  std::set<std::size_t> shelves;
+  for (const Position& p : result.placement) shelves.insert(shelf_of(p.y, h));
+  result.shelves_used = shelves.size();
+  return result;
+}
+
+}  // namespace stripack

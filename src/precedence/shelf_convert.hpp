@@ -1,0 +1,31 @@
+// The §2.2 slide-down argument: any uniform-height packing can be converted
+// into a *shelf* packing (every rectangle inside one shelf) without
+// increasing the height. This is the bridge between precedence-constrained
+// strip packing with uniform heights and precedence-constrained bin packing
+// (bins = shelves), which lets the paper inherit the GGJY asymptotic bound.
+#pragma once
+
+#include "core/packing.hpp"
+
+namespace stripack {
+
+struct ShelfConvertResult {
+  Placement placement;          // converted placement
+  std::size_t slides = 0;       // rectangles moved
+  std::size_t shelves_used = 0; // distinct shelves after conversion
+};
+
+/// Slides every shelf-spanning rectangle down to a shelf boundary,
+/// lowest-first (the proof shows the lowest spanning rectangle is never
+/// obstructed). Heights must be uniform; the placement must be valid.
+/// Precedence edges remain satisfied: y_u + h <= y_v implies
+/// floor(y_u/h) < floor(y_v/h), so predecessors land on strictly lower
+/// shelves.
+[[nodiscard]] ShelfConvertResult to_shelf_packing(const Instance& instance,
+                                                  const Placement& placement);
+
+/// True if every rectangle lies within a single shelf [k*h, (k+1)*h).
+[[nodiscard]] bool is_shelf_packing(const Instance& instance,
+                                    const Placement& placement);
+
+}  // namespace stripack

@@ -1,0 +1,124 @@
+#include "precedence/uniform_shelf.hpp"
+
+#include <deque>
+
+#include "util/assert.hpp"
+#include "util/float_eq.hpp"
+
+namespace stripack {
+
+UniformShelfResult uniform_shelf_pack(const Instance& instance,
+                                      const UniformShelfOptions& options) {
+  instance.check_well_formed();
+  STRIPACK_ASSERT(!instance.has_release_times(),
+                  "uniform_shelf_pack does not handle release times");
+
+  UniformShelfResult result;
+  result.packing.instance = instance;
+  result.packing.placement.resize(instance.size());
+  if (instance.empty()) return result;
+
+  const double h = instance.item(0).height();
+  for (const Item& it : instance.items()) {
+    STRIPACK_ASSERT(approx_eq(it.height(), h, 1e-9 * (1.0 + h)),
+                    "uniform_shelf_pack requires uniform heights");
+  }
+  const double strip_w = instance.strip_width();
+  const Dag& dag = instance.dag();
+  const std::size_t n = instance.size();
+
+  // closed_preds[v]: predecessors already on *closed* shelves.
+  std::vector<std::size_t> closed_preds(n, 0);
+  std::vector<bool> queued(n, false);
+  std::deque<VertexId> ready;
+  for (VertexId v = 0; v < n; ++v) {
+    if (dag.predecessors(v).empty()) {
+      ready.push_back(v);
+      queued[v] = true;
+    }
+  }
+
+  std::vector<VertexId> open_items;
+  double open_used = 0.0;
+  std::size_t placed = 0;
+  auto& stats = result.stats;
+
+  auto close_shelf = [&](bool is_skip) {
+    stats.shelf_load.push_back(open_used);
+    stats.skip_shelf.push_back(is_skip);
+    if (is_skip) ++stats.skips;
+    for (VertexId v : open_items) {
+      for (VertexId succ : dag.successors(v)) {
+        if (++closed_preds[succ] == dag.predecessors(succ).size() &&
+            !queued[succ]) {
+          ready.push_back(succ);
+          queued[succ] = true;
+        }
+      }
+    }
+    open_items.clear();
+    open_used = 0.0;
+    ++stats.shelves;
+  };
+
+  // Selects (without removing) the queue head under the chosen discipline.
+  auto pick_head = [&]() -> std::size_t {
+    if (options.order == ReadyOrder::Fifo) return 0;
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < ready.size(); ++k) {
+      const double wk = instance.item(ready[k]).width();
+      const double wb = instance.item(ready[best]).width();
+      const bool better = options.order == ReadyOrder::WidestFirst
+                              ? wk > wb + kEps
+                              : wk < wb - kEps;
+      if (better) best = k;
+    }
+    return best;
+  };
+
+  while (placed < n) {
+    if (ready.empty()) {
+      STRIPACK_ASSERT(!open_items.empty(),
+                      "empty queue with an empty open shelf: cycle?");
+      close_shelf(/*is_skip=*/true);
+      continue;
+    }
+    const std::size_t head_pos = pick_head();
+    const VertexId head = ready[head_pos];
+    const double w = instance.item(head).width();
+    if (approx_le(open_used + w, strip_w)) {
+      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(head_pos));
+      result.packing.placement[head] =
+          Position{open_used, static_cast<double>(stats.shelves) * h};
+      open_items.push_back(head);
+      open_used += w;
+      ++placed;
+    } else {
+      close_shelf(/*is_skip=*/false);
+    }
+  }
+  // The final shelf always closes with an empty ready queue, so it is a
+  // skip-shelf in the sense of Lemma 2.5 (the constructed DAG path ends on
+  // it).
+  if (!open_items.empty()) close_shelf(/*is_skip=*/true);
+
+  // Red/green accounting (proof of Theorem 2.6): sweep shelves bottom-up;
+  // if the area on shelves i and i+1 is >= strip width, colour both red and
+  // advance by two, else colour i green (it must be a skip-shelf).
+  std::size_t i = 0;
+  while (i < stats.shelves) {
+    const double area_i = stats.shelf_load[i];
+    const double area_next =
+        i + 1 < stats.shelves ? stats.shelf_load[i + 1] : 0.0;
+    if (i + 1 < stats.shelves && area_i + area_next >= strip_w - kEps) {
+      stats.red_shelves += 2;
+      i += 2;
+    } else {
+      ++stats.green_shelves;
+      ++i;
+    }
+  }
+  return result;
+}
+
+}  // namespace stripack

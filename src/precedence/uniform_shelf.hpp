@@ -1,0 +1,56 @@
+// Algorithm F of §2.2: precedence-constrained strip packing with uniform
+// heights, absolute 3-approximation (Theorem 2.6).
+//
+// All rectangles have the same height h; shelf i is the horizontal band
+// [(i-1)h, ih). The algorithm keeps one open shelf and a FIFO queue of
+// *available* rectangles (all predecessors on closed shelves). It places
+// the queue head left-to-right on the open shelf until the head does not
+// fit or the queue is empty, then closes the shelf; closing a shelf makes
+// new rectangles available. A closure with an empty queue is a "skip";
+// Lemma 2.5 shows #skips <= OPT via a path in the DAG with one vertex per
+// skip-shelf, and the red/green shelf accounting in Theorem 2.6 gives
+// height <= 3*OPT.
+#pragma once
+
+#include "core/packing.hpp"
+
+namespace stripack {
+
+struct UniformShelfStats {
+  std::size_t shelves = 0;
+  std::size_t skips = 0;          // shelves closed with an empty queue
+  std::vector<double> shelf_load; // occupied width per shelf
+  std::vector<bool> skip_shelf;   // which shelves ended in a skip
+  /// Red/green accounting from the proof of Theorem 2.6: red pairs have
+  /// combined area >= strip width (density >= 1/2), green shelves are
+  /// skip-shelves.
+  std::size_t red_shelves = 0;
+  std::size_t green_shelves = 0;
+};
+
+struct UniformShelfResult {
+  Packing packing;
+  UniformShelfStats stats;
+};
+
+/// Queue discipline for the ready queue. The paper's Algorithm F leaves
+/// the order arbitrary (its proof only uses "the head does not fit"); the
+/// alternatives are ablation knobs for bench E4 — Theorem 2.6 holds for
+/// all of them.
+enum class ReadyOrder {
+  Fifo,         // paper default: availability order, index-stable
+  WidestFirst,  // greedy: try the widest available rectangle first
+  NarrowestFirst,
+};
+
+struct UniformShelfOptions {
+  ReadyOrder order = ReadyOrder::Fifo;
+};
+
+/// Runs Algorithm F. Requires every item height equal (within tolerance)
+/// and no release times. With Fifo, newly available rectangles are
+/// appended in increasing index order.
+[[nodiscard]] UniformShelfResult uniform_shelf_pack(
+    const Instance& instance, const UniformShelfOptions& options = {});
+
+}  // namespace stripack

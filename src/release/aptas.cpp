@@ -1,0 +1,91 @@
+#include "release/aptas.hpp"
+
+#include <cmath>
+
+#include "release/integralize.hpp"
+#include "release/release_rounding.hpp"
+#include "release/width_grouping.hpp"
+#include "util/assert.hpp"
+#include "util/float_eq.hpp"
+#include "util/stopwatch.hpp"
+
+namespace stripack::release {
+
+AptasResult aptas_pack(const Instance& instance, const AptasParams& params) {
+  STRIPACK_EXPECTS(params.epsilon > 0);
+  STRIPACK_EXPECTS(params.K >= 1);
+  instance.check_well_formed();
+  STRIPACK_ASSERT(!instance.has_precedence(),
+                  "aptas_pack handles release times, not precedence");
+  if (!params.skip_input_checks) {
+    for (std::size_t i = 0; i < instance.size(); ++i) {
+      const Item& it = instance.item(i);
+      STRIPACK_ASSERT(approx_le(it.height(), 1.0),
+                      "APTAS requires heights <= 1");
+      STRIPACK_ASSERT(
+          approx_ge(it.width(), instance.strip_width() / params.K),
+          "APTAS requires widths >= strip/K");
+    }
+  }
+
+  AptasResult result;
+  result.packing.instance = instance;
+  if (instance.empty()) return result;
+
+  const double eps_prime = params.epsilon / 3.0;
+  const auto ceil_inv = static_cast<std::size_t>(std::ceil(1.0 / eps_prime));
+  result.stats.R = ceil_inv;
+  result.stats.W =
+      ceil_inv * static_cast<std::size_t>(params.K) * (ceil_inv + 1);
+  result.stats.additive_bound =
+      static_cast<double>((result.stats.W + 1) * (result.stats.R + 1));
+
+  // Stage 1: release rounding (Lemma 3.1).
+  Stopwatch watch;
+  const ReleaseRounding rounding = round_releases(instance, eps_prime);
+  result.stats.distinct_releases = rounding.distinct_releases;
+  result.stats.seconds_rounding = watch.seconds();
+
+  // Stage 2: width grouping (Lemma 3.2). The budget is per the paper; it is
+  // never below the number of release classes because W >= (R+1)*K.
+  const WidthGrouping grouping =
+      group_widths(rounding.rounded, result.stats.W);
+  result.stats.distinct_widths = grouping.distinct_widths.size();
+
+  // Stage 3: configuration LP (Lemma 3.3).
+  watch.reset();
+  const ConfigLpProblem problem = make_problem(grouping.grouped);
+  ConfigLpOptions lp_options;
+  lp_options.use_column_generation = params.use_column_generation;
+  lp_options.max_configurations = params.max_configurations;
+  const FractionalSolution fractional = solve_config_lp(problem, lp_options);
+  STRIPACK_ASSERT(fractional.feasible, "configuration LP must be feasible");
+  result.stats.configurations = fractional.configurations;
+  result.stats.lp_rows = fractional.lp_rows;
+  result.stats.lp_cols = fractional.lp_cols;
+  result.stats.lp_iterations = fractional.iterations;
+  result.stats.colgen_rounds = fractional.colgen_rounds;
+  result.stats.fractional_height = fractional.height;
+  result.stats.seconds_lp = watch.seconds();
+
+  // Lemma 3.3: a basic optimum uses at most (W+1)(R+1) occurrences.
+  STRIPACK_ASSERT(fractional.slices.size() <=
+                      (result.stats.W + 1) * (result.stats.R + 1),
+                  "basic solution uses more configurations than Lemma 3.3");
+
+  // Stage 4: integral conversion (Lemma 3.4). The placement is valid for
+  // the original instance: original widths <= grouped widths and original
+  // releases <= rounded releases.
+  watch.reset();
+  const IntegralizeResult integral =
+      integralize(grouping.grouped, problem, fractional);
+  result.stats.occurrences = integral.occurrences;
+  result.stats.fallback_items = integral.fallback_items;
+  result.stats.seconds_integralize = watch.seconds();
+
+  result.packing.placement = integral.placement;
+  result.height = result.packing.height();
+  return result;
+}
+
+}  // namespace stripack::release

@@ -1,0 +1,61 @@
+// Algorithm 2: the asymptotic PTAS for strip packing with release times
+// (Theorem 3.5).
+//
+// Pipeline (each stage is a public module, exercised separately by tests
+// and benches):
+//   eps' = eps/3;  R = ceil(1/eps');  W = ceil(1/eps') * K * (R+1)
+//   1. round releases up to multiples of eps'*r_max       (Lemma 3.1)
+//   2. group widths to <= W distinct values                (Lemma 3.2)
+//   3. solve the configuration LP                          (Lemma 3.3)
+//   4. convert the fractional solution to a packing        (Lemma 3.4)
+// Result: height <= (1+eps) OPTf(P) + (W+1)(R+1). Requires heights <= 1 and
+// widths in [1/K, 1] (the paper's FPGA-column assumption).
+#pragma once
+
+#include <cstdint>
+
+#include "core/packing.hpp"
+#include "release/config_lp.hpp"
+
+namespace stripack::release {
+
+struct AptasParams {
+  double epsilon = 0.5;
+  int K = 4;  // widths lie in [1/K, 1]
+  bool use_column_generation = false;
+  std::size_t max_configurations = 2'000'000;
+  /// Skip the input width check (used by tests probing robustness).
+  bool skip_input_checks = false;
+};
+
+struct AptasStats {
+  std::size_t R = 0;        // release budget ceil(1/eps')
+  std::size_t W = 0;        // width budget ceil(1/eps')*K*(R+1)
+  std::size_t distinct_releases = 0;  // after rounding
+  std::size_t distinct_widths = 0;    // after grouping
+  std::size_t configurations = 0;     // enumerated (0 under colgen)
+  std::size_t lp_rows = 0;
+  std::size_t lp_cols = 0;
+  std::int64_t lp_iterations = 0;
+  int colgen_rounds = 0;
+  std::size_t occurrences = 0;     // nonzero LP variables used
+  std::size_t fallback_items = 0;  // must be 0 (Lemma 3.4)
+  double fractional_height = 0.0;  // rho_R + LP objective
+  double additive_bound = 0.0;     // (W+1)(R+1)
+  double seconds_rounding = 0.0;
+  double seconds_lp = 0.0;
+  double seconds_integralize = 0.0;
+};
+
+struct AptasResult {
+  /// Valid packing of the *original* instance.
+  Packing packing;
+  double height = 0.0;
+  AptasStats stats;
+};
+
+/// Runs Algorithm 2 on an instance with release times (no precedence).
+[[nodiscard]] AptasResult aptas_pack(const Instance& instance,
+                                     const AptasParams& params = {});
+
+}  // namespace stripack::release

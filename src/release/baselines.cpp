@@ -1,0 +1,92 @@
+#include "release/baselines.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "packers/skyline.hpp"
+#include "util/assert.hpp"
+#include "util/float_eq.hpp"
+
+namespace stripack::release {
+
+namespace {
+
+std::vector<std::size_t> release_order(const Instance& instance) {
+  std::vector<std::size_t> order(instance.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const Item& ia = instance.item(a);
+    const Item& ib = instance.item(b);
+    if (ia.release != ib.release) return ia.release < ib.release;
+    if (ia.height() != ib.height()) return ia.height() > ib.height();
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace
+
+Packing release_shelf_greedy(const Instance& instance) {
+  instance.check_well_formed();
+  STRIPACK_ASSERT(!instance.has_precedence(),
+                  "release baselines ignore precedence");
+  Packing out;
+  out.instance = instance;
+  out.placement.resize(instance.size());
+  if (instance.empty()) return out;
+
+  const double strip_w = instance.strip_width();
+  double shelf_base = 0.0;
+  double shelf_height = 0.0;
+  double shelf_used = 0.0;
+  double top = 0.0;
+  bool open = false;
+
+  for (std::size_t i : release_order(instance)) {
+    const Item& it = instance.item(i);
+    const bool fits = open && approx_le(shelf_used + it.width(), strip_w) &&
+                      approx_le(it.release, shelf_base);
+    if (!fits) {
+      shelf_base = std::max(top, it.release);
+      shelf_height = 0.0;
+      shelf_used = 0.0;
+      open = true;
+    }
+    out.placement[i] = Position{shelf_used, shelf_base};
+    shelf_used += it.width();
+    shelf_height = std::max(shelf_height, it.height());
+    top = std::max(top, shelf_base + shelf_height);
+  }
+  return out;
+}
+
+Packing release_skyline_greedy(const Instance& instance) {
+  instance.check_well_formed();
+  STRIPACK_ASSERT(!instance.has_precedence(),
+                  "release baselines ignore precedence");
+  Packing out;
+  out.instance = instance;
+  out.placement.resize(instance.size());
+  if (instance.empty()) return out;
+
+  // SkylinePacker honours per-item floors; feed it in input order after
+  // sorting by release so earlier arrivals claim low positions first.
+  const auto order = release_order(instance);
+  std::vector<Rect> rects;
+  std::vector<double> floors;
+  rects.reserve(instance.size());
+  floors.reserve(instance.size());
+  for (std::size_t i : order) {
+    rects.push_back(instance.item(i).rect);
+    floors.push_back(instance.item(i).release);
+  }
+  const SkylinePacker packer(SkylineOrder::InputOrder);
+  const PackResult packed =
+      packer.pack_with_floors(rects, floors, instance.strip_width());
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    out.placement[order[k]] = packed.placement[k];
+  }
+  return out;
+}
+
+}  // namespace stripack::release

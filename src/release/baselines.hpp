@@ -1,0 +1,19 @@
+// Greedy baselines for strip packing with release times — what a practical
+// reconfigurable-FPGA operating system would do without the APTAS
+// machinery (bench E9, the OS example).
+#pragma once
+
+#include "core/packing.hpp"
+
+namespace stripack::release {
+
+/// Shelf greedy: items sorted by (release, height desc); a shelf whose base
+/// is below an item's release cannot take it, so a new shelf opens at
+/// max(current top, release).
+[[nodiscard]] Packing release_shelf_greedy(const Instance& instance);
+
+/// Skyline greedy: items sorted by (release, height desc) and placed at the
+/// lowest feasible skyline position at or above their release.
+[[nodiscard]] Packing release_skyline_greedy(const Instance& instance);
+
+}  // namespace stripack::release

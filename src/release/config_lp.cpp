@@ -1,0 +1,325 @@
+#include "release/config_lp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "lp/colgen.hpp"
+#include "lp/simplex.hpp"
+#include "util/assert.hpp"
+#include "util/float_eq.hpp"
+
+namespace stripack::release {
+
+ConfigLpProblem make_problem(const Instance& instance) {
+  instance.check_well_formed();
+  STRIPACK_EXPECTS(!instance.empty());
+  ConfigLpProblem problem;
+  problem.strip_width = instance.strip_width();
+
+  std::vector<double> widths = instance.widths();
+  std::sort(widths.rbegin(), widths.rend());
+  widths.erase(std::unique(widths.begin(), widths.end(),
+                           [](double a, double b) { return approx_eq(a, b); }),
+               widths.end());
+  problem.widths = std::move(widths);
+
+  std::map<double, std::size_t> release_index;
+  for (const Item& it : instance.items()) release_index[it.release] = 0;
+  problem.releases.reserve(release_index.size());
+  for (auto& [value, index] : release_index) {
+    index = problem.releases.size();
+    problem.releases.push_back(value);
+  }
+
+  problem.demand.assign(problem.releases.size(),
+                        std::vector<double>(problem.widths.size(), 0.0));
+  for (const Item& it : instance.items()) {
+    const auto wit = std::find_if(
+        problem.widths.begin(), problem.widths.end(),
+        [&](double v) { return approx_eq(v, it.width()); });
+    STRIPACK_ASSERT(wit != problem.widths.end(), "item width not in table");
+    const std::size_t wi =
+        static_cast<std::size_t>(wit - problem.widths.begin());
+    problem.demand[release_index.at(it.release)][wi] += it.height();
+  }
+  return problem;
+}
+
+namespace {
+
+// Row layout: packing rows [0, R), then covering row (k, i) at
+// R + k*W + i for k in [0, R], i in [0, W).
+struct RowLayout {
+  std::size_t num_phases;  // R + 1
+  std::size_t num_widths;  // W
+
+  [[nodiscard]] int packing_row(std::size_t j) const {
+    return static_cast<int>(j);
+  }
+  [[nodiscard]] int covering_row(std::size_t k, std::size_t i) const {
+    return static_cast<int>((num_phases - 1) + k * num_widths + i);
+  }
+  [[nodiscard]] std::size_t num_rows() const {
+    return (num_phases - 1) + num_phases * num_widths;
+  }
+};
+
+lp::Model build_rows(const ConfigLpProblem& problem, const RowLayout& layout) {
+  lp::Model model;
+  const std::size_t phases = layout.num_phases;
+  for (std::size_t j = 0; j + 1 < phases; ++j) {
+    model.add_row(lp::Sense::LE, problem.releases[j + 1] - problem.releases[j],
+                  "pack[" + std::to_string(j) + "]");
+  }
+  for (std::size_t k = 0; k < phases; ++k) {
+    for (std::size_t i = 0; i < layout.num_widths; ++i) {
+      double rhs = 0.0;
+      for (std::size_t j = k; j < phases; ++j) rhs += problem.demand[j][i];
+      model.add_row(lp::Sense::GE, rhs,
+                    "cover[k=" + std::to_string(k) + ",w=" + std::to_string(i) +
+                        "]");
+    }
+  }
+  return model;
+}
+
+std::vector<lp::RowEntry> column_entries(const RowLayout& layout,
+                                         const Configuration& config,
+                                         std::size_t phase) {
+  std::vector<lp::RowEntry> entries;
+  if (phase + 1 < layout.num_phases) {
+    entries.push_back({layout.packing_row(phase), 1.0});
+  }
+  for (std::size_t i = 0; i < config.counts.size(); ++i) {
+    if (config.counts[i] == 0) continue;
+    for (std::size_t k = 0; k <= phase; ++k) {
+      entries.push_back(
+          {layout.covering_row(k, i), static_cast<double>(config.counts[i])});
+    }
+  }
+  return entries;
+}
+
+double column_cost(const RowLayout& layout, std::size_t phase) {
+  return phase + 1 == layout.num_phases ? 1.0 : 0.0;
+}
+
+// Bounded-knapsack pricing: per phase maximize sum counts[i]*value[i]
+// subject to sum counts[i]*width[i] <= capacity.
+class KnapsackOracle final : public lp::PricingOracle {
+ public:
+  KnapsackOracle(const ConfigLpProblem& problem, const RowLayout& layout)
+      : problem_(problem), layout_(layout) {}
+
+  std::vector<Configuration>& generated() { return generated_; }
+  std::vector<std::size_t>& generated_phase() { return generated_phase_; }
+
+  std::vector<lp::PricedColumn> price(std::span<const double> duals,
+                                      double tol) override {
+    std::vector<lp::PricedColumn> out;
+    const std::size_t phases = layout_.num_phases;
+    const std::size_t widths = layout_.num_widths;
+    for (std::size_t j = 0; j < phases; ++j) {
+      std::vector<double> value(widths, 0.0);
+      for (std::size_t i = 0; i < widths; ++i) {
+        for (std::size_t k = 0; k <= j; ++k) {
+          value[i] += duals[static_cast<std::size_t>(
+              layout_.covering_row(k, i))];
+        }
+      }
+      const double base_cost =
+          column_cost(layout_, j) -
+          (j + 1 < phases
+               ? duals[static_cast<std::size_t>(layout_.packing_row(j))]
+               : 0.0);
+      Configuration best = best_config(value);
+      if (best.total_items == 0) continue;
+      double best_value = 0.0;
+      for (std::size_t i = 0; i < widths; ++i) {
+        best_value += best.counts[i] * value[i];
+      }
+      const double reduced_cost = base_cost - best_value;
+      if (reduced_cost < -std::max(tol, 1e-8)) {
+        lp::PricedColumn col;
+        col.cost = column_cost(layout_, j);
+        col.entries = column_entries(layout_, best, j);
+        col.name = "cg[j=" + std::to_string(j) + "]";
+        out.push_back(std::move(col));
+        generated_.push_back(std::move(best));
+        generated_phase_.push_back(j);
+      }
+    }
+    return out;
+  }
+
+ private:
+  // Branch-and-bound maximization over configurations.
+  Configuration best_config(const std::vector<double>& value) const {
+    const auto& widths = problem_.widths;
+    // Suffix best density for the fractional bound.
+    std::vector<double> suffix_density(widths.size() + 1, 0.0);
+    for (std::size_t i = widths.size(); i-- > 0;) {
+      suffix_density[i] =
+          std::max(suffix_density[i + 1], std::max(value[i], 0.0) / widths[i]);
+    }
+    Configuration best;
+    best.counts.assign(widths.size(), 0);
+    double best_value = 0.0;
+    std::vector<int> counts(widths.size(), 0);
+
+    auto dfs = [&](auto&& self, std::size_t index, double used,
+                   double current) -> void {
+      if (current > best_value + 1e-12) {
+        best_value = current;
+        best.counts = counts;
+        best.total_width = used;
+        best.total_items = 0;
+        for (int c : counts) best.total_items += c;
+      }
+      if (index == widths.size()) return;
+      const double cap_left = problem_.strip_width - used;
+      if (current + cap_left * suffix_density[index] <= best_value + 1e-12) {
+        return;  // bound: cannot beat the incumbent
+      }
+      const int max_here =
+          static_cast<int>(std::floor(cap_left / widths[index] + 1e-9));
+      for (int c = max_here; c >= 0; --c) {
+        // Skip negative-value widths entirely.
+        if (c > 0 && value[index] <= 0.0) continue;
+        counts[index] = c;
+        self(self, index + 1, used + c * widths[index],
+             current + c * value[index]);
+      }
+      counts[index] = 0;
+    };
+    dfs(dfs, 0, 0.0, 0.0);
+    return best;
+  }
+
+  const ConfigLpProblem& problem_;
+  RowLayout layout_;
+  std::vector<Configuration> generated_;
+  std::vector<std::size_t> generated_phase_;
+};
+
+FractionalSolution extract(const ConfigLpProblem& problem,
+                           const lp::Solution& solution,
+                           const std::vector<Configuration>& col_config,
+                           const std::vector<std::size_t>& col_phase,
+                           double tol) {
+  FractionalSolution out;
+  out.feasible = solution.optimal();
+  if (!out.feasible) return out;
+  out.objective = solution.objective;
+  out.height = problem.releases.back() + solution.objective;
+  for (std::size_t c = 0; c < solution.x.size(); ++c) {
+    if (solution.x[c] > tol) {
+      out.slices.push_back(Slice{col_config[c], col_phase[c], solution.x[c]});
+    }
+  }
+  out.iterations = solution.iterations;
+  return out;
+}
+
+}  // namespace
+
+FractionalSolution solve_config_lp(const ConfigLpProblem& problem,
+                                   const ConfigLpOptions& options) {
+  STRIPACK_EXPECTS(!problem.widths.empty());
+  STRIPACK_EXPECTS(!problem.releases.empty());
+  STRIPACK_EXPECTS(problem.demand.size() == problem.releases.size());
+
+  const RowLayout layout{problem.releases.size(), problem.widths.size()};
+  lp::Model model = build_rows(problem, layout);
+
+  std::vector<Configuration> col_config;
+  std::vector<std::size_t> col_phase;
+
+  if (!options.use_column_generation) {
+    const auto configs = enumerate_configurations(
+        problem.widths, problem.strip_width, options.max_configurations);
+    for (std::size_t j = 0; j < layout.num_phases; ++j) {
+      for (const Configuration& q : configs) {
+        model.add_column(column_cost(layout, j), column_entries(layout, q, j));
+        col_config.push_back(q);
+        col_phase.push_back(j);
+      }
+    }
+    lp::SimplexOptions simplex_options;
+    simplex_options.tol = options.tol;
+    const lp::Solution solution = lp::solve(model, simplex_options);
+    FractionalSolution out =
+        extract(problem, solution, col_config, col_phase, options.tol);
+    out.lp_rows = static_cast<std::size_t>(model.num_rows());
+    out.lp_cols = static_cast<std::size_t>(model.num_cols());
+    out.configurations = configs.size();
+    return out;
+  }
+
+  // Column generation: seed with singleton configurations in every phase
+  // (feasible because phase R has unbounded capacity).
+  KnapsackOracle oracle(problem, layout);
+  for (std::size_t j = 0; j < layout.num_phases; ++j) {
+    for (std::size_t i = 0; i < problem.widths.size(); ++i) {
+      Configuration q;
+      q.counts.assign(problem.widths.size(), 0);
+      q.counts[i] = 1;
+      q.total_width = problem.widths[i];
+      q.total_items = 1;
+      model.add_column(column_cost(layout, j), column_entries(layout, q, j));
+      col_config.push_back(std::move(q));
+      col_phase.push_back(j);
+    }
+  }
+  lp::SimplexOptions simplex_options;
+  simplex_options.tol = options.tol;
+  const lp::ColgenResult result =
+      lp::solve_with_column_generation(model, oracle, simplex_options);
+  for (std::size_t g = 0; g < oracle.generated().size(); ++g) {
+    col_config.push_back(oracle.generated()[g]);
+    col_phase.push_back(oracle.generated_phase()[g]);
+  }
+  FractionalSolution out =
+      extract(problem, result.solution, col_config, col_phase, options.tol);
+  out.lp_rows = static_cast<std::size_t>(model.num_rows());
+  out.lp_cols = static_cast<std::size_t>(model.num_cols());
+  out.colgen_rounds = result.rounds;
+  return out;
+}
+
+double fractional_lower_bound(const Instance& instance,
+                              const ConfigLpOptions& options) {
+  const ConfigLpProblem problem = make_problem(instance);
+  ConfigLpOptions local = options;
+  // Fall back to column generation when enumeration would explode.
+  if (!local.use_column_generation) {
+    const std::size_t count = count_configurations(
+        problem.widths, problem.strip_width, local.max_configurations);
+    if (count > local.max_configurations) local.use_column_generation = true;
+  }
+  const FractionalSolution solution = solve_config_lp(problem, local);
+  STRIPACK_ASSERT(solution.feasible, "configuration LP must be feasible");
+  return solution.height;
+}
+
+double fractional_lower_bound_coarse(const Instance& instance,
+                                     double eps_down,
+                                     const ConfigLpOptions& options) {
+  STRIPACK_EXPECTS(eps_down > 0);
+  instance.check_well_formed();
+  const double r_max = instance.max_release();
+  if (r_max <= 0.0) return fractional_lower_bound(instance, options);
+  // The paper's P-down: releases floored to the delta grid. Releases only
+  // decrease, so every feasible packing of the original stays feasible:
+  // OPTf(P-down) <= OPTf(P) <= OPT(P).
+  const double delta = eps_down * r_max;
+  std::vector<Item> items(instance.items().begin(), instance.items().end());
+  for (Item& it : items) {
+    it.release = std::floor(it.release / delta + 1e-9) * delta;
+  }
+  const Instance down(std::move(items), instance.strip_width());
+  return fractional_lower_bound(down, options);
+}
+
+}  // namespace stripack::release

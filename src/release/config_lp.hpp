@@ -1,0 +1,91 @@
+// The §3.2 configuration LP for fractional strip packing with release times.
+//
+// Distinct releases rho_0 < ... < rho_R split time into phases
+// [rho_j, rho_{j+1}) (phase R is unbounded). Variable x_q^j is the height
+// assigned to configuration q within phase j. The LP is
+//
+//   min  sum_q x_q^R                                         (3.2)
+//   s.t. sum_q x_q^j <= rho_{j+1} - rho_j        j < R       (3.3, packing)
+//        sum_{j>=k} A x_j >= sum_{j>=k} B_j      0 <= k <= R (3.4, covering)
+//        x >= 0
+//
+// where A[i][q] counts width omega_i in configuration q and B_j[i] is the
+// total height of width-omega_i rectangles released at rho_j. The optimal
+// height of the fractional packing is rho_R + objective (Lemma 3.3), and a
+// basic optimum has at most (W+1)(R+1) nonzero variables.
+//
+// Applied to an instance's *exact* distinct widths/releases this LP solves
+// the fractional relaxation of the original problem — a certified lower
+// bound on OPT used throughout the benches.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/instance.hpp"
+#include "release/configurations.hpp"
+
+namespace stripack::release {
+
+/// The data the LP is built from.
+struct ConfigLpProblem {
+  std::vector<double> widths;    // distinct, descending
+  std::vector<double> releases;  // distinct, ascending; releases.front() >= 0
+  /// demand[j][i] = total height of items with release j and width i.
+  std::vector<std::vector<double>> demand;
+  double strip_width = 1.0;
+
+  [[nodiscard]] std::size_t num_widths() const { return widths.size(); }
+  [[nodiscard]] std::size_t num_releases() const { return releases.size(); }
+};
+
+/// Extracts the exact problem (distinct widths and releases as they appear)
+/// from an instance. Every item must match one width and one release.
+[[nodiscard]] ConfigLpProblem make_problem(const Instance& instance);
+
+/// One nonzero x_q^j of a fractional solution.
+struct Slice {
+  Configuration config;
+  std::size_t phase = 0;
+  double height = 0.0;
+};
+
+struct FractionalSolution {
+  bool feasible = false;
+  double objective = 0.0;  // sum of phase-R heights
+  double height = 0.0;     // rho_R + objective
+  std::vector<Slice> slices;
+  // Diagnostics.
+  std::size_t lp_rows = 0;
+  std::size_t lp_cols = 0;
+  std::int64_t iterations = 0;
+  std::size_t configurations = 0;  // enumerated (0 in column generation)
+  int colgen_rounds = 0;
+};
+
+struct ConfigLpOptions {
+  bool use_column_generation = false;
+  std::size_t max_configurations = 2'000'000;
+  double tol = 1e-9;
+};
+
+/// Solves the configuration LP; the returned slices reproduce the demand
+/// (covering) and capacity (packing) constraints up to tolerance.
+[[nodiscard]] FractionalSolution solve_config_lp(
+    const ConfigLpProblem& problem, const ConfigLpOptions& options = {});
+
+/// rho_R + LP optimum computed on the instance's exact widths and releases:
+/// a lower bound on the optimal integral packing height.
+[[nodiscard]] double fractional_lower_bound(const Instance& instance,
+                                            const ConfigLpOptions& options = {});
+
+/// Cheaper certified lower bound for large instances: releases are rounded
+/// *down* to at most ceil(1/eps_down)+1 values (the paper's P-down of
+/// Lemma 3.1, whose fractional optimum never exceeds the original's), and
+/// the LP is solved on that coarsened instance. Still a true lower bound
+/// on OPT; within (1+eps_down) of the exact fractional bound.
+[[nodiscard]] double fractional_lower_bound_coarse(
+    const Instance& instance, double eps_down = 0.1,
+    const ConfigLpOptions& options = {});
+
+}  // namespace stripack::release

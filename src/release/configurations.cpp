@@ -1,0 +1,93 @@
+#include "release/configurations.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/float_eq.hpp"
+
+namespace stripack::release {
+
+std::string Configuration::to_string(std::span<const double> widths) const {
+  std::string out = "{";
+  bool first = true;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += std::to_string(counts[i]) + "x" +
+           std::to_string(i < widths.size() ? widths[i] : -1.0);
+  }
+  return out + "}";
+}
+
+namespace {
+
+// on_config returns false to abort the enumeration early.
+template <typename OnConfig>
+bool dfs(std::span<const double> widths, double capacity, std::size_t index,
+         std::vector<int>& counts, double used, int items,
+         const OnConfig& on_config) {
+  if (index == widths.size()) {
+    return items > 0 ? on_config(counts, used, items) : true;
+  }
+  const double w = widths[index];
+  const int max_here = static_cast<int>(
+      std::floor((capacity - used) / w + 1e-9));
+  for (int c = max_here; c >= 0; --c) {
+    counts[index] = c;
+    if (!dfs(widths, capacity, index + 1, counts, used + c * w, items + c,
+             on_config)) {
+      counts[index] = 0;
+      return false;
+    }
+  }
+  counts[index] = 0;
+  return true;
+}
+
+void check_widths(std::span<const double> widths, double capacity) {
+  STRIPACK_EXPECTS(capacity > 0);
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    STRIPACK_EXPECTS(widths[i] > 0);
+    STRIPACK_ASSERT(approx_le(widths[i], capacity),
+                    "width exceeds strip capacity");
+    if (i > 0) {
+      STRIPACK_ASSERT(widths[i] < widths[i - 1] + kEps,
+                      "widths must be sorted descending");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Configuration> enumerate_configurations(
+    std::span<const double> widths, double capacity, std::size_t max_count) {
+  check_widths(widths, capacity);
+  std::vector<Configuration> out;
+  std::vector<int> counts(widths.size(), 0);
+  dfs(widths, capacity, 0, counts, 0.0, 0,
+      [&](const std::vector<int>& c, double used, int items) {
+        STRIPACK_ASSERT(out.size() < max_count,
+                        "configuration count exceeds cap (" +
+                            std::to_string(max_count) +
+                            "); use column generation");
+        out.push_back(Configuration{c, used, items});
+        return true;
+      });
+  return out;
+}
+
+std::size_t count_configurations(std::span<const double> widths,
+                                 double capacity, std::size_t cap) {
+  check_widths(widths, capacity);
+  std::size_t n = 0;
+  std::vector<int> counts(widths.size(), 0);
+  dfs(widths, capacity, 0, counts, 0.0, 0,
+      [&](const std::vector<int>&, double, int) {
+        ++n;
+        return n <= cap;  // abort once the cap is exceeded
+      });
+  return n;
+}
+
+}  // namespace stripack::release

@@ -1,0 +1,38 @@
+// Configurations (§3.2): multisets of widths summing to at most the strip
+// width — the possible cross-sections of a packing at a fixed height.
+//
+// With widths >= 1/K (the paper's FPGA assumption) a configuration holds at
+// most K items, so the configuration count Q is finite but exponential in
+// K. The exhaustive enumerator materializes all of them (with a hard cap);
+// the column-generation path in config_lp.hpp prices them lazily instead.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace stripack::release {
+
+struct Configuration {
+  /// counts[i] = multiplicity of distinct width i (indices into the width
+  /// table the configuration was enumerated against).
+  std::vector<int> counts;
+  double total_width = 0.0;
+  int total_items = 0;
+
+  [[nodiscard]] std::string to_string(std::span<const double> widths) const;
+};
+
+/// All non-empty configurations over `widths` (must be sorted descending)
+/// fitting in `capacity`. Throws ContractViolation if more than `max_count`
+/// would be produced (use column generation instead).
+[[nodiscard]] std::vector<Configuration> enumerate_configurations(
+    std::span<const double> widths, double capacity,
+    std::size_t max_count = 2'000'000);
+
+/// The number of configurations without materializing them (same DFS).
+[[nodiscard]] std::size_t count_configurations(std::span<const double> widths,
+                                               double capacity,
+                                               std::size_t cap);
+
+}  // namespace stripack::release

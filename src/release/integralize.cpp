@@ -1,0 +1,126 @@
+#include "release/integralize.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/assert.hpp"
+#include "util/float_eq.hpp"
+
+namespace stripack::release {
+
+IntegralizeResult integralize(const Instance& instance,
+                              const ConfigLpProblem& problem,
+                              const FractionalSolution& fractional) {
+  STRIPACK_EXPECTS(fractional.feasible);
+  IntegralizeResult result;
+  result.placement.assign(instance.size(), Position{});
+  if (instance.empty()) return result;
+
+  const std::size_t num_widths = problem.widths.size();
+  const std::size_t num_phases = problem.releases.size();
+
+  // Index every item by (width index, release index).
+  auto width_index_of = [&](double w) {
+    for (std::size_t i = 0; i < num_widths; ++i) {
+      if (approx_eq(problem.widths[i], w)) return i;
+    }
+    STRIPACK_ASSERT(false, "item width not present in the LP problem");
+    return num_widths;
+  };
+  auto release_index_of = [&](double r) {
+    for (std::size_t j = 0; j < num_phases; ++j) {
+      if (approx_eq(problem.releases[j], r)) return j;
+    }
+    STRIPACK_ASSERT(false, "item release not present in the LP problem");
+    return num_phases;
+  };
+
+  // Per width: items sorted by ascending release index (then id); a head
+  // pointer makes "earliest released available item" O(1).
+  std::vector<std::deque<std::size_t>> pool(num_widths);
+  std::vector<std::size_t> item_release(instance.size());
+  {
+    std::vector<std::vector<std::size_t>> by_width(num_widths);
+    for (std::size_t id = 0; id < instance.size(); ++id) {
+      const std::size_t wi = width_index_of(instance.item(id).width());
+      item_release[id] = release_index_of(instance.item(id).release);
+      by_width[wi].push_back(id);
+    }
+    for (std::size_t i = 0; i < num_widths; ++i) {
+      std::sort(by_width[i].begin(), by_width[i].end(),
+                [&](std::size_t a, std::size_t b) {
+                  if (item_release[a] != item_release[b]) {
+                    return item_release[a] < item_release[b];
+                  }
+                  return a < b;
+                });
+      pool[i].assign(by_width[i].begin(), by_width[i].end());
+    }
+  }
+
+  // Occurrences ordered by phase (bottom-up), stable within a phase.
+  std::vector<const Slice*> order;
+  order.reserve(fractional.slices.size());
+  for (const Slice& s : fractional.slices) order.push_back(&s);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Slice* a, const Slice* b) {
+                     return a->phase < b->phase;
+                   });
+
+  double y = 0.0;
+  for (const Slice* slice : order) {
+    y = std::max(y, problem.releases[slice->phase]);
+    double used_height = 0.0;
+    double x_cursor = 0.0;
+    for (std::size_t i = 0; i < slice->config.counts.size(); ++i) {
+      for (int copy = 0; copy < slice->config.counts[i]; ++copy) {
+        // Fill one column of width widths[i] and nominal height
+        // slice->height with available whole items.
+        double column = 0.0;
+        while (column < slice->height - kEps) {
+          if (pool[i].empty() ||
+              item_release[pool[i].front()] > slice->phase) {
+            break;  // nothing (yet) available of this width
+          }
+          const std::size_t id = pool[i].front();
+          pool[i].pop_front();
+          result.placement[id] = Position{x_cursor, y + column};
+          column += instance.item(id).height();
+        }
+        used_height = std::max(used_height, column);
+        x_cursor += problem.widths[i];
+      }
+    }
+    STRIPACK_ASSERT(approx_le(x_cursor, problem.strip_width, 1e-7),
+                    "configuration wider than the strip");
+    // The reserved area grows to its tallest column — at most the nominal
+    // height plus one (Lemma 3.4's additive +1, since h <= 1) — or shrinks
+    // if the columns ran out of items early.
+    STRIPACK_ASSERT(used_height <= slice->height + instance.max_height() + 1e-7,
+                    "column overshoot exceeds the Lemma 3.4 budget");
+    y += used_height;
+    result.occurrences += 1;
+  }
+
+  // Safety net: stack anything the greedy failed to place (the Lemma 3.4
+  // argument shows this cannot happen; never trust an argument alone).
+  for (std::size_t i = 0; i < num_widths; ++i) {
+    while (!pool[i].empty()) {
+      const std::size_t id = pool[i].front();
+      pool[i].pop_front();
+      y = std::max(y, problem.releases[item_release[id]]);
+      result.placement[id] = Position{0.0, y};
+      y += instance.item(id).height();
+      result.fallback_items += 1;
+    }
+  }
+
+  double top = 0.0;
+  for (std::size_t id = 0; id < instance.size(); ++id) {
+    top = std::max(top, result.placement[id].y + instance.item(id).height());
+  }
+  result.height = top;
+  return result;
+}
+
+}  // namespace stripack::release

@@ -1,0 +1,38 @@
+// Lemma 3.4: converting a fractional configuration solution into an
+// integral packing with additive loss at most one per configuration
+// occurrence.
+//
+// Reserved areas are processed bottom-up phase by phase. Each occurrence
+// (q, j, x) lays its widths out as side-by-side columns of nominal height
+// x; each column is filled greedily with whole rectangles of its width that
+// are available in phase j (rounded release <= rho_j), earliest release
+// first. The last rectangle may overshoot the column by less than 1 (h <= 1
+// by assumption), so the occurrence expands by at most 1 and everything
+// above shifts up — giving height <= rho_R + sum x_R^q + k for k
+// occurrences, i.e. OPT(S) <= OPTf(S) + k.
+#pragma once
+
+#include "core/packing.hpp"
+#include "release/config_lp.hpp"
+
+namespace stripack::release {
+
+struct IntegralizeResult {
+  /// Placement for the instance handed to integralize (the grouped one).
+  Placement placement;
+  double height = 0.0;
+  std::size_t occurrences = 0;     // k in Lemma 3.4
+  /// Items that could not be placed by the greedy column filling and were
+  /// stacked on top as a safety fallback. The Lemma 3.4 argument proves
+  /// this is always 0; tests assert it.
+  std::size_t fallback_items = 0;
+};
+
+/// `instance` must be the rounded+grouped instance whose widths/releases
+/// appear in `problem`; `fractional` a feasible solution of the LP built
+/// from `problem`.
+[[nodiscard]] IntegralizeResult integralize(const Instance& instance,
+                                            const ConfigLpProblem& problem,
+                                            const FractionalSolution& fractional);
+
+}  // namespace stripack::release

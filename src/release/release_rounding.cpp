@@ -1,0 +1,62 @@
+#include "release/release_rounding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/assert.hpp"
+#include "util/float_eq.hpp"
+
+namespace stripack::release {
+
+std::size_t count_distinct_releases(const Instance& instance) {
+  std::set<double> values;
+  for (const Item& it : instance.items()) values.insert(it.release);
+  return values.size();
+}
+
+ReleaseRounding round_releases(const Instance& instance, double eps_prime) {
+  STRIPACK_EXPECTS(eps_prime > 0);
+  instance.check_well_formed();
+
+  ReleaseRounding out;
+  out.rounded = instance;
+  out.rounded_down = instance;
+
+  const double r_max = instance.max_release();
+  if (r_max <= 0.0) {
+    out.delta = 0.0;
+    out.distinct_releases = 1;
+    return out;
+  }
+  out.delta = eps_prime * r_max;
+
+  std::vector<Item> up_items, down_items;
+  up_items.reserve(instance.size());
+  down_items.reserve(instance.size());
+  for (const Item& it : instance.items()) {
+    // Index of the largest multiple of delta that is <= release (with a
+    // tolerance so releases already on the grid are not pushed a full step).
+    const double steps = std::floor(it.release / out.delta + 1e-9);
+    Item down = it;
+    down.release = steps * out.delta;
+    Item up = it;
+    up.release = (steps + 1.0) * out.delta;
+    down_items.push_back(down);
+    up_items.push_back(up);
+  }
+  Instance up(std::move(up_items), instance.strip_width());
+  Instance down(std::move(down_items), instance.strip_width());
+  for (const Edge& e : instance.dag().edges()) {
+    up.add_precedence(e.from, e.to);
+    down.add_precedence(e.from, e.to);
+  }
+  out.rounded = std::move(up);
+  out.rounded_down = std::move(down);
+  out.distinct_releases = count_distinct_releases(out.rounded);
+  STRIPACK_ENSURES(out.distinct_releases <=
+                   static_cast<std::size_t>(std::ceil(1.0 / eps_prime)) + 1);
+  return out;
+}
+
+}  // namespace stripack::release

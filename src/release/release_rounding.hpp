@@ -1,0 +1,29 @@
+// Lemma 3.1: rounding release times to O(1/eps) distinct values.
+//
+// With delta = eps' * r_max, every release is rounded *up* to the next
+// multiple of delta (the paper's P-up instance). The rounded instance has
+// at most ceil(1/eps') + 1 distinct releases, every release only increases
+// (so a packing of the rounded instance is feasible for the original), and
+// OPTf(P(R)) <= (1 + eps') OPTf(P) because r_max <= OPT.
+#pragma once
+
+#include "core/instance.hpp"
+
+namespace stripack::release {
+
+struct ReleaseRounding {
+  Instance rounded;    // same items; releases rounded up to multiples of delta
+  Instance rounded_down;  // the paper's P-down (used by tests / Lemma 3.1 bench)
+  double delta = 0.0;
+  std::size_t distinct_releases = 0;  // in `rounded`
+};
+
+/// Rounds per Lemma 3.1. eps_prime must be positive; instances whose
+/// releases are all zero are returned unchanged (delta = 0).
+[[nodiscard]] ReleaseRounding round_releases(const Instance& instance,
+                                             double eps_prime);
+
+/// Number of distinct release values in an instance.
+[[nodiscard]] std::size_t count_distinct_releases(const Instance& instance);
+
+}  // namespace stripack::release

@@ -1,0 +1,121 @@
+#include "release/width_grouping.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/assert.hpp"
+#include "util/float_eq.hpp"
+
+namespace stripack::release {
+
+WidthGrouping group_widths(const Instance& instance,
+                           std::size_t total_width_budget) {
+  instance.check_well_formed();
+  STRIPACK_ASSERT(!instance.has_precedence(),
+                  "width grouping applies to the release-time variant");
+
+  WidthGrouping out;
+
+  // Release classes, ascending by release value.
+  std::map<double, std::vector<std::size_t>> classes;
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    classes[instance.item(i).release].push_back(i);
+  }
+  out.release_classes = classes.size();
+  STRIPACK_EXPECTS(total_width_budget >= classes.size());
+  const std::size_t groups = total_width_budget / classes.size();
+  out.groups_per_class = groups;
+
+  std::vector<Item> grouped_items(instance.items().begin(),
+                                  instance.items().end());
+  std::vector<Item> inf_items, sup_items;
+
+  for (const auto& [release, members] : classes) {
+    // Stack: non-increasing width, bottom to top.
+    std::vector<std::size_t> order = members;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (instance.item(a).width() != instance.item(b).width()) {
+        return instance.item(a).width() > instance.item(b).width();
+      }
+      return a < b;
+    });
+    double stack_height = 0.0;
+    std::vector<double> base(order.size());
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      base[k] = stack_height;
+      stack_height += instance.item(order[k]).height();
+    }
+    const double step = stack_height / static_cast<double>(groups);
+
+    // Thresholds: a rectangle [base, base+h) containing a cut line l*step
+    // for l in [0, groups). Group of rectangle k = latest threshold <= k.
+    std::size_t current_threshold = 0;  // rect 0 contains line 0
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      const double lo = base[k];
+      const double hi = lo + instance.item(order[k]).height();
+      // Smallest cut-line index >= lo; threshold iff that line exists (index
+      // < groups) and lies below the rectangle's top (or on its base).
+      const double ell = std::ceil(lo / step - 1e-9);
+      const double line = ell * step;
+      const bool line_exists = ell < static_cast<double>(groups) - 0.5;
+      if (line_exists && (line < hi - 1e-12 || approx_eq(line, lo))) {
+        current_threshold = k;
+      }
+      grouped_items[order[k]].rect.width =
+          instance.item(order[current_threshold]).width();
+    }
+
+    // Staircase sandwich: slab l covers stack heights [l*step, (l+1)*step);
+    // its P_sup width is the stack width at the slab bottom, its P_inf width
+    // the stack width at the slab top (0 above the stack, slab omitted).
+    auto width_at = [&](double y) -> double {
+      if (y >= stack_height - 1e-12) return 0.0;
+      // Find the rect whose [base, base+h) contains y.
+      std::size_t lo = 0, hi = order.size();
+      while (lo + 1 < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (base[mid] <= y + 1e-12) lo = mid;
+        else hi = mid;
+      }
+      return instance.item(order[lo]).width();
+    };
+    for (std::size_t l = 0; l < groups; ++l) {
+      const double y_lo = static_cast<double>(l) * step;
+      const double y_hi = static_cast<double>(l + 1) * step;
+      const double w_sup = width_at(y_lo);
+      const double w_inf = width_at(y_hi);
+      if (w_sup > 0.0) {
+        sup_items.push_back(Item{Rect{w_sup, step}, release});
+      }
+      if (w_inf > 0.0) {
+        inf_items.push_back(Item{Rect{w_inf, step}, release});
+      }
+    }
+  }
+
+  out.grouped = Instance(std::move(grouped_items), instance.strip_width());
+  out.p_inf = Instance(std::move(inf_items), instance.strip_width());
+  out.p_sup = Instance(std::move(sup_items), instance.strip_width());
+
+  // Distinct widths of the grouped instance, descending, plus per-item map.
+  std::vector<double> widths = out.grouped.widths();
+  std::sort(widths.rbegin(), widths.rend());
+  widths.erase(std::unique(widths.begin(), widths.end(),
+                           [](double a, double b) { return approx_eq(a, b); }),
+               widths.end());
+  out.distinct_widths = widths;
+  STRIPACK_ENSURES(out.distinct_widths.size() <= total_width_budget);
+  out.width_index.resize(out.grouped.size());
+  for (std::size_t i = 0; i < out.grouped.size(); ++i) {
+    const double w = out.grouped.item(i).width();
+    const auto it = std::find_if(widths.begin(), widths.end(), [&](double v) {
+      return approx_eq(v, w);
+    });
+    STRIPACK_ASSERT(it != widths.end(), "grouped width missing from index");
+    out.width_index[i] = static_cast<std::size_t>(it - widths.begin());
+  }
+  return out;
+}
+
+}  // namespace stripack::release

@@ -1,0 +1,38 @@
+// Lemma 3.2: reducing to W distinct widths via linear grouping per release
+// class (Figs. 3-4 of the paper).
+//
+// For each release class P_i, stack its rectangles left-justified in
+// non-increasing width order, cut the stack with G = floor(W / #classes)
+// horizontal lines at multiples of H(P_i)/G, call a rectangle a *threshold*
+// if a line passes through its interior or base, and round every
+// rectangle's width up to the width of its group's threshold (the group's
+// widest member). The paper's sandwich
+//     P_inf  ⊆  P(R)  ⊆  P(R,W)  ⊆  P_sup
+// gives OPTf(P(R,W)) <= (1 + (R+1)K/W) OPTf(P(R)); the P_inf / P_sup
+// staircase instances are materialized for bench E7.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace stripack::release {
+
+struct WidthGrouping {
+  Instance grouped;  // same items: widths rounded up, releases unchanged
+  std::vector<double> distinct_widths;  // of `grouped`, sorted descending
+  /// Per item: index into distinct_widths.
+  std::vector<std::size_t> width_index;
+  /// Staircase sandwich instances (G slabs per class).
+  Instance p_inf;
+  Instance p_sup;
+  std::size_t release_classes = 0;
+  std::size_t groups_per_class = 0;  // G
+};
+
+/// Groups widths with budget W (total distinct widths across all classes).
+/// Requires W >= number of distinct release values.
+[[nodiscard]] WidthGrouping group_widths(const Instance& instance,
+                                         std::size_t total_width_budget);
+
+}  // namespace stripack::release

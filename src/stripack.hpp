@@ -1,0 +1,34 @@
+// Umbrella header for the stripack library.
+//
+// stripack reproduces "Strip packing with precedence constraints and strip
+// packing with release times" (Augustine, Banerjee, Irani; TCS 2009 /
+// SPAA 2006):
+//   - dc_pack:            O(log n)-approx. for precedence constraints (§2)
+//   - uniform_shelf_pack: absolute 3-approx. for uniform heights (§2.2)
+//   - release::aptas_pack: APTAS for release times (§3)
+// plus every substrate: unconstrained packers, bin packing, an LP solver,
+// instance generators, and an FPGA reconfiguration simulator.
+#pragma once
+
+#include "core/bounds.hpp"       // IWYU pragma: export
+#include "core/instance.hpp"     // IWYU pragma: export
+#include "core/packing.hpp"      // IWYU pragma: export
+#include "core/rect.hpp"         // IWYU pragma: export
+#include "core/validate.hpp"     // IWYU pragma: export
+#include "dag/dag.hpp"           // IWYU pragma: export
+#include "kr/kr_aptas.hpp"       // IWYU pragma: export
+#include "packers/exact.hpp"     // IWYU pragma: export
+#include "packers/online_shelf.hpp"  // IWYU pragma: export
+#include "packers/packer.hpp"    // IWYU pragma: export
+#include "packers/registry.hpp"  // IWYU pragma: export
+#include "packers/shelf.hpp"     // IWYU pragma: export
+#include "packers/skyline.hpp"   // IWYU pragma: export
+#include "packers/sleator.hpp"   // IWYU pragma: export
+#include "precedence/dc.hpp"     // IWYU pragma: export
+#include "precedence/level_pack.hpp"     // IWYU pragma: export
+#include "precedence/list_schedule.hpp"  // IWYU pragma: export
+#include "precedence/shelf_convert.hpp"  // IWYU pragma: export
+#include "precedence/uniform_shelf.hpp"  // IWYU pragma: export
+#include "release/aptas.hpp"             // IWYU pragma: export
+#include "release/baselines.hpp"         // IWYU pragma: export
+#include "release/config_lp.hpp"         // IWYU pragma: export

@@ -1,0 +1,57 @@
+// Checked assertions and contract helpers for the stripack library.
+//
+// All invariants in the library are checked in every build type: the
+// algorithms here are approximation algorithms whose correctness proofs rely
+// on structural invariants (e.g. "S_mid is never empty", "every rectangle is
+// eventually placed"), and a silently-violated invariant would produce a
+// wrong packing rather than a crash. Violations throw, so callers and tests
+// can observe them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace stripack {
+
+/// Thrown when a library invariant or precondition is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::string what = std::string(kind) + " failed: " + expr + " at " + file +
+                     ":" + std::to_string(line);
+  if (!msg.empty()) what += " — " + msg;
+  throw ContractViolation(what);
+}
+}  // namespace detail
+
+}  // namespace stripack
+
+/// Precondition check: argument/state requirements at function entry.
+#define STRIPACK_EXPECTS(cond)                                            \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::stripack::detail::contract_fail("precondition", #cond, __FILE__, \
+                                        __LINE__, "");                   \
+  } while (false)
+
+/// Postcondition / invariant check.
+#define STRIPACK_ENSURES(cond)                                             \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::stripack::detail::contract_fail("postcondition", #cond, __FILE__, \
+                                        __LINE__, "");                    \
+  } while (false)
+
+/// General invariant with an explanatory message.
+#define STRIPACK_ASSERT(cond, msg)                                        \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::stripack::detail::contract_fail("invariant", #cond, __FILE__,    \
+                                        __LINE__, (msg));                 \
+  } while (false)

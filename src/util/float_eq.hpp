@@ -1,0 +1,45 @@
+// Tolerant floating-point comparisons used by validators and geometry code.
+//
+// The library works in a strip of width 1 with heights normalized to O(1),
+// so a fixed absolute tolerance is appropriate; helpers also accept an
+// explicit tolerance for quantities that scale with instance size (e.g.
+// total packing heights).
+#pragma once
+
+#include <cmath>
+
+namespace stripack {
+
+/// Default absolute tolerance for coordinates in the unit-width strip.
+inline constexpr double kEps = 1e-9;
+
+/// True if |a - b| <= tol.
+[[nodiscard]] inline bool approx_eq(double a, double b, double tol = kEps) {
+  return std::fabs(a - b) <= tol;
+}
+
+/// True if a <= b + tol.
+[[nodiscard]] inline bool approx_le(double a, double b, double tol = kEps) {
+  return a <= b + tol;
+}
+
+/// True if a >= b - tol.
+[[nodiscard]] inline bool approx_ge(double a, double b, double tol = kEps) {
+  return a >= b - tol;
+}
+
+/// True if a < b - tol (strictly less beyond tolerance).
+[[nodiscard]] inline bool definitely_less(double a, double b,
+                                          double tol = kEps) {
+  return a < b - tol;
+}
+
+/// True if two half-open intervals [a0,a1) and [b0,b1) overlap with positive
+/// measure beyond tolerance. Used for rectangle overlap tests: touching
+/// edges do not count as overlap.
+[[nodiscard]] inline bool intervals_overlap(double a0, double a1, double b0,
+                                            double b1, double tol = kEps) {
+  return definitely_less(a0, b1, tol) && definitely_less(b0, a1, tol);
+}
+
+}  // namespace stripack

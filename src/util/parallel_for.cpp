@@ -1,0 +1,45 @@
+#include "util/parallel_for.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stripack {
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  unsigned max_threads) {
+  if (n == 0) return;
+  unsigned workers = max_threads != 0 ? max_threads
+                                      : std::max(1u, std::thread::hardware_concurrency());
+  workers = static_cast<unsigned>(std::min<std::size_t>(workers, n));
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+
+  const std::size_t chunk = (n + workers - 1) / workers;
+  for (unsigned w = 0; w < workers; ++w) {
+    const std::size_t begin = static_cast<std::size_t>(w) * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    pool.emplace_back([&, begin, end] {
+      try {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace stripack

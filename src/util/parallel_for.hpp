@@ -1,0 +1,22 @@
+// Deterministic thread-parallel loop for embarrassingly parallel sweeps.
+//
+// Used only by the bench/test harnesses to evaluate *independent* problem
+// instances concurrently; the packing algorithms themselves are strictly
+// sequential and deterministic. Work is split into static contiguous chunks
+// so the assignment of indices to threads never depends on timing, per the
+// reproducibility conventions in DESIGN.md §6.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+
+namespace stripack {
+
+/// Invokes fn(i) for i in [0, n) using up to max_threads workers (0 means
+/// hardware concurrency). Exceptions thrown by fn are captured and the first
+/// one is rethrown on the calling thread after all workers join.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  unsigned max_threads = 0);
+
+}  // namespace stripack

@@ -1,0 +1,27 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace stripack {
+
+double Rng::exponential(double rate) {
+  STRIPACK_EXPECTS(rate > 0);
+  // Inverse CDF on (0,1]; 1-uniform() avoids log(0).
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+double Rng::power_law(double lo, double hi, double alpha) {
+  STRIPACK_EXPECTS(0 < lo && lo <= hi);
+  if (lo == hi) return lo;
+  const double u = uniform();
+  if (std::fabs(alpha - 1.0) < 1e-12) {
+    // Density 1/x: inverse CDF is exponential interpolation.
+    return lo * std::pow(hi / lo, u);
+  }
+  const double one_minus = 1.0 - alpha;
+  const double a = std::pow(lo, one_minus);
+  const double b = std::pow(hi, one_minus);
+  return std::pow(a + (b - a) * u, 1.0 / one_minus);
+}
+
+}  // namespace stripack

@@ -1,0 +1,28 @@
+// Wall-clock stopwatch for bench harness stage timings.
+#pragma once
+
+#include <chrono>
+
+namespace stripack {
+
+/// Monotonic stopwatch; starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace stripack

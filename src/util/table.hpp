@@ -1,0 +1,44 @@
+// Aligned-text and CSV table emission for the benchmark harness.
+//
+// Every experiment binary prints the series/rows it reproduces through this
+// writer so the output format is uniform: a human-readable aligned table on
+// stdout and (optionally) a machine-readable CSV file next to it.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace stripack {
+
+/// Column-oriented table: declare headers once, append rows of cells.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; cells are appended with add().
+  Table& row();
+
+  Table& add(const std::string& cell);
+  Table& add(const char* cell);
+  Table& add(double value, int precision = 4);
+  Table& add(std::size_t value);
+  Table& add(int value);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with aligned columns, a header rule, and a leading title line.
+  void print(std::ostream& os, const std::string& title = {}) const;
+
+  /// Writes RFC-4180-ish CSV (fields with commas/quotes get quoted).
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with tests).
+[[nodiscard]] std::string format_double(double value, int precision);
+
+}  // namespace stripack

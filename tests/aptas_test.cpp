@@ -1,0 +1,232 @@
+// End-to-end tests for Algorithm 2 (APTAS, Theorem 3.5), including the
+// Lemma 3.4 integralization.
+#include "release/aptas.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/validate.hpp"
+#include "gen/release_gen.hpp"
+#include "release/baselines.hpp"
+#include "release/integralize.hpp"
+#include "test_support.hpp"
+
+namespace stripack::release {
+namespace {
+
+Instance items_of(const std::vector<std::tuple<double, double, double>>& whr) {
+  Instance ins;
+  for (const auto& [w, h, r] : whr) ins.add_item(w, h, r);
+  return ins;
+}
+
+// ------------------------------------------------------------- integralize
+TEST(Integralize, PlacesEverythingOnSimpleInstance) {
+  const Instance ins =
+      items_of({{0.5, 1.0, 0.0}, {0.5, 1.0, 0.0}, {0.5, 1.0, 0.0}});
+  const auto problem = make_problem(ins);
+  const auto frac = solve_config_lp(problem);
+  const auto result = integralize(ins, problem, frac);
+  EXPECT_EQ(result.fallback_items, 0u);
+  EXPECT_TRUE(testing::placement_valid(ins, result.placement));
+  // Fractional 1.5; integral at most frac + #occurrences.
+  EXPECT_LE(result.height,
+            frac.height + static_cast<double>(result.occurrences) + 1e-6);
+}
+
+TEST(Integralize, RespectsReleases) {
+  const Instance ins = items_of({{1.0, 1.0, 0.0}, {1.0, 1.0, 2.0}});
+  const auto problem = make_problem(ins);
+  const auto frac = solve_config_lp(problem);
+  const auto result = integralize(ins, problem, frac);
+  EXPECT_TRUE(testing::placement_valid(ins, result.placement));
+  EXPECT_GE(result.placement[1].y, 2.0 - 1e-9);
+  EXPECT_EQ(result.fallback_items, 0u);
+}
+
+TEST(Integralize, Lemma34AdditiveBudget) {
+  Rng rng(3);
+  gen::ReleaseWorkloadParams params;
+  params.n = 60;
+  params.K = 4;
+  const Instance ins = gen::poisson_release_workload(params, rng);
+  const auto problem = make_problem(ins);
+  const auto frac = solve_config_lp(problem);
+  const auto result = integralize(ins, problem, frac);
+  EXPECT_EQ(result.fallback_items, 0u);
+  EXPECT_TRUE(testing::placement_valid(ins, result.placement));
+  EXPECT_LE(result.height,
+            frac.height + static_cast<double>(result.occurrences) + 1e-6);
+  EXPECT_GE(result.height, release_lower_bound(ins) - 1e-6);
+}
+
+// ------------------------------------------------------------------- aptas
+TEST(Aptas, EmptyInstance) {
+  const Instance ins;
+  const auto result = aptas_pack(ins);
+  EXPECT_DOUBLE_EQ(result.height, 0.0);
+}
+
+TEST(Aptas, SingleItem) {
+  Instance ins;
+  ins.add_item(0.5, 1.0, 0.0);
+  AptasParams params;
+  params.epsilon = 1.0;
+  params.K = 2;
+  const auto result = aptas_pack(ins, params);
+  EXPECT_TRUE(testing::placement_valid(ins, result.packing.placement));
+  EXPECT_NEAR(result.height, 1.0, 1e-6);
+}
+
+TEST(Aptas, InputChecksEnforced) {
+  // Height > 1.
+  Instance tall;
+  tall.add_item(0.5, 2.0, 0.0);
+  EXPECT_THROW(aptas_pack(tall), ContractViolation);
+  // Width below 1/K.
+  Instance narrow;
+  narrow.add_item(0.05, 1.0, 0.0);
+  AptasParams params;
+  params.K = 4;
+  EXPECT_THROW(aptas_pack(narrow, params), ContractViolation);
+  // Precedence not supported.
+  Instance prec;
+  const VertexId a = prec.add_item(0.5, 1.0);
+  const VertexId b = prec.add_item(0.5, 1.0);
+  prec.add_precedence(a, b);
+  EXPECT_THROW(aptas_pack(prec), ContractViolation);
+}
+
+TEST(Aptas, StatsBudgetsMatchTheorem35) {
+  Rng rng(7);
+  gen::ReleaseWorkloadParams params;
+  params.n = 50;
+  params.K = 3;
+  const Instance ins = gen::poisson_release_workload(params, rng);
+  AptasParams ap;
+  ap.epsilon = 1.0;
+  ap.K = 3;
+  const auto result = aptas_pack(ins, ap);
+  // eps' = 1/3, R = 3, W = 3*3*4 = 36.
+  EXPECT_EQ(result.stats.R, 3u);
+  EXPECT_EQ(result.stats.W, 36u);
+  EXPECT_LE(result.stats.distinct_releases, result.stats.R + 1);
+  EXPECT_LE(result.stats.distinct_widths, result.stats.W);
+  EXPECT_LE(result.stats.occurrences,
+            (result.stats.W + 1) * (result.stats.R + 1));
+  EXPECT_EQ(result.stats.fallback_items, 0u);
+  EXPECT_DOUBLE_EQ(result.stats.additive_bound,
+                   static_cast<double>((result.stats.W + 1) *
+                                       (result.stats.R + 1)));
+}
+
+struct AptasSweep {
+  std::uint64_t seed;
+  double epsilon;
+  int K;
+  std::size_t n;
+};
+
+class AptasSweepTest : public ::testing::TestWithParam<AptasSweep> {};
+
+TEST_P(AptasSweepTest, ValidWithinTheoremBoundAndStacksUpToBaselines) {
+  const AptasSweep& sweep = GetParam();
+  Rng rng(sweep.seed);
+  gen::ReleaseWorkloadParams params;
+  params.n = sweep.n;
+  params.K = sweep.K;
+  params.arrival_rate = 3.0;
+  const Instance ins = gen::poisson_release_workload(params, rng);
+
+  AptasParams ap;
+  ap.epsilon = sweep.epsilon;
+  ap.K = sweep.K;
+  const auto result = aptas_pack(ins, ap);
+
+  ASSERT_TRUE(testing::placement_valid(ins, result.packing.placement))
+      << "seed=" << sweep.seed;
+  EXPECT_EQ(result.stats.fallback_items, 0u);
+
+  // Theorem 3.5: height <= (1+eps) OPTf(P) + (W+1)(R+1). OPTf(P) is itself
+  // bounded by any feasible packing, e.g. the shelf greedy.
+  const double opt_upper = release_shelf_greedy(ins).height();
+  EXPECT_LE(result.height, (1.0 + sweep.epsilon) * opt_upper +
+                               result.stats.additive_bound + 1e-6);
+  // And never below the certified lower bound.
+  EXPECT_GE(result.height, release_lower_bound(ins) - 1e-6);
+  // Fractional LP height from the rounded/grouped instance is recorded.
+  EXPECT_GT(result.stats.fractional_height, 0.0);
+}
+
+std::vector<AptasSweep> aptas_sweeps() {
+  return {
+      {1u, 1.0, 2, 40},  {2u, 1.0, 3, 60},   {3u, 0.75, 2, 50},
+      {4u, 1.5, 4, 80},  {5u, 1.0, 2, 120},  {6u, 2.0, 3, 100},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, AptasSweepTest,
+                         ::testing::ValuesIn(aptas_sweeps()));
+
+TEST(Aptas, ColgenAgreesWithEnumeration) {
+  Rng rng(55);
+  gen::ReleaseWorkloadParams params;
+  params.n = 50;
+  params.K = 3;
+  const Instance ins = gen::poisson_release_workload(params, rng);
+  AptasParams enum_params;
+  enum_params.epsilon = 1.0;
+  enum_params.K = 3;
+  AptasParams cg_params = enum_params;
+  cg_params.use_column_generation = true;
+  const auto a = aptas_pack(ins, enum_params);
+  const auto b = aptas_pack(ins, cg_params);
+  EXPECT_TRUE(testing::placement_valid(ins, a.packing.placement));
+  EXPECT_TRUE(testing::placement_valid(ins, b.packing.placement));
+  // Same fractional optimum (the integral heights may differ slightly).
+  EXPECT_NEAR(a.stats.fractional_height, b.stats.fractional_height, 1e-5);
+}
+
+TEST(Aptas, AllReleasesZeroDegeneratesToPlainStripPacking) {
+  Rng rng(66);
+  gen::ReleaseWorkloadParams params;
+  params.n = 40;
+  params.K = 4;
+  Instance ins = gen::poisson_release_workload(params, rng);
+  // Zero out the releases.
+  std::vector<Item> items(ins.items().begin(), ins.items().end());
+  for (Item& it : items) it.release = 0.0;
+  const Instance plain(std::move(items));
+  AptasParams ap;
+  ap.epsilon = 1.0;
+  ap.K = 4;
+  const auto result = aptas_pack(plain, ap);
+  EXPECT_TRUE(testing::placement_valid(plain, result.packing.placement));
+  EXPECT_GE(result.height, area_lower_bound(plain) - 1e-6);
+}
+
+// The asymptotic behaviour: as instances grow, the ratio to the certified
+// LP lower bound approaches 1 + eps (the additive term washes out).
+TEST(Aptas, AsymptoticRatioImproves) {
+  AptasParams ap;
+  ap.epsilon = 1.0;
+  ap.K = 2;
+  double small_ratio = 0.0, large_ratio = 0.0;
+  for (const std::size_t n : {30u, 600u}) {
+    Rng rng(77);
+    gen::ReleaseWorkloadParams params;
+    params.n = n;
+    params.K = 2;
+    params.arrival_rate = 10.0;
+    const Instance ins = gen::poisson_release_workload(params, rng);
+    const auto result = aptas_pack(ins, ap);
+    const double lb = fractional_lower_bound(ins);
+    const double ratio = result.height / lb;
+    if (n == 30u) small_ratio = ratio;
+    else large_ratio = ratio;
+  }
+  EXPECT_LT(large_ratio, small_ratio);
+}
+
+}  // namespace
+}  // namespace stripack::release

@@ -1,0 +1,195 @@
+// Tests for the baseline algorithms: list scheduling, level packing, and
+// the release-time greedies.
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/validate.hpp"
+#include "gen/release_gen.hpp"
+#include "precedence/level_pack.hpp"
+#include "precedence/list_schedule.hpp"
+#include "release/baselines.hpp"
+#include "test_support.hpp"
+
+namespace stripack {
+namespace {
+
+// ---------------------------------------------------------- list_schedule
+TEST(ListSchedule, EmptyAndSingle) {
+  Instance empty;
+  EXPECT_DOUBLE_EQ(list_schedule(empty).height(), 0.0);
+  Instance single;
+  single.add_item(0.5, 2.0);
+  const Packing p = list_schedule(single);
+  EXPECT_DOUBLE_EQ(p.height(), 2.0);
+  EXPECT_TRUE(testing::placement_valid(single, p.placement));
+}
+
+TEST(ListSchedule, PacksIndependentItemsSideBySide) {
+  Instance ins = testing::make_instance({{0.5, 1.0}, {0.5, 1.0}});
+  const Packing p = list_schedule(ins);
+  EXPECT_NEAR(p.height(), 1.0, 1e-9);
+}
+
+TEST(ListSchedule, ChainRunsSequentially) {
+  Instance ins;
+  const VertexId a = ins.add_item(0.9, 1.0);
+  const VertexId b = ins.add_item(0.9, 1.0);
+  ins.add_precedence(a, b);
+  const Packing p = list_schedule(ins);
+  EXPECT_TRUE(testing::placement_valid(ins, p.placement));
+  EXPECT_NEAR(p.height(), 2.0, 1e-9);
+}
+
+TEST(ListSchedule, RespectsReleaseTimes) {
+  Instance ins;
+  ins.add_item(0.5, 1.0, 3.0);
+  const Packing p = list_schedule(ins);
+  EXPECT_GE(p.placement[0].y, 3.0 - 1e-9);
+}
+
+TEST(ListSchedule, BackfillsGapsBelowTop) {
+  // Tall narrow item, then a wide one that must go above... then a narrow
+  // short one that still fits beside the tower at t=0.
+  Instance ins;
+  ins.add_item(0.5, 3.0);   // tower
+  ins.add_item(0.8, 1.0);   // too wide beside tower: goes on top
+  ins.add_item(0.4, 1.0);   // fits beside the tower at the bottom
+  ListScheduleOptions options;
+  options.priority = ListPriority::InputOrder;
+  const Packing p = list_schedule(ins, options);
+  EXPECT_TRUE(testing::placement_valid(ins, p.placement));
+  EXPECT_NEAR(p.placement[2].y, 0.0, 1e-9);
+}
+
+class ListScheduleSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ListScheduleSweep, ValidOnRandomDags) {
+  Rng rng(GetParam());
+  const Instance ins =
+      testing::random_precedence_instance(50, 0.08, gen::RectParams{}, rng);
+  for (ListPriority priority :
+       {ListPriority::CriticalPathFirst, ListPriority::InputOrder,
+        ListPriority::DecreasingArea}) {
+    ListScheduleOptions options;
+    options.priority = priority;
+    const Packing p = list_schedule(ins, options);
+    EXPECT_TRUE(testing::placement_valid(ins, p.placement));
+    EXPECT_GE(p.height(), critical_path_lower_bound(ins) - 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ListScheduleSweep,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+TEST(ListSchedule, HandlesPrecedenceAndReleasesTogether) {
+  // The paper studies the two constraint families separately and leaves
+  // their combination open; the list scheduler supports both at once —
+  // our "future work" extension, exercised here.
+  Instance ins;
+  const VertexId a = ins.add_item(0.6, 1.0, 0.0);
+  const VertexId b = ins.add_item(0.6, 1.0, 5.0);  // released late
+  const VertexId c = ins.add_item(0.3, 1.0, 0.0);
+  ins.add_precedence(a, b);
+  const Packing p = list_schedule(ins);
+  EXPECT_TRUE(testing::placement_valid(ins, p.placement));
+  // b waits for both its predecessor (top at 1) and its release (5).
+  EXPECT_GE(p.placement[b].y, 5.0 - 1e-9);
+  EXPECT_GE(p.placement[b].y,
+            p.placement[a].y + ins.item(a).height() - 1e-9);
+  (void)c;
+}
+
+class CombinedConstraintSweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(CombinedConstraintSweep, ValidWithBothConstraintFamilies) {
+  Rng rng(GetParam());
+  gen::RectParams params;
+  auto rects = gen::random_rects(40, params, rng);
+  Instance ins;
+  for (const Rect& r : rects) {
+    ins.add_item(r.width, r.height, rng.uniform(0.0, 5.0));
+  }
+  const Dag dag = gen::gnp_dag(40, 0.08, rng);
+  for (const Edge& e : dag.edges()) ins.add_precedence(e.from, e.to);
+  const Packing p = list_schedule(ins);
+  EXPECT_TRUE(testing::placement_valid(ins, p.placement));
+  EXPECT_GE(p.height(), combined_lower_bound(ins) - 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CombinedConstraintSweep,
+                         ::testing::Values(101u, 202u, 303u));
+
+// -------------------------------------------------------------- level_pack
+TEST(LevelPack, LevelsAreStacked) {
+  Instance ins;
+  const VertexId a = ins.add_item(0.5, 1.0);
+  const VertexId b = ins.add_item(0.5, 2.0);
+  ins.add_precedence(a, b);
+  const auto result = level_pack(ins);
+  EXPECT_EQ(result.levels, 2u);
+  EXPECT_TRUE(testing::placement_valid(ins, result.packing.placement));
+  EXPECT_NEAR(result.packing.height(), 3.0, 1e-9);
+}
+
+TEST(LevelPack, AntichainStaysOneBand) {
+  Instance ins = testing::make_instance({{0.3, 1.0}, {0.3, 1.0}, {0.3, 1.0}});
+  const auto result = level_pack(ins);
+  EXPECT_EQ(result.levels, 1u);
+  EXPECT_NEAR(result.packing.height(), 1.0, 1e-9);
+}
+
+class LevelPackSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LevelPackSweep, ValidOnRandomDags) {
+  Rng rng(GetParam());
+  const Instance ins =
+      testing::random_precedence_instance(60, 0.05, gen::RectParams{}, rng);
+  const auto result = level_pack(ins);
+  EXPECT_TRUE(testing::placement_valid(ins, result.packing.placement));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LevelPackSweep,
+                         ::testing::Values(5u, 15u, 25u));
+
+// --------------------------------------------------------- release greedies
+TEST(ReleaseBaselines, ShelfGreedyRespectsReleases) {
+  Instance ins;
+  ins.add_item(0.5, 1.0, 0.0);
+  ins.add_item(0.5, 1.0, 5.0);
+  const Packing p = release::release_shelf_greedy(ins);
+  EXPECT_TRUE(testing::placement_valid(ins, p.placement));
+  EXPECT_GE(p.placement[1].y, 5.0 - 1e-9);
+}
+
+TEST(ReleaseBaselines, SkylineGreedyFillsEarlySpace) {
+  Instance ins;
+  ins.add_item(0.5, 1.0, 0.0);
+  ins.add_item(0.5, 1.0, 0.0);
+  ins.add_item(0.5, 1.0, 0.5);
+  const Packing p = release::release_skyline_greedy(ins);
+  EXPECT_TRUE(testing::placement_valid(ins, p.placement));
+  // Two at 0 side by side; the third floats at its release 0.5 or above.
+  EXPECT_LE(p.height(), 2.0 + 1e-9);
+}
+
+class ReleaseBaselineSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReleaseBaselineSweep, ValidOnPoissonWorkloads) {
+  Rng rng(GetParam());
+  gen::ReleaseWorkloadParams params;
+  params.n = 80;
+  params.K = 5;
+  const Instance ins = gen::poisson_release_workload(params, rng);
+  for (const Packing& p : {release::release_shelf_greedy(ins),
+                           release::release_skyline_greedy(ins)}) {
+    EXPECT_TRUE(testing::placement_valid(ins, p.placement));
+    EXPECT_GE(p.height(), release_lower_bound(ins) - 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReleaseBaselineSweep,
+                         ::testing::Values(7u, 17u, 27u, 37u));
+
+}  // namespace
+}  // namespace stripack

@@ -1,0 +1,143 @@
+#include "binpack/binpack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace stripack::binpack {
+namespace {
+
+TEST(BinPack, EmptyInput) {
+  EXPECT_EQ(pack({}, 1.0, Fit::NextFit).num_bins(), 0u);
+  EXPECT_EQ(lb_size({}, 1.0), 0u);
+  EXPECT_EQ(exact_min_bins({}, 1.0), 0u);
+}
+
+TEST(BinPack, SingleItem) {
+  const std::vector<double> sizes{0.7};
+  for (Fit fit : {Fit::NextFit, Fit::FirstFit, Fit::BestFit}) {
+    const auto a = pack(sizes, 1.0, fit);
+    EXPECT_EQ(a.num_bins(), 1u);
+    EXPECT_TRUE(is_valid(a, sizes, 1.0));
+  }
+}
+
+TEST(BinPack, NextFitNeverLooksBack) {
+  // 0.6, 0.5, 0.3: NF opens bin2 for 0.5, then 0.3 joins bin2 even though
+  // bin1 has room only for 0.3 (0.4 free).
+  const std::vector<double> sizes{0.6, 0.5, 0.3};
+  const auto nf = pack(sizes, 1.0, Fit::NextFit);
+  EXPECT_EQ(nf.num_bins(), 2u);
+  const auto owner = nf.item_to_bin(3);
+  EXPECT_EQ(owner[1], owner[2]);
+}
+
+TEST(BinPack, FirstFitReusesEarlierBins) {
+  const std::vector<double> sizes{0.6, 0.5, 0.3};
+  const auto ff = pack(sizes, 1.0, Fit::FirstFit);
+  EXPECT_EQ(ff.num_bins(), 2u);
+  const auto owner = ff.item_to_bin(3);
+  EXPECT_EQ(owner[0], owner[2]);  // 0.3 joins the 0.6 bin
+}
+
+TEST(BinPack, BestFitPicksTightest) {
+  // Bins with loads 0.7 and 0.5; a 0.3 fits both; best fit -> 0.7 bin.
+  const std::vector<double> sizes{0.7, 0.5, 0.3};
+  const auto bf = pack(sizes, 1.0, Fit::BestFit);
+  const auto owner = bf.item_to_bin(3);
+  EXPECT_EQ(owner[0], owner[2]);
+}
+
+TEST(BinPack, DecreasingVariantsSortFirst) {
+  // Sorted desc: 0.9 | 0.8 | 0.3 fits neither, opens bin 3 | 0.2 joins 0.8.
+  const std::vector<double> sizes{0.2, 0.9, 0.3, 0.8};
+  const auto ffd = pack_decreasing(sizes, 1.0, Fit::FirstFit);
+  EXPECT_TRUE(is_valid(ffd, sizes, 1.0));
+  EXPECT_EQ(ffd.num_bins(), 3u);
+  const auto owner = ffd.item_to_bin(4);
+  EXPECT_EQ(owner[0], owner[3]);  // 0.2 shares a bin with 0.8
+}
+
+TEST(BinPack, FfdMatchesExactOnKnownInstance) {
+  // {0.9}, {0.8, 0.2}, {0.3}: both FFD and the optimum need 3 bins
+  // (0.9 and 0.8 exclude everything except the 0.2 next to 0.8).
+  const std::vector<double> sizes{0.9, 0.8, 0.3, 0.2};
+  const auto ffd = pack_decreasing(sizes, 1.0, Fit::FirstFit);
+  EXPECT_EQ(ffd.num_bins(), 3u);
+  EXPECT_EQ(exact_min_bins(sizes, 1.0), 3u);
+}
+
+TEST(BinPack, RejectsOversizeItem) {
+  const std::vector<double> sizes{1.5};
+  EXPECT_THROW(pack(sizes, 1.0, Fit::FirstFit), ContractViolation);
+}
+
+TEST(BinPack, LbSizeCeils) {
+  const std::vector<double> sizes{0.5, 0.5, 0.5};
+  EXPECT_EQ(lb_size(sizes, 1.0), 2u);
+}
+
+TEST(BinPack, MartelloTothBeatsSizeOnHalves) {
+  // Five items of 0.6: L1 = ceil(3.0) = 3, L2 = 5 (no two fit together).
+  const std::vector<double> sizes(5, 0.6);
+  EXPECT_EQ(lb_size(sizes, 1.0), 3u);
+  EXPECT_EQ(lb_martello_toth(sizes, 1.0), 5u);
+  EXPECT_EQ(exact_min_bins(sizes, 1.0), 5u);
+}
+
+TEST(BinPack, ExactMatchesKnownOptimum) {
+  // 0.5,0.5,0.4,0.4,0.2 -> pairs (0.5,0.5), (0.4,0.4,0.2): 2 bins.
+  const std::vector<double> sizes{0.5, 0.5, 0.4, 0.4, 0.2};
+  EXPECT_EQ(exact_min_bins(sizes, 1.0), 2u);
+}
+
+TEST(BinPack, IsValidCatchesOverflowAndDuplicates) {
+  const std::vector<double> sizes{0.7, 0.6};
+  BinAssignment overfull;
+  overfull.bins = {{0, 1}};
+  EXPECT_FALSE(is_valid(overfull, sizes, 1.0));
+  BinAssignment duplicated;
+  duplicated.bins = {{0}, {0, 1}};
+  EXPECT_FALSE(is_valid(duplicated, sizes, 1.0));
+  BinAssignment missing;
+  missing.bins = {{0}};
+  EXPECT_FALSE(is_valid(missing, sizes, 1.0));
+  BinAssignment good;
+  good.bins = {{0}, {1}};
+  EXPECT_TRUE(is_valid(good, sizes, 1.0));
+}
+
+// Heuristics vs exact optimum and lower bounds on random sweeps.
+class BinPackSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BinPackSweep, HeuristicsValidAndBounded) {
+  Rng rng(GetParam());
+  std::vector<double> sizes;
+  for (int i = 0; i < 14; ++i) sizes.push_back(rng.uniform(0.05, 0.95));
+
+  const std::size_t opt = exact_min_bins(sizes, 1.0);
+  const std::size_t lb = lb_martello_toth(sizes, 1.0);
+  EXPECT_LE(lb, opt);
+
+  for (Fit fit : {Fit::NextFit, Fit::FirstFit, Fit::BestFit}) {
+    const auto online = pack(sizes, 1.0, fit);
+    EXPECT_TRUE(is_valid(online, sizes, 1.0));
+    EXPECT_GE(online.num_bins(), opt);
+    const auto offline = pack_decreasing(sizes, 1.0, fit);
+    EXPECT_TRUE(is_valid(offline, sizes, 1.0));
+    EXPECT_GE(offline.num_bins(), opt);
+    // FFD is within 11/9 OPT + 1 (we only assert the weaker 2x here).
+    if (fit != Fit::NextFit) {
+      EXPECT_LE(offline.num_bins(), 2 * opt + 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinPackSweep,
+                         ::testing::Values(3u, 5u, 8u, 13u, 21u, 34u, 55u));
+
+}  // namespace
+}  // namespace stripack::binpack

@@ -1,0 +1,199 @@
+#include "release/config_lp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "gen/release_gen.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace stripack::release {
+namespace {
+
+Instance items_of(const std::vector<std::tuple<double, double, double>>& whr) {
+  Instance ins;
+  for (const auto& [w, h, r] : whr) ins.add_item(w, h, r);
+  return ins;
+}
+
+// Checks that the slices satisfy the packing and covering constraints.
+void verify_fractional(const ConfigLpProblem& problem,
+                       const FractionalSolution& sol) {
+  ASSERT_TRUE(sol.feasible);
+  const std::size_t phases = problem.releases.size();
+  const std::size_t widths = problem.widths.size();
+  // Packing: total slice height in phase j <= phase duration (j < R).
+  std::vector<double> phase_height(phases, 0.0);
+  std::vector<std::vector<double>> supply(phases,
+                                          std::vector<double>(widths, 0.0));
+  for (const Slice& s : sol.slices) {
+    ASSERT_LT(s.phase, phases);
+    phase_height[s.phase] += s.height;
+    for (std::size_t i = 0; i < widths; ++i) {
+      supply[s.phase][i] += s.config.counts[i] * s.height;
+    }
+  }
+  for (std::size_t j = 0; j + 1 < phases; ++j) {
+    EXPECT_LE(phase_height[j],
+              problem.releases[j + 1] - problem.releases[j] + 1e-6);
+  }
+  // Covering: for each k, i: sum_{j>=k} supply >= sum_{j>=k} demand.
+  for (std::size_t k = 0; k < phases; ++k) {
+    for (std::size_t i = 0; i < widths; ++i) {
+      double s = 0.0, d = 0.0;
+      for (std::size_t j = k; j < phases; ++j) {
+        s += supply[j][i];
+        d += problem.demand[j][i];
+      }
+      EXPECT_GE(s, d - 1e-6) << "cover k=" << k << " i=" << i;
+    }
+  }
+  // Objective = total phase-R height; height = rho_R + objective.
+  EXPECT_NEAR(sol.objective, phase_height[phases - 1], 1e-6);
+  EXPECT_NEAR(sol.height, problem.releases.back() + sol.objective, 1e-9);
+}
+
+TEST(MakeProblem, ExtractsDistinctTables) {
+  const Instance ins = items_of(
+      {{0.5, 1.0, 0.0}, {0.5, 0.5, 1.0}, {0.25, 1.0, 0.0}, {0.25, 0.5, 1.0}});
+  const auto problem = make_problem(ins);
+  EXPECT_EQ(problem.widths, (std::vector<double>{0.5, 0.25}));
+  EXPECT_EQ(problem.releases, (std::vector<double>{0.0, 1.0}));
+  EXPECT_DOUBLE_EQ(problem.demand[0][0], 1.0);   // width .5 at r=0
+  EXPECT_DOUBLE_EQ(problem.demand[1][0], 0.5);   // width .5 at r=1
+  EXPECT_DOUBLE_EQ(problem.demand[0][1], 1.0);
+  EXPECT_DOUBLE_EQ(problem.demand[1][1], 0.5);
+}
+
+TEST(ConfigLp, SingleReleaseIsFractionalStripPacking) {
+  // Two width-0.5 items of height 1, release 0: fractional height 1
+  // (side by side).
+  const Instance ins = items_of({{0.5, 1.0, 0.0}, {0.5, 1.0, 0.0}});
+  const auto sol = solve_config_lp(make_problem(ins));
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.height, 1.0, 1e-6);
+  verify_fractional(make_problem(ins), sol);
+}
+
+TEST(ConfigLp, FullWidthItemsStackFractionally) {
+  const Instance ins = items_of({{1.0, 1.0, 0.0}, {1.0, 1.0, 0.0}});
+  const auto sol = solve_config_lp(make_problem(ins));
+  EXPECT_NEAR(sol.height, 2.0, 1e-6);
+}
+
+TEST(ConfigLp, LateReleaseForcesWaiting) {
+  // One 0.5-wide item released at 10 with height 1. The fractional version
+  // explicitly allows pieces of the *same* rectangle side by side (§3), so
+  // the LP halves it into two parallel strips: height 10 + 0.5.
+  const Instance ins = items_of({{0.5, 1.0, 10.0}});
+  const auto sol = solve_config_lp(make_problem(ins));
+  EXPECT_NEAR(sol.height, 10.5, 1e-6);
+  // A full-width item cannot be parallelized: height 10 + 1.
+  const Instance full = items_of({{1.0, 1.0, 10.0}});
+  EXPECT_NEAR(solve_config_lp(make_problem(full)).height, 11.0, 1e-6);
+}
+
+TEST(ConfigLp, EarlyPhaseAbsorbsEarlyWork) {
+  // Item A (h=2... not allowed >1; h=1) at r=0, item B at r=1, same width
+  // 1.0: A fills [0,1), B [1,2): height 2.
+  const Instance ins = items_of({{1.0, 1.0, 0.0}, {1.0, 1.0, 1.0}});
+  const auto sol = solve_config_lp(make_problem(ins));
+  EXPECT_NEAR(sol.height, 2.0, 1e-6);
+  verify_fractional(make_problem(ins), sol);
+}
+
+TEST(ConfigLp, FractionalBeatsIntegralWhenSplittingHelps) {
+  // Three 0.5-wide unit-height items, one release: fractional height 1.5
+  // (one item split across the two columns), integral needs 2.
+  const Instance ins =
+      items_of({{0.5, 1.0, 0.0}, {0.5, 1.0, 0.0}, {0.5, 1.0, 0.0}});
+  const auto sol = solve_config_lp(make_problem(ins));
+  EXPECT_NEAR(sol.height, 1.5, 1e-6);
+}
+
+TEST(ConfigLp, ColgenMatchesEnumeration) {
+  Rng rng(8);
+  gen::ReleaseWorkloadParams params;
+  params.n = 40;
+  params.K = 4;
+  const Instance ins = gen::poisson_release_workload(params, rng);
+  const auto problem = make_problem(ins);
+
+  ConfigLpOptions enumerate_options;
+  const auto full = solve_config_lp(problem, enumerate_options);
+  ConfigLpOptions colgen_options;
+  colgen_options.use_column_generation = true;
+  const auto cg = solve_config_lp(problem, colgen_options);
+
+  ASSERT_TRUE(full.feasible);
+  ASSERT_TRUE(cg.feasible);
+  EXPECT_NEAR(full.height, cg.height, 1e-5);
+  verify_fractional(problem, full);
+  verify_fractional(problem, cg);
+  EXPECT_GT(cg.colgen_rounds, 0);
+}
+
+TEST(ConfigLp, LowerBoundIsBelowAnyValidHeight) {
+  Rng rng(21);
+  gen::ReleaseWorkloadParams params;
+  params.n = 30;
+  params.K = 3;
+  const Instance ins = gen::poisson_release_workload(params, rng);
+  const double lb = fractional_lower_bound(ins);
+  // The trivial bounds are dominated by the LP bound.
+  EXPECT_GE(lb, release_lower_bound(ins) - 1e-6);
+  EXPECT_GE(lb, area_lower_bound(ins) - 1e-6);
+}
+
+TEST(ConfigLp, BasicSolutionWithinLemma33Budget) {
+  Rng rng(33);
+  gen::ReleaseWorkloadParams params;
+  params.n = 60;
+  params.K = 4;
+  const Instance ins = gen::poisson_release_workload(params, rng);
+  const auto problem = make_problem(ins);
+  const auto sol = solve_config_lp(problem);
+  ASSERT_TRUE(sol.feasible);
+  // Lemma 3.3: nonzeros <= (W+1)(R+1) (W widths, R+1 phases here).
+  const std::size_t budget =
+      (problem.widths.size() + 1) * problem.releases.size();
+  EXPECT_LE(sol.slices.size(), budget);
+  verify_fractional(problem, sol);
+}
+
+TEST(ConfigLp, CoarseLowerBoundIsBelowExact) {
+  Rng rng(87);
+  gen::ReleaseWorkloadParams params;
+  params.n = 40;
+  params.K = 3;
+  const Instance ins = gen::poisson_release_workload(params, rng);
+  const double exact = fractional_lower_bound(ins);
+  for (double eps_down : {0.5, 0.25, 0.1}) {
+    const double coarse = fractional_lower_bound_coarse(ins, eps_down);
+    EXPECT_LE(coarse, exact + 1e-6) << "eps_down=" << eps_down;
+    // Lemma 3.1 both ways: the coarse bound is within (1+eps) of exact.
+    EXPECT_GE(coarse * (1.0 + eps_down), exact - 1e-6);
+  }
+}
+
+class ConfigLpSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConfigLpSweep, RandomWorkloadsSolveAndVerify) {
+  Rng rng(GetParam());
+  gen::ReleaseWorkloadParams params;
+  params.n = 50;
+  params.K = 4;
+  params.arrival_rate = rng.uniform(0.5, 4.0);
+  const Instance ins = gen::poisson_release_workload(params, rng);
+  const auto problem = make_problem(ins);
+  const auto sol = solve_config_lp(problem);
+  verify_fractional(problem, sol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConfigLpSweep,
+                         ::testing::Values(1u, 12u, 23u, 34u, 45u));
+
+}  // namespace
+}  // namespace stripack::release

@@ -1,0 +1,109 @@
+#include "release/configurations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace stripack::release {
+namespace {
+
+TEST(Configurations, SingleWidth) {
+  // Width 0.3 into capacity 1: counts 1, 2, 3.
+  const std::vector<double> widths{0.3};
+  const auto configs = enumerate_configurations(widths, 1.0);
+  EXPECT_EQ(configs.size(), 3u);
+  std::set<int> counts;
+  for (const auto& q : configs) counts.insert(q.counts[0]);
+  EXPECT_EQ(counts, (std::set<int>{1, 2, 3}));
+}
+
+TEST(Configurations, ExactFitIsIncluded) {
+  const std::vector<double> widths{0.5};
+  const auto configs = enumerate_configurations(widths, 1.0);
+  // 1x and 2x (2*0.5 == 1.0 exactly).
+  EXPECT_EQ(configs.size(), 2u);
+}
+
+TEST(Configurations, TwoWidthsCountMatchesBruteForce) {
+  const std::vector<double> widths{0.4, 0.3};
+  const auto configs = enumerate_configurations(widths, 1.0);
+  // Pairs (a,b) with 0.4a + 0.3b <= 1, (a,b) != (0,0):
+  // a=0: b in 1..3 (3); a=1: b in 0..2 (3); a=2: b 0 (1). Total 7.
+  EXPECT_EQ(configs.size(), 7u);
+  for (const auto& q : configs) {
+    EXPECT_LE(q.total_width, 1.0 + 1e-9);
+    EXPECT_GT(q.total_items, 0);
+  }
+}
+
+TEST(Configurations, AllDistinct) {
+  const std::vector<double> widths{0.45, 0.3, 0.2};
+  const auto configs = enumerate_configurations(widths, 1.0);
+  std::set<std::vector<int>> seen;
+  for (const auto& q : configs) {
+    EXPECT_TRUE(seen.insert(q.counts).second) << "duplicate configuration";
+  }
+}
+
+TEST(Configurations, TotalsAreConsistent) {
+  const std::vector<double> widths{0.45, 0.3, 0.2};
+  for (const auto& q : enumerate_configurations(widths, 1.0)) {
+    double w = 0.0;
+    int items = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      w += q.counts[i] * widths[i];
+      items += q.counts[i];
+    }
+    EXPECT_NEAR(w, q.total_width, 1e-12);
+    EXPECT_EQ(items, q.total_items);
+  }
+}
+
+TEST(Configurations, PaperBoundAtMostKItems) {
+  // Widths >= 1/K => at most K items per configuration.
+  const int K = 5;
+  const std::vector<double> widths{0.8, 0.5, 0.35, 0.2};  // all >= 1/5
+  for (const auto& q : enumerate_configurations(widths, 1.0)) {
+    EXPECT_LE(q.total_items, K);
+  }
+}
+
+TEST(Configurations, CapTriggers) {
+  // 12 widths of 0.05: way too many multisets for a cap of 100.
+  std::vector<double> widths;
+  for (int i = 0; i < 12; ++i) widths.push_back(0.05 + 1e-4 * (12 - i));
+  EXPECT_THROW(enumerate_configurations(widths, 1.0, 100), ContractViolation);
+  EXPECT_GT(count_configurations(widths, 1.0, 100), 100u);
+}
+
+TEST(Configurations, CountMatchesEnumerate) {
+  const std::vector<double> widths{0.5, 0.4, 0.25, 0.15};
+  const auto configs = enumerate_configurations(widths, 1.0);
+  EXPECT_EQ(count_configurations(widths, 1.0, 1u << 20), configs.size());
+}
+
+TEST(Configurations, RequiresDescendingWidths) {
+  const std::vector<double> widths{0.3, 0.4};
+  EXPECT_THROW(enumerate_configurations(widths, 1.0), ContractViolation);
+}
+
+TEST(Configurations, RejectsOversizeWidth) {
+  const std::vector<double> widths{1.5};
+  EXPECT_THROW(enumerate_configurations(widths, 1.0), ContractViolation);
+}
+
+TEST(Configurations, ToStringShowsMultiplicities) {
+  const std::vector<double> widths{0.5, 0.25};
+  Configuration q;
+  q.counts = {1, 2};
+  q.total_width = 1.0;
+  q.total_items = 3;
+  const std::string s = q.to_string(widths);
+  EXPECT_NE(s.find("1x"), std::string::npos);
+  EXPECT_NE(s.find("2x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stripack::release

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/instance.hpp"
+#include "core/packing.hpp"
+#include "core/validate.hpp"
+#include "test_support.hpp"
+#include "util/assert.hpp"
+#include "util/float_eq.hpp"
+
+namespace stripack {
+namespace {
+
+using testing::make_instance;
+
+// ---------------------------------------------------------------- instance
+TEST(Instance, BasicAccessors) {
+  const Instance ins = make_instance({{0.5, 1.0}, {0.25, 2.0}});
+  EXPECT_EQ(ins.size(), 2u);
+  EXPECT_DOUBLE_EQ(ins.strip_width(), 1.0);
+  EXPECT_DOUBLE_EQ(ins.total_area(), 0.5 + 0.5);
+  EXPECT_DOUBLE_EQ(ins.max_height(), 2.0);
+  EXPECT_DOUBLE_EQ(ins.max_width(), 0.5);
+  EXPECT_FALSE(ins.has_precedence());
+  EXPECT_FALSE(ins.has_release_times());
+}
+
+TEST(Instance, AddItemAndPrecedence) {
+  Instance ins;
+  const VertexId a = ins.add_item(0.5, 1.0);
+  const VertexId b = ins.add_item(0.5, 1.0);
+  ins.add_precedence(a, b);
+  EXPECT_TRUE(ins.has_precedence());
+  EXPECT_TRUE(ins.dag().has_edge(a, b));
+  EXPECT_NO_THROW(ins.check_well_formed());
+}
+
+TEST(Instance, ReleaseDetection) {
+  Instance ins;
+  ins.add_item(0.5, 1.0, 0.0);
+  EXPECT_FALSE(ins.has_release_times());
+  ins.add_item(0.5, 1.0, 2.5);
+  EXPECT_TRUE(ins.has_release_times());
+  EXPECT_DOUBLE_EQ(ins.max_release(), 2.5);
+}
+
+TEST(Instance, WellFormedRejectsBadDimensions) {
+  Instance zero_w;
+  zero_w.add_item(0.0, 1.0);
+  EXPECT_THROW(zero_w.check_well_formed(), ContractViolation);
+
+  Instance too_wide;
+  too_wide.add_item(1.5, 1.0);
+  EXPECT_THROW(too_wide.check_well_formed(), ContractViolation);
+
+  Instance neg_release;
+  neg_release.add_item(0.5, 1.0, -1.0);
+  EXPECT_THROW(neg_release.check_well_formed(), ContractViolation);
+}
+
+TEST(Instance, WellFormedRejectsCyclicPrecedence) {
+  Instance ins;
+  const VertexId a = ins.add_item(0.5, 1.0);
+  const VertexId b = ins.add_item(0.5, 1.0);
+  ins.add_precedence(a, b);
+  ins.add_precedence(b, a);
+  EXPECT_THROW(ins.check_well_formed(), ContractViolation);
+}
+
+TEST(Instance, HeightsAndWidthsVectors) {
+  const Instance ins = make_instance({{0.3, 1.5}, {0.7, 0.5}});
+  EXPECT_EQ(ins.heights(), (std::vector<double>{1.5, 0.5}));
+  EXPECT_EQ(ins.widths(), (std::vector<double>{0.3, 0.7}));
+}
+
+// ----------------------------------------------------------------- packing
+TEST(Packing, HeightIsMaxTopEdge) {
+  const Instance ins = make_instance({{0.5, 1.0}, {0.5, 2.0}});
+  const Placement p{{0.0, 0.0}, {0.5, 0.5}};
+  EXPECT_DOUBLE_EQ(packing_height(ins, p), 2.5);
+}
+
+TEST(Packing, EmptyHeightIsZero) {
+  const Instance ins;
+  EXPECT_DOUBLE_EQ(packing_height(ins, {}), 0.0);
+}
+
+TEST(Packing, ShiftUpMovesAll) {
+  Placement p{{0.0, 0.0}, {0.5, 1.0}};
+  shift_up(p, 2.0);
+  EXPECT_DOUBLE_EQ(p[0].y, 2.0);
+  EXPECT_DOUBLE_EQ(p[1].y, 3.0);
+  EXPECT_DOUBLE_EQ(p[0].x, 0.0);  // x untouched
+}
+
+// ---------------------------------------------------------------- validate
+TEST(Validate, AcceptsDisjointPlacement) {
+  const Instance ins = make_instance({{0.5, 1.0}, {0.5, 1.0}});
+  const Placement p{{0.0, 0.0}, {0.5, 0.0}};
+  EXPECT_TRUE(validate(ins, p).ok());
+}
+
+TEST(Validate, AcceptsTouchingRectangles) {
+  const Instance ins = make_instance({{0.5, 1.0}, {0.5, 1.0}});
+  // Share the vertical edge x=0.5 and the horizontal line y=1.
+  const Placement p{{0.0, 0.0}, {0.5, 0.0}};
+  EXPECT_TRUE(validate(ins, p).ok());
+  const Placement stacked{{0.0, 0.0}, {0.0, 1.0}};
+  EXPECT_TRUE(validate(ins, stacked).ok());
+}
+
+TEST(Validate, DetectsOverlap) {
+  const Instance ins = make_instance({{0.6, 1.0}, {0.6, 1.0}});
+  const Placement p{{0.0, 0.0}, {0.3, 0.5}};
+  const auto report = validate(ins, p);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::Overlap);
+}
+
+TEST(Validate, DetectsOutOfStrip) {
+  const Instance ins = make_instance({{0.6, 1.0}});
+  const auto right = validate(ins, {{0.5, 0.0}});
+  ASSERT_FALSE(right.ok());
+  EXPECT_EQ(right.violations[0].kind, ViolationKind::OutOfStrip);
+  const auto below = validate(ins, {{0.0, -0.5}});
+  ASSERT_FALSE(below.ok());
+  EXPECT_EQ(below.violations[0].kind, ViolationKind::OutOfStrip);
+}
+
+TEST(Validate, DetectsPrecedenceViolation) {
+  Instance ins;
+  const VertexId a = ins.add_item(0.4, 1.0);
+  const VertexId b = ins.add_item(0.4, 1.0);
+  ins.add_precedence(a, b);
+  // b starts below a's top.
+  const auto bad = validate(ins, {{0.0, 0.0}, {0.5, 0.5}});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.violations[0].kind, ViolationKind::Precedence);
+  // Exactly stacked is fine.
+  EXPECT_TRUE(validate(ins, {{0.0, 0.0}, {0.5, 1.0}}).ok());
+}
+
+TEST(Validate, DetectsReleaseViolation) {
+  Instance ins;
+  ins.add_item(0.4, 1.0, 2.0);
+  const auto bad = validate(ins, {{0.0, 1.0}});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.violations[0].kind, ViolationKind::ReleaseTime);
+  EXPECT_TRUE(validate(ins, {{0.0, 2.0}}).ok());
+}
+
+TEST(Validate, DetectsLengthMismatch) {
+  const Instance ins = make_instance({{0.5, 1.0}});
+  const auto report = validate(ins, {});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::PlacementLength);
+}
+
+TEST(Validate, RequireValidThrowsWithSummary) {
+  const Instance ins = make_instance({{0.6, 1.0}, {0.6, 1.0}});
+  EXPECT_THROW(require_valid(ins, {{0.0, 0.0}, {0.0, 0.0}}),
+               ContractViolation);
+}
+
+TEST(Validate, CapsViolationCount) {
+  // 20 identical rectangles all at the origin: O(n^2) overlaps, capped.
+  std::vector<Item> items(20, Item{Rect{0.5, 1.0}, 0.0});
+  const Instance ins(std::move(items));
+  Placement p(20, Position{0.0, 0.0});
+  ValidateOptions options;
+  options.max_violations = 5;
+  EXPECT_EQ(validate(ins, p, options).violations.size(), 5u);
+}
+
+// Sweep-line vs brute force on random shelf-like and random placements.
+class ValidateSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ValidateSweepTest, MatchesBruteForceOverlapDetection) {
+  Rng rng(GetParam());
+  gen::RectParams params;
+  params.min_width = 0.05;
+  params.max_width = 0.4;
+  params.min_height = 0.05;
+  params.max_height = 0.5;
+  const auto rects = gen::random_rects(40, params, rng);
+  std::vector<Item> items;
+  for (const Rect& r : rects) items.push_back(Item{r, 0.0});
+  const Instance ins(std::move(items));
+  // Random placement, possibly overlapping.
+  Placement p;
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    p.push_back(Position{rng.uniform(0.0, 1.0 - ins.item(i).width()),
+                         rng.uniform(0.0, 2.0)});
+  }
+  ValidateOptions options;
+  options.max_violations = 100000;
+  const auto report = validate(ins, p, options);
+  // Brute force count of overlapping pairs.
+  std::size_t brute = 0;
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    for (std::size_t j = i + 1; j < ins.size(); ++j) {
+      const bool x = intervals_overlap(p[i].x, p[i].x + ins.item(i).width(),
+                                       p[j].x, p[j].x + ins.item(j).width(),
+                                       options.tol);
+      const bool y = intervals_overlap(p[i].y, p[i].y + ins.item(i).height(),
+                                       p[j].y, p[j].y + ins.item(j).height(),
+                                       options.tol);
+      brute += x && y;
+    }
+  }
+  std::size_t sweep = 0;
+  for (const auto& v : report.violations) {
+    sweep += v.kind == ViolationKind::Overlap;
+  }
+  EXPECT_EQ(sweep, brute);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValidateSweepTest,
+                         ::testing::Values(10u, 20u, 30u, 40u, 50u, 60u));
+
+// ------------------------------------------------------------------ bounds
+TEST(Bounds, AreaBound) {
+  const Instance ins = make_instance({{0.5, 2.0}, {0.5, 2.0}});
+  EXPECT_DOUBLE_EQ(area_lower_bound(ins), 2.0);
+}
+
+TEST(Bounds, CriticalPathEqualsChainHeight) {
+  Instance ins;
+  const VertexId a = ins.add_item(0.2, 1.5);
+  const VertexId b = ins.add_item(0.2, 2.5);
+  ins.add_precedence(a, b);
+  EXPECT_DOUBLE_EQ(critical_path_lower_bound(ins), 4.0);
+  const auto f = critical_path_values(ins);
+  EXPECT_DOUBLE_EQ(f[a], 1.5);
+  EXPECT_DOUBLE_EQ(f[b], 4.0);
+}
+
+TEST(Bounds, CriticalPathWithoutEdgesIsMaxHeight) {
+  const Instance ins = make_instance({{0.2, 1.5}, {0.2, 2.5}});
+  EXPECT_DOUBLE_EQ(critical_path_lower_bound(ins), 2.5);
+}
+
+TEST(Bounds, ReleaseBoundDominatesLateArrivals) {
+  Instance ins;
+  ins.add_item(1.0, 1.0, 0.0);
+  ins.add_item(1.0, 1.0, 10.0);
+  // The late item forces height >= 10 + 1.
+  EXPECT_DOUBLE_EQ(release_lower_bound(ins), 11.0);
+}
+
+TEST(Bounds, ReleaseBoundAccumulatesSuffixArea) {
+  Instance ins;
+  ins.add_item(1.0, 2.0, 5.0);
+  ins.add_item(1.0, 3.0, 5.0);
+  // Both released at 5: height >= 5 + 5.
+  EXPECT_DOUBLE_EQ(release_lower_bound(ins), 10.0);
+}
+
+TEST(Bounds, CombinedPicksTheLargest) {
+  Instance ins;
+  ins.add_item(0.1, 0.5, 20.0);
+  EXPECT_DOUBLE_EQ(combined_lower_bound(ins), 20.5);
+}
+
+TEST(Bounds, LowerBoundsNeverExceedAnyValidPackingHeight) {
+  Rng rng(777);
+  for (int round = 0; round < 20; ++round) {
+    const Instance ins =
+        testing::random_precedence_instance(30, 0.1, gen::RectParams{}, rng);
+    // Stack everything in topological order: always valid.
+    Placement p(ins.size());
+    double y = 0.0;
+    for (VertexId v : ins.dag().topological_order()) {
+      p[v] = Position{0.0, y};
+      y += ins.item(v).height();
+    }
+    ASSERT_TRUE(testing::placement_valid(ins, p));
+    EXPECT_LE(combined_lower_bound(ins), packing_height(ins, p) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace stripack

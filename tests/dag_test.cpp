@@ -1,0 +1,237 @@
+#include "dag/dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/dag_gen.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace stripack {
+namespace {
+
+Dag diamond() {
+  // 0 -> {1,2} -> 3
+  Dag d(4);
+  d.add_edge(0, 1);
+  d.add_edge(0, 2);
+  d.add_edge(1, 3);
+  d.add_edge(2, 3);
+  return d;
+}
+
+TEST(Dag, EmptyGraphBasics) {
+  Dag d(5);
+  EXPECT_EQ(d.num_vertices(), 5u);
+  EXPECT_EQ(d.num_edges(), 0u);
+  EXPECT_TRUE(d.empty_edges());
+  EXPECT_FALSE(d.has_cycle());
+  EXPECT_EQ(d.topological_order().size(), 5u);
+  EXPECT_EQ(d.sources().size(), 5u);
+  EXPECT_EQ(d.sinks().size(), 5u);
+}
+
+TEST(Dag, AddEdgeIgnoresDuplicates) {
+  Dag d(3);
+  d.add_edge(0, 1);
+  d.add_edge(0, 1);
+  EXPECT_EQ(d.num_edges(), 1u);
+}
+
+TEST(Dag, RejectsSelfLoop) {
+  Dag d(3);
+  EXPECT_THROW(d.add_edge(1, 1), ContractViolation);
+}
+
+TEST(Dag, RejectsOutOfRange) {
+  Dag d(3);
+  EXPECT_THROW(d.add_edge(0, 3), ContractViolation);
+}
+
+TEST(Dag, FromEdgesRejectsCycle) {
+  const Edge cyclic[] = {{0, 1}, {1, 2}, {2, 0}};
+  EXPECT_FALSE(Dag::from_edges(3, cyclic).has_value());
+}
+
+TEST(Dag, FromEdgesAcceptsDag) {
+  const Edge ok[] = {{0, 1}, {1, 2}};
+  const auto d = Dag::from_edges(3, ok);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->num_edges(), 2u);
+}
+
+TEST(Dag, CycleDetection) {
+  Dag d(3);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  EXPECT_FALSE(d.has_cycle());
+  d.add_edge(2, 0);
+  EXPECT_TRUE(d.has_cycle());
+  EXPECT_THROW(d.topological_order(), ContractViolation);
+}
+
+TEST(Dag, TopologicalOrderRespectsEdges) {
+  const Dag d = diamond();
+  const auto order = d.topological_order();
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (const Edge& e : d.edges()) EXPECT_LT(pos[e.from], pos[e.to]);
+}
+
+TEST(Dag, TopologicalOrderIsStable) {
+  // Ready vertices come out in increasing id: after 1 and 2 are popped,
+  // vertex 0 unblocks and precedes 3.
+  Dag d(4);
+  d.add_edge(2, 0);
+  const auto order = d.topological_order();
+  EXPECT_EQ(order, (std::vector<VertexId>{1, 2, 0, 3}));
+}
+
+TEST(Dag, LongestPathMatchesPaperF) {
+  // F(s) = h_s + max over predecessors; diamond with unit heights.
+  const Dag d = diamond();
+  const std::vector<double> h{1.0, 2.0, 3.0, 1.0};
+  const auto f = d.longest_path_to(h);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);
+  EXPECT_DOUBLE_EQ(f[1], 3.0);   // 1 + 2
+  EXPECT_DOUBLE_EQ(f[2], 4.0);   // 1 + 3
+  EXPECT_DOUBLE_EQ(f[3], 5.0);   // max(3,4) + 1
+  EXPECT_DOUBLE_EQ(d.critical_path(h), 5.0);
+}
+
+TEST(Dag, CriticalPathOfEdgelessGraphIsMaxWeight) {
+  Dag d(3);
+  const std::vector<double> h{0.5, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(d.critical_path(h), 2.0);
+}
+
+TEST(Dag, InducedSubgraphKeepsInternalEdges) {
+  const Dag d = diamond();
+  const VertexId keep[] = {0, 1, 3};
+  const Dag sub = d.induced_subgraph(keep);
+  EXPECT_EQ(sub.num_vertices(), 3u);
+  // 0->1 and 1->3 survive (as 0->1, 1->2); 0->2,2->3 drop with vertex 2.
+  EXPECT_EQ(sub.num_edges(), 2u);
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_TRUE(sub.has_edge(1, 2));
+}
+
+TEST(Dag, InducedSubgraphRejectsDuplicates) {
+  const Dag d = diamond();
+  const VertexId dup[] = {0, 0};
+  EXPECT_THROW(d.induced_subgraph(dup), ContractViolation);
+}
+
+TEST(Dag, LevelsIncreaseAlongEdges) {
+  const Dag d = diamond();
+  const auto level = d.levels();
+  EXPECT_EQ(level[0], 0u);
+  EXPECT_EQ(level[1], 1u);
+  EXPECT_EQ(level[2], 1u);
+  EXPECT_EQ(level[3], 2u);
+}
+
+TEST(Dag, ReachableFromFollowsPaths) {
+  const Dag d = diamond();
+  const auto r = d.reachable_from(1);
+  EXPECT_TRUE(r[1]);
+  EXPECT_TRUE(r[3]);
+  EXPECT_FALSE(r[0]);
+  EXPECT_FALSE(r[2]);
+}
+
+TEST(Dag, TransitiveClosureAddsPathEdges) {
+  Dag d(3);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  const Dag c = d.transitive_closure();
+  EXPECT_TRUE(c.has_edge(0, 2));
+  EXPECT_EQ(c.num_edges(), 3u);
+}
+
+TEST(Dag, TransitiveReductionDropsShortcuts) {
+  Dag d(3);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  d.add_edge(0, 2);  // shortcut
+  const Dag r = d.transitive_reduction();
+  EXPECT_EQ(r.num_edges(), 2u);
+  EXPECT_FALSE(r.has_edge(0, 2));
+}
+
+TEST(Dag, ReductionThenClosureIsIdentityOnClosure) {
+  Rng rng(123);
+  const Dag d = gen::gnp_dag(12, 0.3, rng);
+  const Dag closure = d.transitive_closure();
+  const Dag again = d.transitive_reduction().transitive_closure();
+  EXPECT_EQ(closure.num_edges(), again.num_edges());
+  for (const Edge& e : closure.edges()) {
+    EXPECT_TRUE(again.has_edge(e.from, e.to));
+  }
+}
+
+TEST(Dag, SourcesAndSinks) {
+  const Dag d = diamond();
+  EXPECT_EQ(d.sources(), (std::vector<VertexId>{0}));
+  EXPECT_EQ(d.sinks(), (std::vector<VertexId>{3}));
+}
+
+TEST(Dag, ResizePreservesEdges) {
+  Dag d(2);
+  d.add_edge(0, 1);
+  d.resize(4);
+  EXPECT_EQ(d.num_vertices(), 4u);
+  EXPECT_TRUE(d.has_edge(0, 1));
+  d.add_edge(2, 3);
+  EXPECT_EQ(d.num_edges(), 2u);
+}
+
+// ------------------------------------------------- generator sanity sweeps
+class DagGenTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DagGenTest, GnpIsAcyclicAndOrderRespecting) {
+  Rng rng(GetParam());
+  const Dag d = gen::gnp_dag(40, 0.15, rng);
+  EXPECT_FALSE(d.has_cycle());
+  for (const Edge& e : d.edges()) EXPECT_LT(e.from, e.to);
+}
+
+TEST_P(DagGenTest, LayeredDagLevelsAreBounded) {
+  Rng rng(GetParam());
+  const Dag d = gen::layered_dag(60, 5, 3, rng);
+  EXPECT_FALSE(d.has_cycle());
+  const auto level = d.levels();
+  for (std::size_t l : level) EXPECT_LT(l, 5u);
+}
+
+TEST_P(DagGenTest, RandomTreeHasOneSource) {
+  Rng rng(GetParam());
+  const Dag d = gen::random_tree_dag(30, rng);
+  EXPECT_FALSE(d.has_cycle());
+  EXPECT_EQ(d.num_edges(), 29u);
+  EXPECT_EQ(d.sources().size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DagGenTest,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1234u));
+
+TEST(DagGen, ChainShape) {
+  const Dag d = gen::chain_dag(5);
+  EXPECT_EQ(d.num_edges(), 4u);
+  const std::vector<double> unit(5, 1.0);
+  EXPECT_DOUBLE_EQ(d.critical_path(unit), 5.0);
+}
+
+TEST(DagGen, ForkJoinShape) {
+  const Dag d = gen::fork_join_dag(3, 2);
+  // 1 source + 3*2 branch vertices + 1 sink.
+  EXPECT_EQ(d.num_vertices(), 8u);
+  EXPECT_EQ(d.sources().size(), 1u);
+  EXPECT_EQ(d.sinks().size(), 1u);
+  const std::vector<double> unit(8, 1.0);
+  EXPECT_DOUBLE_EQ(d.critical_path(unit), 4.0);  // source, 2 deep, sink
+}
+
+}  // namespace
+}  // namespace stripack

@@ -1,0 +1,191 @@
+#include "precedence/dc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "core/validate.hpp"
+#include "gen/lowerbound_family.hpp"
+#include "packers/registry.hpp"
+#include "test_support.hpp"
+
+namespace stripack {
+namespace {
+
+TEST(Dc, EmptyInstance) {
+  const Instance ins;
+  const DcResult result = dc_pack(ins);
+  EXPECT_DOUBLE_EQ(result.packing.height(), 0.0);
+}
+
+TEST(Dc, SingleItem) {
+  Instance ins;
+  ins.add_item(0.5, 2.0);
+  const DcResult result = dc_pack(ins);
+  EXPECT_DOUBLE_EQ(result.packing.height(), 2.0);
+  EXPECT_TRUE(testing::placement_valid(ins, result.packing.placement));
+}
+
+TEST(Dc, ChainPacksToCriticalPath) {
+  Instance ins;
+  VertexId prev = 0;
+  for (int i = 0; i < 8; ++i) {
+    const VertexId v = ins.add_item(0.3, 1.0);
+    if (i > 0) ins.add_precedence(prev, v);
+    prev = v;
+  }
+  const DcResult result = dc_pack(ins);
+  EXPECT_TRUE(testing::placement_valid(ins, result.packing.placement));
+  // A chain admits no parallelism: height exactly F(S) = 8.
+  EXPECT_NEAR(result.packing.height(), 8.0, 1e-9);
+}
+
+TEST(Dc, IndependentItemsUseSubroutineOnly) {
+  // No precedence at all: DC peels antichains; the result must still be
+  // valid and within the NFDH bound.
+  Instance ins = testing::make_instance(
+      {{0.5, 1.0}, {0.5, 1.0}, {0.25, 0.5}, {0.25, 0.5}, {0.5, 0.5}});
+  const DcResult result = dc_pack(ins);
+  EXPECT_TRUE(testing::placement_valid(ins, result.packing.placement));
+  EXPECT_LE(result.packing.height(), result.theorem23_bound + 1e-9);
+}
+
+TEST(Dc, RespectsPrecedenceOnDiamond) {
+  Instance ins;
+  const VertexId a = ins.add_item(0.5, 1.0);
+  const VertexId b = ins.add_item(0.5, 1.0);
+  const VertexId c = ins.add_item(0.5, 1.0);
+  const VertexId d = ins.add_item(0.5, 1.0);
+  ins.add_precedence(a, b);
+  ins.add_precedence(a, c);
+  ins.add_precedence(b, d);
+  ins.add_precedence(c, d);
+  const DcResult result = dc_pack(ins);
+  EXPECT_TRUE(testing::placement_valid(ins, result.packing.placement));
+  // b and c can share a level: height 3 is achievable and optimal.
+  EXPECT_NEAR(result.packing.height(), 3.0, 1e-9);
+}
+
+TEST(Dc, RejectsReleaseTimes) {
+  Instance ins;
+  ins.add_item(0.5, 1.0, 2.0);
+  EXPECT_THROW(dc_pack(ins), ContractViolation);
+}
+
+TEST(Dc, Theorem23BoundFormula) {
+  Instance ins = testing::make_instance({{0.5, 1.0}, {0.5, 1.0}});
+  // n = 2: bound = log2(3) * F + 2 * AREA = log2(3)*1 + 2*1.
+  EXPECT_NEAR(theorem23_bound(ins), std::log2(3.0) * 1.0 + 2.0 * 1.0, 1e-12);
+}
+
+TEST(Dc, StatsArepopulated) {
+  Rng rng(5);
+  const Instance ins =
+      testing::random_precedence_instance(40, 0.1, gen::RectParams{}, rng);
+  const DcResult result = dc_pack(ins);
+  EXPECT_GE(result.stats.recursive_calls, 1u);
+  EXPECT_GE(result.stats.mid_bands, 1u);
+  EXPECT_GT(result.stats.sum_mid_heights, 0.0);
+}
+
+// --------------------------------------------------------- property sweeps
+struct DcSweep {
+  std::uint64_t seed;
+  std::size_t n;
+  double edge_prob;
+};
+
+class DcSweepTest : public ::testing::TestWithParam<DcSweep> {};
+
+TEST_P(DcSweepTest, ValidAndWithinTheorem23ForEveryCertifiedPacker) {
+  const DcSweep& sweep = GetParam();
+  Rng rng(sweep.seed);
+  gen::RectParams params;
+  params.min_width = 0.02;
+  params.min_height = 0.05;
+  const Instance ins = testing::random_precedence_instance(
+      sweep.n, sweep.edge_prob, params, rng);
+
+  for (const auto& packer : all_packers()) {
+    DcOptions options;
+    options.packer = packer.get();
+    const DcResult result = dc_pack(ins, options);
+    ASSERT_TRUE(testing::placement_valid(ins, result.packing.placement))
+        << packer->name() << " seed=" << sweep.seed;
+    if (packer->guarantee().certified &&
+        packer->guarantee().multiplier <= 2.0) {
+      EXPECT_LE(result.packing.height(), result.theorem23_bound + 1e-7)
+          << packer->name();
+    }
+    // Height of any algorithm is at least the instance lower bound.
+    EXPECT_GE(result.packing.height(),
+              std::max(area_lower_bound(ins),
+                       critical_path_lower_bound(ins)) -
+                  1e-7);
+  }
+}
+
+std::vector<DcSweep> dc_sweeps() {
+  std::vector<DcSweep> out;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    out.push_back({seed, 30, 0.08});
+    out.push_back({seed, 60, 0.03});
+  }
+  out.push_back({9u, 100, 0.0});   // no edges
+  out.push_back({10u, 50, 0.5});   // dense DAG
+  out.push_back({11u, 1, 0.0});    // singleton
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, DcSweepTest, ::testing::ValuesIn(dc_sweeps()));
+
+TEST(Dc, SplitFractionAblationStaysValid) {
+  Rng rng(321);
+  const Instance ins =
+      testing::random_precedence_instance(60, 0.08, gen::RectParams{}, rng);
+  for (double split : {0.25, 0.4, 0.5, 0.6, 0.75}) {
+    DcOptions options;
+    options.split_fraction = split;
+    const DcResult result = dc_pack(ins, options);
+    EXPECT_TRUE(testing::placement_valid(ins, result.packing.placement))
+        << "split=" << split;
+  }
+}
+
+TEST(Dc, RejectsDegenerateSplitFraction) {
+  Instance ins;
+  ins.add_item(0.5, 1.0);
+  DcOptions options;
+  options.split_fraction = 0.0;
+  EXPECT_THROW(dc_pack(ins, options), ContractViolation);
+  options.split_fraction = 1.0;
+  EXPECT_THROW(dc_pack(ins, options), ContractViolation);
+}
+
+// DC on the paper's own adversarial families stays within Theorem 2.3.
+TEST(Dc, Lemma24FamilyWithinGuarantee) {
+  for (std::size_t k : {2u, 3u, 4u, 5u}) {
+    const auto family = gen::lemma24_family(k, 1e-4);
+    const DcResult result = dc_pack(family.instance);
+    EXPECT_TRUE(
+        testing::placement_valid(family.instance, result.packing.placement));
+    EXPECT_LE(result.packing.height(), result.theorem23_bound + 1e-7);
+    // And the family really does force ~k/2 height on DC.
+    EXPECT_GE(result.packing.height(),
+              family.certificate.opt_lower_bound - 1e-7);
+  }
+}
+
+TEST(Dc, Lemma27FamilyWithinGuarantee) {
+  for (std::size_t k : {1u, 3u, 6u}) {
+    const auto family = gen::lemma27_family(k, 0.01);
+    const DcResult result = dc_pack(family.instance);
+    EXPECT_TRUE(
+        testing::placement_valid(family.instance, result.packing.placement));
+    EXPECT_LE(result.packing.height(), result.theorem23_bound + 1e-7);
+  }
+}
+
+}  // namespace
+}  // namespace stripack

@@ -1,0 +1,253 @@
+// Cross-module edge cases and failure injection that do not fit a single
+// module's suite: solver limits, I/O corruption, multi-constraint
+// validation, simulator configuration variants, stats plausibility.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/bounds.hpp"
+#include "core/validate.hpp"
+#include "fpga/adapters.hpp"
+#include "fpga/simulator.hpp"
+#include "fpga/workloads.hpp"
+#include "gen/release_gen.hpp"
+#include "io/instance_io.hpp"
+#include "lp/simplex.hpp"
+#include "precedence/dc.hpp"
+#include "precedence/list_schedule.hpp"
+#include "precedence/shelf_convert.hpp"
+#include "release/aptas.hpp"
+#include "release/config_lp.hpp"
+#include "release/integralize.hpp"
+#include "test_support.hpp"
+
+namespace stripack {
+namespace {
+
+// ------------------------------------------------------------ LP limits
+TEST(EdgeCases, SimplexIterationLimitReported) {
+  // A healthy LP with an absurd iteration cap must return IterationLimit,
+  // not crash or claim optimality.
+  lp::Model m;
+  const int r1 = m.add_row(lp::Sense::GE, 4);
+  const int r2 = m.add_row(lp::Sense::GE, 6);
+  const lp::RowEntry x_entries[] = {{r1, 1.0}, {r2, 3.0}};
+  const lp::RowEntry y_entries[] = {{r1, 2.0}, {r2, 1.0}};
+  m.add_column(1.0, x_entries);
+  m.add_column(1.0, y_entries);
+  lp::SimplexOptions options;
+  options.max_iterations = 1;
+  const lp::Solution s = lp::solve(m, options);
+  EXPECT_EQ(s.status, lp::SolveStatus::IterationLimit);
+}
+
+TEST(EdgeCases, SimplexSingleRowSingleColumn) {
+  lp::Model m;
+  const int r = m.add_row(lp::Sense::GE, 5);
+  const lp::RowEntry e[] = {{r, 2.0}};
+  m.add_column(3.0, e);
+  const lp::Solution s = lp::solve(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.x[0], 2.5, 1e-9);
+  EXPECT_NEAR(s.objective, 7.5, 1e-9);
+}
+
+// ------------------------------------------------------------ I/O errors
+TEST(EdgeCases, InstanceIoRejectsEdgeOutOfRange) {
+  std::stringstream buffer;
+  buffer << "stripack-instance v1\nstrip_width 1\nitems 1\n0.5 0.5 0\n"
+         << "edges 1\n0 5\n";
+  EXPECT_THROW(io::read_instance(buffer), ContractViolation);
+}
+
+TEST(EdgeCases, InstanceIoRejectsGarbageNumbers) {
+  std::stringstream buffer;
+  buffer << "stripack-instance v1\nstrip_width 1\nitems 1\nfoo bar baz\n";
+  EXPECT_THROW(io::read_instance(buffer), ContractViolation);
+}
+
+TEST(EdgeCases, PlacementIoRejectsTruncation) {
+  std::stringstream buffer;
+  buffer << "stripack-placement v1\nitems 3\n0 0\n";
+  EXPECT_THROW(io::read_placement(buffer), ContractViolation);
+}
+
+// -------------------------------------------------- combined validation
+TEST(EdgeCases, ValidatorReportsBothConstraintFamilies) {
+  Instance ins;
+  const VertexId a = ins.add_item(0.4, 1.0, 0.0);
+  const VertexId b = ins.add_item(0.4, 1.0, 5.0);  // release 5
+  ins.add_precedence(a, b);
+  // b placed both before its release and before its predecessor finishes.
+  const Placement p{{0.0, 0.0}, {0.5, 0.5}};
+  ValidateOptions options;
+  const ValidationReport report = validate(ins, p, options);
+  bool saw_release = false, saw_precedence = false;
+  for (const Violation& v : report.violations) {
+    saw_release |= v.kind == ViolationKind::ReleaseTime;
+    saw_precedence |= v.kind == ViolationKind::Precedence;
+  }
+  EXPECT_TRUE(saw_release);
+  EXPECT_TRUE(saw_precedence);
+}
+
+// -------------------------------------------------------------- config LP
+TEST(EdgeCases, ConfigLpSingleItemExactHeight) {
+  Instance ins;
+  ins.add_item(1.0, 0.75, 0.0);
+  const auto sol = release::solve_config_lp(release::make_problem(ins));
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.height, 0.75, 1e-9);
+}
+
+TEST(EdgeCases, ConfigLpManyIdenticalItems) {
+  // 10 identical half-width items, one release: fractional height 10*1/2.
+  Instance ins;
+  for (int i = 0; i < 10; ++i) ins.add_item(0.5, 1.0, 0.0);
+  const auto sol = release::solve_config_lp(release::make_problem(ins));
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.height, 5.0, 1e-6);
+}
+
+TEST(EdgeCases, IntegralizeFallbackStillProducesValidPacking) {
+  // Failure injection: hand integralize a fractional "solution" whose
+  // supply deliberately misses one item. The Lemma 3.4 greedy cannot place
+  // everything, so the safety net must kick in (fallback_items > 0) and
+  // the result must still validate.
+  Instance ins;
+  ins.add_item(0.5, 1.0, 0.0);
+  ins.add_item(0.5, 1.0, 0.0);
+  const auto problem = release::make_problem(ins);
+
+  release::FractionalSolution starved;
+  starved.feasible = true;
+  release::Slice slice;
+  slice.config.counts = {1};  // one column of width 0.5
+  slice.config.total_width = 0.5;
+  slice.config.total_items = 1;
+  slice.phase = 0;
+  slice.height = 1.0;  // room for one unit-height item only
+  starved.slices.push_back(slice);
+  starved.objective = 1.0;
+  starved.height = 1.0;
+
+  const auto result = release::integralize(ins, problem, starved);
+  EXPECT_EQ(result.fallback_items, 1u);
+  EXPECT_TRUE(testing::placement_valid(ins, result.placement));
+}
+
+TEST(EdgeCases, ShelfConversionRejectsNonUniformHeights) {
+  Instance ins;
+  ins.add_item(0.5, 1.0);
+  ins.add_item(0.5, 2.0);
+  const Placement p{{0.0, 0.0}, {0.5, 0.0}};
+  EXPECT_THROW(to_shelf_packing(ins, p), ContractViolation);
+}
+
+// ------------------------------------------------------------ APTAS misc
+TEST(EdgeCases, AptasOnBurstyWorkload) {
+  Rng rng(31);
+  gen::ReleaseWorkloadParams params;
+  params.n = 60;
+  params.K = 3;
+  const Instance ins = gen::bursty_release_workload(params, 4, 2.0, rng);
+  release::AptasParams ap;
+  ap.epsilon = 1.0;
+  ap.K = 3;
+  const auto result = release::aptas_pack(ins, ap);
+  EXPECT_TRUE(testing::placement_valid(ins, result.packing.placement));
+  EXPECT_EQ(result.stats.fallback_items, 0u);
+  EXPECT_GE(result.stats.seconds_lp, 0.0);
+  EXPECT_GE(result.stats.seconds_integralize, 0.0);
+}
+
+TEST(EdgeCases, AptasSkipInputChecksAllowsTallItems) {
+  // With checks skipped the pipeline still produces a *valid* packing for
+  // h > 1 items (the theory's additive analysis no longer applies, but
+  // correctness is unconditional).
+  Instance ins;
+  ins.add_item(0.5, 2.5, 0.0);
+  ins.add_item(0.5, 1.5, 1.0);
+  release::AptasParams ap;
+  ap.epsilon = 1.0;
+  ap.K = 2;
+  ap.skip_input_checks = true;
+  const auto result = release::aptas_pack(ins, ap);
+  EXPECT_TRUE(testing::placement_valid(ins, result.packing.placement));
+}
+
+// ----------------------------------------------------------------- FPGA
+TEST(EdgeCases, MultiPortReconfigurationRunsInParallel) {
+  fpga::TaskSet set;
+  set.tasks.push_back(fpga::Task{"a", 2, 1.0, 0.0});
+  set.tasks.push_back(fpga::Task{"b", 2, 1.0, 0.0});
+  set.deps = Dag(2);
+  fpga::Device device{8, 0.1, /*single_reconfig_port=*/false};
+  fpga::Schedule planned;
+  planned.entries = {{0, 0.0}, {4, 0.0}};
+  const auto executed =
+      fpga::execute_with_reconfiguration(set, device, planned);
+  EXPECT_TRUE(executed.result.ok);
+  // No port contention: both reconfigure simultaneously.
+  EXPECT_NEAR(executed.realized.entries[0].start, 0.2, 1e-9);
+  EXPECT_NEAR(executed.realized.entries[1].start, 0.2, 1e-9);
+}
+
+TEST(EdgeCases, ScheduleMakespanMatchesSimulator) {
+  Rng rng(17);
+  const fpga::TaskSet set = fpga::random_task_mix(20, 4, 3, rng);
+  const fpga::Device device{8, 0.0, true};
+  const Instance ins = fpga::to_instance(set, device);
+  const Packing packed = list_schedule(ins);
+  const fpga::Schedule schedule = fpga::to_schedule(set, device, packed.placement);
+  const fpga::SimResult sim = fpga::simulate(set, device, schedule);
+  ASSERT_TRUE(sim.ok);
+  EXPECT_NEAR(sim.makespan, packed.height(), 1e-6);
+}
+
+// ------------------------------------------------------------- DC stats
+TEST(EdgeCases, DcMidBandHeightsAreConsistent) {
+  Rng rng(23);
+  const Instance ins =
+      testing::random_precedence_instance(50, 0.1, gen::RectParams{}, rng);
+  const DcResult result = dc_pack(ins);
+  // The total height is exactly the sum of the A-band heights: bot/top
+  // recursion only adds bands.
+  EXPECT_NEAR(result.stats.sum_mid_heights, result.packing.height(),
+              1e-6 * (1.0 + result.packing.height()));
+  EXPECT_GE(result.stats.recursive_calls, result.stats.mid_bands);
+}
+
+// ------------------------------------------------ degenerate geometries
+TEST(EdgeCases, ManyIdenticalSquaresAllAlgorithms) {
+  Instance ins;
+  for (int i = 0; i < 16; ++i) ins.add_item(0.25, 0.25);
+  const DcResult dc = dc_pack(ins);
+  EXPECT_TRUE(testing::placement_valid(ins, dc.packing.placement));
+  EXPECT_NEAR(dc.packing.height(), 1.0, 1e-9);  // 4 full rows
+}
+
+TEST(EdgeCases, HairlineItems) {
+  // Extremely thin items must not break tolerances.
+  Instance ins;
+  for (int i = 0; i < 50; ++i) ins.add_item(1e-6, 1e-6);
+  const DcResult dc = dc_pack(ins);
+  EXPECT_TRUE(testing::placement_valid(ins, dc.packing.placement));
+  EXPECT_LT(dc.packing.height(), 1e-4);
+}
+
+TEST(EdgeCases, FullWidthChain) {
+  Instance ins;
+  VertexId prev = 0;
+  for (int i = 0; i < 5; ++i) {
+    const VertexId v = ins.add_item(1.0, 1.0);
+    if (i > 0) ins.add_precedence(prev, v);
+    prev = v;
+  }
+  const DcResult dc = dc_pack(ins);
+  EXPECT_NEAR(dc.packing.height(), 5.0, 1e-9);
+  EXPECT_TRUE(testing::placement_valid(ins, dc.packing.placement));
+}
+
+}  // namespace
+}  // namespace stripack

@@ -1,0 +1,144 @@
+#include "packers/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "packers/registry.hpp"
+#include "packers/shelf.hpp"
+#include "precedence/dc.hpp"
+#include "test_support.hpp"
+
+namespace stripack {
+namespace {
+
+using testing::make_instance;
+
+TEST(ExactPack, EmptyInstance) {
+  const auto result = exact_pack(Instance{});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->height, 0.0);
+  EXPECT_TRUE(result->proven_optimal);
+}
+
+TEST(ExactPack, SingleRect) {
+  const Instance ins = make_instance({{0.5, 2.0}});
+  const auto result = exact_pack(ins);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->height, 2.0);
+}
+
+TEST(ExactPack, TwoHalvesSideBySide) {
+  const Instance ins = make_instance({{0.5, 1.0}, {0.5, 1.0}});
+  const auto result = exact_pack(ins);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->height, 1.0, 1e-9);
+}
+
+TEST(ExactPack, PerfectSquareTiling) {
+  // Four 0.5x0.5 squares tile a 1x1 region exactly.
+  const Instance ins = make_instance(
+      {{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}});
+  const auto result = exact_pack(ins);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->height, 1.0, 1e-9);
+}
+
+TEST(ExactPack, BeatsShelfHeuristicsWhenInterlockingHelps) {
+  // An L-shaped fit: tall narrow + two flats beside it. NFDH wastes a
+  // shelf; the optimum interlocks.
+  //   tall: 0.4 x 1.0; flats: 0.6 x 0.5 each -> OPT = 1.0.
+  const Instance ins = make_instance({{0.4, 1.0}, {0.6, 0.5}, {0.6, 0.5}});
+  const auto result = exact_pack(ins);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->height, 1.0, 1e-9);
+  std::vector<Rect> rects;
+  for (const Item& it : ins.items()) rects.push_back(it.rect);
+  EXPECT_GT(make_nfdh().pack(rects, 1.0).height, 1.0 + 1e-9);
+}
+
+TEST(ExactPack, RespectsChainPrecedence) {
+  Instance ins;
+  const VertexId a = ins.add_item(0.3, 1.0);
+  const VertexId b = ins.add_item(0.3, 1.0);
+  ins.add_precedence(a, b);
+  const auto result = exact_pack(ins);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->height, 2.0, 1e-9);
+}
+
+TEST(ExactPack, PrecedenceDiamondOptimal) {
+  Instance ins;
+  const VertexId a = ins.add_item(0.5, 1.0);
+  const VertexId b = ins.add_item(0.5, 1.0);
+  const VertexId c = ins.add_item(0.5, 1.0);
+  const VertexId d = ins.add_item(0.5, 1.0);
+  ins.add_precedence(a, b);
+  ins.add_precedence(a, c);
+  ins.add_precedence(b, d);
+  ins.add_precedence(c, d);
+  const auto result = exact_pack(ins);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->height, 3.0, 1e-9);
+}
+
+TEST(ExactPack, RejectsReleaseTimes) {
+  Instance ins;
+  ins.add_item(0.5, 1.0, 1.0);
+  EXPECT_THROW(exact_pack(ins), ContractViolation);
+}
+
+TEST(ExactPack, NodeBudgetReturnsNullopt) {
+  Rng rng(5);
+  const Instance ins =
+      testing::random_precedence_instance(9, 0.1, gen::RectParams{}, rng);
+  ExactPackOptions options;
+  options.max_nodes = 10;  // absurdly small
+  EXPECT_FALSE(exact_pack(ins, options).has_value());
+}
+
+// Exact optimum sandwiches every heuristic from below on random sweeps.
+class ExactPackSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactPackSweep, LowerBoundsEveryHeuristic) {
+  Rng rng(GetParam());
+  gen::RectParams params;
+  params.min_width = 0.15;
+  params.max_width = 0.7;
+  params.min_height = 0.2;
+  params.max_height = 0.8;
+  const Instance ins = testing::random_precedence_instance(6, 0.2, params, rng);
+  const auto exact = exact_pack(ins);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_TRUE(testing::placement_valid(ins, exact->packing.placement));
+  // Certified LBs never exceed the exact optimum.
+  EXPECT_GE(exact->height,
+            std::max(area_lower_bound(ins), critical_path_lower_bound(ins)) -
+                1e-9);
+  // DC is an upper bound.
+  const DcResult dc = dc_pack(ins);
+  EXPECT_LE(exact->height, dc.packing.height() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactPackSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(ExactPack, UnconstrainedSweepAgainstAllPackers) {
+  for (std::uint64_t seed : {11u, 13u, 17u}) {
+    Rng rng(seed);
+    gen::RectParams params;
+    params.min_width = 0.2;
+    params.max_width = 0.8;
+    const Instance ins = testing::random_precedence_instance(6, 0.0, params, rng);
+    const auto exact = exact_pack(ins);
+    ASSERT_TRUE(exact.has_value());
+    std::vector<Rect> rects;
+    for (const Item& it : ins.items()) rects.push_back(it.rect);
+    for (const auto& packer : all_packers()) {
+      EXPECT_LE(exact->height, packer->pack(rects, 1.0).height + 1e-9)
+          << packer->name() << " seed=" << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stripack

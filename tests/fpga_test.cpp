@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "core/validate.hpp"
+#include "fpga/adapters.hpp"
+#include "fpga/simulator.hpp"
+#include "fpga/workloads.hpp"
+#include "precedence/dc.hpp"
+#include "precedence/list_schedule.hpp"
+#include "test_support.hpp"
+
+namespace stripack::fpga {
+namespace {
+
+TaskSet two_task_chain() {
+  TaskSet set;
+  set.tasks.push_back(Task{"a", 2, 1.0, 0.0});
+  set.tasks.push_back(Task{"b", 2, 1.0, 0.0});
+  set.deps = Dag(2);
+  set.deps.add_edge(0, 1);
+  return set;
+}
+
+TEST(Adapters, TaskSetToInstanceScalesColumns) {
+  const TaskSet set = two_task_chain();
+  const Device device{8, 0.0, true};
+  const Instance ins = to_instance(set, device);
+  EXPECT_EQ(ins.size(), 2u);
+  EXPECT_DOUBLE_EQ(ins.item(0).width(), 0.25);
+  EXPECT_DOUBLE_EQ(ins.item(0).height(), 1.0);
+  EXPECT_TRUE(ins.dag().has_edge(0, 1));
+}
+
+TEST(Adapters, PlacementRoundTripsToSchedule) {
+  const TaskSet set = two_task_chain();
+  const Device device{8, 0.0, true};
+  const Placement placement{{0.25, 0.0}, {0.5, 1.0}};
+  const Schedule schedule = to_schedule(set, device, placement);
+  EXPECT_EQ(schedule.entries[0].first_column, 2);
+  EXPECT_EQ(schedule.entries[1].first_column, 4);
+  EXPECT_DOUBLE_EQ(schedule.entries[1].start, 1.0);
+  EXPECT_DOUBLE_EQ(schedule.makespan(set), 2.0);
+}
+
+TEST(Simulator, AcceptsValidSchedule) {
+  const TaskSet set = two_task_chain();
+  const Device device{8, 0.0, true};
+  Schedule schedule;
+  schedule.entries = {{0, 0.0}, {0, 1.0}};
+  const SimResult result = simulate(set, device, schedule);
+  EXPECT_TRUE(result.ok) << (result.violations.empty()
+                                 ? ""
+                                 : result.violations[0].detail);
+  EXPECT_DOUBLE_EQ(result.makespan, 2.0);
+  EXPECT_NEAR(result.utilization, 4.0 / 16.0, 1e-9);
+}
+
+TEST(Simulator, CatchesColumnConflict) {
+  TaskSet set;
+  set.tasks.push_back(Task{"a", 4, 1.0, 0.0});
+  set.tasks.push_back(Task{"b", 4, 1.0, 0.0});
+  set.deps = Dag(2);
+  const Device device{8, 0.0, true};
+  Schedule overlapping;
+  overlapping.entries = {{0, 0.0}, {2, 0.5}};  // columns 2..5 clash with 0..3
+  EXPECT_FALSE(simulate(set, device, overlapping).ok);
+  Schedule disjoint;
+  disjoint.entries = {{0, 0.0}, {4, 0.5}};
+  EXPECT_TRUE(simulate(set, device, disjoint).ok);
+}
+
+TEST(Simulator, CatchesDependencyViolation) {
+  const TaskSet set = two_task_chain();
+  const Device device{8, 0.0, true};
+  Schedule bad;
+  bad.entries = {{0, 0.0}, {4, 0.5}};  // b starts before a ends
+  const SimResult result = simulate(set, device, bad);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Simulator, CatchesArrivalViolation) {
+  TaskSet set;
+  set.tasks.push_back(Task{"late", 1, 1.0, 5.0});
+  set.deps = Dag(1);
+  const Device device{4, 0.0, true};
+  Schedule early;
+  early.entries = {{0, 1.0}};
+  EXPECT_FALSE(simulate(set, device, early).ok);
+}
+
+TEST(Simulator, CatchesOutOfDevicePlacement) {
+  TaskSet set;
+  set.tasks.push_back(Task{"wide", 4, 1.0, 0.0});
+  set.deps = Dag(1);
+  const Device device{4, 0.0, true};
+  Schedule off;
+  off.entries = {{1, 0.0}};  // columns 1..4, device has 0..3
+  EXPECT_FALSE(simulate(set, device, off).ok);
+}
+
+TEST(Reconfiguration, AddsSerializedOverhead) {
+  // Two independent tasks on disjoint columns; reconfiguration times
+  // serialize through the single port.
+  TaskSet set;
+  set.tasks.push_back(Task{"a", 2, 1.0, 0.0});
+  set.tasks.push_back(Task{"b", 2, 1.0, 0.0});
+  set.deps = Dag(2);
+  Device device{8, 0.1, true};
+  Schedule planned;
+  planned.entries = {{0, 0.0}, {4, 0.0}};
+  const auto executed = execute_with_reconfiguration(set, device, planned);
+  EXPECT_TRUE(executed.result.ok);
+  // Port serializes: first reconfig [0,0.2), second [0.2,0.4).
+  EXPECT_NEAR(executed.realized.entries[0].start, 0.2, 1e-9);
+  EXPECT_NEAR(executed.realized.entries[1].start, 0.4, 1e-9);
+  EXPECT_NEAR(executed.result.reconfig_busy, 0.4, 1e-9);
+}
+
+TEST(Reconfiguration, ZeroOverheadKeepsGeometry) {
+  const TaskSet set = two_task_chain();
+  const Device device{8, 0.0, true};
+  Schedule planned;
+  planned.entries = {{0, 0.0}, {0, 1.0}};
+  const auto executed = execute_with_reconfiguration(set, device, planned);
+  EXPECT_TRUE(executed.result.ok);
+  EXPECT_NEAR(executed.result.makespan, 2.0, 1e-9);
+}
+
+TEST(Workloads, JpegPipelineShape) {
+  const TaskSet set = jpeg_pipeline(4);
+  // 4 stripes x 4 stages + huffman.
+  EXPECT_EQ(set.size(), 17u);
+  EXPECT_FALSE(set.deps.has_cycle());
+  EXPECT_EQ(set.deps.sinks().size(), 1u);  // huffman
+}
+
+TEST(Workloads, JpegSchedulesEndToEndWithDc) {
+  const TaskSet set = jpeg_pipeline(3);
+  const Device device{16, 0.0, true};
+  const Instance ins = to_instance(set, device);
+  const DcResult packed = dc_pack(ins);
+  ASSERT_TRUE(
+      stripack::testing::placement_valid(ins, packed.packing.placement));
+  const Schedule schedule = to_schedule(set, device, packed.packing.placement);
+  const SimResult sim = simulate(set, device, schedule);
+  EXPECT_TRUE(sim.ok) << (sim.violations.empty() ? ""
+                                                 : sim.violations[0].detail);
+  EXPECT_NEAR(sim.makespan, packed.packing.height(), 1e-6);
+}
+
+TEST(Workloads, RandomMixSchedulesWithListScheduler) {
+  Rng rng(9);
+  const TaskSet set = random_task_mix(40, 6, 4, rng);
+  const Device device{12, 0.0, true};
+  const Instance ins = to_instance(set, device);
+  const Packing packed = list_schedule(ins);
+  ASSERT_TRUE(stripack::testing::placement_valid(ins, packed.placement));
+  const Schedule schedule = to_schedule(set, device, packed.placement);
+  EXPECT_TRUE(simulate(set, device, schedule).ok);
+}
+
+}  // namespace
+}  // namespace stripack::fpga

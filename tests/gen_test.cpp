@@ -1,0 +1,181 @@
+// Tests for the instance generators, especially the paper's adversarial
+// families and their analytic certificates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "gen/lowerbound_family.hpp"
+#include "gen/rect_gen.hpp"
+#include "gen/release_gen.hpp"
+#include "util/rng.hpp"
+
+namespace stripack::gen {
+namespace {
+
+// ---------------------------------------------------------------- rect_gen
+TEST(RectGen, RespectsBounds) {
+  Rng rng(1);
+  RectParams params;
+  params.min_width = 0.1;
+  params.max_width = 0.5;
+  params.min_height = 0.2;
+  params.max_height = 0.7;
+  for (const Rect& r : random_rects(200, params, rng)) {
+    EXPECT_GE(r.width, 0.1);
+    EXPECT_LE(r.width, 0.5);
+    EXPECT_GE(r.height, 0.2);
+    EXPECT_LE(r.height, 0.7);
+  }
+}
+
+TEST(RectGen, DeterministicPerSeed) {
+  RectParams params;
+  Rng a(42), b(42);
+  const auto ra = random_rects(50, params, a);
+  const auto rb = random_rects(50, params, b);
+  EXPECT_EQ(ra, rb);
+}
+
+TEST(RectGen, QuantizedWidthsAreColumnMultiples) {
+  Rng rng(2);
+  const int K = 8;
+  for (const Rect& r : fpga_quantized_rects(100, K, K, 0.1, 1.0, rng)) {
+    const double cols = r.width * K;
+    EXPECT_NEAR(cols, std::round(cols), 1e-9);
+    EXPECT_GE(cols, 1.0 - 1e-9);
+    EXPECT_LE(cols, K + 1e-9);
+    EXPECT_LE(r.height, 1.0);
+  }
+}
+
+TEST(RectGen, MaxColumnsLimitsWidths) {
+  Rng rng(3);
+  for (const Rect& r : fpga_quantized_rects(100, 8, 3, 0.1, 1.0, rng)) {
+    EXPECT_LE(r.width, 3.0 / 8.0 + 1e-9);
+  }
+}
+
+// ---------------------------------------------------- Lemma 2.4 certificate
+TEST(Lemma24, SizesMatchTheConstruction) {
+  for (std::size_t k : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    const auto family = lemma24_family(k, 1e-5);
+    // Talls: 2^k - 1; wides: 2^k - 1 (paper keeps them equal).
+    EXPECT_EQ(family.certificate.n, 2u * ((1u << k) - 1u)) << "k=" << k;
+    EXPECT_EQ(family.instance.size(), family.certificate.n);
+  }
+}
+
+TEST(Lemma24, CertificateValuesApproachOne) {
+  // AREA -> 1 and F -> 1 as eps -> 0 (they include O(n eps) wide area).
+  const auto family = lemma24_family(5, 1e-7);
+  EXPECT_NEAR(family.certificate.area, 1.0, 1e-3);
+  EXPECT_NEAR(family.certificate.critical_path, 1.0, 1e-3);
+  EXPECT_DOUBLE_EQ(family.certificate.opt_lower_bound, 2.5);
+}
+
+TEST(Lemma24, CertificateMatchesComputedBounds) {
+  const auto family = lemma24_family(4, 1e-4);
+  EXPECT_NEAR(family.certificate.area, area_lower_bound(family.instance),
+              1e-12);
+  EXPECT_NEAR(family.certificate.critical_path,
+              critical_path_lower_bound(family.instance), 1e-12);
+}
+
+TEST(Lemma24, GapGrowsLogarithmically) {
+  // opt_lb / max(AREA, F) ~ k/2: strictly increasing in k.
+  double last = 0.0;
+  for (std::size_t k : {2u, 3u, 4u, 5u}) {
+    const auto family = lemma24_family(k, 1e-6);
+    const double gap =
+        family.certificate.opt_lower_bound /
+        std::max(family.certificate.area, family.certificate.critical_path);
+    EXPECT_GT(gap, last);
+    last = gap;
+  }
+  EXPECT_GT(last, 2.0);  // k=5: gap ~ 2.5
+}
+
+TEST(Lemma24, StructureIsValidDag) {
+  const auto family = lemma24_family(4, 1e-4);
+  EXPECT_NO_THROW(family.instance.check_well_formed());
+  EXPECT_TRUE(family.instance.has_precedence());
+}
+
+// ---------------------------------------------------- Lemma 2.7 certificate
+TEST(Lemma27, SizesMatchTheConstruction) {
+  for (std::size_t k : {1u, 2u, 5u, 8u}) {
+    const auto family = lemma27_family(k, 0.01);
+    EXPECT_EQ(family.certificate.n, 3 * k);
+    EXPECT_EQ(family.instance.size(), 3 * k);
+  }
+}
+
+TEST(Lemma27, CertificateFormulasFromThePaper) {
+  const std::size_t k = 6;
+  const double eps = 0.01;
+  const auto family = lemma27_family(k, eps);
+  const double n = static_cast<double>(3 * k);
+  // AREA(S) = n/3 + n*eps (paper, proof of Lemma 2.7).
+  EXPECT_NEAR(family.certificate.area, n / 3.0 + n * eps, 1e-9);
+  // F(S) = n/3 + 1.
+  EXPECT_NEAR(family.certificate.critical_path, n / 3.0 + 1.0, 1e-9);
+  // OPT = n.
+  EXPECT_DOUBLE_EQ(family.certificate.opt_lower_bound, n);
+}
+
+TEST(Lemma27, RatioApproachesThree) {
+  const auto family = lemma27_family(40, 1e-4);
+  const double ratio =
+      family.certificate.opt_lower_bound /
+      std::max(family.certificate.area, family.certificate.critical_path);
+  EXPECT_GT(ratio, 2.8);
+  EXPECT_LT(ratio, 3.0);
+}
+
+TEST(Lemma27, UniformHeightsAndWideBeforeNarrow) {
+  const auto family = lemma27_family(3, 0.01);
+  for (const Item& it : family.instance.items()) {
+    EXPECT_DOUBLE_EQ(it.height(), 1.0);
+  }
+  EXPECT_NO_THROW(family.instance.check_well_formed());
+}
+
+// -------------------------------------------------------------- release gen
+TEST(ReleaseGen, PoissonReleasesAreIncreasing) {
+  Rng rng(5);
+  ReleaseWorkloadParams params;
+  params.n = 50;
+  const Instance ins = poisson_release_workload(params, rng);
+  double last = 0.0;
+  for (const Item& it : ins.items()) {
+    EXPECT_GE(it.release, last - 1e-12);
+    last = it.release;
+  }
+}
+
+TEST(ReleaseGen, BurstyUsesExactlyBurstValues) {
+  Rng rng(6);
+  ReleaseWorkloadParams params;
+  params.n = 30;
+  const Instance ins = bursty_release_workload(params, 3, 2.0, rng);
+  for (const Item& it : ins.items()) {
+    EXPECT_TRUE(it.release == 0.0 || it.release == 2.0 || it.release == 4.0);
+  }
+}
+
+TEST(ReleaseGen, WidthsSatisfyPaperAssumption) {
+  Rng rng(7);
+  ReleaseWorkloadParams params;
+  params.n = 60;
+  params.K = 5;
+  const Instance ins = poisson_release_workload(params, rng);
+  for (const Item& it : ins.items()) {
+    EXPECT_GE(it.width(), 1.0 / 5.0 - 1e-9);
+    EXPECT_LE(it.width(), 1.0 + 1e-9);
+    EXPECT_LE(it.height(), 1.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace stripack::gen

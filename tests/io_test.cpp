@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "gen/release_gen.hpp"
+#include "io/instance_io.hpp"
+#include "io/svg.hpp"
+#include "precedence/dc.hpp"
+#include "test_support.hpp"
+#include "util/assert.hpp"
+
+namespace stripack::io {
+namespace {
+
+// Precedence + release times together: fine for serialization (the format
+// stores both), though no single algorithm consumes both at once.
+Instance sample_instance() {
+  Instance ins;
+  const VertexId a = ins.add_item(0.5, 1.0, 0.0);
+  const VertexId b = ins.add_item(0.25, 0.75, 1.5);
+  const VertexId c = ins.add_item(0.125, 0.125, 0.0);
+  ins.add_precedence(a, b);
+  ins.add_precedence(a, c);
+  return ins;
+}
+
+// Precedence-only variant for algorithm-driven tests (SVG rendering).
+Instance precedence_instance() {
+  Instance ins;
+  const VertexId a = ins.add_item(0.5, 1.0);
+  const VertexId b = ins.add_item(0.25, 0.75);
+  const VertexId c = ins.add_item(0.125, 0.125);
+  ins.add_precedence(a, b);
+  ins.add_precedence(a, c);
+  return ins;
+}
+
+TEST(InstanceIo, RoundTripPreservesEverything) {
+  const Instance original = sample_instance();
+  std::stringstream buffer;
+  write_instance(buffer, original);
+  const Instance loaded = read_instance(buffer);
+
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_DOUBLE_EQ(loaded.strip_width(), original.strip_width());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.item(i), original.item(i)) << "item " << i;
+  }
+  EXPECT_EQ(loaded.dag().edges(), original.dag().edges());
+}
+
+TEST(InstanceIo, RoundTripExactDoubles) {
+  // 17 significant digits survive the text format.
+  Instance ins;
+  ins.add_item(1.0 / 3.0, 2.0 / 7.0, 1.0 / 9.0);
+  std::stringstream buffer;
+  write_instance(buffer, ins);
+  const Instance loaded = read_instance(buffer);
+  EXPECT_EQ(loaded.item(0), ins.item(0));
+}
+
+TEST(InstanceIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream buffer;
+  buffer << "# a comment\n\nstripack-instance v1\n"
+         << "strip_width 1\n# another\nitems 1\n0.5 0.5 0\nedges 0\n";
+  const Instance loaded = read_instance(buffer);
+  EXPECT_EQ(loaded.size(), 1u);
+}
+
+TEST(InstanceIo, RejectsBadHeader) {
+  std::stringstream buffer;
+  buffer << "not-an-instance v1\n";
+  EXPECT_THROW(read_instance(buffer), ContractViolation);
+}
+
+TEST(InstanceIo, RejectsTruncatedFile) {
+  std::stringstream buffer;
+  buffer << "stripack-instance v1\nstrip_width 1\nitems 2\n0.5 0.5 0\n";
+  EXPECT_THROW(read_instance(buffer), ContractViolation);
+}
+
+TEST(InstanceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/stripack_io_test.txt";
+  const Instance original = sample_instance();
+  save_instance(path, original);
+  const Instance loaded = load_instance(path);
+  EXPECT_EQ(loaded.size(), original.size());
+}
+
+TEST(PlacementIo, RoundTrip) {
+  const Placement p{{0.0, 0.5}, {0.25, 1.75}};
+  std::stringstream buffer;
+  write_placement(buffer, p);
+  EXPECT_EQ(read_placement(buffer), p);
+}
+
+TEST(Svg, ContainsOneRectPerItemPlusFrame) {
+  const Instance ins = precedence_instance();
+  const DcResult result = dc_pack(ins);
+  const std::string svg = to_svg(ins, result.packing.placement);
+  std::size_t rects = 0;
+  for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1)) {
+    ++rects;
+  }
+  EXPECT_EQ(rects, ins.size() + 1);  // + background frame
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(Svg, SavesToFile) {
+  const Instance ins = precedence_instance();
+  const DcResult result = dc_pack(ins);
+  const std::string path = ::testing::TempDir() + "/stripack_test.svg";
+  save_svg(path, ins, result.packing.placement);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_NE(first_line.find("<svg"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stripack::io

@@ -1,0 +1,161 @@
+#include "kr/kr_aptas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "gen/rect_gen.hpp"
+#include "packers/shelf.hpp"
+#include "release/config_lp.hpp"
+#include "test_support.hpp"
+
+namespace stripack::kr {
+namespace {
+
+Instance instance_of(const std::vector<Rect>& rects) {
+  std::vector<Item> items;
+  for (const Rect& r : rects) items.push_back(Item{r, 0.0});
+  return Instance(std::move(items));
+}
+
+TEST(Kr, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(kr_pack(Instance{}).height, 0.0);
+  const Instance one = instance_of({{0.5, 0.8}});
+  const KrResult result = kr_pack(one);
+  EXPECT_TRUE(testing::placement_valid(one, result.packing.placement));
+  EXPECT_NEAR(result.height, 0.8, 1e-9);
+}
+
+TEST(Kr, AllNarrowFallsBackToShelves) {
+  // Every width below delta: the whole instance goes through the narrow
+  // path (no LP at all).
+  std::vector<Rect> rects;
+  for (int i = 0; i < 30; ++i) rects.push_back(Rect{0.03, 0.5});
+  const Instance ins = instance_of(rects);
+  KrParams params;
+  params.epsilon = 0.5;  // delta = 0.25
+  const KrResult result = kr_pack(ins, params);
+  EXPECT_EQ(result.stats.wide_items, 0u);
+  EXPECT_TRUE(testing::placement_valid(ins, result.packing.placement));
+  // 30 * 0.03 = 0.9 of width: everything fits in one 0.5-high shelf.
+  EXPECT_NEAR(result.height, 0.5, 1e-9);
+}
+
+TEST(Kr, AllWideUsesLpOnly) {
+  const Instance ins = instance_of({{0.6, 1.0}, {0.6, 1.0}, {0.4, 1.0}});
+  KrParams params;
+  params.epsilon = 0.5;
+  const KrResult result = kr_pack(ins, params);
+  EXPECT_EQ(result.stats.narrow_items, 0u);
+  EXPECT_TRUE(testing::placement_valid(ins, result.packing.placement));
+}
+
+TEST(Kr, NarrowItemsFillMargins) {
+  // One wide column (0.6) leaves a 0.4 margin that narrow items (0.1)
+  // should occupy instead of stacking on top.
+  std::vector<Rect> rects{{0.6, 1.0}};
+  for (int i = 0; i < 8; ++i) rects.push_back(Rect{0.1, 0.5});
+  const Instance ins = instance_of(rects);
+  KrParams params;
+  params.epsilon = 0.5;
+  const KrResult result = kr_pack(ins, params);
+  EXPECT_TRUE(testing::placement_valid(ins, result.packing.placement));
+  EXPECT_GT(result.stats.narrow_in_margins, 0u);
+  // 8 * 0.1 * 0.5 = 0.4 narrow area fits beside the wide column:
+  // height stays 1.0.
+  EXPECT_NEAR(result.height, 1.0, 1e-9);
+}
+
+TEST(Kr, RejectsConstrainedInstances) {
+  Instance prec;
+  const VertexId a = prec.add_item(0.5, 1.0);
+  const VertexId b = prec.add_item(0.5, 1.0);
+  prec.add_precedence(a, b);
+  EXPECT_THROW(kr_pack(prec), ContractViolation);
+
+  Instance released;
+  released.add_item(0.5, 1.0, 1.0);
+  EXPECT_THROW(kr_pack(released), ContractViolation);
+}
+
+TEST(Kr, HandlesWidthsBelowOneOverK) {
+  // The §3 APTAS requires widths >= 1/K; KR does not. Mix very narrow
+  // items with wide ones.
+  Rng rng(3);
+  std::vector<Rect> rects;
+  for (int i = 0; i < 40; ++i) {
+    rects.push_back(Rect{rng.uniform(0.005, 1.0), rng.uniform(0.05, 1.0)});
+  }
+  const Instance ins = instance_of(rects);
+  const KrResult result = kr_pack(ins);
+  EXPECT_TRUE(testing::placement_valid(ins, result.packing.placement));
+}
+
+struct KrSweep {
+  std::uint64_t seed;
+  double epsilon;
+  std::size_t n;
+};
+
+class KrSweepTest : public ::testing::TestWithParam<KrSweep> {};
+
+TEST_P(KrSweepTest, ValidAndCompetitive) {
+  const KrSweep& sweep = GetParam();
+  Rng rng(sweep.seed);
+  gen::RectParams params;
+  params.min_width = 0.01;
+  params.min_height = 0.02;
+  const auto rects = gen::random_rects(sweep.n, params, rng);
+  const Instance ins = instance_of(rects);
+
+  KrParams kr_params;
+  kr_params.epsilon = sweep.epsilon;
+  const KrResult result = kr_pack(ins, kr_params);
+  ASSERT_TRUE(testing::placement_valid(ins, result.packing.placement))
+      << "seed=" << sweep.seed;
+
+  // Sanity: never below the area bound, never catastrophically above NFDH.
+  EXPECT_GE(result.height, area_lower_bound(ins) - 1e-7);
+  std::vector<Rect> copy(rects.begin(), rects.end());
+  const double nfdh = make_nfdh().pack(copy, 1.0).height;
+  EXPECT_LE(result.height, 2.0 * nfdh + 1.0);
+}
+
+std::vector<KrSweep> kr_sweeps() {
+  return {
+      {1u, 1.0, 60}, {2u, 0.5, 60},  {3u, 0.5, 150},
+      {4u, 0.4, 80}, {5u, 1.0, 200}, {6u, 0.6, 120},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, KrSweepTest, ::testing::ValuesIn(kr_sweeps()));
+
+TEST(Kr, AsymptoticallyBeatsNfdhOnBigInstances) {
+  // On large instances with many wide items the LP packing should beat the
+  // plain shelf heuristic.
+  Rng rng(11);
+  gen::RectParams params;
+  params.min_width = 0.15;
+  params.max_width = 0.8;
+  params.min_height = 0.05;
+  params.max_height = 0.6;
+  auto rects = gen::random_rects(400, params, rng);
+  // Quantize widths to a 0.05 grid so the exact fractional LP below stays
+  // small (14 distinct widths).
+  for (Rect& r : rects) r.width = std::ceil(r.width * 20.0) / 20.0;
+  const Instance ins = instance_of(rects);
+  KrParams kr_params;
+  kr_params.epsilon = 0.5;
+  const KrResult kr = kr_pack(ins, kr_params);
+  ASSERT_TRUE(testing::placement_valid(ins, kr.packing.placement));
+  std::vector<Rect> copy(rects.begin(), rects.end());
+  const double nfdh = make_nfdh().pack(copy, 1.0).height;
+  EXPECT_LT(kr.height, nfdh);
+  // And it tracks the certified fractional lower bound reasonably.
+  const double lb = release::fractional_lower_bound(ins);
+  EXPECT_LT(kr.height / lb, 1.6);
+}
+
+}  // namespace
+}  // namespace stripack::kr

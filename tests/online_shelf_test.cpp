@@ -1,0 +1,89 @@
+#include "packers/online_shelf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/rect_gen.hpp"
+#include "test_support.hpp"
+#include "util/assert.hpp"
+
+namespace stripack {
+namespace {
+
+Instance instance_of(const std::vector<Rect>& rects) {
+  std::vector<Item> items;
+  for (const Rect& r : rects) items.push_back(Item{r, 0.0});
+  return Instance(std::move(items));
+}
+
+TEST(OnlineShelf, EmptyAndSingle) {
+  const OnlineShelfPacker packer;
+  EXPECT_DOUBLE_EQ(packer.pack({}, 1.0).height, 0.0);
+  const std::vector<Rect> one{{0.5, 0.8}};
+  const auto result = packer.pack(one, 1.0);
+  // A 0.8-high item lands in the class with shelf height r^k >= 0.8.
+  EXPECT_GE(result.height, 0.8);
+  EXPECT_TRUE(testing::placement_valid(instance_of(one), result.placement));
+}
+
+TEST(OnlineShelf, SameClassSharesShelf) {
+  // Heights 0.65 and 0.7 share the r=0.7 class (0.49 < h <= 0.7).
+  const std::vector<Rect> rects{{0.4, 0.65}, {0.4, 0.7}};
+  const auto result = OnlineShelfPacker(0.7).pack(rects, 1.0);
+  EXPECT_DOUBLE_EQ(result.placement[0].y, result.placement[1].y);
+  EXPECT_NEAR(result.height, 0.7, 1e-9);
+}
+
+TEST(OnlineShelf, DifferentClassesStack) {
+  const std::vector<Rect> rects{{0.4, 0.7}, {0.4, 0.3}};
+  const auto result = OnlineShelfPacker(0.7).pack(rects, 1.0);
+  EXPECT_NE(result.placement[0].y, result.placement[1].y);
+}
+
+TEST(OnlineShelf, HeightsAboveOneAreSupported) {
+  // Classes extend to negative k for h > 1.
+  const std::vector<Rect> rects{{0.4, 1.9}, {0.4, 1.8}};
+  const auto result = OnlineShelfPacker(0.7).pack(rects, 1.0);
+  const Instance ins = instance_of(rects);
+  EXPECT_TRUE(testing::placement_valid(ins, result.placement));
+}
+
+TEST(OnlineShelf, ExactClassBoundaryStable) {
+  // h exactly r^k must not fall into class k+1 by rounding.
+  const double r = 0.5;
+  const std::vector<Rect> rects{{0.3, 0.5}, {0.3, 0.25}, {0.3, 1.0}};
+  const auto result = OnlineShelfPacker(r).pack(rects, 1.0);
+  const Instance ins = instance_of(rects);
+  EXPECT_TRUE(testing::placement_valid(ins, result.placement));
+  // Shelves: heights 0.5, 0.25, 1.0 -> total 1.75.
+  EXPECT_NEAR(result.height, 1.75, 1e-9);
+}
+
+TEST(OnlineShelf, RejectsBadRatio) {
+  EXPECT_THROW(OnlineShelfPacker(0.0), ContractViolation);
+  EXPECT_THROW(OnlineShelfPacker(1.0), ContractViolation);
+}
+
+class OnlineShelfSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OnlineShelfSweep, ValidAcrossRatios) {
+  Rng rng(GetParam());
+  gen::RectParams params;
+  params.min_height = 0.02;
+  params.max_height = 1.5;
+  const auto rects = gen::random_rects(80, params, rng);
+  const Instance ins = instance_of(rects);
+  for (double r : {0.5, 0.6, 0.7, 0.8, 0.9}) {
+    const auto result = OnlineShelfPacker(r).pack(rects, 1.0);
+    EXPECT_TRUE(testing::placement_valid(ins, result.placement))
+        << "r=" << r;
+    EXPECT_NEAR(result.height, packing_height(ins, result.placement), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnlineShelfSweep,
+                         ::testing::Values(31u, 41u, 59u, 26u));
+
+}  // namespace
+}  // namespace stripack

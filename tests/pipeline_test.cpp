@@ -1,0 +1,82 @@
+// End-to-end integration: generate -> serialize -> parse -> solve with the
+// constraint-appropriate algorithm -> validate -> render. This is the
+// exact path a downstream user takes through the public API (and what the
+// stripack_solve CLI wires together).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/release_gen.hpp"
+#include "io/instance_io.hpp"
+#include "io/svg.hpp"
+#include "kr/kr_aptas.hpp"
+#include "precedence/dc.hpp"
+#include "release/aptas.hpp"
+#include "test_support.hpp"
+
+namespace stripack {
+namespace {
+
+Instance roundtrip(const Instance& instance) {
+  std::stringstream buffer;
+  io::write_instance(buffer, instance);
+  return io::read_instance(buffer);
+}
+
+class PipelineSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineSweep, PrecedencePipeline) {
+  Rng rng(GetParam());
+  const Instance original =
+      testing::random_precedence_instance(30, 0.1, gen::RectParams{}, rng);
+  const Instance instance = roundtrip(original);
+  ASSERT_EQ(instance.size(), original.size());
+
+  const DcResult result = dc_pack(instance);
+  ASSERT_TRUE(testing::placement_valid(instance, result.packing.placement));
+
+  // The placement also validates against the *original* instance (the
+  // round trip is lossless).
+  ASSERT_TRUE(testing::placement_valid(original, result.packing.placement));
+
+  const std::string svg = io::to_svg(instance, result.packing.placement);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST_P(PipelineSweep, ReleasePipeline) {
+  Rng rng(GetParam() + 100);
+  gen::ReleaseWorkloadParams params;
+  params.n = 40;
+  params.K = 3;
+  const Instance instance = roundtrip(gen::poisson_release_workload(params, rng));
+
+  release::AptasParams ap;
+  ap.epsilon = 1.0;
+  ap.K = 3;
+  const auto result = release::aptas_pack(instance, ap);
+  ASSERT_TRUE(testing::placement_valid(instance, result.packing.placement));
+
+  std::stringstream buffer;
+  io::write_placement(buffer, result.packing.placement);
+  const Placement reloaded = io::read_placement(buffer);
+  ASSERT_TRUE(testing::placement_valid(instance, reloaded));
+}
+
+TEST_P(PipelineSweep, PlainPipeline) {
+  Rng rng(GetParam() + 200);
+  gen::RectParams params;
+  params.min_width = 0.02;
+  const auto rects = gen::random_rects(50, params, rng);
+  std::vector<Item> items;
+  for (const Rect& r : rects) items.push_back(Item{r, 0.0});
+  const Instance instance = roundtrip(Instance{std::move(items)});
+
+  const kr::KrResult result = kr::kr_pack(instance);
+  ASSERT_TRUE(testing::placement_valid(instance, result.packing.placement));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineSweep,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+}  // namespace
+}  // namespace stripack

@@ -1,0 +1,154 @@
+#include "binpack/precedence_binpack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/dag_gen.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace stripack::binpack {
+namespace {
+
+TEST(PrecBinPack, EmptyInput) {
+  const Dag dag(0);
+  EXPECT_EQ(ready_queue_next_fit({}, dag, 1.0).assignment.num_bins(), 0u);
+  EXPECT_EQ(exact_min_bins_precedence({}, dag, 1.0), 0u);
+}
+
+TEST(PrecBinPack, ChainForcesOneItemPerBin) {
+  const Dag dag = gen::chain_dag(4);
+  const std::vector<double> sizes(4, 0.1);
+  for (auto* fn : {ready_queue_next_fit, first_fit_available, ffd_available}) {
+    const auto result = fn(sizes, dag, 1.0);
+    EXPECT_EQ(result.assignment.num_bins(), 4u);
+    EXPECT_TRUE(is_valid_precedence(result.assignment, sizes, dag, 1.0));
+  }
+  EXPECT_EQ(exact_min_bins_precedence(sizes, dag, 1.0), 4u);
+  EXPECT_EQ(lb_precedence(sizes, dag, 1.0), 4u);
+}
+
+TEST(PrecBinPack, IndependentItemsPackDensely) {
+  const Dag dag(4);
+  const std::vector<double> sizes{0.5, 0.5, 0.5, 0.5};
+  const auto result = ready_queue_next_fit(sizes, dag, 1.0);
+  EXPECT_EQ(result.assignment.num_bins(), 2u);
+  // Only the final bin closes with an empty queue.
+  EXPECT_EQ(result.skips, 1u);
+}
+
+TEST(PrecBinPack, SkipHappensWhenQueueEmpties) {
+  // 0 -> 1: after bin 1 closes with {0}, item 1 becomes available. Placing
+  // 0 leaves the queue empty while the bin has room: closing it is a skip.
+  Dag dag(2);
+  dag.add_edge(0, 1);
+  const std::vector<double> sizes{0.2, 0.2};
+  const auto result = ready_queue_next_fit(sizes, dag, 1.0);
+  EXPECT_EQ(result.assignment.num_bins(), 2u);
+  EXPECT_EQ(result.skips, 2u);  // the chain skip plus the final bin
+  EXPECT_TRUE(is_valid_precedence(result.assignment, sizes, dag, 1.0));
+}
+
+TEST(PrecBinPack, PredecessorStrictlyEarlierIsEnforced) {
+  Dag dag(3);
+  dag.add_edge(0, 2);
+  const std::vector<double> sizes{0.3, 0.3, 0.3};
+  for (auto* fn : {ready_queue_next_fit, first_fit_available, ffd_available}) {
+    const auto result = fn(sizes, dag, 1.0);
+    const auto owner = result.assignment.item_to_bin(3);
+    EXPECT_LT(owner[0], owner[2]);
+  }
+}
+
+TEST(PrecBinPack, FfdAvailablePrefersLargeItems) {
+  // All available: FFD should place 0.6 before 0.5 before 0.3, producing
+  // bins {0.6,0.3},{0.5} rather than NF's order-dependent result.
+  const Dag dag(3);
+  const std::vector<double> sizes{0.3, 0.6, 0.5};
+  const auto result = ffd_available(sizes, dag, 1.0);
+  EXPECT_EQ(result.assignment.num_bins(), 2u);
+  const auto owner = result.assignment.item_to_bin(3);
+  EXPECT_EQ(owner[1], owner[0]);  // 0.6 with 0.3
+}
+
+TEST(PrecBinPack, ExactHandlesDiamond) {
+  Dag dag(4);
+  dag.add_edge(0, 1);
+  dag.add_edge(0, 2);
+  dag.add_edge(1, 3);
+  dag.add_edge(2, 3);
+  const std::vector<double> sizes{0.4, 0.4, 0.4, 0.4};
+  // 0 | {1,2} | 3 -> 3 bins, and no better is possible (path length 3).
+  EXPECT_EQ(exact_min_bins_precedence(sizes, dag, 1.0), 3u);
+}
+
+TEST(PrecBinPack, ExactPairsIndependentChains) {
+  // Two independent chains 0->1 and 2->3 of half-size items: the optimum
+  // runs them in lockstep, {0,2} then {1,3}.
+  Dag dag(4);
+  dag.add_edge(0, 1);
+  dag.add_edge(2, 3);
+  const std::vector<double> sizes{0.4, 0.4, 0.4, 0.4};
+  EXPECT_EQ(exact_min_bins_precedence(sizes, dag, 1.0), 2u);
+}
+
+TEST(PrecBinPack, ValidityCheckerCatchesBadOrder) {
+  Dag dag(2);
+  dag.add_edge(0, 1);
+  const std::vector<double> sizes{0.3, 0.3};
+  BinAssignment same_bin;
+  same_bin.bins = {{0, 1}};
+  EXPECT_FALSE(is_valid_precedence(same_bin, sizes, dag, 1.0));
+  BinAssignment reversed;
+  reversed.bins = {{1}, {0}};
+  EXPECT_FALSE(is_valid_precedence(reversed, sizes, dag, 1.0));
+  BinAssignment good;
+  good.bins = {{0}, {1}};
+  EXPECT_TRUE(is_valid_precedence(good, sizes, dag, 1.0));
+}
+
+// Random sweeps: heuristics valid; exact <= heuristics; lb <= exact.
+struct PrecSweep {
+  std::uint64_t seed;
+  double edge_prob;
+};
+
+class PrecBinPackSweep : public ::testing::TestWithParam<PrecSweep> {};
+
+TEST_P(PrecBinPackSweep, HeuristicsSandwichedByBounds) {
+  Rng rng(GetParam().seed);
+  const std::size_t n = 11;
+  const Dag dag = gen::gnp_dag(n, GetParam().edge_prob, rng);
+  std::vector<double> sizes;
+  for (std::size_t i = 0; i < n; ++i) sizes.push_back(rng.uniform(0.1, 0.9));
+
+  const std::size_t opt = exact_min_bins_precedence(sizes, dag, 1.0);
+  EXPECT_LE(lb_precedence(sizes, dag, 1.0), opt);
+
+  for (auto* fn : {ready_queue_next_fit, first_fit_available, ffd_available}) {
+    const auto result = fn(sizes, dag, 1.0);
+    EXPECT_TRUE(is_valid_precedence(result.assignment, sizes, dag, 1.0));
+    EXPECT_GE(result.assignment.num_bins(), opt);
+  }
+
+  // Theorem 2.6 transfers: ready-queue NF uses at most 3*OPT bins (the
+  // +O(1) slack of the shelf accounting shows up only at tiny sizes, so we
+  // allow +1 here).
+  const auto nf = ready_queue_next_fit(sizes, dag, 1.0);
+  EXPECT_LE(nf.assignment.num_bins(), 3 * opt + 1);
+  // Lemma 2.5: skips <= OPT.
+  EXPECT_LE(nf.skips, opt);
+}
+
+std::vector<PrecSweep> prec_sweeps() {
+  std::vector<PrecSweep> out;
+  for (std::uint64_t seed : {2u, 4u, 6u, 8u}) {
+    for (double p : {0.0, 0.15, 0.4}) out.push_back({seed, p});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrecBinPackSweep,
+                         ::testing::ValuesIn(prec_sweeps()));
+
+}  // namespace
+}  // namespace stripack::binpack

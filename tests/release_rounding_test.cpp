@@ -1,0 +1,100 @@
+#include "release/release_rounding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/release_gen.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace stripack::release {
+namespace {
+
+Instance releases_of(const std::vector<double>& releases) {
+  Instance ins;
+  for (double r : releases) ins.add_item(0.5, 0.5, r);
+  return ins;
+}
+
+TEST(ReleaseRounding, AllZeroReleasesUntouched) {
+  const Instance ins = releases_of({0.0, 0.0, 0.0});
+  const auto result = round_releases(ins, 0.5);
+  EXPECT_DOUBLE_EQ(result.delta, 0.0);
+  EXPECT_EQ(result.distinct_releases, 1u);
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.rounded.item(i).release, 0.0);
+  }
+}
+
+TEST(ReleaseRounding, ReleasesOnlyIncrease) {
+  const Instance ins = releases_of({0.0, 1.3, 2.7, 10.0});
+  const auto result = round_releases(ins, 0.25);
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    EXPECT_GE(result.rounded.item(i).release, ins.item(i).release - 1e-12);
+    EXPECT_LE(result.rounded_down.item(i).release,
+              ins.item(i).release + 1e-12);
+  }
+}
+
+TEST(ReleaseRounding, DeltaIsEpsTimesRmax) {
+  const Instance ins = releases_of({0.0, 4.0});
+  const auto result = round_releases(ins, 0.25);
+  EXPECT_DOUBLE_EQ(result.delta, 1.0);
+}
+
+TEST(ReleaseRounding, RoundedValuesAreOnTheGrid) {
+  const Instance ins = releases_of({0.0, 0.4, 1.2, 2.9, 4.0});
+  const auto result = round_releases(ins, 0.25);  // delta = 1.0
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    const double r = result.rounded.item(i).release;
+    const double steps = r / result.delta;
+    EXPECT_NEAR(steps, std::round(steps), 1e-9) << "release " << r;
+    // Round-up by at most delta.
+    EXPECT_LE(r - ins.item(i).release, result.delta + 1e-12);
+    EXPECT_GT(r, ins.item(i).release - 1e-12);  // strictly up from grid
+  }
+}
+
+TEST(ReleaseRounding, SandwichHoldsPerItem) {
+  // rounded_down <= original <= rounded = rounded_down + delta (Lemma 3.1).
+  const Instance ins = releases_of({0.3, 0.9, 1.5, 3.3, 4.2, 5.0});
+  const auto result = round_releases(ins, 0.2);
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    const double down = result.rounded_down.item(i).release;
+    const double up = result.rounded.item(i).release;
+    EXPECT_NEAR(up - down, result.delta, 1e-9);
+    EXPECT_LE(down, ins.item(i).release + 1e-12);
+    EXPECT_GE(up, ins.item(i).release - 1e-12);
+  }
+}
+
+TEST(ReleaseRounding, DistinctCountWithinBudget) {
+  Rng rng(404);
+  gen::ReleaseWorkloadParams params;
+  params.n = 200;
+  params.K = 4;
+  const Instance ins = gen::poisson_release_workload(params, rng);
+  for (double eps : {1.0, 0.5, 0.25, 0.125}) {
+    const auto result = round_releases(ins, eps);
+    EXPECT_LE(result.distinct_releases,
+              static_cast<std::size_t>(std::ceil(1.0 / eps)) + 1)
+        << "eps=" << eps;
+    EXPECT_EQ(result.distinct_releases,
+              count_distinct_releases(result.rounded));
+  }
+}
+
+TEST(ReleaseRounding, RejectsNonPositiveEps) {
+  const Instance ins = releases_of({1.0});
+  EXPECT_THROW(round_releases(ins, 0.0), ContractViolation);
+  EXPECT_THROW(round_releases(ins, -1.0), ContractViolation);
+}
+
+TEST(ReleaseRounding, CountDistinct) {
+  EXPECT_EQ(count_distinct_releases(releases_of({0.0, 0.0, 1.0})), 2u);
+  EXPECT_EQ(count_distinct_releases(releases_of({1.0, 1.0})), 1u);
+}
+
+}  // namespace
+}  // namespace stripack::release

@@ -1,0 +1,46 @@
+// Shared helpers for the stripack test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/validate.hpp"
+#include "gen/dag_gen.hpp"
+#include "gen/rect_gen.hpp"
+#include "util/rng.hpp"
+
+namespace stripack::testing {
+
+/// Builds an instance from bare (width, height) pairs.
+inline Instance make_instance(
+    std::initializer_list<std::pair<double, double>> dims) {
+  std::vector<Item> items;
+  for (const auto& [w, h] : dims) items.push_back(Item{Rect{w, h}, 0.0});
+  return Instance(std::move(items));
+}
+
+/// Asserts that a placement is valid, with the report text on failure.
+inline ::testing::AssertionResult placement_valid(const Instance& instance,
+                                                  const Placement& placement) {
+  const ValidationReport report = validate(instance, placement);
+  if (report.ok()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << report.summary();
+}
+
+/// Random precedence instance: rectangles from `params`, DAG g(n, p).
+inline Instance random_precedence_instance(std::size_t n, double p,
+                                           const gen::RectParams& params,
+                                           Rng& rng) {
+  auto rects = gen::random_rects(n, params, rng);
+  std::vector<Item> items;
+  items.reserve(n);
+  for (const Rect& r : rects) items.push_back(Item{r, 0.0});
+  Instance instance(std::move(items));
+  const Dag dag = gen::gnp_dag(n, p, rng);
+  for (const Edge& e : dag.edges()) instance.add_precedence(e.from, e.to);
+  return instance;
+}
+
+}  // namespace stripack::testing

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/float_eq.hpp"
+#include "util/parallel_for.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace stripack {
+namespace {
+
+// ---------------------------------------------------------------- asserts
+TEST(Assert, ExpectsThrowsOnFalse) {
+  EXPECT_THROW(STRIPACK_EXPECTS(1 == 2), ContractViolation);
+}
+
+TEST(Assert, ExpectsPassesOnTrue) {
+  EXPECT_NO_THROW(STRIPACK_EXPECTS(1 == 1));
+}
+
+TEST(Assert, MessageContainsDetail) {
+  try {
+    STRIPACK_ASSERT(false, "the detail");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("the detail"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------- float_eq
+TEST(FloatEq, BasicComparisons) {
+  EXPECT_TRUE(approx_eq(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_eq(1.0, 1.0001));
+  EXPECT_TRUE(approx_le(1.0, 1.0));
+  EXPECT_TRUE(approx_le(1.0 + 1e-12, 1.0));
+  EXPECT_FALSE(approx_le(1.1, 1.0));
+  EXPECT_TRUE(approx_ge(1.0, 1.0 + 1e-12));
+  EXPECT_TRUE(definitely_less(1.0, 1.1));
+  EXPECT_FALSE(definitely_less(1.0, 1.0 + 1e-12));
+}
+
+TEST(FloatEq, IntervalOverlapIsOpen) {
+  // Touching intervals do not overlap.
+  EXPECT_FALSE(intervals_overlap(0.0, 1.0, 1.0, 2.0));
+  EXPECT_TRUE(intervals_overlap(0.0, 1.0, 0.5, 2.0));
+  EXPECT_TRUE(intervals_overlap(0.5, 0.6, 0.0, 1.0));
+  EXPECT_FALSE(intervals_overlap(0.0, 0.5, 0.5 + 1e-12, 1.0));
+}
+
+// --------------------------------------------------------------------- rng
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(Rng, ExponentialMeanApproximatelyInverseRate) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, PowerLawWithinBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.power_law(0.1, 1.0, 2.5);
+    EXPECT_GE(v, 0.1 - 1e-12);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(99);
+  Rng child = a.split();
+  // The child stream differs from the parent's continued stream.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next_u64() == child.next_u64();
+  EXPECT_LT(equal, 4);
+}
+
+// ------------------------------------------------------------------- table
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(1.25, 2);
+  t.row().add("b").add(10.5, 2);
+  std::ostringstream os;
+  t.print(os, "title");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.25"), std::string::npos);
+  EXPECT_NE(out.find("10.50"), std::string::npos);
+}
+
+TEST(Table, RejectsTooManyCells) {
+  Table t({"only"});
+  t.row().add("x");
+  EXPECT_THROW(t.add("y"), ContractViolation);
+}
+
+TEST(Table, FormatDoubleHandlesSpecials) {
+  EXPECT_EQ(format_double(std::nan(""), 2), "nan");
+  EXPECT_EQ(format_double(INFINITY, 2), "inf");
+  EXPECT_EQ(format_double(1.005, 2), "1.00");  // bankers-ish via printf
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t({"a", "b"});
+  t.row().add("x,y").add("say \"hi\"");
+  const std::string path = ::testing::TempDir() + "/stripack_table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string header, line;
+  std::getline(in, header);
+  std::getline(in, line);
+  EXPECT_EQ(header, "a,b");
+  EXPECT_EQ(line, "\"x,y\",\"say \"\"hi\"\"\"");
+}
+
+// ------------------------------------------------------------ parallel_for
+TEST(ParallelFor, VisitsEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, [&](std::size_t i) { hits[i]++; }, 4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, HandlesZeroAndSingle) {
+  int calls = 0;
+  parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(
+          100,
+          [](std::size_t i) {
+            if (i == 50) throw std::runtime_error("boom");
+          },
+          4),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace stripack

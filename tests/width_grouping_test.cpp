@@ -1,0 +1,150 @@
+#include "release/width_grouping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/release_gen.hpp"
+#include "release/release_rounding.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace stripack::release {
+namespace {
+
+Instance items_of(const std::vector<std::pair<double, double>>& wr) {
+  Instance ins;
+  for (const auto& [w, r] : wr) ins.add_item(w, 0.5, r);
+  return ins;
+}
+
+TEST(WidthGrouping, WidthsOnlyIncrease) {
+  const Instance ins = items_of({{0.2, 0.0}, {0.35, 0.0}, {0.5, 0.0},
+                                 {0.3, 1.0}, {0.6, 1.0}});
+  const auto g = group_widths(ins, 8);
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    EXPECT_GE(g.grouped.item(i).width(), ins.item(i).width() - 1e-12);
+    // Heights and releases unchanged.
+    EXPECT_DOUBLE_EQ(g.grouped.item(i).height(), ins.item(i).height());
+    EXPECT_DOUBLE_EQ(g.grouped.item(i).release, ins.item(i).release);
+  }
+}
+
+TEST(WidthGrouping, DistinctWidthBudgetRespected) {
+  Rng rng(99);
+  gen::ReleaseWorkloadParams params;
+  params.n = 120;
+  params.K = 12;  // many distinct widths c/12
+  const Instance raw = gen::poisson_release_workload(params, rng);
+  const auto rounded = round_releases(raw, 0.5);  // <= 3 release classes
+
+  for (std::size_t W : {6u, 9u, 12u, 24u}) {
+    const auto g = group_widths(rounded.rounded, W);
+    EXPECT_LE(g.distinct_widths.size(), W) << "W=" << W;
+    // groups_per_class = floor(W / classes).
+    EXPECT_EQ(g.groups_per_class, W / g.release_classes);
+  }
+}
+
+TEST(WidthGrouping, SingleGroupRoundsEverythingToWidest) {
+  const Instance ins = items_of({{0.2, 0.0}, {0.5, 0.0}, {0.35, 0.0}});
+  const auto g = group_widths(ins, 1);
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    EXPECT_DOUBLE_EQ(g.grouped.item(i).width(), 0.5);
+  }
+  EXPECT_EQ(g.distinct_widths.size(), 1u);
+}
+
+TEST(WidthGrouping, ManyGroupsPreserveWidths) {
+  // With as many groups as items, every item is its own threshold.
+  const Instance ins = items_of({{0.2, 0.0}, {0.35, 0.0}, {0.5, 0.0}});
+  const auto g = group_widths(ins, 64);
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    EXPECT_DOUBLE_EQ(g.grouped.item(i).width(), ins.item(i).width());
+  }
+}
+
+TEST(WidthGrouping, GroupingIsPerReleaseClass) {
+  // Two classes with disjoint widths; budget 2 => 1 group per class: each
+  // class rounds to its own max width, not the global max.
+  const Instance ins = items_of({{0.3, 0.0}, {0.5, 0.0},
+                                 {0.2, 1.0}, {0.4, 1.0}});
+  const auto g = group_widths(ins, 2);
+  EXPECT_DOUBLE_EQ(g.grouped.item(0).width(), 0.5);
+  EXPECT_DOUBLE_EQ(g.grouped.item(1).width(), 0.5);
+  EXPECT_DOUBLE_EQ(g.grouped.item(2).width(), 0.4);
+  EXPECT_DOUBLE_EQ(g.grouped.item(3).width(), 0.4);
+}
+
+TEST(WidthGrouping, WidthIndexMatchesDistinctTable) {
+  Rng rng(5);
+  gen::ReleaseWorkloadParams params;
+  params.n = 50;
+  params.K = 6;
+  const Instance raw = gen::poisson_release_workload(params, rng);
+  const auto rounded = round_releases(raw, 0.5);
+  const auto g = group_widths(rounded.rounded, 12);
+  ASSERT_EQ(g.width_index.size(), g.grouped.size());
+  for (std::size_t i = 0; i < g.grouped.size(); ++i) {
+    EXPECT_NEAR(g.distinct_widths[g.width_index[i]],
+                g.grouped.item(i).width(), 1e-9);
+  }
+  // Table is sorted descending and duplicate-free.
+  for (std::size_t i = 1; i < g.distinct_widths.size(); ++i) {
+    EXPECT_LT(g.distinct_widths[i], g.distinct_widths[i - 1]);
+  }
+}
+
+TEST(WidthGrouping, SandwichInstancesHaveStaircaseShape) {
+  const Instance ins = items_of(
+      {{0.5, 0.0}, {0.45, 0.0}, {0.4, 0.0}, {0.3, 0.0}, {0.25, 0.0},
+       {0.2, 0.0}, {0.15, 0.0}, {0.1, 0.0}});
+  const auto g = group_widths(ins, 4);
+  // P_sup has exactly `groups` slabs (stack is non-empty everywhere);
+  // P_inf may omit the top slab.
+  EXPECT_EQ(g.p_sup.size(), 4u);
+  EXPECT_LE(g.p_inf.size(), 4u);
+  // Area ordering of the staircases: P_inf <= P(R) <= P_sup.
+  EXPECT_LE(g.p_inf.total_area(), ins.total_area() + 1e-9);
+  EXPECT_GE(g.p_sup.total_area(), ins.total_area() - 1e-9);
+  // Grouped area sits between the original and P_sup.
+  EXPECT_GE(g.grouped.total_area(), ins.total_area() - 1e-9);
+  EXPECT_LE(g.grouped.total_area(), g.p_sup.total_area() + 1e-9);
+}
+
+TEST(WidthGrouping, RejectsBudgetBelowClassCount) {
+  const Instance ins = items_of({{0.3, 0.0}, {0.3, 1.0}, {0.3, 2.0}});
+  EXPECT_THROW(group_widths(ins, 2), ContractViolation);
+}
+
+TEST(WidthGrouping, RejectsPrecedenceInstances) {
+  Instance ins;
+  const VertexId a = ins.add_item(0.5, 0.5);
+  const VertexId b = ins.add_item(0.5, 0.5);
+  ins.add_precedence(a, b);
+  EXPECT_THROW(group_widths(ins, 4), ContractViolation);
+}
+
+TEST(WidthGrouping, Lemma32CostBoundOnArea) {
+  // The proof bounds the *fractional packing* growth; area growth obeys the
+  // same (1 + (R+1)K/W)-style factor loosely. Verify the area inflation
+  // shrinks as W grows.
+  Rng rng(17);
+  gen::ReleaseWorkloadParams params;
+  params.n = 150;
+  params.K = 10;
+  const Instance raw = gen::poisson_release_workload(params, rng);
+  const auto rounded = round_releases(raw, 0.5);
+  double last_inflation = 1e9;
+  for (std::size_t W : {4u, 8u, 16u, 32u, 64u}) {
+    if (W < count_distinct_releases(rounded.rounded)) continue;
+    const auto g = group_widths(rounded.rounded, W);
+    const double inflation = g.grouped.total_area() / raw.total_area();
+    EXPECT_LE(inflation, last_inflation + 1e-9) << "W=" << W;
+    last_inflation = inflation;
+  }
+  EXPECT_NEAR(last_inflation, 1.0, 0.2);
+}
+
+}  // namespace
+}  // namespace stripack::release
