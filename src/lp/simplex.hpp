@@ -7,7 +7,7 @@
 // the configuration LP has at most (W+1)(R+1) nonzero variables.
 //
 // This substitutes for the ellipsoid/Karmarkar solvers the paper cites
-// ([10],[14]); see DESIGN.md §4.
+// ([10],[14]); see docs/ARCHITECTURE.md.
 #pragma once
 
 #include <cstdint>

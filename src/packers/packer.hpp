@@ -7,7 +7,7 @@
 //
 // The paper cites Steinberg [24] and Schiermeyer [22] for this property; we
 // use NFDH, for which the same inequality is the classical
-// Coffman–Garey–Johnson–Tarjan bound (see DESIGN.md §4 for the
+// Coffman–Garey–Johnson–Tarjan bound (see docs/ARCHITECTURE.md for the
 // substitution). Each packer self-reports its guarantee so DC can assert the
 // inequality it relies on, and bench E10 verifies the property empirically
 // for every implementation.

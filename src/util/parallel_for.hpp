@@ -4,7 +4,7 @@
 // instances concurrently; the packing algorithms themselves are strictly
 // sequential and deterministic. Work is split into static contiguous chunks
 // so the assignment of indices to threads never depends on timing, per the
-// reproducibility conventions in DESIGN.md §6.
+// reproducibility conventions in docs/ARCHITECTURE.md.
 #pragma once
 
 #include <cstddef>

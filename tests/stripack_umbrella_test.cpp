@@ -1,0 +1,164 @@
+// Smoke test for the umbrella header: includes ONLY src/stripack.hpp and
+// exercises one entry point per module under src/. If a public header is
+// dropped from the umbrella (or a module's API breaks), this file stops
+// compiling, so the umbrella stays an accurate export of the library.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stripack.hpp"
+
+namespace stripack {
+namespace {
+
+Instance small_precedence_instance() {
+  Instance ins;
+  const VertexId a = ins.add_item(0.5, 1.0);
+  const VertexId b = ins.add_item(0.25, 0.5);
+  ins.add_precedence(a, b);
+  return ins;
+}
+
+// core: instance accessors, bounds, validate on a trivial placement.
+TEST(Umbrella, Core) {
+  const Instance ins = small_precedence_instance();
+  EXPECT_EQ(ins.size(), 2u);
+  EXPECT_GT(area_lower_bound(ins), 0.0);
+  EXPECT_GE(critical_path_lower_bound(ins), 1.5);
+
+  Placement stacked{{0.0, 0.0}, {0.0, 1.0}};
+  EXPECT_TRUE(validate(ins, stacked).ok());
+  EXPECT_DOUBLE_EQ(packing_height(ins, stacked), 1.5);
+}
+
+// dag: edge construction and cycle rejection.
+TEST(Umbrella, Dag) {
+  Dag dag(3);
+  dag.add_edge(0, 1);
+  dag.add_edge(1, 2);
+  EXPECT_EQ(dag.num_edges(), 2u);
+  EXPECT_TRUE(dag.has_edge(0, 1));
+  const std::vector<Edge> cyclic{{0, 1}, {1, 0}};
+  EXPECT_FALSE(Dag::from_edges(2, cyclic).has_value());
+}
+
+// packers: every registered packer places every rectangle.
+TEST(Umbrella, Packers) {
+  const std::vector<Rect> rects{{0.5, 1.0}, {0.5, 0.5}, {0.25, 0.75}};
+  for (const auto& packer : all_packers()) {
+    const PackResult result = packer->pack(rects, 1.0);
+    EXPECT_EQ(result.placement.size(), rects.size());
+    EXPECT_GE(result.height, 1.0);
+  }
+}
+
+// precedence: §2 dc_pack respects the DAG and the Theorem 2.3 bound.
+TEST(Umbrella, PrecedenceDc) {
+  const Instance ins = small_precedence_instance();
+  const DcResult result = dc_pack(ins);
+  EXPECT_TRUE(validate(ins, result.packing.placement).ok());
+  EXPECT_LE(result.packing.height(), result.theorem23_bound);
+}
+
+// precedence: §2.2 uniform_shelf_pack on uniform heights.
+TEST(Umbrella, PrecedenceUniformShelf) {
+  Instance ins;
+  const VertexId a = ins.add_item(0.5, 1.0);
+  const VertexId b = ins.add_item(0.5, 1.0);
+  ins.add_precedence(a, b);
+  const UniformShelfResult result = uniform_shelf_pack(ins);
+  EXPECT_TRUE(validate(ins, result.packing.placement).ok());
+}
+
+// release: §3 APTAS end to end on a tiny release-time instance.
+TEST(Umbrella, ReleaseAptas) {
+  Instance ins;
+  ins.add_item(0.5, 1.0, /*release=*/0.0);
+  ins.add_item(0.5, 0.5, /*release=*/0.5);
+  ins.add_item(0.25, 0.75, /*release=*/1.0);
+  release::AptasParams params;
+  params.epsilon = 1.0;
+  const release::AptasResult result = release::aptas_pack(ins, params);
+  EXPECT_TRUE(validate(ins, result.packing.placement).ok());
+  EXPECT_GT(result.height, 0.0);
+  // Lemma 3.1 rounding is reachable through the umbrella too.
+  EXPECT_EQ(release::count_distinct_releases(ins), 3u);
+}
+
+// binpack: first-fit decreasing respects capacity.
+TEST(Umbrella, Binpack) {
+  const std::vector<double> sizes{0.6, 0.5, 0.4, 0.3, 0.2};
+  const binpack::BinAssignment assignment =
+      binpack::pack_decreasing(sizes, 1.0, binpack::Fit::FirstFit);
+  EXPECT_TRUE(binpack::is_valid(assignment, sizes, 1.0));
+  EXPECT_GE(assignment.num_bins(), binpack::lb_size(sizes, 1.0));
+}
+
+// lp: two-phase simplex on a 1-row model.
+TEST(Umbrella, Lp) {
+  lp::Model model;
+  const int row = model.add_row(lp::Sense::GE, 1.0);
+  const lp::RowEntry entry{row, 1.0};
+  model.add_column(2.0, std::span<const lp::RowEntry>(&entry, 1));
+  const lp::Solution solution = lp::solve(model);
+  ASSERT_TRUE(solution.optimal());
+  EXPECT_DOUBLE_EQ(solution.objective, 2.0);
+}
+
+// kr: Kenyon–Rémila APTAS for plain strip packing.
+TEST(Umbrella, Kr) {
+  const Instance ins(
+      {Item{Rect{0.5, 1.0}, 0.0}, Item{Rect{0.5, 0.5}, 0.0},
+       Item{Rect{0.25, 0.75}, 0.0}});
+  const kr::KrResult result = kr::kr_pack(ins);
+  EXPECT_TRUE(validate(ins, result.packing.placement).ok());
+}
+
+// fpga: the §1 reduction from tasks on a column device to a strip instance.
+TEST(Umbrella, Fpga) {
+  const fpga::TaskSet set = fpga::jpeg_pipeline(/*stripes=*/1);
+  const fpga::Device device{/*columns=*/16};
+  const Instance ins = fpga::to_instance(set, device);
+  EXPECT_EQ(ins.size(), set.size());
+  EXPECT_TRUE(ins.has_precedence());
+}
+
+// gen: rectangle and DAG generators are deterministic under a seed.
+TEST(Umbrella, Gen) {
+  Rng rng(42);
+  const auto rects = gen::random_rects(8, gen::RectParams{}, rng);
+  EXPECT_EQ(rects.size(), 8u);
+  const Dag chain = gen::chain_dag(5);
+  EXPECT_EQ(chain.num_edges(), 4u);
+  const gen::FamilyInstance family = gen::lemma24_family(2, 0.25);
+  EXPECT_FALSE(family.instance.empty());
+}
+
+// io: text round-trip of an instance through a stream.
+TEST(Umbrella, Io) {
+  const Instance ins = small_precedence_instance();
+  std::stringstream stream;
+  io::write_instance(stream, ins);
+  const Instance back = io::read_instance(stream);
+  EXPECT_EQ(back.size(), ins.size());
+  EXPECT_TRUE(back.has_precedence());
+  EXPECT_FALSE(io::to_svg(ins, Placement{{0.0, 0.0}, {0.0, 1.0}}).empty());
+}
+
+// util: rng, float comparisons, tables, parallel_for, stopwatch.
+TEST(Umbrella, Util) {
+  Rng rng(7);
+  const double u = rng.uniform();
+  EXPECT_GE(u, 0.0);
+  EXPECT_LT(u, 1.0);
+  EXPECT_TRUE(approx_eq(0.1 + 0.2, 0.3));
+  EXPECT_EQ(format_double(1.25, 2), "1.25");
+  std::vector<int> hits(16, 0);
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i] = 1; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+  const Stopwatch watch;
+  EXPECT_GE(watch.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace stripack
