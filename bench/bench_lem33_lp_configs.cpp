@@ -43,9 +43,10 @@ int main() {
       }
 
       const auto rounding = round_releases(raw, eps);
-      const std::size_t W = static_cast<std::size_t>(std::ceil(1.0 / eps)) *
-                            static_cast<std::size_t>(K) *
-                            (static_cast<std::size_t>(std::ceil(1.0 / eps)) + 1);
+      const std::size_t W =
+          static_cast<std::size_t>(std::ceil(1.0 / eps)) *
+          static_cast<std::size_t>(K) *
+          (static_cast<std::size_t>(std::ceil(1.0 / eps)) + 1);
       const auto grouping = group_widths(rounding.rounded, W);
       const auto problem = make_problem(grouping.grouped);
 

@@ -115,7 +115,48 @@ void BM_ConfigLp(benchmark::State& state) {
     benchmark::DoNotOptimize(release::solve_config_lp(problem));
   }
 }
-BENCHMARK(BM_ConfigLp)->Range(32, 128)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ConfigLp)
+    ->RangeMultiplier(2)
+    ->Range(32, 512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ConfigLpColgen(benchmark::State& state) {
+  // Same LP solved by warm-started column generation instead of full
+  // enumeration: each master re-solve resumes from the previous basis.
+  Rng rng(45);
+  gen::ReleaseWorkloadParams params;
+  params.n = static_cast<std::size_t>(state.range(0));
+  params.K = 4;
+  const Instance ins = gen::poisson_release_workload(params, rng);
+  const auto problem = release::make_problem(ins);
+  release::ConfigLpOptions options;
+  options.use_column_generation = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(release::solve_config_lp(problem, options));
+  }
+}
+BENCHMARK(BM_ConfigLpColgen)
+    ->RangeMultiplier(2)
+    ->Range(32, 512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FractionalLowerBoundExact(benchmark::State& state) {
+  // The certified exact lower bound on a release-heavy workload: one LP
+  // phase per distinct release (the hottest path in the test suite).
+  Rng rng(77);
+  gen::ReleaseWorkloadParams params;
+  params.n = static_cast<std::size_t>(state.range(0));
+  params.K = 2;
+  params.arrival_rate = 10.0;
+  const Instance ins = gen::poisson_release_workload(params, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(release::fractional_lower_bound(ins));
+  }
+}
+BENCHMARK(BM_FractionalLowerBoundExact)
+    ->RangeMultiplier(2)
+    ->Range(64, 512)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_AptasEndToEnd(benchmark::State& state) {
   Rng rng(46);

@@ -29,7 +29,8 @@ namespace stripack {
 [[nodiscard]] double critical_path_lower_bound(const Instance& instance);
 
 /// Per-item F values (top edge lower bounds), in item order.
-[[nodiscard]] std::vector<double> critical_path_values(const Instance& instance);
+[[nodiscard]] std::vector<double> critical_path_values(
+    const Instance& instance);
 
 /// max over distinct releases rho of (rho + AREA(released >= rho) / W);
 /// also covers rho = 0 (plain area bound) and r_max.

@@ -81,9 +81,10 @@ ValidationReport validate(const Instance& instance, const Placement& placement,
   std::vector<std::size_t> by_bottom(n), by_top(n);
   std::iota(by_bottom.begin(), by_bottom.end(), std::size_t{0});
   by_top = by_bottom;
-  std::sort(by_bottom.begin(), by_bottom.end(), [&](std::size_t a, std::size_t b) {
-    return placement[a].y < placement[b].y;
-  });
+  std::sort(by_bottom.begin(), by_bottom.end(),
+            [&](std::size_t a, std::size_t b) {
+              return placement[a].y < placement[b].y;
+            });
   std::sort(by_top.begin(), by_top.end(), [&](std::size_t a, std::size_t b) {
     return placement[a].y + instance.item(a).height() <
            placement[b].y + instance.item(b).height();

@@ -53,9 +53,10 @@ SimResult simulate(const TaskSet& set, const Device& device,
   // Column exclusivity: tasks overlapping in time must use disjoint columns.
   std::vector<std::size_t> by_start(set.size());
   std::iota(by_start.begin(), by_start.end(), std::size_t{0});
-  std::sort(by_start.begin(), by_start.end(), [&](std::size_t a, std::size_t b) {
-    return schedule.entries[a].start < schedule.entries[b].start;
-  });
+  std::sort(by_start.begin(), by_start.end(),
+            [&](std::size_t a, std::size_t b) {
+              return schedule.entries[a].start < schedule.entries[b].start;
+            });
   for (std::size_t ai = 0; ai < by_start.size(); ++ai) {
     const std::size_t a = by_start[ai];
     const double a_end =

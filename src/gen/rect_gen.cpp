@@ -6,7 +6,8 @@ namespace stripack::gen {
 
 std::vector<Rect> random_rects(std::size_t n, const RectParams& params,
                                Rng& rng) {
-  STRIPACK_EXPECTS(0 < params.min_width && params.min_width <= params.max_width);
+  STRIPACK_EXPECTS(0 < params.min_width &&
+                   params.min_width <= params.max_width);
   STRIPACK_EXPECTS(0 < params.min_height &&
                    params.min_height <= params.max_height);
   std::vector<Rect> out;

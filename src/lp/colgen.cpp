@@ -9,9 +9,16 @@ ColgenResult solve_with_column_generation(Model& model, PricingOracle& oracle,
                                           int max_rounds) {
   STRIPACK_EXPECTS(max_rounds > 0);
   ColgenResult result;
+  SimplexEngine engine(model, options);
   while (true) {
-    result.solution = solve(model, options);
+    result.solution = engine.solve();
     ++result.rounds;
+    result.total_iterations += result.solution.iterations;
+    if (result.rounds == 1) {
+      result.cold_phase1_iterations = result.solution.phase1_iterations;
+    } else {
+      result.warm_phase1_iterations += result.solution.phase1_iterations;
+    }
     if (result.solution.status != SolveStatus::Optimal) return result;
     if (result.rounds >= max_rounds) return result;
 
@@ -21,6 +28,7 @@ ColgenResult solve_with_column_generation(Model& model, PricingOracle& oracle,
       model.add_column(col.cost, col.entries, col.name);
       ++result.columns_added;
     }
+    engine.sync_columns();
   }
 }
 

@@ -6,8 +6,14 @@
 // oracle supplies columns with negative reduced cost until none exist; the
 // final basis is then optimal for the full LP. This mirrors how the
 // bin-packing ancestors of the paper ([8],[15]) are solved in practice.
+//
+// The master is solved by a single resumable `SimplexEngine`: after the
+// first (cold) round every re-solve restarts warm from the previous
+// optimal basis, so only the freshly priced columns need pivoting in —
+// phase 1 never runs again (`warm_phase1_iterations` stays zero).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -37,6 +43,13 @@ struct ColgenResult {
   Solution solution;   // for the final (grown) model
   int rounds = 0;      // master re-solves performed
   int columns_added = 0;
+  /// Simplex pivots summed over every master re-solve.
+  std::int64_t total_iterations = 0;
+  /// Phase-1 pivots in the first (cold) master solve.
+  std::int64_t cold_phase1_iterations = 0;
+  /// Phase-1 pivots in rounds >= 2: zero when warm starts work, because a
+  /// basis that was optimal stays primal feasible after columns are added.
+  std::int64_t warm_phase1_iterations = 0;
 };
 
 /// Alternates master solves and pricing until the oracle finds nothing.

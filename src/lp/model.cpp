@@ -13,11 +13,23 @@ int Model::add_row(Sense sense, double rhs, std::string name) {
   return num_rows() - 1;
 }
 
+void Model::reserve_columns(std::size_t count) {
+  cost_.reserve(count);
+  columns_.reserve(count);
+  col_name_.reserve(count);
+}
+
 int Model::add_column(double cost, std::span<const RowEntry> entries,
                       std::string name) {
   std::vector<RowEntry> col(entries.begin(), entries.end());
-  std::sort(col.begin(), col.end(),
-            [](const RowEntry& a, const RowEntry& b) { return a.row < b.row; });
+  const bool sorted = std::is_sorted(
+      col.begin(), col.end(),
+      [](const RowEntry& a, const RowEntry& b) { return a.row < b.row; });
+  if (!sorted) {
+    std::sort(col.begin(), col.end(), [](const RowEntry& a, const RowEntry& b) {
+      return a.row < b.row;
+    });
+  }
   for (std::size_t i = 0; i < col.size(); ++i) {
     STRIPACK_EXPECTS(col[i].row >= 0 && col[i].row < num_rows());
     if (i > 0) {
@@ -36,6 +48,12 @@ double Model::objective_value(std::span<const double> x) const {
   double obj = 0.0;
   for (int c = 0; c < num_cols(); ++c) obj += cost_[c] * x[c];
   return obj;
+}
+
+std::size_t Model::num_entries() const {
+  std::size_t total = 0;
+  for (const auto& col : columns_) total += col.size();
+  return total;
 }
 
 std::vector<double> Model::row_activity(std::span<const double> x) const {

@@ -27,6 +27,10 @@ class Model {
   /// Adds a constraint row; returns its index.
   int add_row(Sense sense, double rhs, std::string name = {});
 
+  /// Pre-allocates column storage (the configuration LP adds Q x R columns
+  /// in one burst).
+  void reserve_columns(std::size_t count);
+
   /// Adds a variable (column) with the given objective cost and sparse
   /// coefficients; returns its index. Entries must reference existing rows;
   /// duplicate rows within one column are rejected.
@@ -38,7 +42,9 @@ class Model {
 
   [[nodiscard]] Sense row_sense(int r) const { return sense_[r]; }
   [[nodiscard]] double row_rhs(int r) const { return rhs_[r]; }
-  [[nodiscard]] const std::string& row_name(int r) const { return row_name_[r]; }
+  [[nodiscard]] const std::string& row_name(int r) const {
+    return row_name_[r];
+  }
 
   [[nodiscard]] double column_cost(int c) const { return cost_[c]; }
   [[nodiscard]] std::span<const RowEntry> column_entries(int c) const {
@@ -52,7 +58,11 @@ class Model {
   [[nodiscard]] double objective_value(std::span<const double> x) const;
 
   /// Row activity A_r . x for all rows.
-  [[nodiscard]] std::vector<double> row_activity(std::span<const double> x) const;
+  [[nodiscard]] std::vector<double> row_activity(
+      std::span<const double> x) const;
+
+  /// Total nonzero count across all columns (diagnostics / benches).
+  [[nodiscard]] std::size_t num_entries() const;
 
  private:
   std::vector<Sense> sense_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -11,37 +12,126 @@ namespace stripack::lp {
 
 namespace {
 
+constexpr double kPivotTol = 1e-9;
+constexpr double kEtaDropTol = 1e-12;
+constexpr int kNoColumn = std::numeric_limits<int>::min();
+
+// One pivot of the product-form inverse: B_new^{-1} = E^{-1} B_old^{-1}
+// where E is the identity with column `row` replaced by the pivot
+// direction d. Stored sparsely as 1/d_row plus the off-pivot entries of d.
+struct Eta {
+  int row = 0;
+  double inv_pivot = 0.0;
+  std::vector<RowEntry> off;  // (i, d_i) for i != row, |d_i| > drop tol
+};
+
+}  // namespace
+
 // Internal solver state over the transformed problem:
 //   min c'x  s.t.  A x = b,  x >= 0,  b >= 0
-// with column layout [structural | slack+surplus | artificial].
-class Simplex {
+// with structural columns mirroring the model and per-row logicals
+// (slack/surplus and artificial) addressed by negative codes.
+class SimplexEngine::Impl {
  public:
-  Simplex(const Model& model, const SimplexOptions& options)
+  Impl(const Model& model, const SimplexOptions& options)
       : model_(model), options_(options), m_(model.num_rows()) {
-    build_columns();
-    binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
-    for (int i = 0; i < m_; ++i) binv(i, i) = 1.0;
-    xb_ = b_;
-    pivots_since_refactor_ = 0;
+    STRIPACK_EXPECTS(m_ > 0);
+    build_rows();
+    append_model_columns();
+    d_.assign(static_cast<std::size_t>(m_), 0.0);
+    u_.assign(static_cast<std::size_t>(m_), 0.0);
+    y_.assign(static_cast<std::size_t>(m_), 0.0);
+    cold_start();
   }
 
-  Solution run() {
-    Solution solution;
-    if (max_iters_ == 0) {
-      max_iters_ = options_.max_iterations > 0
-                       ? options_.max_iterations
-                       : 5000 + 20LL * (m_ + num_all_cols_);
-    }
+  // ----- column codes -----------------------------------------------------
+  // code >= 0:           structural column `code` of the model
+  // code in [-m, -1]:    slack/surplus of row  -1 - code
+  // code < -m:           artificial of row     -1 - m - code
+  [[nodiscard]] bool is_structural(int code) const { return code >= 0; }
+  [[nodiscard]] bool is_slack(int code) const {
+    return code < 0 && code >= -m_;
+  }
+  [[nodiscard]] bool is_artificial(int code) const { return code < -m_; }
+  [[nodiscard]] int slack_of(int row) const { return -1 - row; }
+  [[nodiscard]] int artificial_of(int row) const { return -1 - m_ - row; }
+  [[nodiscard]] int logical_row(int code) const {
+    return is_slack(code) ? -1 - code : -1 - m_ - code;
+  }
 
-    // Phase 1: minimize the sum of artificials.
-    if (num_artificial_ > 0) {
+  void sync_columns() {
+    const int old_cols = num_structural_;
+    append_model_columns();
+    // Freshly generated columns almost always price negative: put them at
+    // the front of the candidate queue so the next solve enters them first.
+    for (int c = old_cols; c < num_structural_; ++c) candidates_.push_back(c);
+  }
+
+  bool load_basis(const std::vector<int>& codes) {
+    if (static_cast<int>(codes.size()) != m_) return false;
+    std::vector<int> basis(static_cast<std::size_t>(m_));
+    std::vector<bool> seen_struct(static_cast<std::size_t>(num_structural_),
+                                  false);
+    std::vector<bool> seen_row(static_cast<std::size_t>(m_), false);
+    for (int i = 0; i < m_; ++i) {
+      const int code = codes[i];
+      if (code >= 0) {
+        if (code >= num_structural_ || seen_struct[code]) return false;
+        seen_struct[code] = true;
+        basis[i] = code;
+      } else {
+        const int r = slack_code_row(code);
+        if (r < 0 || r >= m_ || seen_row[r]) return false;
+        seen_row[r] = true;
+        // Equality rows have no slack: re-instantiate as an artificial
+        // (only degenerate artificials are encoded this way).
+        basis[i] = slack_sign_[r] != 0.0 ? slack_of(r) : artificial_of(r);
+      }
+    }
+    install_basis(basis);
+    bool singular = false;
+    refactor(&singular);
+    if (singular) {
+      cold_start();
+      return false;
+    }
+    for (int i = 0; i < m_; ++i) {
+      if (xb_[i] < -1e-7 * (1.0 + b_norm_)) {
+        cold_start();
+        return false;
+      }
+    }
+    for (double& v : xb_) v = std::max(v, 0.0);
+    return true;
+  }
+
+  Solution solve() {
+    Solution solution;
+    const std::int64_t max_iters =
+        options_.max_iterations > 0
+            ? options_.max_iterations
+            : 5000 + 20LL * (2LL * m_ + num_structural_);
+    // Anti-cycling may have engaged Bland's rule late in a previous solve;
+    // start each solve with the configured pricing and let degeneracy
+    // re-engage it if needed (otherwise every warm colgen re-solve would
+    // permanently pay full-scan first-improving pricing).
+    bland_ = options_.bland;
+
+    // Phase 1: minimize the sum of artificials (skipped when the retained
+    // basis is already feasible, e.g. on warm colgen re-solves).
+    double infeas = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      if (is_artificial(basis_[i])) infeas += xb_[i];
+    }
+    if (infeas > 1e-12) {
       phase_ = 1;
-      const SolveStatus s1 = iterate(solution);
+      const SolveStatus s1 = iterate(solution, max_iters);
+      solution.phase1_iterations = solution.iterations;
       if (s1 != SolveStatus::Optimal) {
         solution.status = s1;
         return solution;
       }
-      double infeas = 0.0;
+      infeas = 0.0;
       for (int i = 0; i < m_; ++i) {
         if (is_artificial(basis_[i])) infeas += xb_[i];
       }
@@ -56,7 +146,7 @@ class Simplex {
     }
 
     phase_ = 2;
-    const SolveStatus s2 = iterate(solution);
+    const SolveStatus s2 = iterate(solution, max_iters);
     solution.status = s2;
     if (s2 != SolveStatus::Optimal) return solution;
 
@@ -66,29 +156,37 @@ class Simplex {
 
  private:
   // ----- problem construction -------------------------------------------
-  void build_columns() {
-    b_.resize(m_);
-    flipped_.assign(m_, false);
-    std::vector<Sense> sense(static_cast<std::size_t>(m_));
+  void build_rows() {
+    b_.resize(static_cast<std::size_t>(m_));
+    flipped_.assign(static_cast<std::size_t>(m_), false);
+    slack_sign_.assign(static_cast<std::size_t>(m_), 0.0);
     for (int r = 0; r < m_; ++r) {
       double rhs = model_.row_rhs(r);
       Sense s = model_.row_sense(r);
       if (rhs < 0) {
         rhs = -rhs;
         flipped_[r] = true;
-        if (s == Sense::LE) s = Sense::GE;
-        else if (s == Sense::GE) s = Sense::LE;
+        if (s == Sense::LE) {
+          s = Sense::GE;
+        } else if (s == Sense::GE) {
+          s = Sense::LE;
+        }
       }
       b_[r] = rhs;
-      sense[r] = s;
       b_norm_ += rhs;
+      if (s == Sense::LE) slack_sign_[r] = 1.0;
+      if (s == Sense::GE) slack_sign_[r] = -1.0;
     }
+  }
 
+  void append_model_columns() {
     const int n = model_.num_cols();
-    cols_.reserve(static_cast<std::size_t>(n) + m_);
-    cost2_.reserve(static_cast<std::size_t>(n) + m_);
-    for (int c = 0; c < n; ++c) {
+    cols_.reserve(static_cast<std::size_t>(n));
+    cost2_.reserve(static_cast<std::size_t>(n));
+    in_basis_struct_.resize(static_cast<std::size_t>(n), false);
+    for (int c = num_structural_; c < n; ++c) {
       std::vector<RowEntry> col;
+      col.reserve(model_.column_entries(c).size());
       for (const RowEntry& e : model_.column_entries(c)) {
         col.push_back({e.row, flipped_[e.row] ? -e.coef : e.coef});
       }
@@ -96,72 +194,400 @@ class Simplex {
       cost2_.push_back(model_.column_cost(c));
     }
     num_structural_ = n;
+  }
 
-    basis_.assign(static_cast<std::size_t>(m_), -1);
-    // Slack (LE) / surplus (GE) columns, then artificials for GE/EQ rows.
+  void install_basis(const std::vector<int>& basis) {
+    basis_ = basis;
+    std::fill(in_basis_struct_.begin(), in_basis_struct_.end(), false);
+    in_basis_logical_.assign(static_cast<std::size_t>(2) * m_, false);
+    for (int i = 0; i < m_; ++i) mark_basis(basis_[i], true);
+  }
+
+  void mark_basis(int code, bool value) {
+    if (is_structural(code)) {
+      in_basis_struct_[code] = value;
+    } else if (is_slack(code)) {
+      in_basis_logical_[logical_row(code)] = value;
+    } else {
+      in_basis_logical_[static_cast<std::size_t>(m_) + logical_row(code)] =
+          value;
+    }
+  }
+
+  [[nodiscard]] bool in_basis(int code) const {
+    if (is_structural(code)) return in_basis_struct_[code];
+    if (is_slack(code)) return in_basis_logical_[logical_row(code)];
+    return in_basis_logical_[static_cast<std::size_t>(m_) + logical_row(code)];
+  }
+
+  void cold_start() {
+    std::vector<int> basis(static_cast<std::size_t>(m_));
     for (int r = 0; r < m_; ++r) {
-      if (sense[r] == Sense::LE) {
-        cols_.push_back({{r, 1.0}});
-        cost2_.push_back(0.0);
-        basis_[r] = static_cast<int>(cols_.size()) - 1;
-      } else if (sense[r] == Sense::GE) {
-        cols_.push_back({{r, -1.0}});
-        cost2_.push_back(0.0);
+      basis[r] = slack_sign_[r] > 0.0 ? slack_of(r) : artificial_of(r);
+    }
+    install_basis(basis);
+    // The cold basis matrix is the identity: an empty eta file inverts it.
+    etas_.clear();
+    pivots_since_refactor_ = 0;
+    xb_ = b_;
+    bland_ = options_.bland;
+  }
+
+  [[nodiscard]] std::span<const RowEntry> entries_of(int code) {
+    if (is_structural(code)) return cols_[code];
+    const int r = logical_row(code);
+    logical_entry_ = {r, is_slack(code) ? slack_sign_[r] : 1.0};
+    return {&logical_entry_, 1};
+  }
+
+  [[nodiscard]] std::size_t entries_count(int code) const {
+    return is_structural(code) ? cols_[code].size() : 1;
+  }
+
+  [[nodiscard]] double cost_of(int code) const {
+    if (phase_ == 1) return is_artificial(code) ? 1.0 : 0.0;
+    return is_structural(code) ? cost2_[code] : 0.0;
+  }
+
+  // Deterministic total order used by ratio-test tie-breaks (structural
+  // columns first, then slacks, then artificials — mirrors Bland order).
+  [[nodiscard]] std::int64_t order_key(int code) const {
+    if (is_structural(code)) return code;
+    const std::int64_t base = static_cast<std::int64_t>(1) << 32;
+    if (is_slack(code)) return base + logical_row(code);
+    return 2 * base + logical_row(code);
+  }
+
+  // ----- factorization ----------------------------------------------------
+  // The basis inverse is held purely in product form: B^{-1} =
+  // E_k^{-1} ... E_1^{-1}, where the first etas come from refactorization
+  // (re-inversion of the basis matrix) and the rest from pivots. All
+  // FTRAN/BTRAN costs scale with the stored eta nonzeros, never with m^2.
+
+  // v <- B^{-1} v (oldest eta first). Zero pivot components skip in O(1).
+  void apply_etas(std::vector<double>& v) const {
+    for (const Eta& e : etas_) {
+      const double t = v[e.row] * e.inv_pivot;
+      v[e.row] = t;
+      if (t == 0.0) continue;
+      for (const RowEntry& o : e.off) v[o.row] -= o.coef * t;
+    }
+  }
+
+  // FTRAN: d = B^{-1} a for a sparse column.
+  void ftran(std::span<const RowEntry> col) {
+    std::fill(d_.begin(), d_.end(), 0.0);
+    for (const RowEntry& e : col) d_[e.row] = e.coef;
+    apply_etas(d_);
+  }
+
+  // BTRAN through the eta file only (newest to oldest): u' <- u' E^{-1}...
+  // Optionally tracks which rows become nonzero.
+  void btran_etas(std::vector<double>& u, std::vector<int>* touched) const {
+    for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+      double acc = u[it->row];
+      for (const RowEntry& o : it->off) acc -= u[o.row] * o.coef;
+      acc *= it->inv_pivot;
+      if (touched != nullptr && acc != 0.0 && u[it->row] == 0.0) {
+        touched->push_back(it->row);
+      }
+      u[it->row] = acc;
+    }
+  }
+
+  // Exact duals for the current phase: y' = c_B' B^{-1} (BTRAN).
+  void recompute_duals() {
+    std::fill(u_.begin(), u_.end(), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const double cb = cost_of(basis_[i]);
+      if (cb != 0.0) u_[i] = cb;
+    }
+    btran_etas(u_, nullptr);
+    y_ = u_;
+    duals_fresh_ = true;
+  }
+
+  // Incremental dual update after choosing (entering, leave): with rc the
+  // entering reduced cost and d the pivot direction,
+  //   y_new' = y' + (rc / d_leave) * (e_leave' B_old^{-1}).
+  void update_duals(int leave, double rc) {
+    std::fill(u_.begin(), u_.end(), 0.0);
+    u_[leave] = 1.0;
+    touched_.clear();
+    touched_.push_back(leave);
+    btran_etas(u_, &touched_);
+    const double mult = rc / d_[leave];
+    for (const int i : touched_) {
+      const double f = mult * u_[i];
+      if (f == 0.0) continue;
+      u_[i] = 0.0;  // a row can repeat in touched_; apply it only once
+      y_[i] += f;
+    }
+    duals_fresh_ = false;
+  }
+
+  // Refactorization: re-inverts the basis matrix into a fresh eta file.
+  // Phase A peels row singletons — rows covered by exactly one remaining
+  // basis column pivot there with their *original* sparse entries and zero
+  // fill (a permuted-lower-triangular prefix; LP bases are mostly
+  // triangular, so this usually swallows nearly everything). Phase B runs
+  // generic product-form inversion on the small remaining kernel: FTRAN
+  // each column through the etas built so far and pivot on the largest
+  // remaining component. Cost scales with basis nonzeros plus kernel fill
+  // instead of the m^3 of a dense inversion.
+  void refactor(bool* singular = nullptr) {
+    pivots_since_refactor_ = 0;
+    etas_.clear();
+    etas_.reserve(static_cast<std::size_t>(m_) +
+                  std::min<std::size_t>(
+                      static_cast<std::size_t>(
+                          std::max(options_.refactor_interval, 0)),
+                      256));
+
+    // Row -> basis positions adjacency (flat CSR).
+    row_count_.assign(static_cast<std::size_t>(m_), 0);
+    std::size_t nnz = 0;
+    for (int k = 0; k < m_; ++k) {
+      for (const RowEntry& e : entries_of(basis_[k])) {
+        ++row_count_[e.row];
+        ++nnz;
       }
     }
-    first_artificial_ = static_cast<int>(cols_.size());
+    row_start_.assign(static_cast<std::size_t>(m_) + 1, 0);
     for (int r = 0; r < m_; ++r) {
-      if (sense[r] != Sense::LE) {
-        cols_.push_back({{r, 1.0}});
-        cost2_.push_back(0.0);
-        basis_[r] = static_cast<int>(cols_.size()) - 1;
-        ++num_artificial_;
+      row_start_[r + 1] = row_start_[r] + row_count_[r];
+    }
+    row_cols_.resize(nnz);
+    fill_ptr_ = row_start_;
+    for (int k = 0; k < m_; ++k) {
+      for (const RowEntry& e : entries_of(basis_[k])) {
+        row_cols_[fill_ptr_[e.row]++] = k;
       }
     }
-    num_all_cols_ = static_cast<int>(cols_.size());
-    in_basis_.assign(static_cast<std::size_t>(num_all_cols_), false);
-    for (int i = 0; i < m_; ++i) in_basis_[basis_[i]] = true;
+
+    col_done_.assign(static_cast<std::size_t>(m_), false);
+    row_active_.assign(static_cast<std::size_t>(m_), true);
+    // Each basis column gets pivoted at some row; the eta product then maps
+    // that column's basic value to its pivot-row component, so the basis
+    // array is re-indexed by pivot row at the end.
+    new_basis_.assign(static_cast<std::size_t>(m_), 0);
+    peel_stack_.clear();
+    for (int r = 0; r < m_; ++r) {
+      if (row_count_[r] == 1) peel_stack_.push_back(r);
+    }
+
+    // Phase A: triangular peel.
+    int pivots_done = 0;
+    while (!peel_stack_.empty()) {
+      const int r = peel_stack_.back();
+      peel_stack_.pop_back();
+      if (!row_active_[r] || row_count_[r] != 1) continue;
+      int k = -1;
+      for (std::size_t p = row_start_[r]; p < row_start_[r + 1]; ++p) {
+        if (!col_done_[row_cols_[p]]) {
+          k = row_cols_[p];
+          break;
+        }
+      }
+      if (k < 0) continue;  // all covering columns consumed: kernel decides
+      double pivot_value = 0.0;
+      double max_abs = 0.0;
+      const auto col = entries_of(basis_[k]);
+      for (const RowEntry& e : col) {
+        max_abs = std::max(max_abs, std::fabs(e.coef));
+        if (e.row == r) pivot_value = e.coef;
+      }
+      // Stability guard: a relatively tiny pivot is left to the kernel's
+      // magnitude-based pivoting instead.
+      if (std::fabs(pivot_value) < 1e-3 * max_abs) continue;
+      Eta eta;
+      eta.row = r;
+      eta.inv_pivot = 1.0 / pivot_value;
+      for (const RowEntry& e : col) {
+        if (e.row != r && std::fabs(e.coef) > kEtaDropTol) {
+          eta.off.push_back({e.row, e.coef});
+        }
+      }
+      etas_.push_back(std::move(eta));
+      new_basis_[r] = basis_[k];
+      col_done_[k] = true;
+      row_active_[r] = false;
+      ++pivots_done;
+      for (const RowEntry& e : col) {
+        if (--row_count_[e.row] == 1 && row_active_[e.row]) {
+          peel_stack_.push_back(e.row);
+        }
+      }
+    }
+
+    // Phase B: generic product-form inversion of the kernel, smallest
+    // columns first.
+    if (pivots_done < m_) {
+      kernel_.clear();
+      for (int k = 0; k < m_; ++k) {
+        if (!col_done_[k]) kernel_.push_back(k);
+      }
+      std::sort(kernel_.begin(), kernel_.end(), [&](int a, int b) {
+        const std::size_t sa = entries_count(basis_[a]);
+        const std::size_t sb = entries_count(basis_[b]);
+        return sa != sb ? sa < sb : a < b;
+      });
+      for (const int k : kernel_) {
+        ftran(entries_of(basis_[k]));
+        int piv = -1;
+        double best = 0.0;
+        for (int i = 0; i < m_; ++i) {
+          if (!row_active_[i]) continue;
+          const double a = std::fabs(d_[i]);
+          if (a > best) {
+            best = a;
+            piv = i;
+          }
+        }
+        if (piv < 0 || best <= 1e-12) {
+          if (singular != nullptr) {
+            *singular = true;
+            return;
+          }
+          STRIPACK_ASSERT(false, "singular basis during refactorization");
+        }
+        Eta eta;
+        eta.row = piv;
+        eta.inv_pivot = 1.0 / d_[piv];
+        for (int i = 0; i < m_; ++i) {
+          if (i != piv && std::fabs(d_[i]) > kEtaDropTol) {
+            eta.off.push_back({i, d_[i]});
+          }
+        }
+        etas_.push_back(std::move(eta));
+        new_basis_[piv] = basis_[k];
+        row_active_[piv] = false;
+        ++pivots_done;
+      }
+    }
+    if (singular != nullptr) *singular = false;
+
+    // Re-index the basis by pivot row (a pure relabeling of basis slots;
+    // the basic set is unchanged) and recompute basic values from scratch:
+    // FTRAN(b) already yields each column's value at its pivot row.
+    basis_ = new_basis_;
+    d_ = b_;
+    apply_etas(d_);
+    xb_ = d_;
   }
 
-  [[nodiscard]] bool is_artificial(int col) const {
-    return col >= first_artificial_;
+  void refactor_in_solve() {
+    refactor();
+    for (double& v : xb_) v = std::max(v, 0.0);
+    recompute_duals();
   }
 
-  [[nodiscard]] double cost_of(int col) const {
-    return phase_ == 1 ? (is_artificial(col) ? 1.0 : 0.0) : cost2_[col];
+  // ----- pricing ----------------------------------------------------------
+  [[nodiscard]] double reduced_cost(int code) const {
+    double rc = cost_of(code);
+    if (is_structural(code)) {
+      for (const RowEntry& e : cols_[code]) rc -= y_[e.row] * e.coef;
+    } else {
+      const int r = logical_row(code);
+      rc -= y_[r] * (is_slack(code) ? slack_sign_[r] : 1.0);
+    }
+    return rc;
   }
 
-  double& binv(int i, int j) { return binv_[static_cast<std::size_t>(i) * m_ + j]; }
-  [[nodiscard]] double binv(int i, int j) const {
-    return binv_[static_cast<std::size_t>(i) * m_ + j];
+  // Position p scans structural columns first, then per-row slacks.
+  [[nodiscard]] int code_at(int pos) const {
+    if (pos < num_structural_) return pos;
+    const int r = pos - num_structural_;
+    return slack_sign_[r] != 0.0 ? slack_of(r) : kNoColumn;
+  }
+
+  // Returns the entering column code (kNoColumn at optimality) and its
+  // reduced cost. Artificials never re-enter (Farkas-safe in phase 1).
+  int price(double& rc_out) {
+    const double tol = options_.tol;
+    const int limit = num_structural_ + m_;
+    if (bland_) {
+      // Bland: first improving code in the fixed order.
+      for (int pos = 0; pos < limit; ++pos) {
+        const int code = code_at(pos);
+        if (code == kNoColumn || in_basis(code)) continue;
+        const double rc = reduced_cost(code);
+        if (rc < -tol) {
+          rc_out = rc;
+          return code;
+        }
+      }
+      return kNoColumn;
+    }
+
+    int best = kNoColumn;
+    double best_rc = -tol;
+    // Revalidate the candidate list against the current duals.
+    std::size_t keep = 0;
+    for (const int code : candidates_) {
+      if (in_basis(code)) continue;
+      const double rc = reduced_cost(code);
+      if (rc >= -tol) continue;
+      candidates_[keep++] = code;
+      if (rc < best_rc) {
+        best_rc = rc;
+        best = code;
+      }
+    }
+    candidates_.resize(keep);
+    if (best != kNoColumn) {
+      rc_out = best_rc;
+      return best;
+    }
+
+    // Candidate drought: cyclic partial scan, stopping after the first
+    // block that yields improving columns. A full fruitless wrap proves
+    // optimality (for the current duals).
+    const int block = options_.pricing_block > 0
+                          ? options_.pricing_block
+                          : std::max(512, limit / 8);
+    if (scan_ptr_ >= limit) scan_ptr_ = 0;
+    int scanned = 0;
+    while (scanned < limit) {
+      for (int s = 0; s < block && scanned < limit; ++s, ++scanned) {
+        const int code = code_at(scan_ptr_);
+        scan_ptr_ = scan_ptr_ + 1 == limit ? 0 : scan_ptr_ + 1;
+        if (code == kNoColumn || in_basis(code)) continue;
+        const double rc = reduced_cost(code);
+        if (rc >= -tol) continue;
+        candidates_.push_back(code);
+        if (rc < best_rc) {
+          best_rc = rc;
+          best = code;
+        }
+      }
+      if (best != kNoColumn) break;
+    }
+    rc_out = best_rc;
+    return best;
   }
 
   // ----- core iteration ---------------------------------------------------
-  SolveStatus iterate(Solution& solution) {
-    std::vector<double> y(static_cast<std::size_t>(m_));
-    std::vector<double> d(static_cast<std::size_t>(m_));
+  SolveStatus iterate(Solution& solution, std::int64_t max_iters) {
+    recompute_duals();
     int degenerate_streak = 0;
 
     while (true) {
-      if (solution.iterations >= max_iters_) return SolveStatus::IterationLimit;
+      if (solution.iterations >= max_iters) return SolveStatus::IterationLimit;
 
-      // Simplex multipliers y = cB' * Binv.
-      std::fill(y.begin(), y.end(), 0.0);
-      for (int i = 0; i < m_; ++i) {
-        const double cb = cost_of(basis_[i]);
-        if (cb == 0.0) continue;
-        for (int j = 0; j < m_; ++j) y[j] += cb * binv(i, j);
+      double rc = 0.0;
+      const int entering = price(rc);
+      if (entering == kNoColumn) {
+        // Incremental duals drift; only a pricing pass over exact duals
+        // certifies optimality.
+        if (!duals_fresh_) {
+          recompute_duals();
+          continue;
+        }
+        return SolveStatus::Optimal;
       }
 
-      // Pricing.
-      const int entering = price(y);
-      if (entering < 0) return SolveStatus::Optimal;
-
-      // Direction d = Binv * A_entering.
-      std::fill(d.begin(), d.end(), 0.0);
-      for (const RowEntry& e : cols_[entering]) {
-        for (int i = 0; i < m_; ++i) d[i] += binv(i, e.row) * e.coef;
-      }
+      ftran(entries_of(entering));
 
       // Ratio test. Artificial basic variables are pinned at zero: any
       // nonzero direction component forces a degenerate pivot that drives
@@ -172,10 +598,10 @@ class Simplex {
       for (int i = 0; i < m_; ++i) {
         const bool art = phase_ == 2 && is_artificial(basis_[i]);
         double ratio;
-        if (art && std::fabs(d[i]) > kPivotTol) {
+        if (art && std::fabs(d_[i]) > kPivotTol) {
           ratio = 0.0;
-        } else if (d[i] > kPivotTol) {
-          ratio = xb_[i] / d[i];
+        } else if (d_[i] > kPivotTol) {
+          ratio = xb_[i] / d_[i];
         } else {
           continue;
         }
@@ -184,14 +610,24 @@ class Simplex {
             (ratio < theta + options_.tol &&
              ((art && !leave_is_artificial) ||
               (art == leave_is_artificial && leave >= 0 &&
-               basis_[i] < basis_[leave])));
+               order_key(basis_[i]) < order_key(basis_[leave]))));
         if (leave < 0 || better) {
           theta = std::max(ratio, 0.0);
           leave = i;
           leave_is_artificial = art;
         }
       }
-      if (leave < 0) return SolveStatus::Unbounded;
+      if (leave < 0) {
+        // Like optimality, unboundedness is only declared on exact duals:
+        // a drifted reduced cost could have selected a column that does
+        // not truly improve (and such a column may have no positive
+        // direction component even in a bounded LP).
+        if (!duals_fresh_) {
+          recompute_duals();
+          continue;
+        }
+        return SolveStatus::Unbounded;
+      }
 
       if (theta <= options_.tol) {
         if (++degenerate_streak > 5 * m_ + 200) bland_ = true;
@@ -199,164 +635,128 @@ class Simplex {
         degenerate_streak = 0;
       }
 
-      pivot(entering, leave, d, theta);
+      // Duals first (the update needs the pre-pivot eta file), then pivot.
+      update_duals(leave, rc);
+      pivot(entering, leave, theta);
       ++solution.iterations;
 
-      if (++pivots_since_refactor_ >= options_.refactor_interval) refactor();
-    }
-  }
-
-  // Returns the entering column, or -1 at optimality.
-  int price(const std::vector<double>& y) const {
-    int best = -1;
-    double best_rc = -options_.tol;
-    const int limit = phase_ == 1 ? num_all_cols_ : first_artificial_;
-    for (int j = 0; j < limit; ++j) {
-      if (in_basis_[j]) continue;
-      double rc = cost_of(j);
-      for (const RowEntry& e : cols_[j]) rc -= y[e.row] * e.coef;
-      if (rc < best_rc) {
-        if (bland_) return j;  // Bland: first improving index
-        best_rc = rc;
-        best = j;
+      if (++pivots_since_refactor_ >= options_.refactor_interval) {
+        refactor_in_solve();
       }
     }
-    return best;
   }
 
-  void pivot(int entering, int leave, const std::vector<double>& d,
-             double theta) {
-    const double dp = d[leave];
+  void pivot(int entering, int leave, double theta) {
+    const double dp = d_[leave];
     STRIPACK_ASSERT(std::fabs(dp) > kPivotTol, "pivot element too small");
 
-    for (int i = 0; i < m_; ++i) xb_[i] -= theta * d[i];
+    for (int i = 0; i < m_; ++i) xb_[i] -= theta * d_[i];
     xb_[leave] = theta;
 
-    // Eta update of the dense inverse: row `leave` is scaled, others swept.
-    const double inv_dp = 1.0 / dp;
-    for (int j = 0; j < m_; ++j) binv(leave, j) *= inv_dp;
+    Eta eta;
+    eta.row = leave;
+    eta.inv_pivot = 1.0 / dp;
     for (int i = 0; i < m_; ++i) {
       if (i == leave) continue;
-      const double f = d[i];
-      if (std::fabs(f) < 1e-14) continue;
-      for (int j = 0; j < m_; ++j) binv(i, j) -= f * binv(leave, j);
+      if (std::fabs(d_[i]) > kEtaDropTol) eta.off.push_back({i, d_[i]});
     }
+    etas_.push_back(std::move(eta));
 
-    in_basis_[basis_[leave]] = false;
+    mark_basis(basis_[leave], false);
     basis_[leave] = entering;
-    in_basis_[entering] = true;
+    mark_basis(entering, true);
   }
 
-  void refactor() {
-    pivots_since_refactor_ = 0;
-    // Gauss-Jordan inversion of the basis matrix with partial pivoting.
-    std::vector<double> a(static_cast<std::size_t>(m_) * m_, 0.0);
-    for (int i = 0; i < m_; ++i) {
-      for (const RowEntry& e : cols_[basis_[i]]) {
-        a[static_cast<std::size_t>(e.row) * m_ + i] = e.coef;
-      }
-    }
-    std::vector<double> inv(static_cast<std::size_t>(m_) * m_, 0.0);
-    for (int i = 0; i < m_; ++i) inv[static_cast<std::size_t>(i) * m_ + i] = 1.0;
-    auto A = [&](int i, int j) -> double& {
-      return a[static_cast<std::size_t>(i) * m_ + j];
-    };
-    auto I = [&](int i, int j) -> double& {
-      return inv[static_cast<std::size_t>(i) * m_ + j];
-    };
-    for (int col = 0; col < m_; ++col) {
-      int piv = col;
-      for (int r = col + 1; r < m_; ++r) {
-        if (std::fabs(A(r, col)) > std::fabs(A(piv, col))) piv = r;
-      }
-      STRIPACK_ASSERT(std::fabs(A(piv, col)) > 1e-12,
-                      "singular basis during refactorization");
-      if (piv != col) {
-        for (int j = 0; j < m_; ++j) {
-          std::swap(A(col, j), A(piv, j));
-          std::swap(I(col, j), I(piv, j));
-        }
-      }
-      const double inv_p = 1.0 / A(col, col);
-      for (int j = 0; j < m_; ++j) {
-        A(col, j) *= inv_p;
-        I(col, j) *= inv_p;
-      }
-      for (int r = 0; r < m_; ++r) {
-        if (r == col) continue;
-        const double f = A(r, col);
-        if (f == 0.0) continue;
-        for (int j = 0; j < m_; ++j) {
-          A(r, j) -= f * A(col, j);
-          I(r, j) -= f * I(col, j);
-        }
-      }
-    }
-    binv_ = std::move(inv);
-    // Recompute basic values from scratch.
-    for (int i = 0; i < m_; ++i) {
-      double v = 0.0;
-      for (int j = 0; j < m_; ++j) v += binv(i, j) * b_[j];
-      xb_[i] = std::max(v, 0.0);
-    }
-  }
-
-  void extract(Solution& solution) const {
+  // ----- extraction -------------------------------------------------------
+  void extract(Solution& solution) {
     solution.x.assign(static_cast<std::size_t>(num_structural_), 0.0);
     solution.basic_columns.clear();
+    solution.basis.assign(static_cast<std::size_t>(m_), 0);
     for (int i = 0; i < m_; ++i) {
-      if (basis_[i] < num_structural_) {
-        solution.x[basis_[i]] = std::max(xb_[i], 0.0);
-        solution.basic_columns.push_back(basis_[i]);
+      const int code = basis_[i];
+      if (is_structural(code)) {
+        solution.x[code] = std::max(xb_[i], 0.0);
+        solution.basic_columns.push_back(code);
+        solution.basis[i] = code;
+      } else {
+        solution.basis[i] = slack_code(logical_row(code));
       }
     }
     solution.objective = 0.0;
     for (int c = 0; c < num_structural_; ++c) {
       solution.objective += cost2_[c] * solution.x[c];
     }
-    // Duals y = cB' Binv, mapped back through row flips.
-    solution.duals.assign(static_cast<std::size_t>(m_), 0.0);
-    for (int i = 0; i < m_; ++i) {
-      const double cb = cost2_[basis_[i]];
-      if (cb == 0.0) continue;
-      for (int j = 0; j < m_; ++j) solution.duals[j] += cb * binv(i, j);
-    }
+    // Exact duals y = cB' B^{-1}, mapped back through row flips.
+    recompute_duals();
+    solution.duals.assign(y_.begin(), y_.end());
     for (int r = 0; r < m_; ++r) {
       if (flipped_[r]) solution.duals[r] = -solution.duals[r];
     }
   }
 
-  static constexpr double kPivotTol = 1e-9;
-
   const Model& model_;
   SimplexOptions options_;
   int m_;
   int num_structural_ = 0;
-  int first_artificial_ = 0;
-  int num_artificial_ = 0;
-  int num_all_cols_ = 0;
-  int phase_ = 1;
+  int phase_ = 2;
   bool bland_ = false;
-  std::int64_t max_iters_ = 0;
+  bool duals_fresh_ = false;
   double b_norm_ = 0.0;
 
-  std::vector<std::vector<RowEntry>> cols_;  // transformed columns
-  std::vector<double> cost2_;                // phase-2 costs
+  std::vector<std::vector<RowEntry>> cols_;  // transformed structural columns
+  std::vector<double> cost2_;                // phase-2 structural costs
   std::vector<double> b_;                    // transformed rhs (>= 0)
   std::vector<bool> flipped_;
-  std::vector<int> basis_;       // row -> column index
-  std::vector<bool> in_basis_;   // column -> bool
-  std::vector<double> binv_;     // dense m x m
-  std::vector<double> xb_;       // basic values
+  std::vector<double> slack_sign_;   // +1 LE, -1 GE, 0 EQ (no slack)
+  RowEntry logical_entry_{};         // scratch for entries_of on logicals
+
+  std::vector<int> basis_;                // row -> column code
+  std::vector<bool> in_basis_struct_;     // structural column -> basic?
+  std::vector<bool> in_basis_logical_;    // [slack rows | artificial rows]
+  std::vector<Eta> etas_;                 // the basis inverse, product form
+  std::vector<double> xb_;                // basic values
+  std::vector<double> d_;                 // FTRAN direction workspace
+  std::vector<double> u_;                 // BTRAN workspace
+  std::vector<double> y_;                 // current-phase duals
+  std::vector<int> touched_;              // BTRAN nonzero tracking
+  std::vector<int> candidates_;           // partial-pricing candidate codes
+  // Refactorization workspaces (sized on use, reused across calls).
+  std::vector<int> row_count_;
+  std::vector<std::size_t> row_start_;
+  std::vector<std::size_t> fill_ptr_;
+  std::vector<int> row_cols_;
+  std::vector<bool> col_done_;
+  std::vector<bool> row_active_;
+  std::vector<int> peel_stack_;
+  std::vector<int> kernel_;
+  std::vector<int> new_basis_;
+  int scan_ptr_ = 0;
   int pivots_since_refactor_ = 0;
 };
 
-}  // namespace
+SimplexEngine::SimplexEngine(const Model& model, const SimplexOptions& options)
+    : impl_(std::make_unique<Impl>(model, options)) {
+  if (!options.initial_basis.empty()) {
+    impl_->load_basis(options.initial_basis);
+  }
+}
+
+SimplexEngine::~SimplexEngine() = default;
+SimplexEngine::SimplexEngine(SimplexEngine&&) noexcept = default;
+SimplexEngine& SimplexEngine::operator=(SimplexEngine&&) noexcept = default;
+
+void SimplexEngine::sync_columns() { impl_->sync_columns(); }
+
+bool SimplexEngine::load_basis(const std::vector<int>& basis) {
+  return impl_->load_basis(basis);
+}
+
+Solution SimplexEngine::solve() { return impl_->solve(); }
 
 Solution solve(const Model& model, const SimplexOptions& options) {
   STRIPACK_EXPECTS(model.num_rows() > 0);
-  Simplex simplex(model, options);
-  return simplex.run();
+  SimplexEngine engine(model, options);
+  return engine.solve();
 }
 
 }  // namespace stripack::lp

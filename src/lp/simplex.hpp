@@ -1,16 +1,27 @@
-// Two-phase revised simplex.
+// Two-phase revised simplex with a product-form eta file.
 //
-// Dense basis inverse with eta updates and periodic refactorization, Dantzig
-// pricing with an automatic switch to Bland's rule after long degenerate
-// streaks (anti-cycling), sparse column storage. Returns a *basic* optimal
-// solution — which is precisely what Lemma 3.3 needs: a basic solution of
-// the configuration LP has at most (W+1)(R+1) nonzero variables.
+// The basis inverse is held purely in product form: a list of sparse eta
+// matrices, rebuilt by periodic refactorization (triangular peel plus a
+// product-form inversion of the small kernel) and extended by one eta per
+// pivot. FTRAN/BTRAN solve against the eta file — no dense inverse exists
+// anywhere, so factor costs scale with basis nonzeros, not m^2. Duals are
+// updated incrementally in O(m) per iteration, and pricing is partial
+// (cyclic block scans feeding a candidate list), with an automatic switch
+// to Bland's rule after long degenerate streaks (anti-cycling). Returns a *basic* optimal solution — which is precisely
+// what Lemma 3.3 needs: a basic solution of the configuration LP has at
+// most (W+1)(R+1) nonzero variables.
+//
+// `SimplexEngine` is resumable: it retains the factorized basis between
+// solves so column generation restarts warm from the previous optimum
+// (phase 1 runs only on the first, cold solve). A basis can also be handed
+// off explicitly through `Solution::basis` / `SimplexOptions::initial_basis`.
 //
 // This substitutes for the ellipsoid/Karmarkar solvers the paper cites
 // ([10],[14]); see docs/ARCHITECTURE.md.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "lp/model.hpp"
 
@@ -18,10 +29,24 @@ namespace stripack::lp {
 
 enum class SolveStatus { Optimal, Infeasible, Unbounded, IterationLimit };
 
+/// Basis encoding used for warm starts: one code per row. A code >= 0 names
+/// a basic model (structural) column; `slack_code(r)` names the basic
+/// slack/surplus logical of row r (a degenerate basic artificial is encoded
+/// the same way and re-instantiated as an artificial on equality rows).
+[[nodiscard]] constexpr int slack_code(int row) { return -1 - row; }
+[[nodiscard]] constexpr bool is_slack_code(int code) { return code < 0; }
+[[nodiscard]] constexpr int slack_code_row(int code) { return -1 - code; }
+
 struct SimplexOptions {
   std::int64_t max_iterations = 0;  // 0 = automatic (scales with m + n)
   double tol = 1e-9;                // reduced-cost / feasibility tolerance
-  int refactor_interval = 64;       // rebuild the basis inverse this often
+  int refactor_interval = 64;       // eta-file length before refactorization
+  int pricing_block = 0;            // columns per partial-pricing section
+                                    // (0 = automatic)
+  bool bland = false;               // force Bland's rule from the start
+  /// Warm-start basis (see slack_code); empty = cold two-phase start. A
+  /// singular or primal-infeasible basis silently falls back to cold.
+  std::vector<int> initial_basis;
 };
 
 struct Solution {
@@ -30,8 +55,12 @@ struct Solution {
   std::vector<double> x;      // one value per model column
   std::vector<double> duals;  // one value per model row (original senses)
   std::int64_t iterations = 0;
+  /// Pivots spent in phase 1 (zero on warm restarts from a feasible basis).
+  std::int64_t phase1_iterations = 0;
   /// Model columns that are basic in the final basis (excludes slacks).
   std::vector<int> basic_columns;
+  /// Full basis encoding (one code per row) for warm-start handoff.
+  std::vector<int> basis;
 
   [[nodiscard]] bool optimal() const { return status == SolveStatus::Optimal; }
 };
@@ -39,5 +68,36 @@ struct Solution {
 /// Solves min c'x, Ax {<=,>=,=} b, x >= 0.
 [[nodiscard]] Solution solve(const Model& model,
                              const SimplexOptions& options = {});
+
+/// Resumable simplex: keeps the factorized basis across solves. Intended
+/// use: construct once per model, alternate `solve()` with model growth +
+/// `sync_columns()` — each re-solve restarts from the previous optimal
+/// basis and only the new columns need pricing. The engine references the
+/// model; it must outlive the engine, and rows must not change after
+/// construction (columns may be appended).
+class SimplexEngine {
+ public:
+  explicit SimplexEngine(const Model& model,
+                         const SimplexOptions& options = {});
+  ~SimplexEngine();
+  SimplexEngine(SimplexEngine&&) noexcept;
+  SimplexEngine& operator=(SimplexEngine&&) noexcept;
+
+  /// Picks up columns appended to the model since construction or the last
+  /// sync; they seed the pricing candidate list for the next solve.
+  void sync_columns();
+
+  /// Installs an explicit starting basis. Returns false — and reverts to a
+  /// cold start — if the basis is singular or not primal feasible.
+  bool load_basis(const std::vector<int>& basis);
+
+  /// Solves from the retained state: cold two-phase on the first call,
+  /// warm reoptimization (no phase 1) afterwards.
+  [[nodiscard]] Solution solve();
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace stripack::lp

@@ -26,7 +26,9 @@ std::vector<std::size_t> decreasing_height_order(std::span<const Rect> rects) {
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     if (rects[a].height != rects[b].height)
       return rects[a].height > rects[b].height;
-    if (rects[a].width != rects[b].width) return rects[a].width > rects[b].width;
+    if (rects[a].width != rects[b].width) {
+      return rects[a].width > rects[b].width;
+    }
     return a < b;
   });
   return order;

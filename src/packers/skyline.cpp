@@ -19,7 +19,9 @@ struct Segment {
 
 class Skyline {
  public:
-  explicit Skyline(double width) : width_(width) { line_.push_back({0.0, 0.0}); }
+  explicit Skyline(double width) : width_(width) {
+    line_.push_back({0.0, 0.0});
+  }
 
   // Lowest-then-leftmost position for a rect of the given width whose base
   // must be >= floor.

@@ -31,7 +31,9 @@ PackResult SleatorPacker::pack(std::span<const Rect> rects,
   }
   double h0 = 0.0;
   std::sort(wide.begin(), wide.end(), [&](std::size_t a, std::size_t b) {
-    if (rects[a].width != rects[b].width) return rects[a].width > rects[b].width;
+    if (rects[a].width != rects[b].width) {
+      return rects[a].width > rects[b].width;
+    }
     return a < b;
   });
   for (std::size_t i : wide) {

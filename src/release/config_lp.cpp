@@ -11,6 +11,22 @@
 
 namespace stripack::release {
 
+namespace {
+
+// Binary search in the descending width table (the tables are small, but
+// make_problem runs once per item, so the old linear find_if was the top
+// cost of problem extraction on large instances).
+std::size_t width_index_of(const std::vector<double>& widths, double w) {
+  const auto it = std::lower_bound(
+      widths.begin(), widths.end(), w,
+      [](double elem, double value) { return elem > value + kEps; });
+  STRIPACK_ASSERT(it != widths.end() && approx_eq(*it, w),
+                  "item width not in table");
+  return static_cast<std::size_t>(it - widths.begin());
+}
+
+}  // namespace
+
 ConfigLpProblem make_problem(const Instance& instance) {
   instance.check_well_formed();
   STRIPACK_EXPECTS(!instance.empty());
@@ -35,12 +51,7 @@ ConfigLpProblem make_problem(const Instance& instance) {
   problem.demand.assign(problem.releases.size(),
                         std::vector<double>(problem.widths.size(), 0.0));
   for (const Item& it : instance.items()) {
-    const auto wit = std::find_if(
-        problem.widths.begin(), problem.widths.end(),
-        [&](double v) { return approx_eq(v, it.width()); });
-    STRIPACK_ASSERT(wit != problem.widths.end(), "item width not in table");
-    const std::size_t wi =
-        static_cast<std::size_t>(wit - problem.widths.begin());
+    const std::size_t wi = width_index_of(problem.widths, it.width());
     problem.demand[release_index.at(it.release)][wi] += it.height();
   }
   return problem;
@@ -48,8 +59,9 @@ ConfigLpProblem make_problem(const Instance& instance) {
 
 namespace {
 
-// Row layout: packing rows [0, R), then covering row (k, i) at
-// R + k*W + i for k in [0, R], i in [0, W).
+// Row layout: packing rows [0, R), then the differenced demand row (j, i)
+// at R + j*W + i for phase j in [0, R], width i in [0, W). See the header
+// for the equivalence with the paper's suffix covering rows (3.4).
 struct RowLayout {
   std::size_t num_phases;  // R + 1
   std::size_t num_widths;  // W
@@ -57,11 +69,29 @@ struct RowLayout {
   [[nodiscard]] int packing_row(std::size_t j) const {
     return static_cast<int>(j);
   }
-  [[nodiscard]] int covering_row(std::size_t k, std::size_t i) const {
-    return static_cast<int>((num_phases - 1) + k * num_widths + i);
+  [[nodiscard]] int demand_row(std::size_t j, std::size_t i) const {
+    return static_cast<int>((num_phases - 1) + j * num_widths + i);
   }
   [[nodiscard]] std::size_t num_rows() const {
     return (num_phases - 1) + num_phases * num_widths;
+  }
+};
+
+// Shared column bookkeeping: configurations are stored once and columns
+// reference them by index (phase R surpluses and seeds included), instead
+// of materializing one Configuration copy per (configuration, phase) pair.
+struct ColumnTable {
+  std::vector<Configuration> configs;
+  std::vector<int> config_of;  // model column -> configs index (-1: surplus)
+  std::vector<std::size_t> phase_of;
+
+  void add_surplus() {
+    config_of.push_back(-1);
+    phase_of.push_back(0);
+  }
+  void add(int config_index, std::size_t phase) {
+    config_of.push_back(config_index);
+    phase_of.push_back(phase);
   }
 };
 
@@ -72,16 +102,32 @@ lp::Model build_rows(const ConfigLpProblem& problem, const RowLayout& layout) {
     model.add_row(lp::Sense::LE, problem.releases[j + 1] - problem.releases[j],
                   "pack[" + std::to_string(j) + "]");
   }
-  for (std::size_t k = 0; k < phases; ++k) {
+  for (std::size_t j = 0; j < phases; ++j) {
     for (std::size_t i = 0; i < layout.num_widths; ++i) {
-      double rhs = 0.0;
-      for (std::size_t j = k; j < phases; ++j) rhs += problem.demand[j][i];
-      model.add_row(lp::Sense::GE, rhs,
-                    "cover[k=" + std::to_string(k) + ",w=" + std::to_string(i) +
+      model.add_row(lp::Sense::EQ, problem.demand[j][i],
+                    "dem[j=" + std::to_string(j) + ",w=" + std::to_string(i) +
                         "]");
     }
   }
   return model;
+}
+
+// Zero-cost suffix-surplus columns s_{j,i}: -1 in demand row (j, i), +1 in
+// demand row (j-1, i). Supply placed in phase j >= k flows down the chain
+// to cover demand released at rho_k, exactly as in the suffix form.
+void add_surplus_columns(lp::Model& model, const RowLayout& layout,
+                         ColumnTable& table) {
+  for (std::size_t j = 0; j < layout.num_phases; ++j) {
+    for (std::size_t i = 0; i < layout.num_widths; ++i) {
+      std::vector<lp::RowEntry> entries;
+      if (j > 0) entries.push_back({layout.demand_row(j - 1, i), 1.0});
+      entries.push_back({layout.demand_row(j, i), -1.0});
+      model.add_column(0.0, entries,
+                       "sur[j=" + std::to_string(j) + ",w=" +
+                           std::to_string(i) + "]");
+      table.add_surplus();
+    }
+  }
 }
 
 std::vector<lp::RowEntry> column_entries(const RowLayout& layout,
@@ -93,10 +139,8 @@ std::vector<lp::RowEntry> column_entries(const RowLayout& layout,
   }
   for (std::size_t i = 0; i < config.counts.size(); ++i) {
     if (config.counts[i] == 0) continue;
-    for (std::size_t k = 0; k <= phase; ++k) {
-      entries.push_back(
-          {layout.covering_row(k, i), static_cast<double>(config.counts[i])});
-    }
+    entries.push_back(
+        {layout.demand_row(phase, i), static_cast<double>(config.counts[i])});
   }
   return entries;
 }
@@ -106,27 +150,24 @@ double column_cost(const RowLayout& layout, std::size_t phase) {
 }
 
 // Bounded-knapsack pricing: per phase maximize sum counts[i]*value[i]
-// subject to sum counts[i]*width[i] <= capacity.
+// subject to sum counts[i]*width[i] <= capacity. In the differenced form
+// the dual of demand row (j, i) already equals the suffix sum of the
+// paper's covering duals, so no per-phase accumulation is needed.
 class KnapsackOracle final : public lp::PricingOracle {
  public:
-  KnapsackOracle(const ConfigLpProblem& problem, const RowLayout& layout)
-      : problem_(problem), layout_(layout) {}
-
-  std::vector<Configuration>& generated() { return generated_; }
-  std::vector<std::size_t>& generated_phase() { return generated_phase_; }
+  KnapsackOracle(const ConfigLpProblem& problem, const RowLayout& layout,
+                 ColumnTable& table)
+      : problem_(problem), layout_(layout), table_(table) {}
 
   std::vector<lp::PricedColumn> price(std::span<const double> duals,
                                       double tol) override {
     std::vector<lp::PricedColumn> out;
     const std::size_t phases = layout_.num_phases;
     const std::size_t widths = layout_.num_widths;
+    std::vector<double> value(widths, 0.0);
     for (std::size_t j = 0; j < phases; ++j) {
-      std::vector<double> value(widths, 0.0);
       for (std::size_t i = 0; i < widths; ++i) {
-        for (std::size_t k = 0; k <= j; ++k) {
-          value[i] += duals[static_cast<std::size_t>(
-              layout_.covering_row(k, i))];
-        }
+        value[i] = duals[static_cast<std::size_t>(layout_.demand_row(j, i))];
       }
       const double base_cost =
           column_cost(layout_, j) -
@@ -146,8 +187,8 @@ class KnapsackOracle final : public lp::PricingOracle {
         col.entries = column_entries(layout_, best, j);
         col.name = "cg[j=" + std::to_string(j) + "]";
         out.push_back(std::move(col));
-        generated_.push_back(std::move(best));
-        generated_phase_.push_back(j);
+        table_.add(static_cast<int>(table_.configs.size()), j);
+        table_.configs.push_back(std::move(best));
       }
     }
     return out;
@@ -199,23 +240,21 @@ class KnapsackOracle final : public lp::PricingOracle {
 
   const ConfigLpProblem& problem_;
   RowLayout layout_;
-  std::vector<Configuration> generated_;
-  std::vector<std::size_t> generated_phase_;
+  ColumnTable& table_;
 };
 
 FractionalSolution extract(const ConfigLpProblem& problem,
                            const lp::Solution& solution,
-                           const std::vector<Configuration>& col_config,
-                           const std::vector<std::size_t>& col_phase,
-                           double tol) {
+                           const ColumnTable& table, double tol) {
   FractionalSolution out;
   out.feasible = solution.optimal();
   if (!out.feasible) return out;
   out.objective = solution.objective;
   out.height = problem.releases.back() + solution.objective;
   for (std::size_t c = 0; c < solution.x.size(); ++c) {
-    if (solution.x[c] > tol) {
-      out.slices.push_back(Slice{col_config[c], col_phase[c], solution.x[c]});
+    if (solution.x[c] > tol && table.config_of[c] >= 0) {
+      out.slices.push_back(Slice{table.configs[table.config_of[c]],
+                                 table.phase_of[c], solution.x[c]});
     }
   }
   out.iterations = solution.iterations;
@@ -232,59 +271,62 @@ FractionalSolution solve_config_lp(const ConfigLpProblem& problem,
 
   const RowLayout layout{problem.releases.size(), problem.widths.size()};
   lp::Model model = build_rows(problem, layout);
-
-  std::vector<Configuration> col_config;
-  std::vector<std::size_t> col_phase;
+  ColumnTable table;
+  add_surplus_columns(model, layout, table);
 
   if (!options.use_column_generation) {
-    const auto configs = enumerate_configurations(
+    auto configs = enumerate_configurations(
         problem.widths, problem.strip_width, options.max_configurations);
+    model.reserve_columns(model.num_cols() +
+                          configs.size() * layout.num_phases);
     for (std::size_t j = 0; j < layout.num_phases; ++j) {
-      for (const Configuration& q : configs) {
-        model.add_column(column_cost(layout, j), column_entries(layout, q, j));
-        col_config.push_back(q);
-        col_phase.push_back(j);
+      for (std::size_t q = 0; q < configs.size(); ++q) {
+        model.add_column(column_cost(layout, j),
+                         column_entries(layout, configs[q], j));
+        table.add(static_cast<int>(q), j);
       }
     }
+    table.configs = std::move(configs);
     lp::SimplexOptions simplex_options;
     simplex_options.tol = options.tol;
     const lp::Solution solution = lp::solve(model, simplex_options);
-    FractionalSolution out =
-        extract(problem, solution, col_config, col_phase, options.tol);
+    FractionalSolution out = extract(problem, solution, table, options.tol);
     out.lp_rows = static_cast<std::size_t>(model.num_rows());
     out.lp_cols = static_cast<std::size_t>(model.num_cols());
-    out.configurations = configs.size();
+    out.configurations = table.configs.size();
     return out;
   }
 
   // Column generation: seed with singleton configurations in every phase
-  // (feasible because phase R has unbounded capacity).
-  KnapsackOracle oracle(problem, layout);
+  // (feasible because phase R has unbounded capacity and the surplus chain
+  // carries late supply to early demand rows).
+  for (std::size_t i = 0; i < problem.widths.size(); ++i) {
+    Configuration q;
+    q.counts.assign(problem.widths.size(), 0);
+    q.counts[i] = 1;
+    q.total_width = problem.widths[i];
+    q.total_items = 1;
+    table.configs.push_back(std::move(q));
+  }
   for (std::size_t j = 0; j < layout.num_phases; ++j) {
     for (std::size_t i = 0; i < problem.widths.size(); ++i) {
-      Configuration q;
-      q.counts.assign(problem.widths.size(), 0);
-      q.counts[i] = 1;
-      q.total_width = problem.widths[i];
-      q.total_items = 1;
-      model.add_column(column_cost(layout, j), column_entries(layout, q, j));
-      col_config.push_back(std::move(q));
-      col_phase.push_back(j);
+      model.add_column(column_cost(layout, j),
+                       column_entries(layout, table.configs[i], j));
+      table.add(static_cast<int>(i), j);
     }
   }
+  KnapsackOracle oracle(problem, layout, table);
   lp::SimplexOptions simplex_options;
   simplex_options.tol = options.tol;
   const lp::ColgenResult result =
       lp::solve_with_column_generation(model, oracle, simplex_options);
-  for (std::size_t g = 0; g < oracle.generated().size(); ++g) {
-    col_config.push_back(oracle.generated()[g]);
-    col_phase.push_back(oracle.generated_phase()[g]);
-  }
   FractionalSolution out =
-      extract(problem, result.solution, col_config, col_phase, options.tol);
+      extract(problem, result.solution, table, options.tol);
   out.lp_rows = static_cast<std::size_t>(model.num_rows());
   out.lp_cols = static_cast<std::size_t>(model.num_cols());
   out.colgen_rounds = result.rounds;
+  out.iterations = result.total_iterations;
+  out.colgen_warm_phase1_iterations = result.warm_phase1_iterations;
   return out;
 }
 

@@ -14,6 +14,21 @@
 // height of the fractional packing is rho_R + objective (Lemma 3.3), and a
 // basic optimum has at most (W+1)(R+1) nonzero variables.
 //
+// Implementation note: the solver works on an equivalent *differenced* form
+// of (3.4). Writing sup_j[i] = (A x_j)[i] and introducing the suffix
+// surpluses s_k[i] = sum_{j>=k} sup_j[i] - sum_{j>=k} B_j[i] >= 0 as
+// explicit zero-cost columns, subtracting consecutive covering rows gives
+//
+//   sup_k[i] - s_k[i] + s_{k+1}[i] = B_k[i]      0 <= k <= R (s_{R+1} = 0)
+//
+// which has the same feasible x-set and objective (s is determined by x,
+// and s >= 0 iff every suffix covering row holds), the same row count, and
+// a basic optimum with at most R + (R+1)W < (W+1)(R+1) nonzero x — so the
+// Lemma 3.3 support bound is preserved. The payoff: a configuration column
+// touches only its own phase's W demand rows instead of all phases k <= j,
+// shrinking the LP nonzeros by a factor of Theta(R) on release-heavy
+// instances (the engine's FTRAN and pricing costs scale with nonzeros).
+//
 // Applied to an instance's *exact* distinct widths/releases this LP solves
 // the fractional relaxation of the original problem — a certified lower
 // bound on OPT used throughout the benches.
@@ -58,9 +73,12 @@ struct FractionalSolution {
   // Diagnostics.
   std::size_t lp_rows = 0;
   std::size_t lp_cols = 0;
-  std::int64_t iterations = 0;
+  std::int64_t iterations = 0;     // simplex pivots (summed over colgen rounds)
   std::size_t configurations = 0;  // enumerated (0 in column generation)
   int colgen_rounds = 0;
+  /// Phase-1 pivots in colgen rounds >= 2; zero when the warm-started
+  /// engine resumes every re-solve from the previous optimal basis.
+  std::int64_t colgen_warm_phase1_iterations = 0;
 };
 
 struct ConfigLpOptions {
@@ -76,8 +94,8 @@ struct ConfigLpOptions {
 
 /// rho_R + LP optimum computed on the instance's exact widths and releases:
 /// a lower bound on the optimal integral packing height.
-[[nodiscard]] double fractional_lower_bound(const Instance& instance,
-                                            const ConfigLpOptions& options = {});
+[[nodiscard]] double fractional_lower_bound(
+    const Instance& instance, const ConfigLpOptions& options = {});
 
 /// Cheaper certified lower bound for large instances: releases are rounded
 /// *down* to at most ceil(1/eps_down)+1 values (the paper's P-down of

@@ -31,8 +31,8 @@ struct IntegralizeResult {
 /// `instance` must be the rounded+grouped instance whose widths/releases
 /// appear in `problem`; `fractional` a feasible solution of the LP built
 /// from `problem`.
-[[nodiscard]] IntegralizeResult integralize(const Instance& instance,
-                                            const ConfigLpProblem& problem,
-                                            const FractionalSolution& fractional);
+[[nodiscard]] IntegralizeResult integralize(
+    const Instance& instance, const ConfigLpProblem& problem,
+    const FractionalSolution& fractional);
 
 }  // namespace stripack::release

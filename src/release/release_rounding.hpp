@@ -13,7 +13,8 @@ namespace stripack::release {
 
 struct ReleaseRounding {
   Instance rounded;    // same items; releases rounded up to multiples of delta
-  Instance rounded_down;  // the paper's P-down (used by tests / Lemma 3.1 bench)
+  // The paper's P-down (used by tests and the Lemma 3.1 bench).
+  Instance rounded_down;
   double delta = 0.0;
   std::size_t distinct_releases = 0;  // in `rounded`
 };

@@ -10,8 +10,9 @@ namespace stripack {
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   unsigned max_threads) {
   if (n == 0) return;
-  unsigned workers = max_threads != 0 ? max_threads
-                                      : std::max(1u, std::thread::hardware_concurrency());
+  unsigned workers =
+      max_threads != 0 ? max_threads
+                       : std::max(1u, std::thread::hardware_concurrency());
   workers = static_cast<unsigned>(std::min<std::size_t>(workers, n));
 
   if (workers <= 1) {

@@ -50,7 +50,9 @@ Table& Table::add(int value) { return add(std::to_string(value)); }
 
 void Table::print(std::ostream& os, const std::string& title) const {
   std::vector<std::size_t> width(headers_.size());
-  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
   for (const auto& row : rows_) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       width[c] = std::max(width[c], row[c].size());
@@ -67,7 +69,9 @@ void Table::print(std::ostream& os, const std::string& title) const {
   };
   emit(headers_);
   std::size_t total = 0;
-  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c ? 2 : 0);
+  }
   os << std::string(total, '-') << '\n';
   for (const auto& row : rows_) emit(row);
 }

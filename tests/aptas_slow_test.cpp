@@ -1,0 +1,64 @@
+// Heavy end-to-end APTAS cases, split from aptas_test so no single ctest
+// entry dominates wall time. The n=600 exact lower bound solves a
+// configuration LP with ~1800 rows (one phase per distinct release) — the
+// hottest path in the suite and the reason the LP engine keeps its basis
+// inverse in sparse product form.
+#include <gtest/gtest.h>
+
+#include "gen/release_gen.hpp"
+#include "release/aptas.hpp"
+#include "release/config_lp.hpp"
+#include "test_support.hpp"
+
+namespace stripack::release {
+namespace {
+
+// The asymptotic behaviour: as instances grow, the ratio to the certified
+// LP lower bound approaches 1 + eps (the additive term washes out).
+TEST(AptasSlow, AsymptoticRatioImproves) {
+  AptasParams ap;
+  ap.epsilon = 1.0;
+  ap.K = 2;
+  double small_ratio = 0.0, large_ratio = 0.0;
+  for (const std::size_t n : {30u, 600u}) {
+    Rng rng(77);
+    gen::ReleaseWorkloadParams params;
+    params.n = n;
+    params.K = 2;
+    params.arrival_rate = 10.0;
+    const Instance ins = gen::poisson_release_workload(params, rng);
+    const auto result = aptas_pack(ins, ap);
+    const double lb = fractional_lower_bound(ins);
+    const double ratio = result.height / lb;
+    if (n == 30u) {
+      small_ratio = ratio;
+    } else {
+      large_ratio = ratio;
+    }
+  }
+  EXPECT_LT(large_ratio, small_ratio);
+}
+
+// Release-heavy stress: every item has a distinct release, so the exact
+// configuration LP has R+1 = n phases. Keeps the many-row engine path
+// (sparse re-inversion, long surplus chains) under test.
+TEST(AptasSlow, ExactLowerBoundOnReleaseHeavyInstance) {
+  Rng rng(123);
+  gen::ReleaseWorkloadParams params;
+  params.n = 400;
+  params.K = 3;
+  params.arrival_rate = 5.0;
+  const Instance ins = gen::poisson_release_workload(params, rng);
+  const double lb = fractional_lower_bound(ins);
+  AptasParams ap;
+  ap.epsilon = 1.0;
+  ap.K = 3;
+  const auto result = aptas_pack(ins, ap);
+  EXPECT_TRUE(testing::placement_valid(ins, result.packing.placement));
+  EXPECT_GE(result.height, lb - 1e-6);
+  // The coarse bound stays below the exact one (both certified).
+  EXPECT_LE(fractional_lower_bound_coarse(ins, 0.25), lb + 1e-6);
+}
+
+}  // namespace
+}  // namespace stripack::release

@@ -205,28 +205,5 @@ TEST(Aptas, AllReleasesZeroDegeneratesToPlainStripPacking) {
   EXPECT_GE(result.height, area_lower_bound(plain) - 1e-6);
 }
 
-// The asymptotic behaviour: as instances grow, the ratio to the certified
-// LP lower bound approaches 1 + eps (the additive term washes out).
-TEST(Aptas, AsymptoticRatioImproves) {
-  AptasParams ap;
-  ap.epsilon = 1.0;
-  ap.K = 2;
-  double small_ratio = 0.0, large_ratio = 0.0;
-  for (const std::size_t n : {30u, 600u}) {
-    Rng rng(77);
-    gen::ReleaseWorkloadParams params;
-    params.n = n;
-    params.K = 2;
-    params.arrival_rate = 10.0;
-    const Instance ins = gen::poisson_release_workload(params, rng);
-    const auto result = aptas_pack(ins, ap);
-    const double lb = fractional_lower_bound(ins);
-    const double ratio = result.height / lb;
-    if (n == 30u) small_ratio = ratio;
-    else large_ratio = ratio;
-  }
-  EXPECT_LT(large_ratio, small_ratio);
-}
-
 }  // namespace
 }  // namespace stripack::release

@@ -133,6 +133,8 @@ TEST(ConfigLp, ColgenMatchesEnumeration) {
   verify_fractional(problem, full);
   verify_fractional(problem, cg);
   EXPECT_GT(cg.colgen_rounds, 0);
+  // Warm-started masters never rerun phase 1 after the first round.
+  EXPECT_EQ(cg.colgen_warm_phase1_iterations, 0);
 }
 
 TEST(ConfigLp, LowerBoundIsBelowAnyValidHeight) {

@@ -199,7 +199,8 @@ TEST(EdgeCases, ScheduleMakespanMatchesSimulator) {
   const fpga::Device device{8, 0.0, true};
   const Instance ins = fpga::to_instance(set, device);
   const Packing packed = list_schedule(ins);
-  const fpga::Schedule schedule = fpga::to_schedule(set, device, packed.placement);
+  const fpga::Schedule schedule =
+      fpga::to_schedule(set, device, packed.placement);
   const fpga::SimResult sim = fpga::simulate(set, device, schedule);
   ASSERT_TRUE(sim.ok);
   EXPECT_NEAR(sim.makespan, packed.height(), 1e-6);

@@ -128,7 +128,8 @@ TEST(ExactPack, UnconstrainedSweepAgainstAllPackers) {
     gen::RectParams params;
     params.min_width = 0.2;
     params.max_width = 0.8;
-    const Instance ins = testing::random_precedence_instance(6, 0.0, params, rng);
+    const Instance ins =
+        testing::random_precedence_instance(6, 0.0, params, rng);
     const auto exact = exact_pack(ins);
     ASSERT_TRUE(exact.has_value());
     std::vector<Rect> rects;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 
@@ -45,7 +46,8 @@ void certify_optimal(const Model& model, const Solution& solution) {
     EXPECT_GE(rc, -kTol) << "column " << c;
   }
   // Strong duality.
-  EXPECT_NEAR(solution.objective, dual_objective, kTol * (1 + std::fabs(dual_objective)));
+  EXPECT_NEAR(solution.objective, dual_objective,
+              kTol * (1 + std::fabs(dual_objective)));
   EXPECT_NEAR(solution.objective, model.objective_value(solution.x), kTol);
 }
 
@@ -195,6 +197,141 @@ TEST(Simplex, BasicSolutionHasAtMostMRowsNonzeros) {
   std::size_t nonzeros = 0;
   for (double v : s.x) nonzeros += v > kTol;
   EXPECT_LE(nonzeros, 2u);
+  // The support is carried by the reported basis.
+  EXPECT_LE(s.basic_columns.size(), 2u);
+  for (std::size_t c = 0; c < s.x.size(); ++c) {
+    if (s.x[c] > kTol) {
+      EXPECT_NE(std::find(s.basic_columns.begin(), s.basic_columns.end(),
+                          static_cast<int>(c)),
+                s.basic_columns.end());
+    }
+  }
+}
+
+// ------------------------------------------------- warm starts and eta file
+namespace {
+
+// Random covering/packing LP mirroring the configuration LP's shape.
+Model random_model(Rng& rng, int rows, int cols) {
+  Model m;
+  for (int r = 0; r < rows; ++r) {
+    const double rhs = rng.uniform(-2.0, 6.0);
+    const Sense sense = r % 3 == 0 ? Sense::GE : Sense::LE;
+    m.add_row(sense,
+              sense == Sense::GE ? std::max(0.0, rhs) : std::fabs(rhs) + 1.0);
+  }
+  for (int c = 0; c < cols; ++c) {
+    std::vector<RowEntry> entries;
+    for (int r = 0; r < rows; ++r) {
+      if (rng.bernoulli(0.4)) entries.push_back({r, rng.uniform(0.1, 2.0)});
+    }
+    m.add_column(rng.uniform(0.5, 3.0), entries);
+  }
+  return m;
+}
+
+}  // namespace
+
+TEST(Simplex, WarmStartFromSuppliedBasisReproducesColdOptimum) {
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+    Rng rng(seed);
+    const Model m = random_model(rng, 10, 30);
+    const Solution cold = solve(m);
+    if (!cold.optimal()) continue;
+    ASSERT_EQ(cold.basis.size(), 10u);
+    SimplexOptions warm_options;
+    warm_options.initial_basis = cold.basis;
+    const Solution warm = solve(m, warm_options);
+    certify_optimal(m, warm);
+    EXPECT_NEAR(warm.objective, cold.objective, 1e-9) << "seed=" << seed;
+    // The supplied basis is optimal and feasible: no phase 1, no pivots.
+    EXPECT_EQ(warm.phase1_iterations, 0) << "seed=" << seed;
+    EXPECT_EQ(warm.iterations, 0) << "seed=" << seed;
+  }
+}
+
+TEST(Simplex, BogusInitialBasisFallsBackToColdStart) {
+  Rng rng(99);
+  const Model m = random_model(rng, 8, 20);
+  const Solution cold = solve(m);
+  ASSERT_TRUE(cold.optimal());
+  // Singular basis: the same slack in every row slot.
+  SimplexOptions bogus;
+  bogus.initial_basis.assign(8, slack_code(0));
+  const Solution s = solve(m, bogus);
+  certify_optimal(m, s);
+  EXPECT_NEAR(s.objective, cold.objective, 1e-8);
+  // Wrong-size basis is rejected the same way.
+  SimplexOptions short_basis;
+  short_basis.initial_basis.assign(3, slack_code(0));
+  const Solution s2 = solve(m, short_basis);
+  certify_optimal(m, s2);
+  EXPECT_NEAR(s2.objective, cold.objective, 1e-8);
+}
+
+TEST(Simplex, LongEtaChainsAgreeWithEagerRefactorization) {
+  // refactor_interval = 1 re-inverts after every pivot (the eta file never
+  // has update etas); a huge interval exercises the longest product-form
+  // chains. Both must certify and agree.
+  for (const std::uint64_t seed : {5u, 15u, 25u, 35u, 45u}) {
+    Rng rng(seed);
+    const Model m = random_model(rng, 12, 40);
+    SimplexOptions eager;
+    eager.refactor_interval = 1;
+    SimplexOptions lazy;
+    lazy.refactor_interval = 1 << 30;
+    const Solution a = solve(m, eager);
+    const Solution b = solve(m, lazy);
+    ASSERT_EQ(a.status, b.status) << "seed=" << seed;
+    if (!a.optimal()) continue;
+    certify_optimal(m, a);
+    certify_optimal(m, b);
+    EXPECT_NEAR(a.objective, b.objective, 1e-7) << "seed=" << seed;
+  }
+}
+
+TEST(Simplex, ForcedBlandRuleStillFindsTheOptimum) {
+  // Beale's cycling LP under Bland's rule from the very first pivot: the
+  // anti-cycling machinery must terminate at the same optimum.
+  Model m;
+  const int r1 = m.add_row(Sense::LE, 0);
+  const int r2 = m.add_row(Sense::LE, 0);
+  const int r3 = m.add_row(Sense::LE, 1);
+  const RowEntry x1[] = {{r1, 0.25}, {r2, 0.5}};
+  const RowEntry x2[] = {{r1, -60.0}, {r2, -90.0}};
+  const RowEntry x3[] = {{r1, -0.04}, {r2, -0.02}, {r3, 1.0}};
+  const RowEntry x4[] = {{r1, 9.0}, {r2, 3.0}};
+  m.add_column(-0.75, x1);
+  m.add_column(150.0, x2);
+  m.add_column(-0.02, x3);
+  m.add_column(6.0, x4);
+  SimplexOptions options;
+  options.bland = true;
+  const Solution s = solve(m, options);
+  certify_optimal(m, s);
+  EXPECT_NEAR(s.objective, -0.05, 1e-9);
+}
+
+TEST(SimplexEngine, WarmResolveAfterAddingColumnsSkipsPhase1) {
+  // min x s.t. x >= 4 — then a cheaper covering column arrives.
+  Model m;
+  const int r = m.add_row(Sense::GE, 4);
+  const RowEntry x_entries[] = {{r, 1.0}};
+  m.add_column(1.0, x_entries, "x");
+  SimplexEngine engine(m);
+  const Solution first = engine.solve();
+  ASSERT_TRUE(first.optimal());
+  EXPECT_NEAR(first.objective, 4.0, kTol);
+  EXPECT_GT(first.phase1_iterations, 0);
+
+  const RowEntry y_entries[] = {{r, 2.0}};
+  m.add_column(1.0, y_entries, "y");
+  engine.sync_columns();
+  const Solution second = engine.solve();
+  ASSERT_TRUE(second.optimal());
+  certify_optimal(m, second);
+  EXPECT_NEAR(second.objective, 2.0, kTol);
+  EXPECT_EQ(second.phase1_iterations, 0);  // warm restart: no artificials
 }
 
 // ------------------------------------------------------------ random duals
@@ -307,7 +444,8 @@ TEST(Colgen, MatchesFullEnumerationOnCuttingStock) {
   for (double d : demand) full.add_row(Sense::GE, d);
   std::vector<int> counts(widths.size(), 0);
   // All patterns with sum <= 9.
-  std::function<void(std::size_t, double)> rec = [&](std::size_t i, double used) {
+  std::function<void(std::size_t, double)> rec = [&](std::size_t i,
+                                                     double used) {
     if (i == widths.size()) {
       std::vector<RowEntry> entries;
       bool any = false;
@@ -344,6 +482,11 @@ TEST(Colgen, MatchesFullEnumerationOnCuttingStock) {
   ASSERT_EQ(cg.solution.status, SolveStatus::Optimal);
   EXPECT_NEAR(cg.solution.objective, full_solution.objective, 1e-6);
   EXPECT_GT(cg.columns_added, 0);
+  // The engine restarts every round from the previous optimal basis: the
+  // cold first solve is the only one that may need phase 1.
+  EXPECT_GT(cg.rounds, 1);
+  EXPECT_EQ(cg.warm_phase1_iterations, 0);
+  EXPECT_GT(cg.total_iterations, 0);
 }
 
 }  // namespace

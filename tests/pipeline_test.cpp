@@ -48,7 +48,8 @@ TEST_P(PipelineSweep, ReleasePipeline) {
   gen::ReleaseWorkloadParams params;
   params.n = 40;
   params.K = 3;
-  const Instance instance = roundtrip(gen::poisson_release_workload(params, rng));
+  const Instance instance =
+      roundtrip(gen::poisson_release_workload(params, rng));
 
   release::AptasParams ap;
   ap.epsilon = 1.0;
