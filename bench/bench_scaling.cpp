@@ -6,9 +6,13 @@
 // configuration LP vs 1/eps, and the APTAS end to end.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "gen/dag_gen.hpp"
 #include "gen/rect_gen.hpp"
 #include "gen/release_gen.hpp"
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
 #include "packers/shelf.hpp"
 #include "packers/skyline.hpp"
 #include "precedence/dc.hpp"
@@ -138,6 +142,134 @@ void BM_ConfigLpColgen(benchmark::State& state) {
 BENCHMARK(BM_ConfigLpColgen)
     ->RangeMultiplier(2)
     ->Range(32, 512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimplexPricing(benchmark::State& state) {
+  // Pricing rules on the large enumeration models: after PR 2 the
+  // per-iteration cost is cheap, so the pivot count (reported as a
+  // counter) is the lever. Steepest edge pays O(nnz) scans per pivot to
+  // cut that count vs Dantzig; Bland is the (slow) anti-cycling floor.
+  Rng rng(45);
+  gen::ReleaseWorkloadParams params;
+  params.n = static_cast<std::size_t>(state.range(0));
+  params.K = 4;
+  const Instance ins = gen::poisson_release_workload(params, rng);
+  const auto problem = release::make_problem(ins);
+  release::ConfigLpOptions options;
+  options.pricing = static_cast<lp::PricingRule>(state.range(1));
+  std::int64_t pivots = 0;
+  for (auto _ : state) {
+    const auto sol = release::solve_config_lp(problem, options);
+    pivots = sol.iterations;
+    benchmark::DoNotOptimize(sol);
+  }
+  state.counters["pivots"] = static_cast<double>(pivots);
+}
+BENCHMARK(BM_SimplexPricing)
+    ->ArgNames({"n", "rule"})  // rule: 0 Dantzig, 1 Bland, 2 steepest edge
+    ->ArgsProduct({{128, 512}, {0, 1, 2}})
+    ->Unit(benchmark::kMillisecond);
+
+namespace dual_row_add {
+
+// Shared fixture data for the dual-vs-cold row-addition pair below: a
+// random covering LP, its optimal basis, and a fixed set of violated cut
+// rows (demanding ~25% more than the optimum's activity over random
+// column subsets).
+struct Setup {
+  lp::Model base;
+  lp::Solution solution;
+  std::vector<lp::Sense> cut_senses;
+  std::vector<double> cut_rhs;
+  std::vector<std::vector<lp::ColumnEntry>> cut_entries;
+
+  explicit Setup(int cols) {
+    Rng rng(48);
+    const int rows = 96;
+    for (int r = 0; r < rows; ++r) {
+      const bool ge = r % 3 == 0;
+      const double rhs = rng.uniform(0.0, 6.0);
+      base.add_row(ge ? lp::Sense::GE : lp::Sense::LE,
+                   ge ? rhs : rhs + 1.0);
+    }
+    for (int c = 0; c < cols; ++c) {
+      std::vector<lp::RowEntry> entries;
+      for (int r = 0; r < rows; ++r) {
+        if (rng.bernoulli(0.1)) entries.push_back({r, rng.uniform(0.1, 2.0)});
+      }
+      base.add_column(rng.uniform(0.5, 3.0), entries);
+    }
+    solution = lp::solve(base);
+    STRIPACK_ASSERT(solution.optimal(), "bench base LP must be optimal");
+    for (int k = 0; k < 4; ++k) {
+      std::vector<lp::ColumnEntry> cut;
+      double activity = 0.0;
+      for (int c = 0; c < cols; ++c) {
+        if (!rng.bernoulli(0.25)) continue;
+        const double coef = rng.uniform(0.5, 1.5);
+        cut.push_back({c, coef});
+        activity += coef * solution.x[c];
+      }
+      cut_senses.push_back(lp::Sense::GE);
+      cut_rhs.push_back(activity * 1.25 + 1.0);
+      cut_entries.push_back(std::move(cut));
+    }
+  }
+
+  void append_cuts(lp::Model& m) const {
+    for (std::size_t k = 0; k < cut_entries.size(); ++k) {
+      m.add_row_with_entries(cut_senses[k], cut_rhs[k], cut_entries[k]);
+    }
+  }
+};
+
+}  // namespace dual_row_add
+
+void BM_DualRowAdd(benchmark::State& state) {
+  // Incremental path: violated cut rows land on an engine holding the
+  // previous optimal basis; timed work = sync_rows (refactorization) +
+  // dual pivots. Compare against BM_DualRowAddCold on the same model.
+  const dual_row_add::Setup setup(static_cast<int>(state.range(0)));
+  std::int64_t dual_pivots = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    lp::Model m = setup.base;
+    lp::SimplexOptions options;
+    options.initial_basis = setup.solution.basis;
+    lp::SimplexEngine engine(m, options);
+    setup.append_cuts(m);
+    state.ResumeTiming();
+    engine.sync_rows();
+    const lp::Solution s = engine.solve_dual();
+    dual_pivots = s.dual_iterations;
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["dual_pivots"] = static_cast<double>(dual_pivots);
+}
+BENCHMARK(BM_DualRowAdd)
+    ->ArgNames({"cols"})
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DualRowAddCold(benchmark::State& state) {
+  // The baseline the dual re-solve must beat: a cold two-phase solve of
+  // the same cut-augmented model.
+  const dual_row_add::Setup setup(static_cast<int>(state.range(0)));
+  lp::Model augmented = setup.base;
+  setup.append_cuts(augmented);
+  std::int64_t pivots = 0;
+  for (auto _ : state) {
+    const lp::Solution s = lp::solve(augmented);
+    pivots = s.iterations;
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["pivots"] = static_cast<double>(pivots);
+}
+BENCHMARK(BM_DualRowAddCold)
+    ->ArgNames({"cols"})
+    ->Arg(1024)
+    ->Arg(4096)
     ->Unit(benchmark::kMillisecond);
 
 void BM_FractionalLowerBoundExact(benchmark::State& state) {

@@ -5,11 +5,11 @@
 namespace stripack::lp {
 
 ColgenResult solve_with_column_generation(Model& model, PricingOracle& oracle,
-                                          const SimplexOptions& options,
-                                          int max_rounds) {
+                                          SimplexEngine& engine,
+                                          double pricing_tol, int max_rounds) {
   STRIPACK_EXPECTS(max_rounds > 0);
   ColgenResult result;
-  SimplexEngine engine(model, options);
+  engine.sync_columns();
   while (true) {
     result.solution = engine.solve();
     ++result.rounds;
@@ -22,7 +22,7 @@ ColgenResult solve_with_column_generation(Model& model, PricingOracle& oracle,
     if (result.solution.status != SolveStatus::Optimal) return result;
     if (result.rounds >= max_rounds) return result;
 
-    const auto columns = oracle.price(result.solution.duals, options.tol);
+    const auto columns = oracle.price(result.solution.duals, pricing_tol);
     if (columns.empty()) return result;
     for (const PricedColumn& col : columns) {
       model.add_column(col.cost, col.entries, col.name);
@@ -30,6 +30,14 @@ ColgenResult solve_with_column_generation(Model& model, PricingOracle& oracle,
     }
     engine.sync_columns();
   }
+}
+
+ColgenResult solve_with_column_generation(Model& model, PricingOracle& oracle,
+                                          const SimplexOptions& options,
+                                          int max_rounds) {
+  SimplexEngine engine(model, options);
+  return solve_with_column_generation(model, oracle, engine, options.tol,
+                                      max_rounds);
 }
 
 }  // namespace stripack::lp

@@ -58,4 +58,18 @@ struct ColgenResult {
     Model& model, PricingOracle& oracle, const SimplexOptions& options = {},
     int max_rounds = 500);
 
+/// Same loop over a caller-owned engine — the branch-and-price shape.
+/// The caller keeps `engine` (and the model) alive across calls, so after
+/// a run it can add cut rows (`Model::add_row_with_entries`), re-solve
+/// them cheaply (`SimplexEngine::sync_rows` + `solve_dual`), and call this
+/// again to price against the cut duals; every re-solve stays warm
+/// (`warm_phase1_iterations` remains zero when the engine state was
+/// optimal). Appended columns are synced automatically on entry. The
+/// engine keeps its own simplex options; `pricing_tol` is only the
+/// threshold handed to the oracle and should match the engine's
+/// `SimplexOptions::tol`.
+[[nodiscard]] ColgenResult solve_with_column_generation(
+    Model& model, PricingOracle& oracle, SimplexEngine& engine,
+    double pricing_tol = 1e-9, int max_rounds = 500);
+
 }  // namespace stripack::lp

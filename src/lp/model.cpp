@@ -13,6 +13,32 @@ int Model::add_row(Sense sense, double rhs, std::string name) {
   return num_rows() - 1;
 }
 
+int Model::add_row_with_entries(Sense sense, double rhs,
+                                std::span<const ColumnEntry> entries,
+                                std::string name) {
+  const int row = add_row(sense, rhs, std::move(name));
+  std::vector<int> cols;
+  cols.reserve(entries.size());
+  for (const ColumnEntry& e : entries) {
+    STRIPACK_EXPECTS(e.col >= 0 && e.col < num_cols());
+    cols.push_back(e.col);
+  }
+  std::sort(cols.begin(), cols.end());
+  STRIPACK_ASSERT(std::adjacent_find(cols.begin(), cols.end()) == cols.end(),
+                  "duplicate column entry in row");
+  // The new row index exceeds every existing one, so appending keeps each
+  // column's entries sorted by row.
+  for (const ColumnEntry& e : entries) {
+    columns_[e.col].push_back({row, e.coef});
+  }
+  return row;
+}
+
+void Model::set_row_rhs(int r, double rhs) {
+  STRIPACK_EXPECTS(r >= 0 && r < num_rows());
+  rhs_[r] = rhs;
+}
+
 void Model::reserve_columns(std::size_t count) {
   cost_.reserve(count);
   columns_.reserve(count);

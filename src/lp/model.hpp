@@ -22,10 +22,31 @@ struct RowEntry {
   double coef = 0.0;
 };
 
+/// One nonzero coefficient of a row (used when appending cut rows that
+/// reference columns already in the model).
+struct ColumnEntry {
+  int col = 0;
+  double coef = 0.0;
+};
+
 class Model {
  public:
   /// Adds a constraint row; returns its index.
   int add_row(Sense sense, double rhs, std::string name = {});
+
+  /// Appends a constraint row referencing *existing* columns (a cut or
+  /// cover row in branch-and-price): the coefficients are appended to the
+  /// referenced columns. Returns the new row index. Entries must name
+  /// distinct existing columns. After this, `SimplexEngine::sync_rows()`
+  /// picks the row up and `solve_dual()` re-solves from the previous
+  /// basis.
+  int add_row_with_entries(Sense sense, double rhs,
+                           std::span<const ColumnEntry> entries,
+                           std::string name = {});
+
+  /// Replaces the right-hand side of an existing row (bound tightening or
+  /// loosening). Engines see the change through `sync_rows()`.
+  void set_row_rhs(int r, double rhs);
 
   /// Pre-allocates column storage (the configuration LP adds Q x R columns
   /// in one burst).

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/parallel_for.hpp"
 
 namespace stripack::lp {
 
@@ -15,6 +16,21 @@ namespace {
 constexpr double kPivotTol = 1e-9;
 constexpr double kEtaDropTol = 1e-12;
 constexpr int kNoColumn = std::numeric_limits<int>::min();
+// Minimum scan size before the optional pricing threads engage.
+// parallel_for spawns and joins fresh threads per call (no pool), which
+// costs on the order of 100us — so threading only pays for scans wide
+// enough to dwarf that (tens of thousands of columns); smaller scans run
+// serial regardless of `pricing_threads`.
+constexpr std::size_t kParallelScanMin = 8192;
+constexpr std::size_t kScanChunk = 1024;
+
+// Per-chunk result of a pricing scan; merged in chunk order so parallel
+// scans reproduce the serial tie-breaks exactly.
+struct ScanBest {
+  int code = kNoColumn;
+  double rc = 0.0;
+  double score = 0.0;
+};
 
 // One pivot of the product-form inverse: B_new^{-1} = E^{-1} B_old^{-1}
 // where E is the identity with column `row` replaced by the pivot
@@ -62,9 +78,88 @@ class SimplexEngine::Impl {
   void sync_columns() {
     const int old_cols = num_structural_;
     append_model_columns();
+    se_w_struct_.resize(static_cast<std::size_t>(num_structural_), 1.0);
+    // A solve that hit its iteration limit right after a pivot leaves a
+    // captured weight update pending; it must not apply to the fresh
+    // unit weights of columns that did not exist at that pivot.
+    se_pending_ = false;
     // Freshly generated columns almost always price negative: put them at
     // the front of the candidate queue so the next solve enters them first.
     for (int c = old_cols; c < num_structural_; ++c) candidates_.push_back(c);
+  }
+
+  void sync_rows() {
+    const int old_m = m_;
+    const int new_m = model_.num_rows();
+    STRIPACK_EXPECTS(new_m >= old_m);
+
+    // Fast path for rhs-only edits (repeated branch probes land here):
+    // when no rows or columns were added and no rhs changed sign, the
+    // basis matrix is untouched, so the factorization, candidate list and
+    // steepest-edge weights all stay valid — only the transformed rhs and
+    // the basic values need refreshing.
+    if (new_m == old_m && model_.num_cols() == num_structural_) {
+      bool flip_changed = false;
+      for (int r = 0; r < m_; ++r) {
+        if ((model_.row_rhs(r) < 0) != flipped_[r]) {
+          flip_changed = true;
+          break;
+        }
+      }
+      if (!flip_changed) {
+        b_norm_ = 0.0;
+        for (int r = 0; r < m_; ++r) {
+          b_[r] = std::fabs(model_.row_rhs(r));
+          b_norm_ += b_[r];
+        }
+        // xb = B^{-1} b through the retained eta file (the same identity
+        // refactor() re-establishes; duals are b-independent and keep).
+        d_ = b_;
+        apply_etas(d_);
+        xb_ = d_;
+        return;
+      }
+    }
+
+    // Artificial codes encode the row count: remap them before adopting
+    // the new one.
+    std::vector<int> codes = basis_;
+    if (new_m != old_m) {
+      for (int& code : codes) {
+        if (is_artificial(code)) code = -1 - new_m - logical_row(code);
+      }
+    }
+    m_ = new_m;
+    b_norm_ = 0.0;
+    build_rows();
+    // Row flips may have changed (rhs edits) and cut rows appended entries
+    // to existing columns: rebuild the transformed column copies.
+    cols_.clear();
+    cost2_.clear();
+    num_structural_ = 0;
+    in_basis_struct_.clear();
+    append_model_columns();
+    d_.assign(static_cast<std::size_t>(m_), 0.0);
+    u_.assign(static_cast<std::size_t>(m_), 0.0);
+    y_.assign(static_cast<std::size_t>(m_), 0.0);
+    // Each new row enters the basis on its own logical: the extended basis
+    // matrix is block triangular (old basis | new unit columns), so it
+    // stays nonsingular, and because the logicals cost zero the old
+    // reduced costs are unchanged — an optimal basis stays dual feasible.
+    codes.reserve(static_cast<std::size_t>(new_m));
+    for (int r = old_m; r < new_m; ++r) {
+      codes.push_back(slack_sign_[r] != 0.0 ? slack_of(r) : artificial_of(r));
+    }
+    install_basis(codes);
+    bool singular = false;
+    refactor(&singular);
+    // A singular basis can only arise from an rhs sign flip rewriting a
+    // basic column; fall back to cold (solve_dual then re-runs phase 1).
+    if (singular) cold_start();
+    candidates_.clear();
+    scan_ptr_ = 0;
+    se_reset();
+    duals_fresh_ = false;
   }
 
   bool load_basis(const std::vector<int>& codes) {
@@ -102,20 +197,32 @@ class SimplexEngine::Impl {
       }
     }
     for (double& v : xb_) v = std::max(v, 0.0);
+    se_reset();
     return true;
   }
 
   Solution solve() {
     Solution solution;
-    const std::int64_t max_iters =
-        options_.max_iterations > 0
-            ? options_.max_iterations
-            : 5000 + 20LL * (2LL * m_ + num_structural_);
+    const std::int64_t max_iters = default_max_iters();
     // Anti-cycling may have engaged Bland's rule late in a previous solve;
     // start each solve with the configured pricing and let degeneracy
     // re-engage it if needed (otherwise every warm colgen re-solve would
     // permanently pay full-scan first-improving pricing).
-    bland_ = options_.bland;
+    bland_ = forced_bland();
+
+    // The retained basis can carry negative basic values — violated rows
+    // after sync_rows when the caller lands here instead of solve_dual
+    // (directly, or through solve_dual's documented fallbacks). Phase 1
+    // only repairs positive *artificials*; neither phase tolerates
+    // negative basics, so restart cold rather than silently clamping an
+    // infeasible point into an "optimal" one.
+    const double feas_tol = std::max(options_.tol, 1e-9) * (1.0 + b_norm_);
+    for (int i = 0; i < m_; ++i) {
+      if (xb_[i] < -feas_tol) {
+        cold_start();
+        break;
+      }
+    }
 
     // Phase 1: minimize the sum of artificials (skipped when the retained
     // basis is already feasible, e.g. on warm colgen re-solves).
@@ -150,6 +257,128 @@ class SimplexEngine::Impl {
     solution.status = s2;
     if (s2 != SolveStatus::Optimal) return solution;
 
+    extract(solution);
+    return solution;
+  }
+
+  // Dual simplex from the retained basis: repairs primal feasibility
+  // (negative basic values from added cut rows or tightened rhs) while
+  // keeping every reduced cost nonnegative, so phase 1 never runs. Falls
+  // back to the primal `solve()` when the retained state is outside dual
+  // reach (see the header contract).
+  Solution solve_dual() {
+    Solution solution;
+    const std::int64_t max_iters = default_max_iters();
+    bland_ = forced_bland();
+    phase_ = 2;
+    const double feas_tol = std::max(options_.tol, 1e-9) * (1.0 + b_norm_);
+
+    // A freshly added equality row with positive residual parks its
+    // artificial basic at a positive value; driving real columns *into*
+    // the row is primal work, not dual.
+    for (int i = 0; i < m_; ++i) {
+      if (is_artificial(basis_[i]) && xb_[i] > feas_tol) return solve();
+    }
+    recompute_duals();
+    // Dual feasibility check: an improving column means the basis was
+    // never optimal (or an rhs sign flip perturbed the reduced costs).
+    {
+      const int limit = num_structural_ + m_;
+      for (int pos = 0; pos < limit; ++pos) {
+        const int code = code_at(pos);
+        if (code == kNoColumn || in_basis(code)) continue;
+        if (reduced_cost(code) < -options_.tol) return solve();
+      }
+    }
+
+    int stall_retries = 0;
+    while (true) {
+      if (solution.iterations >= max_iters) {
+        solution.status = SolveStatus::IterationLimit;
+        return solution;
+      }
+      // Leaving row: most negative basic value (first such row on ties —
+      // deterministic).
+      int leave = -1;
+      double most_negative = -feas_tol;
+      for (int i = 0; i < m_; ++i) {
+        if (xb_[i] < most_negative) {
+          most_negative = xb_[i];
+          leave = i;
+        }
+      }
+      if (leave < 0) break;  // primal feasible: certify below
+
+      // rho = e_leave' B^{-1}; alpha_j = rho . a_j is the leaving row of
+      // the tableau.
+      unit_btran(leave);
+
+      // Dual ratio test: entering j minimizes rc_j / -alpha_j over
+      // alpha_j < 0, which keeps all reduced costs nonnegative after the
+      // pivot. Artificials never re-enter; ties break on the Bland order.
+      const int limit = num_structural_ + m_;
+      int entering = kNoColumn;
+      double best_ratio = 0.0;
+      for (int pos = 0; pos < limit; ++pos) {
+        const int code = code_at(pos);
+        if (code == kNoColumn || in_basis(code)) continue;
+        double alpha = 0.0;
+        if (is_structural(code)) {
+          for (const RowEntry& e : cols_[code]) alpha += u_[e.row] * e.coef;
+        } else {
+          const int r = logical_row(code);
+          alpha = u_[r] * slack_sign_[r];
+        }
+        if (alpha >= -kPivotTol) continue;
+        const double ratio = std::max(reduced_cost(code), 0.0) / -alpha;
+        const bool better =
+            entering == kNoColumn || ratio < best_ratio - 1e-12 ||
+            (ratio < best_ratio + 1e-12 &&
+             order_key(code) < order_key(entering));
+        if (better) {
+          entering = code;
+          best_ratio = ratio;
+        }
+      }
+      if (entering == kNoColumn) {
+        // rho' A >= 0 over every column yet rho' b < 0: row `leave` is a
+        // Farkas certificate that the grown model is infeasible.
+        solution.status = SolveStatus::Infeasible;
+        return solution;
+      }
+
+      ftran(entries_of(entering));
+      if (d_[leave] >= -kPivotTol) {
+        // Eta-file drift: FTRAN disagrees with the BTRAN row. Rebuild the
+        // factorization and retry (bounded).
+        if (++stall_retries > 3) {
+          solution.status = SolveStatus::IterationLimit;
+          return solution;
+        }
+        refactor();  // no xb clamp: negatives are the dual's work queue
+        recompute_duals();
+        continue;
+      }
+      stall_retries = 0;
+      apply_dual_update_from_u(leave, reduced_cost(entering));
+      pivot(entering, leave, xb_[leave] / d_[leave]);
+      ++solution.iterations;
+      ++solution.dual_iterations;
+      if (++pivots_since_refactor_ >= options_.refactor_interval) {
+        refactor();
+        recompute_duals();
+      }
+    }
+
+    // Primal cleanup: clamp residual negatives within tolerance and let
+    // the primal iteration certify optimality (usually zero pivots — dual
+    // feasibility was maintained throughout).
+    for (double& v : xb_) v = std::max(v, 0.0);
+    if (solution.dual_iterations > 0) se_reset();
+    const SolveStatus status =
+        iterate(solution, max_iters + solution.iterations);
+    solution.status = status;
+    if (status != SolveStatus::Optimal) return solution;
     extract(solution);
     return solution;
   }
@@ -230,7 +459,33 @@ class SimplexEngine::Impl {
     etas_.clear();
     pivots_since_refactor_ = 0;
     xb_ = b_;
-    bland_ = options_.bland;
+    bland_ = forced_bland();
+    // Unit weights: the cold basis *is* the reference framework (exact
+    // 1 + ||a_j||^2 init was tried and measured slightly worse on the
+    // enumeration models — see BM_SimplexPricing).
+    se_reset();
+  }
+
+  [[nodiscard]] std::int64_t default_max_iters() const {
+    return options_.max_iterations > 0
+               ? options_.max_iterations
+               : 5000 + 20LL * (2LL * m_ + num_structural_);
+  }
+
+  [[nodiscard]] bool forced_bland() const {
+    return options_.bland || options_.pricing == PricingRule::Bland;
+  }
+
+  // Steepest edge is live unless Bland's rule (configured or engaged by
+  // the degeneracy fallback) has taken over pricing.
+  [[nodiscard]] bool se_on() const {
+    return options_.pricing == PricingRule::SteepestEdge && !bland_;
+  }
+
+  // 0 = hardware concurrency, >1 = that many threads; 1 and any negative
+  // value mean serial.
+  [[nodiscard]] bool parallel_pricing_enabled() const {
+    return options_.pricing_threads == 0 || options_.pricing_threads > 1;
   }
 
   [[nodiscard]] std::span<const RowEntry> entries_of(int code) {
@@ -307,15 +562,19 @@ class SimplexEngine::Impl {
     duals_fresh_ = true;
   }
 
-  // Incremental dual update after choosing (entering, leave): with rc the
-  // entering reduced cost and d the pivot direction,
-  //   y_new' = y' + (rc / d_leave) * (e_leave' B_old^{-1}).
-  void update_duals(int leave, double rc) {
+  // u <- e_row' B^{-1} (BTRAN of a unit vector), tracking touched rows.
+  void unit_btran(int row) {
     std::fill(u_.begin(), u_.end(), 0.0);
-    u_[leave] = 1.0;
+    u_[row] = 1.0;
     touched_.clear();
-    touched_.push_back(leave);
+    touched_.push_back(row);
     btran_etas(u_, &touched_);
+  }
+
+  // Incremental dual update with u_ = e_leave' B_old^{-1} already in
+  // place: y_new' = y' + (rc / d_leave) * u'. Consumes u_ (zeroes the
+  // touched entries).
+  void apply_dual_update_from_u(int leave, double rc) {
     const double mult = rc / d_[leave];
     for (const int i : touched_) {
       const double f = mult * u_[i];
@@ -324,6 +583,141 @@ class SimplexEngine::Impl {
       y_[i] += f;
     }
     duals_fresh_ = false;
+  }
+
+  // Incremental dual update after choosing (entering, leave): with rc the
+  // entering reduced cost and d the pivot direction,
+  //   y_new' = y' + (rc / d_leave) * (e_leave' B_old^{-1}).
+  // Steepest edge also needs that unit BTRAN row (rho in the weight
+  // update), so it is stashed here before being consumed.
+  void update_duals(int leave, double rc) {
+    unit_btran(leave);
+    if (se_on()) se_rho_ = u_;
+    apply_dual_update_from_u(leave, rc);
+  }
+
+  // ----- steepest-edge weights --------------------------------------------
+  // Forrest–Goldfarb reference weights gamma_j approximating
+  // 1 + ||B^{-1} a_j||^2. They are reset to 1 whenever the basis changes
+  // by anything but a priced pivot (cold start, explicit basis loads, row
+  // syncs, dual pivots, Bland fallback) — that point defines the reference
+  // framework — and from then on maintained with the exact recurrence: for
+  // the pivot (entering q at row r, direction d = B^{-1} a_q),
+  //   gamma_j' = max(gamma_j - 2 t_j beta_j + t_j^2 gamma_q, 1 + t_j^2)
+  // with t_j = alpha_j / d_r, alpha_j = (e_r' B^{-1}) . a_j, and
+  // beta_j = (B^{-T} d) . a_j; the leaving variable restarts at
+  //   max(gamma_q / d_r^2, 1 + 1/d_r^2).
+  // The update is fused into the next pricing scan (one pass computes
+  // rc_j, alpha_j and beta_j together), so a pivot costs one extra full
+  // BTRAN plus the scan it would run anyway.
+
+  [[nodiscard]] double weight_of(int code) const {
+    return is_structural(code) ? se_w_struct_[code]
+                               : se_w_slack_[logical_row(code)];
+  }
+
+  void set_weight(int code, double w) {
+    if (is_structural(code)) {
+      se_w_struct_[code] = w;
+    } else {
+      se_w_slack_[logical_row(code)] = w;
+    }
+  }
+
+  void se_reset() {
+    se_w_struct_.assign(static_cast<std::size_t>(num_structural_), 1.0);
+    se_w_slack_.assign(static_cast<std::size_t>(m_), 1.0);
+    se_pending_ = false;
+  }
+
+
+  // Captures the pivot data the fused weight update needs. Must run after
+  // update_duals (which stashes rho) and before the eta append in pivot().
+  void se_capture(int entering, int leave) {
+    se_tau_ = d_;
+    btran_etas(se_tau_, nullptr);
+    se_inv_pivot_ = 1.0 / d_[leave];
+    se_gamma_entering_ = weight_of(entering);
+    se_leaving_code_ = basis_[leave];
+    // Leaving artificials never re-enter: writing their weight would
+    // clobber the row's genuine slack slot.
+    if (!is_artificial(se_leaving_code_)) {
+      const double inv2 = se_inv_pivot_ * se_inv_pivot_;
+      set_weight(se_leaving_code_,
+                 std::max(se_gamma_entering_ * inv2, 1.0 + inv2));
+    }
+    se_pending_ = true;
+  }
+
+  // One steepest-edge scan step over positions [begin, end): applies the
+  // pending weight update and tracks the best score rc^2 / gamma. Safe to
+  // run concurrently on disjoint ranges (weights are per-column).
+  void se_scan_range(int begin, int end, double tol, ScanBest& out) {
+    for (int pos = begin; pos < end; ++pos) {
+      const int code = code_at(pos);
+      if (code == kNoColumn || in_basis(code)) continue;
+      double rc = cost_of(code);
+      double alpha = 0.0;
+      double beta = 0.0;
+      if (is_structural(code)) {
+        for (const RowEntry& e : cols_[code]) {
+          rc -= y_[e.row] * e.coef;
+          if (se_pending_) {
+            alpha += se_rho_[e.row] * e.coef;
+            beta += se_tau_[e.row] * e.coef;
+          }
+        }
+      } else {
+        const int r = logical_row(code);
+        const double s = slack_sign_[r];
+        rc -= y_[r] * s;
+        if (se_pending_) {
+          alpha = se_rho_[r] * s;
+          beta = se_tau_[r] * s;
+        }
+      }
+      double w = weight_of(code);
+      if (se_pending_ && code != se_leaving_code_) {
+        const double t = alpha * se_inv_pivot_;
+        w = std::max(w - 2.0 * t * beta + t * t * se_gamma_entering_,
+                     1.0 + t * t);
+        set_weight(code, w);
+      }
+      if (rc < -tol) {
+        const double score = rc * rc / w;
+        if (score > out.score) out = {code, rc, score};
+      }
+    }
+  }
+
+  int se_price(double& rc_out) {
+    const double tol = options_.tol;
+    const int limit = num_structural_ + m_;
+    ScanBest best;
+    if (!parallel_pricing_enabled() ||
+        static_cast<std::size_t>(limit) < kParallelScanMin) {
+      se_scan_range(0, limit, tol, best);
+    } else {
+      const std::size_t n = static_cast<std::size_t>(limit);
+      const std::size_t nchunks = (n + kScanChunk - 1) / kScanChunk;
+      std::vector<ScanBest> chunk_best(nchunks);
+      parallel_for(
+          nchunks,
+          [&](std::size_t ci) {
+            const std::size_t begin = ci * kScanChunk;
+            const std::size_t end = std::min(n, begin + kScanChunk);
+            se_scan_range(static_cast<int>(begin), static_cast<int>(end),
+                          tol, chunk_best[ci]);
+          },
+          static_cast<unsigned>(std::max(options_.pricing_threads, 0)));
+      // Strict > in chunk order reproduces the serial first-best choice.
+      for (const ScanBest& b : chunk_best) {
+        if (b.code != kNoColumn && b.score > best.score) best = b;
+      }
+    }
+    se_pending_ = false;
+    rc_out = best.rc;
+    return best.code;
   }
 
   // Refactorization: re-inverts the basis matrix into a fresh eta file.
@@ -519,22 +913,27 @@ class SimplexEngine::Impl {
       }
       return kNoColumn;
     }
+    if (se_on()) return se_price(rc_out);
 
     int best = kNoColumn;
     double best_rc = -tol;
     // Revalidate the candidate list against the current duals.
-    std::size_t keep = 0;
-    for (const int code : candidates_) {
-      if (in_basis(code)) continue;
-      const double rc = reduced_cost(code);
-      if (rc >= -tol) continue;
-      candidates_[keep++] = code;
-      if (rc < best_rc) {
-        best_rc = rc;
-        best = code;
+    if (parallel_pricing_enabled() && candidates_.size() >= kParallelScanMin) {
+      revalidate_candidates_parallel(tol, best, best_rc);
+    } else {
+      std::size_t keep = 0;
+      for (const int code : candidates_) {
+        if (in_basis(code)) continue;
+        const double rc = reduced_cost(code);
+        if (rc >= -tol) continue;
+        candidates_[keep++] = code;
+        if (rc < best_rc) {
+          best_rc = rc;
+          best = code;
+        }
       }
+      candidates_.resize(keep);
     }
-    candidates_.resize(keep);
     if (best != kNoColumn) {
       rc_out = best_rc;
       return best;
@@ -565,6 +964,46 @@ class SimplexEngine::Impl {
     }
     rc_out = best_rc;
     return best;
+  }
+
+  // Chunked candidate revalidation: each fixed-size chunk keeps its
+  // improving codes and chunk-best; merging in chunk order reproduces the
+  // serial scan exactly (same kept order, same strict-< tie-breaks), so
+  // the pivot sequence is independent of the thread count.
+  void revalidate_candidates_parallel(double tol, int& best, double& best_rc) {
+    const std::size_t n = candidates_.size();
+    const std::size_t nchunks = (n + kScanChunk - 1) / kScanChunk;
+    std::vector<std::vector<int>> kept(nchunks);
+    std::vector<ScanBest> chunk_best(nchunks);
+    parallel_for(
+        nchunks,
+        [&](std::size_t ci) {
+          const std::size_t begin = ci * kScanChunk;
+          const std::size_t end = std::min(n, begin + kScanChunk);
+          ScanBest& cb = chunk_best[ci];
+          cb.rc = -tol;
+          for (std::size_t k = begin; k < end; ++k) {
+            const int code = candidates_[k];
+            if (in_basis(code)) continue;
+            const double rc = reduced_cost(code);
+            if (rc >= -tol) continue;
+            kept[ci].push_back(code);
+            if (rc < cb.rc) {
+              cb.rc = rc;
+              cb.code = code;
+            }
+          }
+        },
+        static_cast<unsigned>(std::max(options_.pricing_threads, 0)));
+    std::size_t keep = 0;
+    for (std::size_t ci = 0; ci < nchunks; ++ci) {
+      for (const int code : kept[ci]) candidates_[keep++] = code;
+      if (chunk_best[ci].code != kNoColumn && chunk_best[ci].rc < best_rc) {
+        best_rc = chunk_best[ci].rc;
+        best = chunk_best[ci].code;
+      }
+    }
+    candidates_.resize(keep);
   }
 
   // ----- core iteration ---------------------------------------------------
@@ -630,13 +1069,21 @@ class SimplexEngine::Impl {
       }
 
       if (theta <= options_.tol) {
-        if (++degenerate_streak > 5 * m_ + 200) bland_ = true;
+        if (++degenerate_streak > 5 * m_ + 200 && !bland_) {
+          // The Bland fallback ends steepest-edge maintenance; drop the
+          // (now unmaintained) weights so a later solve restarts clean.
+          if (se_on()) se_reset();
+          bland_ = true;
+        }
       } else {
         degenerate_streak = 0;
       }
 
-      // Duals first (the update needs the pre-pivot eta file), then pivot.
+      // Duals first (the update needs the pre-pivot eta file), then the
+      // steepest-edge capture (needs the pre-pivot etas and direction),
+      // then the pivot.
       update_duals(leave, rc);
+      if (se_on()) se_capture(entering, leave);
       pivot(entering, leave, theta);
       ++solution.iterations;
 
@@ -720,6 +1167,16 @@ class SimplexEngine::Impl {
   std::vector<double> y_;                 // current-phase duals
   std::vector<int> touched_;              // BTRAN nonzero tracking
   std::vector<int> candidates_;           // partial-pricing candidate codes
+  // Steepest-edge reference weights plus the pending fused-update capture
+  // (see the weight-update comment block).
+  std::vector<double> se_w_struct_;
+  std::vector<double> se_w_slack_;
+  std::vector<double> se_rho_;  // e_r' B_old^{-1} at the captured pivot
+  std::vector<double> se_tau_;  // B_old^{-T} d at the captured pivot
+  double se_inv_pivot_ = 0.0;
+  double se_gamma_entering_ = 1.0;
+  int se_leaving_code_ = kNoColumn;
+  bool se_pending_ = false;
   // Refactorization workspaces (sized on use, reused across calls).
   std::vector<int> row_count_;
   std::vector<std::size_t> row_start_;
@@ -747,11 +1204,15 @@ SimplexEngine& SimplexEngine::operator=(SimplexEngine&&) noexcept = default;
 
 void SimplexEngine::sync_columns() { impl_->sync_columns(); }
 
+void SimplexEngine::sync_rows() { impl_->sync_rows(); }
+
 bool SimplexEngine::load_basis(const std::vector<int>& basis) {
   return impl_->load_basis(basis);
 }
 
 Solution SimplexEngine::solve() { return impl_->solve(); }
+
+Solution SimplexEngine::solve_dual() { return impl_->solve_dual(); }
 
 Solution solve(const Model& model, const SimplexOptions& options) {
   STRIPACK_EXPECTS(model.num_rows() > 0);

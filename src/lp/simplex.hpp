@@ -5,16 +5,22 @@
 // product-form inversion of the small kernel) and extended by one eta per
 // pivot. FTRAN/BTRAN solve against the eta file — no dense inverse exists
 // anywhere, so factor costs scale with basis nonzeros, not m^2. Duals are
-// updated incrementally in O(m) per iteration, and pricing is partial
-// (cyclic block scans feeding a candidate list), with an automatic switch
-// to Bland's rule after long degenerate streaks (anti-cycling). Returns a *basic* optimal solution — which is precisely
-// what Lemma 3.3 needs: a basic solution of the configuration LP has at
-// most (W+1)(R+1) nonzero variables.
+// updated incrementally in O(m) per iteration. Pricing is selectable
+// (`SimplexOptions::pricing`): partial Dantzig (cyclic block scans feeding
+// a candidate list), Bland, or steepest edge (Forrest–Goldfarb reference
+// weights maintained incrementally per pivot), with an automatic switch to
+// Bland's rule after long degenerate streaks (anti-cycling). Returns a
+// *basic* optimal solution — which is precisely what Lemma 3.3 needs: a
+// basic solution of the configuration LP has at most (W+1)(R+1) nonzero
+// variables.
 //
 // `SimplexEngine` is resumable: it retains the factorized basis between
 // solves so column generation restarts warm from the previous optimum
-// (phase 1 runs only on the first, cold solve). A basis can also be handed
-// off explicitly through `Solution::basis` / `SimplexOptions::initial_basis`.
+// (phase 1 runs only on the first, cold solve). Rows added after a solve
+// (branch-and-price cuts) re-enter through `sync_rows()` + `solve_dual()`,
+// which reoptimizes from the dual-feasible previous basis instead of
+// re-running phase 1. A basis can also be handed off explicitly through
+// `Solution::basis` / `SimplexOptions::initial_basis`.
 //
 // This substitutes for the ellipsoid/Karmarkar solvers the paper cites
 // ([10],[14]); see docs/ARCHITECTURE.md.
@@ -28,6 +34,19 @@
 namespace stripack::lp {
 
 enum class SolveStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+/// Pricing rule for the primal simplex.
+///  - Dantzig: most negative reduced cost over a partial-pricing candidate
+///    list (cheap per iteration; the default).
+///  - Bland: first improving column in a fixed order (anti-cycling;
+///    guarantees termination, usually many more pivots).
+///  - SteepestEdge: Forrest–Goldfarb reference-framework weights gamma_j
+///    approximating 1 + ||B^{-1} a_j||^2, maintained exactly per pivot
+///    from the reset points on; enters the column maximizing
+///    rc_j^2 / gamma_j over a full scan. Costs O(nnz) per iteration but
+///    typically cuts the pivot count severalfold on degenerate models —
+///    the right trade once per-iteration cost is no longer the bottleneck.
+enum class PricingRule { Dantzig, Bland, SteepestEdge };
 
 /// Basis encoding used for warm starts: one code per row. A code >= 0 names
 /// a basic model (structural) column; `slack_code(r)` names the basic
@@ -44,6 +63,19 @@ struct SimplexOptions {
   int pricing_block = 0;            // columns per partial-pricing section
                                     // (0 = automatic)
   bool bland = false;               // force Bland's rule from the start
+                                    // (overrides `pricing`; kept for
+                                    // backwards compatibility)
+  /// Entering-variable rule. Degenerate streaks still fall back to Bland
+  /// exactly as before, whatever the configured rule.
+  PricingRule pricing = PricingRule::Dantzig;
+  /// Threads for the pricing scans (candidate-list revalidation and the
+  /// steepest-edge full scan): 0 = hardware concurrency, > 1 = that many
+  /// threads, 1 or negative = serial. Deterministic for any value — work
+  /// is split into fixed chunks and merged in chunk order, reproducing
+  /// the serial scan's tie-breaks. Threads spawn per scan (no pool yet),
+  /// so this is for *wide* models: scans under ~8k columns run serial no
+  /// matter the setting.
+  int pricing_threads = 1;
   /// Warm-start basis (see slack_code); empty = cold two-phase start. A
   /// singular or primal-infeasible basis silently falls back to cold.
   std::vector<int> initial_basis;
@@ -57,6 +89,8 @@ struct Solution {
   std::int64_t iterations = 0;
   /// Pivots spent in phase 1 (zero on warm restarts from a feasible basis).
   std::int64_t phase1_iterations = 0;
+  /// Pivots spent in the dual simplex (nonzero only for `solve_dual`).
+  std::int64_t dual_iterations = 0;
   /// Model columns that are basic in the final basis (excludes slacks).
   std::vector<int> basic_columns;
   /// Full basis encoding (one code per row) for warm-start handoff.
@@ -72,9 +106,11 @@ struct Solution {
 /// Resumable simplex: keeps the factorized basis across solves. Intended
 /// use: construct once per model, alternate `solve()` with model growth +
 /// `sync_columns()` — each re-solve restarts from the previous optimal
-/// basis and only the new columns need pricing. The engine references the
-/// model; it must outlive the engine, and rows must not change after
-/// construction (columns may be appended).
+/// basis and only the new columns need pricing. Rows appended through
+/// `Model::add_row_with_entries` (or rhs changes via `Model::set_row_rhs`)
+/// are picked up by `sync_rows()` and re-solved from the previous basis by
+/// `solve_dual()`. The engine references the model; it must outlive the
+/// engine.
 class SimplexEngine {
  public:
   explicit SimplexEngine(const Model& model,
@@ -87,6 +123,14 @@ class SimplexEngine {
   /// sync; they seed the pricing candidate list for the next solve.
   void sync_columns();
 
+  /// Picks up rows appended to the model (and rhs changes) since
+  /// construction or the last sync. The retained basis is kept — each new
+  /// row enters on its own slack (artificial on equality rows) — and
+  /// refactorized, so a basis that was optimal stays *dual* feasible and
+  /// `solve_dual()` re-solves without phase 1. Also picks up any columns
+  /// appended since the last sync.
+  void sync_rows();
+
   /// Installs an explicit starting basis. Returns false — and reverts to a
   /// cold start — if the basis is singular or not primal feasible.
   bool load_basis(const std::vector<int>& basis);
@@ -94,6 +138,19 @@ class SimplexEngine {
   /// Solves from the retained state: cold two-phase on the first call,
   /// warm reoptimization (no phase 1) afterwards.
   [[nodiscard]] Solution solve();
+
+  /// Dual-simplex re-solve from the retained (dual-feasible) basis: drives
+  /// negative basic values out while keeping reduced costs nonnegative —
+  /// the cheap path after `sync_rows()` added violated cut rows or
+  /// tightened an rhs, with `phase1_iterations` staying zero. Returns
+  /// `Infeasible` when a violated row admits no entering column (a Farkas
+  /// certificate for the row). Falls back to a primal `solve()` — which
+  /// may run phase 1 — in the two documented cases outside dual reach:
+  /// the retained basis is not dual feasible (e.g. the model was never
+  /// solved, or an rhs change flipped a row's sign), or a freshly added
+  /// equality row has positive residual (its artificial sits basic at a
+  /// positive value).
+  [[nodiscard]] Solution solve_dual();
 
  private:
   class Impl;

@@ -62,9 +62,13 @@ namespace {
 // Row layout: packing rows [0, R), then the differenced demand row (j, i)
 // at R + j*W + i for phase j in [0, R], width i in [0, W). See the header
 // for the equivalence with the paper's suffix covering rows (3.4).
+// `ConfigLpSolver::resolve_with_height_cap` appends one branch row capping
+// the phase-R height; its index (or -1) lives here so column construction
+// and pricing stay cap-aware.
 struct RowLayout {
   std::size_t num_phases;  // R + 1
   std::size_t num_widths;  // W
+  int cap_row = -1;        // sum_q x_q^R <= cap, once added
 
   [[nodiscard]] int packing_row(std::size_t j) const {
     return static_cast<int>(j);
@@ -142,6 +146,10 @@ std::vector<lp::RowEntry> column_entries(const RowLayout& layout,
     entries.push_back(
         {layout.demand_row(phase, i), static_cast<double>(config.counts[i])});
   }
+  // The cap row has the largest index, so appending keeps entries sorted.
+  if (phase + 1 == layout.num_phases && layout.cap_row >= 0) {
+    entries.push_back({layout.cap_row, 1.0});
+  }
   return entries;
 }
 
@@ -169,11 +177,12 @@ class KnapsackOracle final : public lp::PricingOracle {
       for (std::size_t i = 0; i < widths; ++i) {
         value[i] = duals[static_cast<std::size_t>(layout_.demand_row(j, i))];
       }
-      const double base_cost =
-          column_cost(layout_, j) -
-          (j + 1 < phases
-               ? duals[static_cast<std::size_t>(layout_.packing_row(j))]
-               : 0.0);
+      double base_cost = column_cost(layout_, j);
+      if (j + 1 < phases) {
+        base_cost -= duals[static_cast<std::size_t>(layout_.packing_row(j))];
+      } else if (layout_.cap_row >= 0) {
+        base_cost -= duals[static_cast<std::size_t>(layout_.cap_row)];
+      }
       Configuration best = best_config(value);
       if (best.total_items == 0) continue;
       double best_value = 0.0;
@@ -239,7 +248,7 @@ class KnapsackOracle final : public lp::PricingOracle {
   }
 
   const ConfigLpProblem& problem_;
-  RowLayout layout_;
+  const RowLayout& layout_;  // shared with the solver: sees cap-row updates
   ColumnTable& table_;
 };
 
@@ -247,6 +256,7 @@ FractionalSolution extract(const ConfigLpProblem& problem,
                            const lp::Solution& solution,
                            const ColumnTable& table, double tol) {
   FractionalSolution out;
+  out.status = solution.status;
   out.feasible = solution.optimal();
   if (!out.feasible) return out;
   out.objective = solution.objective;
@@ -263,38 +273,104 @@ FractionalSolution extract(const ConfigLpProblem& problem,
 
 }  // namespace
 
-FractionalSolution solve_config_lp(const ConfigLpProblem& problem,
-                                   const ConfigLpOptions& options) {
-  STRIPACK_EXPECTS(!problem.widths.empty());
-  STRIPACK_EXPECTS(!problem.releases.empty());
-  STRIPACK_EXPECTS(problem.demand.size() == problem.releases.size());
-
-  const RowLayout layout{problem.releases.size(), problem.widths.size()};
-  lp::Model model = build_rows(problem, layout);
-  ColumnTable table;
-  add_surplus_columns(model, layout, table);
-
-  if (!options.use_column_generation) {
-    auto configs = enumerate_configurations(
-        problem.widths, problem.strip_width, options.max_configurations);
-    model.reserve_columns(model.num_cols() +
-                          configs.size() * layout.num_phases);
-    for (std::size_t j = 0; j < layout.num_phases; ++j) {
-      for (std::size_t q = 0; q < configs.size(); ++q) {
-        model.add_column(column_cost(layout, j),
-                         column_entries(layout, configs[q], j));
-        table.add(static_cast<int>(q), j);
-      }
-    }
-    table.configs = std::move(configs);
-    lp::SimplexOptions simplex_options;
+// Everything the incremental solver carries between solve() and the dual
+// re-solvers. Heap-held behind ConfigLpSolver so the oracle's references
+// into layout/table stay stable.
+struct ConfigLpSolver::State {
+  State(const ConfigLpProblem& p, const ConfigLpOptions& o)
+      : problem(p), options(o), layout{p.releases.size(), p.widths.size()} {
+    STRIPACK_EXPECTS(!p.widths.empty());
+    STRIPACK_EXPECTS(!p.releases.empty());
+    STRIPACK_EXPECTS(p.demand.size() == p.releases.size());
     simplex_options.tol = options.tol;
-    const lp::Solution solution = lp::solve(model, simplex_options);
+    simplex_options.pricing = options.pricing;
+    simplex_options.pricing_threads = options.pricing_threads;
+    model = build_rows(problem, layout);
+    add_surplus_columns(model, layout, table);
+  }
+
+  const ConfigLpProblem& problem;
+  ConfigLpOptions options;
+  RowLayout layout;
+  lp::Model model;
+  ColumnTable table;
+  lp::SimplexOptions simplex_options;
+  std::unique_ptr<KnapsackOracle> oracle;  // column-generation mode only
+  std::unique_ptr<lp::SimplexEngine> engine;
+  bool solved = false;
+
+  [[nodiscard]] FractionalSolution finish(const lp::Solution& solution,
+                                          std::int64_t iterations,
+                                          int rounds,
+                                          std::int64_t warm_phase1) {
     FractionalSolution out = extract(problem, solution, table, options.tol);
     out.lp_rows = static_cast<std::size_t>(model.num_rows());
     out.lp_cols = static_cast<std::size_t>(model.num_cols());
-    out.configurations = table.configs.size();
+    out.iterations = iterations;
+    out.colgen_rounds = rounds;
+    out.colgen_warm_phase1_iterations = warm_phase1;
+    out.dual_iterations = solution.dual_iterations;
+    if (!options.use_column_generation) {
+      out.configurations = table.configs.size();
+    }
     return out;
+  }
+
+  // Dual re-solve after a row change, plus — in colgen mode — pricing
+  // rounds against the new duals (fresh phase-R columns carry the cap
+  // row's coefficient via the shared layout). The re-solve's own
+  // phase1_iterations feed the warm counter: a silent fallback into a
+  // cold primal solve must show up in `colgen_warm_phase1_iterations`,
+  // not vanish.
+  [[nodiscard]] FractionalSolution resolve() {
+    engine->sync_rows();
+    lp::Solution solution = engine->solve_dual();
+    const std::int64_t dual_pivots = solution.dual_iterations;
+    if (!solution.optimal() || !options.use_column_generation) {
+      return finish(solution, solution.iterations, 0,
+                    solution.phase1_iterations);
+    }
+    lp::ColgenResult result = lp::solve_with_column_generation(
+        model, *oracle, *engine, simplex_options.tol);
+    result.solution.dual_iterations = dual_pivots;
+    return finish(result.solution,
+                  solution.iterations + result.total_iterations,
+                  result.rounds,
+                  solution.phase1_iterations + result.warm_phase1_iterations);
+  }
+};
+
+ConfigLpSolver::ConfigLpSolver(const ConfigLpProblem& problem,
+                               const ConfigLpOptions& options)
+    : state_(std::make_unique<State>(problem, options)) {}
+
+ConfigLpSolver::~ConfigLpSolver() = default;
+ConfigLpSolver::ConfigLpSolver(ConfigLpSolver&&) noexcept = default;
+ConfigLpSolver& ConfigLpSolver::operator=(ConfigLpSolver&&) noexcept = default;
+
+FractionalSolution ConfigLpSolver::solve() {
+  State& s = *state_;
+  STRIPACK_EXPECTS(!s.solved);
+  const ConfigLpProblem& problem = s.problem;
+
+  if (!s.options.use_column_generation) {
+    auto configs = enumerate_configurations(
+        problem.widths, problem.strip_width, s.options.max_configurations);
+    s.model.reserve_columns(s.model.num_cols() +
+                            configs.size() * s.layout.num_phases);
+    for (std::size_t j = 0; j < s.layout.num_phases; ++j) {
+      for (std::size_t q = 0; q < configs.size(); ++q) {
+        s.model.add_column(column_cost(s.layout, j),
+                           column_entries(s.layout, configs[q], j));
+        s.table.add(static_cast<int>(q), j);
+      }
+    }
+    s.table.configs = std::move(configs);
+    s.engine =
+        std::make_unique<lp::SimplexEngine>(s.model, s.simplex_options);
+    const lp::Solution solution = s.engine->solve();
+    s.solved = true;
+    return s.finish(solution, solution.iterations, 0, 0);
   }
 
   // Column generation: seed with singleton configurations in every phase
@@ -306,28 +382,58 @@ FractionalSolution solve_config_lp(const ConfigLpProblem& problem,
     q.counts[i] = 1;
     q.total_width = problem.widths[i];
     q.total_items = 1;
-    table.configs.push_back(std::move(q));
+    s.table.configs.push_back(std::move(q));
   }
-  for (std::size_t j = 0; j < layout.num_phases; ++j) {
+  for (std::size_t j = 0; j < s.layout.num_phases; ++j) {
     for (std::size_t i = 0; i < problem.widths.size(); ++i) {
-      model.add_column(column_cost(layout, j),
-                       column_entries(layout, table.configs[i], j));
-      table.add(static_cast<int>(i), j);
+      s.model.add_column(column_cost(s.layout, j),
+                         column_entries(s.layout, s.table.configs[i], j));
+      s.table.add(static_cast<int>(i), j);
     }
   }
-  KnapsackOracle oracle(problem, layout, table);
-  lp::SimplexOptions simplex_options;
-  simplex_options.tol = options.tol;
-  const lp::ColgenResult result =
-      lp::solve_with_column_generation(model, oracle, simplex_options);
-  FractionalSolution out =
-      extract(problem, result.solution, table, options.tol);
-  out.lp_rows = static_cast<std::size_t>(model.num_rows());
-  out.lp_cols = static_cast<std::size_t>(model.num_cols());
-  out.colgen_rounds = result.rounds;
-  out.iterations = result.total_iterations;
-  out.colgen_warm_phase1_iterations = result.warm_phase1_iterations;
-  return out;
+  s.oracle = std::make_unique<KnapsackOracle>(problem, s.layout, s.table);
+  s.engine = std::make_unique<lp::SimplexEngine>(s.model, s.simplex_options);
+  const lp::ColgenResult result = lp::solve_with_column_generation(
+      s.model, *s.oracle, *s.engine, s.simplex_options.tol);
+  s.solved = true;
+  return s.finish(result.solution, result.total_iterations, result.rounds,
+                  result.warm_phase1_iterations);
+}
+
+FractionalSolution ConfigLpSolver::resolve_with_height_cap(double cap) {
+  State& s = *state_;
+  STRIPACK_EXPECTS(s.solved);
+  STRIPACK_EXPECTS(cap >= 0.0);
+  if (s.layout.cap_row < 0) {
+    std::vector<lp::ColumnEntry> entries;
+    for (std::size_t c = 0; c < s.table.config_of.size(); ++c) {
+      if (s.table.config_of[c] >= 0 &&
+          s.table.phase_of[c] + 1 == s.layout.num_phases) {
+        entries.push_back({static_cast<int>(c), 1.0});
+      }
+    }
+    s.layout.cap_row =
+        s.model.add_row_with_entries(lp::Sense::LE, cap, entries, "cap[R]");
+  } else {
+    s.model.set_row_rhs(s.layout.cap_row, cap);
+  }
+  return s.resolve();
+}
+
+FractionalSolution ConfigLpSolver::resolve_with_phase_capacity(
+    std::size_t phase, double capacity) {
+  State& s = *state_;
+  STRIPACK_EXPECTS(s.solved);
+  STRIPACK_EXPECTS(phase + 1 < s.layout.num_phases);
+  STRIPACK_EXPECTS(capacity >= 0.0);
+  s.model.set_row_rhs(s.layout.packing_row(phase), capacity);
+  return s.resolve();
+}
+
+FractionalSolution solve_config_lp(const ConfigLpProblem& problem,
+                                   const ConfigLpOptions& options) {
+  ConfigLpSolver solver(problem, options);
+  return solver.solve();
 }
 
 double fractional_lower_bound(const Instance& instance,

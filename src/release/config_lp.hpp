@@ -35,9 +35,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "core/instance.hpp"
+#include "lp/simplex.hpp"
 #include "release/configurations.hpp"
 
 namespace stripack::release {
@@ -67,6 +69,11 @@ struct Slice {
 
 struct FractionalSolution {
   bool feasible = false;
+  /// Raw LP solve status. `feasible` is simply `status == Optimal`; a
+  /// caller acting on a *negative* result (e.g. pruning a branch) must
+  /// check for `Infeasible` specifically — `IterationLimit` is "unknown",
+  /// not "proven empty".
+  lp::SolveStatus status = lp::SolveStatus::IterationLimit;
   double objective = 0.0;  // sum of phase-R heights
   double height = 0.0;     // rho_R + objective
   std::vector<Slice> slices;
@@ -76,21 +83,73 @@ struct FractionalSolution {
   std::int64_t iterations = 0;     // simplex pivots (summed over colgen rounds)
   std::size_t configurations = 0;  // enumerated (0 in column generation)
   int colgen_rounds = 0;
-  /// Phase-1 pivots in colgen rounds >= 2; zero when the warm-started
-  /// engine resumes every re-solve from the previous optimal basis.
+  /// Phase-1 pivots in colgen rounds >= 2 and in `ConfigLpSolver` dual
+  /// re-solves; zero when the warm-started engine resumes every re-solve
+  /// from the previous optimal basis (a nonzero value on a re-solve means
+  /// the dual simplex took its documented cold fallback).
   std::int64_t colgen_warm_phase1_iterations = 0;
+  /// Dual-simplex pivots spent by `ConfigLpSolver` re-solves (zero for
+  /// plain `solve_config_lp`).
+  std::int64_t dual_iterations = 0;
 };
 
 struct ConfigLpOptions {
   bool use_column_generation = false;
   std::size_t max_configurations = 2'000'000;
   double tol = 1e-9;
+  /// Entering-variable rule for the underlying simplex. Dantzig is the
+  /// cheap default; SteepestEdge trades O(nnz) scans per pivot for far
+  /// fewer pivots on large enumeration models.
+  lp::PricingRule pricing = lp::PricingRule::Dantzig;
+  /// Pricing-scan threads (forwarded to `SimplexOptions::pricing_threads`;
+  /// 1 = serial, 0 = hardware concurrency; deterministic either way).
+  int pricing_threads = 1;
 };
 
 /// Solves the configuration LP; the returned slices reproduce the demand
 /// (covering) and capacity (packing) constraints up to tolerance.
 [[nodiscard]] FractionalSolution solve_config_lp(
     const ConfigLpProblem& problem, const ConfigLpOptions& options = {});
+
+/// Incremental configuration-LP solver for branch-and-price style use:
+/// solve once, then add or tighten rows and re-solve *dually* from the
+/// previous optimal basis — no phase 1, no re-enumeration. The referenced
+/// problem must outlive the solver.
+class ConfigLpSolver {
+ public:
+  explicit ConfigLpSolver(const ConfigLpProblem& problem,
+                          const ConfigLpOptions& options = {});
+  ~ConfigLpSolver();
+  ConfigLpSolver(ConfigLpSolver&&) noexcept;
+  ConfigLpSolver& operator=(ConfigLpSolver&&) noexcept;
+
+  /// First (full) solve; must be called before the re-solvers below.
+  [[nodiscard]] FractionalSolution solve();
+
+  /// Caps the total phase-R height: adds the branch row
+  /// `sum_q x_q^R <= cap` (or updates its rhs on later calls) and dual
+  /// re-solves. Since the objective *is* the phase-R height, a cap at or
+  /// above the optimum leaves the solution untouched and a cap below it
+  /// is infeasible — the branch-and-bound "prune by bound" probe. Prune
+  /// only on `status == lp::SolveStatus::Infeasible` (a Farkas
+  /// certificate), never on bare `!feasible`: an `IterationLimit` result
+  /// is "unknown", not "proven empty". In column-generation mode freshly
+  /// priced phase-R columns see the cap row's dual, but an infeasible
+  /// verdict applies to the restricted master: callers branching on it
+  /// should enumerate.
+  [[nodiscard]] FractionalSolution resolve_with_height_cap(double cap);
+
+  /// Tightens (or relaxes) the packing capacity of phase j < R — the
+  /// rhs of packing row j, by default rho_{j+1} - rho_j — and dual
+  /// re-solves from the previous basis. Models a phase whose strip time
+  /// is partially reserved (e.g. by an integral packing prefix).
+  [[nodiscard]] FractionalSolution resolve_with_phase_capacity(
+      std::size_t phase, double capacity);
+
+ private:
+  struct State;
+  std::unique_ptr<State> state_;
+};
 
 /// rho_R + LP optimum computed on the instance's exact widths and releases:
 /// a lower bound on the optimal integral packing height.

@@ -1,10 +1,15 @@
 // Deterministic thread-parallel loop for embarrassingly parallel sweeps.
 //
-// Used only by the bench/test harnesses to evaluate *independent* problem
-// instances concurrently; the packing algorithms themselves are strictly
-// sequential and deterministic. Work is split into static contiguous chunks
-// so the assignment of indices to threads never depends on timing, per the
-// reproducibility conventions in docs/ARCHITECTURE.md.
+// Used by the bench/test harnesses to evaluate *independent* problem
+// instances concurrently, and (opt-in, via `SimplexOptions::
+// pricing_threads`) by the LP engine's pricing scans — whose chunked
+// reductions are constructed to reproduce the serial result exactly. The
+// packing algorithms themselves remain strictly sequential and
+// deterministic. Work is split into static contiguous chunks so the
+// assignment of indices to threads never depends on timing, per the
+// reproducibility conventions in docs/ARCHITECTURE.md. Threads are
+// spawned and joined per call (no pool): callers on hot paths must gate
+// on work size.
 #pragma once
 
 #include <cstddef>

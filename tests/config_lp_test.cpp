@@ -197,5 +197,90 @@ TEST_P(ConfigLpSweep, RandomWorkloadsSolveAndVerify) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ConfigLpSweep,
                          ::testing::Values(1u, 12u, 23u, 34u, 45u));
 
+// ------------------------------------------------ incremental re-solves
+Instance cap_test_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  gen::ReleaseWorkloadParams params;
+  params.n = 30;
+  params.K = 3;
+  return gen::poisson_release_workload(params, rng);
+}
+
+TEST(ConfigLpSolver, HeightCapAtOrAboveOptimumIsFree) {
+  const auto problem = make_problem(cap_test_instance(61));
+  for (const bool colgen : {false, true}) {
+    ConfigLpOptions options;
+    options.use_column_generation = colgen;
+    ConfigLpSolver solver(problem, options);
+    const auto base = solver.solve();
+    verify_fractional(problem, base);
+    // The objective *is* the capped quantity: a cap at (or above) the
+    // optimum adds a satisfied row, so the dual re-solve is free.
+    for (const double margin : {0.5, 0.0}) {
+      const auto capped =
+          solver.resolve_with_height_cap(base.objective + margin);
+      verify_fractional(problem, capped);
+      EXPECT_NEAR(capped.objective, base.objective, 1e-6)
+          << "colgen=" << colgen << " margin=" << margin;
+      EXPECT_EQ(capped.dual_iterations, 0);
+      EXPECT_EQ(capped.colgen_warm_phase1_iterations, 0);
+    }
+  }
+}
+
+TEST(ConfigLpSolver, HeightCapBelowOptimumIsInfeasible) {
+  const auto problem = make_problem(cap_test_instance(62));
+  ConfigLpSolver solver(problem);
+  const auto base = solver.solve();
+  ASSERT_TRUE(base.feasible);
+  ASSERT_GT(base.objective, 0.1);
+  // The LP minimizes the phase-R height, so any cap below the optimum cuts
+  // off the entire feasible set: the branch-and-bound "prune" outcome.
+  const auto pruned = solver.resolve_with_height_cap(base.objective * 0.5);
+  EXPECT_FALSE(pruned.feasible);
+  // A prune needs the Farkas certificate, not a mere non-optimal status.
+  EXPECT_EQ(pruned.status, lp::SolveStatus::Infeasible);
+  // The solver state survives the infeasible probe: relaxing the cap back
+  // above the optimum recovers it.
+  const auto recovered = solver.resolve_with_height_cap(base.objective + 1.0);
+  verify_fractional(problem, recovered);
+  EXPECT_NEAR(recovered.objective, base.objective, 1e-6);
+}
+
+TEST(ConfigLpSolver, PhaseCapacityTighteningIsMonotoneAndRuleInvariant) {
+  const auto problem = make_problem(cap_test_instance(63));
+  ASSERT_GT(problem.num_releases(), 1u);
+  const double full = problem.releases[1] - problem.releases[0];
+  double tightened_value = 0.0;
+  bool have_value = false;
+  for (const lp::PricingRule rule :
+       {lp::PricingRule::Dantzig, lp::PricingRule::Bland,
+        lp::PricingRule::SteepestEdge}) {
+    ConfigLpOptions options;
+    options.pricing = rule;
+    ConfigLpSolver solver(problem, options);
+    const auto base = solver.solve();
+    ASSERT_TRUE(base.feasible);
+    // Halving phase 0's capacity pushes work into later phases: the
+    // objective can only grow, with no phase 1 anywhere.
+    const auto tight = solver.resolve_with_phase_capacity(0, full * 0.5);
+    verify_fractional(problem, tight);
+    EXPECT_GE(tight.objective, base.objective - 1e-6);
+    EXPECT_EQ(tight.colgen_warm_phase1_iterations, 0);
+    // Restoring the capacity restores the optimum.
+    const auto relaxed = solver.resolve_with_phase_capacity(0, full);
+    verify_fractional(problem, relaxed);
+    EXPECT_NEAR(relaxed.objective, base.objective, 1e-6);
+    // Every pricing rule reaches the same tightened optimum.
+    if (!have_value) {
+      tightened_value = tight.objective;
+      have_value = true;
+    } else {
+      EXPECT_NEAR(tight.objective, tightened_value,
+                  1e-6 * (1.0 + tightened_value));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace stripack::release

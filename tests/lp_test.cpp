@@ -378,7 +378,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomTest,
 namespace {
 
 // Cutting-stock-style oracle: widths 3,4,5 into capacity 9; columns are
-// patterns; demands 20,10,5. Known optimum: LP value 155/9 ~ 17.222...
+// patterns; demands 20,10,5. Known optimum: LP value 85/6 ~ 14.167
 // (computed below against full enumeration instead of a constant).
 class PatternOracle final : public PricingOracle {
  public:

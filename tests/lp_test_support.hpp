@@ -1,0 +1,88 @@
+// Shared helpers for the LP solver test binaries: optimality certification
+// (primal/dual feasibility, strong duality, complementary slackness) and a
+// deterministic random covering/packing model generator mirroring the
+// configuration LP's shape.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace stripack::lp {
+
+/// Certifies optimality of a claimed solution against the model: primal
+/// feasibility, dual feasibility (nonnegative reduced costs and correct
+/// dual signs per row sense), strong duality, and complementary slackness.
+inline void certify_optimal_solution(const Model& model,
+                                     const Solution& solution,
+                                     double tol = 1e-6) {
+  ASSERT_EQ(solution.status, SolveStatus::Optimal);
+  ASSERT_EQ(static_cast<int>(solution.x.size()), model.num_cols());
+  ASSERT_EQ(static_cast<int>(solution.duals.size()), model.num_rows());
+  const auto activity = model.row_activity(solution.x);
+  double dual_objective = 0.0;
+  for (int r = 0; r < model.num_rows(); ++r) {
+    const double y = solution.duals[r];
+    const double slack = activity[r] - model.row_rhs(r);
+    switch (model.row_sense(r)) {
+      case Sense::LE:
+        EXPECT_LE(slack, tol) << "row " << r;
+        EXPECT_LE(y, tol) << "row " << r << " dual sign";
+        break;
+      case Sense::GE:
+        EXPECT_GE(slack, -tol) << "row " << r;
+        EXPECT_GE(y, -tol) << "row " << r << " dual sign";
+        break;
+      case Sense::EQ:
+        EXPECT_NEAR(slack, 0.0, tol) << "row " << r;
+        break;
+    }
+    // Complementary slackness: an off-bound row carries a zero dual.
+    EXPECT_NEAR(y * slack, 0.0, 10 * tol * (1.0 + std::fabs(y)))
+        << "row " << r << " complementary slackness";
+    dual_objective += y * model.row_rhs(r);
+  }
+  for (const double v : solution.x) EXPECT_GE(v, -tol);
+  for (int c = 0; c < model.num_cols(); ++c) {
+    double rc = model.column_cost(c);
+    for (const RowEntry& e : model.column_entries(c)) {
+      rc -= solution.duals[e.row] * e.coef;
+    }
+    EXPECT_GE(rc, -tol) << "column " << c << " reduced cost";
+    // Complementary slackness: a positive variable has zero reduced cost.
+    EXPECT_NEAR(solution.x[c] * rc, 0.0,
+                10 * tol * (1.0 + std::fabs(solution.x[c])))
+        << "column " << c << " complementary slackness";
+  }
+  EXPECT_NEAR(solution.objective, dual_objective,
+              tol * (1.0 + std::fabs(dual_objective)));
+  EXPECT_NEAR(solution.objective, model.objective_value(solution.x), tol);
+}
+
+/// Random covering/packing LP mirroring the configuration LP's shape:
+/// mixed senses, nonnegative-ish rhs, sparse positive columns. Always
+/// bounded; feasibility depends on the draw.
+inline Model random_covering_model(Rng& rng, int rows, int cols) {
+  Model m;
+  for (int r = 0; r < rows; ++r) {
+    const double rhs = rng.uniform(-2.0, 6.0);
+    const Sense sense = r % 3 == 0 ? Sense::GE : Sense::LE;
+    m.add_row(sense,
+              sense == Sense::GE ? std::max(0.0, rhs) : std::fabs(rhs) + 1.0);
+  }
+  for (int c = 0; c < cols; ++c) {
+    std::vector<RowEntry> entries;
+    for (int r = 0; r < rows; ++r) {
+      if (rng.bernoulli(0.4)) entries.push_back({r, rng.uniform(0.1, 2.0)});
+    }
+    m.add_column(rng.uniform(0.5, 3.0), entries);
+  }
+  return m;
+}
+
+}  // namespace stripack::lp

@@ -104,6 +104,72 @@ TEST_P(MetamorphicSweep, ConfigLpShiftBound) {
   EXPECT_LE(moved, base + c + 1e-6);
 }
 
+TEST_P(MetamorphicSweep, ConfigLpPermutationInvariantUnderEveryPricingRule) {
+  // The LP sees only aggregated (width, release) demand, so permuting the
+  // items must leave the fractional optimum bit-for-bit stable up to
+  // solver tolerance — under each pricing rule, and the rules must also
+  // agree with each other (they walk different pivot sequences to the
+  // same optimum).
+  Rng rng(GetParam() + 7000);
+  gen::ReleaseWorkloadParams params;
+  params.n = 24;
+  params.K = 3;
+  const Instance ins = gen::poisson_release_workload(params, rng);
+  std::vector<Item> shuffled_items(ins.items().begin(), ins.items().end());
+  Rng shuffler(GetParam() + 7500);
+  shuffler.shuffle(shuffled_items);
+  const Instance shuffled(std::move(shuffled_items), ins.strip_width());
+
+  double first = 0.0;
+  bool have_first = false;
+  for (const lp::PricingRule rule :
+       {lp::PricingRule::Dantzig, lp::PricingRule::Bland,
+        lp::PricingRule::SteepestEdge}) {
+    release::ConfigLpOptions options;
+    options.pricing = rule;
+    const double base = release::fractional_lower_bound(ins, options);
+    const double permuted = release::fractional_lower_bound(shuffled, options);
+    EXPECT_NEAR(base, permuted, 1e-6 * (1.0 + base));
+    if (!have_first) {
+      first = base;
+      have_first = true;
+    } else {
+      EXPECT_NEAR(base, first, 1e-6 * (1.0 + first));
+    }
+  }
+}
+
+TEST_P(MetamorphicSweep, ConfigLpWidthScalingInvariantUnderEveryPricingRule) {
+  // Scaling every width and the strip width together relabels the
+  // configurations without changing which ones fit: the LP value is
+  // invariant, whichever pricing rule drives the simplex.
+  Rng rng(GetParam() + 8000);
+  gen::ReleaseWorkloadParams params;
+  params.n = 24;
+  params.K = 3;
+  const Instance ins = gen::poisson_release_workload(params, rng);
+  const double c = 3.5;
+  std::vector<Item> scaled_items(ins.items().begin(), ins.items().end());
+  for (Item& it : scaled_items) it.rect.width *= c;
+  const Instance scaled(std::move(scaled_items), c * ins.strip_width());
+
+  for (const lp::PricingRule rule :
+       {lp::PricingRule::Dantzig, lp::PricingRule::Bland,
+        lp::PricingRule::SteepestEdge}) {
+    release::ConfigLpOptions options;
+    options.pricing = rule;
+    const double base = release::fractional_lower_bound(ins, options);
+    const double wide = release::fractional_lower_bound(scaled, options);
+    EXPECT_NEAR(base, wide, 1e-6 * (1.0 + base));
+    // Column generation must land on the same value as enumeration under
+    // the same rule (it prices from singleton seeds instead).
+    release::ConfigLpOptions colgen = options;
+    colgen.use_column_generation = true;
+    const double generated = release::fractional_lower_bound(scaled, colgen);
+    EXPECT_NEAR(generated, wide, 1e-6 * (1.0 + wide));
+  }
+}
+
 TEST_P(MetamorphicSweep, WiderStripNeverHurtsNextFit) {
   // With a wider strip, every Next-Fit shelf absorbs a (weakly) longer
   // prefix of the sorted sequence, so shelf k starts no earlier in the
