@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "bnp/solver.hpp"
 #include "gen/dag_gen.hpp"
 #include "gen/rect_gen.hpp"
 #include "gen/release_gen.hpp"
@@ -270,6 +271,71 @@ BENCHMARK(BM_DualRowAddCold)
     ->ArgNames({"cols"})
     ->Arg(1024)
     ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+namespace branch_and_price {
+
+// Integer-height, integer-release workload with widths in [0.35, 0.65]
+// (pairs fit, triples don't — the fractional-pair regime): heights 1..3,
+// releases 0..3. Branch and price must prove integral optimality, and
+// the rounding incumbent is disabled so the search genuinely branches
+// (nodes ~3..10 over these sizes).
+Instance bench_instance(std::size_t n) {
+  Rng rng(49);
+  std::vector<Item> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = static_cast<double>(rng.uniform_int(7, 13)) / 20.0;
+    const double h = static_cast<double>(rng.uniform_int(1, 3));
+    const double r = static_cast<double>(rng.uniform_int(0, 3));
+    items.push_back(Item{Rect{w, h}, r});
+  }
+  return Instance(std::move(items), 1.0);
+}
+
+void run(benchmark::State& state, bool reuse_engine) {
+  const Instance ins =
+      bench_instance(static_cast<std::size_t>(state.range(0)));
+  bnp::BnpOptions options;
+  options.rounding_incumbent = false;
+  options.reuse_engine = reuse_engine;
+  bnp::BnpResult last;
+  for (auto _ : state) {
+    last = bnp::solve(ins, options);
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["nodes"] = static_cast<double>(last.nodes);
+  state.counters["branch_rows"] = static_cast<double>(last.branch_rows);
+  state.counters["columns"] = static_cast<double>(last.columns);
+  state.counters["farkas_cols"] = static_cast<double>(last.farkas_columns);
+  state.counters["dual_pivots"] = static_cast<double>(last.dual_iterations);
+  state.counters["warm_phase1"] =
+      static_cast<double>(last.warm_phase1_iterations);
+}
+
+}  // namespace branch_and_price
+
+void BM_BranchAndPrice(benchmark::State& state) {
+  // Warm path: one shared master, per-node dual re-solves (warm_phase1
+  // stays 0). Compare per-node cost against BM_BranchAndPriceColdNodes.
+  branch_and_price::run(state, /*reuse_engine=*/true);
+}
+BENCHMARK(BM_BranchAndPrice)
+    ->ArgNames({"n"})
+    ->Arg(10)
+    ->Arg(14)
+    ->Arg(18)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BranchAndPriceColdNodes(benchmark::State& state) {
+  // Baseline: a fresh master built and cold-solved at every node.
+  branch_and_price::run(state, /*reuse_engine=*/false);
+}
+BENCHMARK(BM_BranchAndPriceColdNodes)
+    ->ArgNames({"n"})
+    ->Arg(10)
+    ->Arg(14)
+    ->Arg(18)
     ->Unit(benchmark::kMillisecond);
 
 void BM_FractionalLowerBoundExact(benchmark::State& state) {

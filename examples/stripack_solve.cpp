@@ -1,13 +1,14 @@
 // stripack_solve — command-line solver for instance files.
 //
 //   $ ./stripack_solve <instance.txt> [--algo dc|uniform|aptas|kr|list|
-//                                       nfdh|ffdh|bfdh|sleator|skyline]
+//                                       nfdh|ffdh|bfdh|sleator|skyline|bnp]
 //                      [--eps E] [--K k] [--svg out.svg] [--out placement.txt]
 //
 // Reads the text format of io/instance_io.hpp, picks the algorithm (or
 // chooses one from the instance's constraints when --algo is omitted),
 // validates the result, and reports the height against the certified lower
 // bounds. A downstream user's one-stop entry point.
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -27,7 +28,7 @@ int usage() {
       << "usage: stripack_solve <instance.txt> [--algo NAME] [--eps E]\n"
          "                      [--K k] [--svg out.svg] [--out place.txt]\n"
          "algorithms: dc uniform aptas kr list nfdh ffdh bfdh sleator "
-         "skyline\n";
+         "skyline bnp\n";
   return 2;
 }
 
@@ -94,6 +95,27 @@ int main(int argc, char** argv) {
       placement = kr::kr_pack(instance, params).packing.placement;
     } else if (algo == "list") {
       placement = list_schedule(instance).placement;
+    } else if (algo == "bnp") {
+      // Exact branch and price. Integer heights and releases go to the
+      // solver directly (it honours release times); anything else runs
+      // through the quantizing packer adapter, which — like every other
+      // packer — only models release-free instances.
+      bool integral = true;
+      for (const Item& it : instance.items()) {
+        integral = integral &&
+                   std::fabs(it.height() - std::round(it.height())) < 1e-6 &&
+                   std::fabs(it.release - std::round(it.release)) < 1e-6;
+      }
+      if (integral) {
+        const bnp::BnpResult result = bnp::solve(instance);
+        std::cout << "bnp: certified slice optimum " << result.height
+                  << " over " << result.nodes << " node(s)\n";
+        placement = result.packing.placement;
+      } else {
+        STRIPACK_ASSERT(!instance.has_release_times(),
+                        "bnp needs integer data on release instances");
+        placement = run_packer(instance, "BnP");
+      }
     } else {
       std::string packer_name = algo;
       for (char& c : packer_name) c = static_cast<char>(std::toupper(c));

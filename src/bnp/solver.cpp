@@ -1,0 +1,441 @@
+#include "bnp/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "release/integralize.hpp"
+#include "util/assert.hpp"
+#include "util/stopwatch.hpp"
+
+namespace stripack::bnp {
+
+namespace {
+
+[[nodiscard]] double frac_dist(double v) {
+  return std::fabs(v - std::round(v));
+}
+
+[[nodiscard]] bool near_int(double v, double tol) {
+  return frac_dist(v) <= tol;
+}
+
+[[nodiscard]] release::Configuration config_from_counts(
+    const std::vector<int>& counts, const std::vector<double>& widths) {
+  release::Configuration q;
+  q.counts = counts;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    q.total_width += counts[i] * widths[i];
+    q.total_items += counts[i];
+  }
+  return q;
+}
+
+// Integral candidates live on the aggregated view: columns with the same
+// (phase, configuration) pattern merged. The solution is integral exactly
+// when every aggregated total is.
+using PatternKey = std::pair<std::size_t, std::vector<int>>;
+
+[[nodiscard]] std::map<PatternKey, double> aggregate_patterns(
+    const release::FractionalSolution& solution) {
+  std::map<PatternKey, double> totals;
+  for (const release::Slice& s : solution.slices) {
+    totals[{s.phase, s.config.counts}] += s.height;
+  }
+  return totals;
+}
+
+// Branching rule: Ryan–Foster style on the most fractional pair total
+// (height of configurations holding widths a and b together in one
+// phase); exact single-pattern branching when every pair total is
+// integral but some pattern total is not. Returns the predicate and the
+// fractional total to split at, or nullopt when the solution is integral.
+[[nodiscard]] std::optional<std::pair<release::BranchPredicate, double>>
+select_branch(const std::map<PatternKey, double>& totals, double tol) {
+  std::map<std::tuple<std::size_t, std::size_t, std::size_t>, double> pairs;
+  for (const auto& [key, height] : totals) {
+    const std::vector<int>& counts = key.second;
+    for (std::size_t a = 0; a < counts.size(); ++a) {
+      if (counts[a] == 0) continue;
+      for (std::size_t b = a; b < counts.size(); ++b) {
+        const bool together = a == b ? counts[a] >= 2 : counts[b] >= 1;
+        if (together) pairs[{key.first, a, b}] += height;
+      }
+    }
+  }
+  double best_frac = tol;
+  std::optional<std::pair<release::BranchPredicate, double>> best;
+  for (const auto& [key, total] : pairs) {
+    if (frac_dist(total) > best_frac) {
+      best_frac = frac_dist(total);
+      release::BranchPredicate pred;
+      pred.kind = release::BranchPredicate::Kind::PairTogether;
+      pred.phase = static_cast<int>(std::get<0>(key));
+      pred.width_a = std::get<1>(key);
+      pred.width_b = std::get<2>(key);
+      best = {std::move(pred), total};
+    }
+  }
+  if (best) return best;
+  for (const auto& [key, total] : totals) {
+    if (frac_dist(total) > best_frac) {
+      best_frac = frac_dist(total);
+      release::BranchPredicate pred;
+      pred.kind = release::BranchPredicate::Kind::Pattern;
+      pred.phase = static_cast<int>(key.first);
+      pred.counts = key.second;
+      best = {std::move(pred), total};
+    }
+  }
+  return best;
+}
+
+[[nodiscard]] std::vector<release::Slice> integral_slices(
+    const std::map<PatternKey, double>& totals,
+    const std::vector<double>& widths) {
+  std::vector<release::Slice> slices;
+  for (const auto& [key, height] : totals) {
+    const double h = std::round(height);
+    if (h < 0.5) continue;
+    slices.push_back(release::Slice{config_from_counts(key.second, widths),
+                                    key.first, h});
+  }
+  return slices;
+}
+
+[[nodiscard]] double slices_objective(
+    const std::vector<release::Slice>& slices, std::size_t num_phases) {
+  double obj = 0.0;
+  for (const release::Slice& s : slices) {
+    if (s.phase + 1 == num_phases) obj += s.height;
+  }
+  return obj;
+}
+
+// The stack-everything fallback incumbent: all supply as phase-R
+// singleton columns. Always feasible — phase R is unbounded and the
+// suffix surpluses carry late supply to every earlier demand row.
+[[nodiscard]] std::vector<release::Slice> trivial_incumbent(
+    const release::ConfigLpProblem& problem) {
+  std::vector<release::Slice> slices;
+  const std::size_t R = problem.num_releases() - 1;
+  for (std::size_t i = 0; i < problem.num_widths(); ++i) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < problem.num_releases(); ++j) {
+      total += problem.demand[j][i];
+    }
+    total = std::ceil(total - 1e-9);
+    if (total < 0.5) continue;
+    std::vector<int> counts(problem.num_widths(), 0);
+    counts[i] = 1;
+    slices.push_back(
+        release::Slice{config_from_counts(counts, problem.widths), R, total});
+  }
+  return slices;
+}
+
+// Root rounding heuristic: floor every early-phase pattern total (never
+// violates a packing capacity), ceil the phase-R totals, then repair the
+// coverage lost to flooring with phase-R singletons sized by the worst
+// suffix deficit per width. All heights integral by construction.
+[[nodiscard]] std::vector<release::Slice> rounded_incumbent(
+    const release::ConfigLpProblem& problem,
+    const std::map<PatternKey, double>& totals, double tol) {
+  const std::size_t phases = problem.num_releases();
+  const std::size_t W = problem.num_widths();
+  std::vector<release::Slice> slices;
+  std::vector<std::vector<double>> supply(phases, std::vector<double>(W, 0.0));
+  for (const auto& [key, height] : totals) {
+    const std::size_t j = key.first;
+    const double h = j + 1 == phases ? std::ceil(height - tol)
+                                     : std::floor(height + tol);
+    if (h < 0.5) continue;
+    for (std::size_t i = 0; i < W; ++i) supply[j][i] += h * key.second[i];
+    slices.push_back(
+        release::Slice{config_from_counts(key.second, problem.widths), j, h});
+  }
+  for (std::size_t i = 0; i < W; ++i) {
+    double worst = 0.0;
+    double suffix_supply = 0.0;
+    double suffix_demand = 0.0;
+    for (std::size_t j = phases; j-- > 0;) {
+      suffix_supply += supply[j][i];
+      suffix_demand += problem.demand[j][i];
+      worst = std::max(worst, suffix_demand - suffix_supply);
+    }
+    const double extra = std::ceil(worst - tol);
+    if (extra < 0.5) continue;
+    std::vector<int> counts(W, 0);
+    counts[i] = 1;
+    slices.push_back(release::Slice{config_from_counts(counts, problem.widths),
+                                    phases - 1, extra});
+  }
+  return slices;
+}
+
+[[nodiscard]] std::string row_key(const BranchDecision& d) {
+  std::string key = d.sense == lp::Sense::LE ? "L|" : "G|";
+  key += std::to_string(static_cast<int>(d.pred.kind)) + "|";
+  key += std::to_string(d.pred.phase) + "|";
+  key += std::to_string(d.pred.width_a) + ",";
+  key += std::to_string(d.pred.width_b) + "|";
+  for (const int c : d.pred.counts) key += std::to_string(c) + ",";
+  return key;
+}
+
+void accumulate(BnpResult& result, const release::FractionalSolution& s) {
+  result.lp_iterations += s.iterations;
+  result.dual_iterations += s.dual_iterations;
+  result.warm_phase1_iterations += s.colgen_warm_phase1_iterations;
+  result.farkas_rounds += s.farkas_rounds;
+  result.farkas_columns += s.farkas_columns;
+  result.columns = std::max(result.columns, s.lp_cols);
+}
+
+}  // namespace
+
+BnpResult solve(const Instance& instance, const BnpOptions& options) {
+  instance.check_well_formed();
+  STRIPACK_EXPECTS(!instance.empty());
+  STRIPACK_EXPECTS(!instance.has_precedence());
+  for (const Item& it : instance.items()) {
+    STRIPACK_EXPECTS(near_int(it.height(), 1e-6));
+    STRIPACK_EXPECTS(near_int(it.release, 1e-6));
+  }
+  const Stopwatch watch;
+  const release::ConfigLpProblem problem = release::make_problem(instance);
+  const std::size_t phases = problem.num_releases();
+  const double rho_r = problem.releases.back();
+  const double tol = options.tol;
+
+  BnpResult result;
+  release::ConfigLpSolver solver(problem, options.lp);
+  release::FractionalSolution root = solver.solve();
+  accumulate(result, root);
+  // The configuration LP proper is always feasible (phase R is
+  // unbounded); a non-optimal root can only mean the simplex gave up
+  // (iteration limit), which must surface as a Stalled bracket below,
+  // not a crash — the trivial incumbent is still a valid solution.
+  STRIPACK_ASSERT(root.status != lp::SolveStatus::Infeasible,
+                  "the configuration LP is always feasible");
+
+  NodeTree tree;
+  tree.add_root(root.feasible
+                    ? std::ceil(root.objective - tol * (1.0 + root.objective))
+                    : 0.0);
+
+  // Incumbent: the trivial stack, improved by the root rounding.
+  std::vector<release::Slice> incumbent = trivial_incumbent(problem);
+  tree.offer_incumbent(slices_objective(incumbent, phases));
+  if (root.feasible && options.rounding_incumbent) {
+    std::vector<release::Slice> rounded =
+        rounded_incumbent(problem, aggregate_patterns(root), tol);
+    if (tree.offer_incumbent(slices_objective(rounded, phases))) {
+      incumbent = std::move(rounded);
+    }
+  }
+
+  // Branch rows are shared across nodes through (predicate, sense) keys:
+  // a node activates the rows on its root path and parks every other row
+  // at a neutral rhs, so siblings re-solve one warm master instead of
+  // rebuilding it.
+  std::map<std::string, int> row_by_key;
+  std::set<int> previously_active;
+  const auto ensure_row = [&](release::ConfigLpSolver& s,
+                              const BranchDecision& d) {
+    const std::string key = row_key(d);
+    const auto it = row_by_key.find(key);
+    if (it != row_by_key.end()) return it->second;
+    const int row = s.add_branch_row(d.pred, d.sense, d.rhs);
+    row_by_key.emplace(key, row);
+    return row;
+  };
+
+  // Process one solved node: prune by (integer-rounded) bound, harvest an
+  // integral solution, or branch on the chosen fractional total.
+  const auto process = [&](int id, const release::FractionalSolution& sol) {
+    const double bound =
+        std::ceil(sol.objective - tol * (1.0 + sol.objective));
+    if (bound >= tree.incumbent() - 0.5) return;
+    const std::map<PatternKey, double> totals = aggregate_patterns(sol);
+    const auto branch = select_branch(totals, tol);
+    if (!branch) {
+      std::vector<release::Slice> slices =
+          integral_slices(totals, problem.widths);
+      if (tree.offer_incumbent(slices_objective(slices, phases))) {
+        incumbent = std::move(slices);
+      }
+      return;
+    }
+    const auto& [pred, total] = *branch;
+    BranchDecision le{pred, lp::Sense::LE, std::floor(total)};
+    BranchDecision ge{pred, lp::Sense::GE, std::floor(total) + 1.0};
+    tree.add_child(id, std::move(le), bound);
+    tree.add_child(id, std::move(ge), bound);
+  };
+
+  result.nodes = 1;
+  (void)tree.pop_best();  // the root: its LP is the solve above
+  bool stalled = false;
+  double stalled_bound = std::numeric_limits<double>::infinity();
+  if (root.feasible) {
+    process(0, root);
+  } else {
+    stalled = true;
+    stalled_bound = tree.node(0).bound;
+  }
+  while (!tree.done()) {
+    if (result.nodes >= options.budget.max_nodes) {
+      result.status = BnpStatus::NodeLimit;
+      break;
+    }
+    if (options.budget.max_seconds > 0.0 &&
+        watch.seconds() > options.budget.max_seconds) {
+      result.status = BnpStatus::TimeLimit;
+      break;
+    }
+    const std::optional<int> popped = tree.pop_best();
+    if (!popped) break;
+    const int id = *popped;
+    if (tree.node(id).bound >= tree.incumbent() - 0.5) continue;
+    ++result.nodes;
+
+    release::FractionalSolution sol;
+    if (options.reuse_engine) {
+      // Activate exactly this node's path (child-most rhs wins when a
+      // predicate was re-branched deeper down) and dual re-solve warm.
+      // Only the diff against the previously active node is touched, so
+      // activation costs O(path) rather than O(all rows) per node.
+      std::set<int> active;
+      std::vector<std::pair<int, double>> to_set;
+      for (int n = id; tree.node(n).parent >= 0; n = tree.node(n).parent) {
+        const BranchDecision& d = tree.node(n).decision;
+        const int row = ensure_row(solver, d);
+        if (active.insert(row).second) to_set.push_back({row, d.rhs});
+      }
+      for (const int row : previously_active) {
+        if (active.find(row) == active.end()) {
+          solver.deactivate_branch_row(row);
+        }
+      }
+      for (const auto& [row, rhs] : to_set) {
+        solver.set_branch_row_rhs(row, rhs);
+      }
+      previously_active = std::move(active);
+      sol = solver.resolve();
+      accumulate(result, sol);
+      STRIPACK_ASSERT(sol.colgen_warm_phase1_iterations == 0,
+                      "branch-and-price node re-solve left the warm path");
+    } else {
+      // Cold baseline: a fresh master per node (BM_BranchAndPrice's
+      // comparison arm).
+      release::ConfigLpSolver fresh(problem, options.lp);
+      release::FractionalSolution fresh_root = fresh.solve();
+      accumulate(result, fresh_root);
+      if (!fresh_root.feasible) {
+        stalled = true;
+        stalled_bound = tree.node(id).bound;
+        break;
+      }
+      std::set<std::string> seen;
+      for (int n = id; tree.node(n).parent >= 0; n = tree.node(n).parent) {
+        const BranchDecision& d = tree.node(n).decision;
+        if (seen.insert(row_key(d)).second) {
+          fresh.add_branch_row(d.pred, d.sense, d.rhs);
+        }
+      }
+      result.branch_rows = std::max(result.branch_rows, seen.size());
+      sol = fresh.resolve();
+      accumulate(result, sol);
+    }
+
+    if (sol.status == lp::SolveStatus::Infeasible) continue;  // certified
+    if (!sol.feasible) {
+      // IterationLimit is "unknown", not "proven empty": stop with the
+      // bracket rather than mis-prune.
+      stalled = true;
+      stalled_bound = tree.node(id).bound;
+      break;
+    }
+    process(id, sol);
+  }
+
+  result.nodes_created = tree.created();
+  // Warm mode materializes rows once in the shared master; cold mode
+  // reports the deepest per-node row count instead.
+  result.branch_rows = std::max(result.branch_rows, row_by_key.size());
+  if (stalled) result.status = BnpStatus::Stalled;
+
+  const double incumbent_obj = tree.incumbent();
+  double global_bound = std::min(incumbent_obj, tree.best_open_bound());
+  if (stalled) global_bound = std::min(global_bound, stalled_bound);
+  if (result.status == BnpStatus::Optimal) global_bound = incumbent_obj;
+  result.height = rho_r + incumbent_obj;
+  result.dual_bound = rho_r + global_bound;
+  result.slices = std::move(incumbent);
+
+  release::FractionalSolution incumbent_solution;
+  incumbent_solution.feasible = true;
+  incumbent_solution.status = lp::SolveStatus::Optimal;
+  incumbent_solution.objective = incumbent_obj;
+  incumbent_solution.height = result.height;
+  incumbent_solution.slices = result.slices;
+  const release::IntegralizeResult realized =
+      integralize(instance, problem, incumbent_solution);
+  STRIPACK_ASSERT(realized.fallback_items == 0,
+                  "incumbent slices must cover every rectangle");
+  result.packing = Packing{instance, realized.placement};
+  return result;
+}
+
+BnpOptions BnpPacker::default_pack_options() {
+  BnpOptions options;
+  options.budget.max_nodes = 200;
+  options.budget.max_seconds = 5.0;
+  return options;
+}
+
+BnpPacker::BnpPacker(BnpOptions options, double height_grid)
+    : options_(std::move(options)), height_grid_(height_grid) {}
+
+PackResult BnpPacker::pack(std::span<const Rect> rects,
+                           double strip_width) const {
+  PackResult out;
+  if (rects.empty()) return out;
+  double grid = height_grid_;
+  if (grid <= 0.0) {
+    bool all_integer = true;
+    double min_height = std::numeric_limits<double>::infinity();
+    for (const Rect& r : rects) {
+      all_integer = all_integer && near_int(r.height, 1e-6) && r.height > 0.5;
+      min_height = std::min(min_height, r.height);
+    }
+    grid = all_integer ? 1.0 : min_height;
+  }
+  STRIPACK_EXPECTS(grid > 0.0);
+  std::vector<Item> items;
+  items.reserve(rects.size());
+  for (const Rect& r : rects) {
+    const double units = std::ceil(r.height / grid - 1e-9);
+    items.push_back(Item{Rect{r.width, std::max(units, 1.0)}, 0.0});
+  }
+  const Instance scaled(std::move(items), strip_width);
+  const BnpResult solved = solve(scaled, options_);
+  out.placement.reserve(rects.size());
+  double height = 0.0;
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    const Position& p = solved.packing.placement[i];
+    out.placement.push_back(Position{p.x, p.y * grid});
+    height = std::max(height, p.y * grid + rects[i].height);
+  }
+  out.height = height;
+  return out;
+}
+
+}  // namespace stripack::bnp

@@ -1,0 +1,137 @@
+// Exact branch and price for the integral configuration problem.
+//
+// The §3.2 configuration LP (release/config_lp) relaxes a packing twice:
+// rectangles may be sliced across configurations, and slice heights may be
+// fractional. This solver removes the second relaxation exactly: it
+// certifies the optimum of the configuration *IP* — the LP with every
+// x_q^j restricted to the nonnegative integers. For instances with
+// integer heights and integer releases (an optimal packing then exists on
+// the integer y-grid, and cutting it into unit slabs yields an integral
+// configuration solution) the IP value sandwiches between the two
+// classical quantities:
+//
+//     config-LP optimum  <=  IP optimum  <=  OPT(S),
+//
+// so `solve` is a certified lower bound on every real packing — strictly
+// stronger than Lemma 3.3's fractional bound whenever the instance has an
+// integrality gap (see gen/hard_integral) — and for unit heights it *is*
+// bin packing (IP = OPT = strip width bins). The returned packing
+// realizes the optimal slice solution with whole rectangles via Lemma 3.4
+// integralization.
+//
+// Search: deterministic best-first branch and bound (bnp/node_tree) over
+// one shared `ConfigLpSolver` master. Every node re-solve is warm — the
+// node's branching rows enter through `sync_rows()` + `solve_dual()`
+// (never a cold solve; `warm_phase1_iterations` stays 0) — with
+// Ryan–Foster-style branching on fractional configuration pairs, exact
+// single-pattern branching as the completeness fallback, and dual bounds
+// rounded up to integers (the height-cap branch folded into pruning). In
+// column-generation mode an infeasible branched master goes through
+// *Farkas pricing* (columns generated against the engine's infeasibility
+// certificate), so node pruning only ever acts on verdicts certified for
+// the full master. This is the master/pricing decomposition of
+// Gilmore–Gomory cutting stock, phase-differenced for release times.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bnp/node_tree.hpp"
+#include "core/packing.hpp"
+#include "packers/packer.hpp"
+#include "release/config_lp.hpp"
+
+namespace stripack::bnp {
+
+enum class BnpStatus {
+  /// The incumbent is proven optimal: dual_bound == height.
+  Optimal,
+  /// Node budget exhausted; height/dual_bound bracket the optimum.
+  NodeLimit,
+  /// Time budget exhausted; height/dual_bound bracket the optimum.
+  TimeLimit,
+  /// A node LP failed to converge (iteration limit). The bracket held in
+  /// height/dual_bound is still valid.
+  Stalled,
+};
+
+struct BnpOptions {
+  /// Underlying LP configuration. Column generation is the default (the
+  /// branch-and-price shape, with Farkas pricing at infeasible nodes);
+  /// disabling it enumerates every configuration up front instead.
+  release::ConfigLpOptions lp{.use_column_generation = true};
+  SearchBudget budget;
+  /// Seed the incumbent from the rounded root LP (floor early-phase
+  /// supply, ceil phase-R, repair the lost coverage with phase-R
+  /// singletons) instead of only the trivial stack-everything solution.
+  bool rounding_incumbent = true;
+  /// Share one warm `ConfigLpSolver` engine across all nodes (the
+  /// default); false re-builds and cold-solves the master at every node —
+  /// the baseline `BM_BranchAndPrice` compares against.
+  bool reuse_engine = true;
+  /// Recognition tolerance for integrality of pattern totals.
+  double tol = 1e-6;
+};
+
+struct BnpResult {
+  BnpStatus status = BnpStatus::Optimal;
+  /// Best known integral configuration height: releases.back() plus the
+  /// incumbent objective. Certified optimal iff status == Optimal.
+  double height = 0.0;
+  /// Proven lower bound on the optimal integral configuration height
+  /// (and hence, for integer instances, on every real packing's height).
+  double dual_bound = 0.0;
+  /// The incumbent's slices; heights are integers.
+  std::vector<release::Slice> slices;
+  /// Lemma 3.4 realization of the incumbent with whole rectangles: a
+  /// valid packing of the instance. Its height may exceed `height` by up
+  /// to one item height per occurrence — `height` bounds OPT from below,
+  /// `packing.height()` from above.
+  Packing packing;
+  // Search diagnostics.
+  std::size_t nodes = 0;          // processed
+  std::size_t nodes_created = 0;  // including never-popped children
+  std::size_t branch_rows = 0;    // distinct rows materialized
+  std::size_t columns = 0;        // master columns at the end
+  std::int64_t lp_iterations = 0;
+  std::int64_t dual_iterations = 0;
+  /// Phase-1 pivots across all warm node re-solves: 0 on the warm path
+  /// (asserted internally when `reuse_engine`).
+  std::int64_t warm_phase1_iterations = 0;
+  int farkas_rounds = 0;
+  std::size_t farkas_columns = 0;
+};
+
+/// Exact branch and price. The instance must be release-only (no
+/// precedence DAG) with integer heights and integer releases; throws
+/// ContractViolation otherwise.
+[[nodiscard]] BnpResult solve(const Instance& instance,
+                              const BnpOptions& options = {});
+
+/// Registry adapter ("BnP", `make_packer`): quantizes heights up to an
+/// integer grid, proves the slice optimum of the quantized instance
+/// within the configured budgets, and returns the integralized packing
+/// (valid for the original rectangles, which only shrink back into their
+/// slots). Exact — not polynomial: budgets make it safe on arbitrary
+/// inputs, at the price of a `NodeLimit` incumbent instead of a
+/// certificate when they bite.
+class BnpPacker final : public StripPacker {
+ public:
+  /// `height_grid` 0 picks automatically: 1 when every height is already
+  /// an integer, else the smallest rectangle height.
+  explicit BnpPacker(BnpOptions options = default_pack_options(),
+                     double height_grid = 0.0);
+
+  [[nodiscard]] PackResult pack(std::span<const Rect> rects,
+                                double strip_width) const override;
+  [[nodiscard]] std::string_view name() const override { return "BnP"; }
+
+  /// Gallery-safe budgets (a few hundred nodes, a few seconds).
+  [[nodiscard]] static BnpOptions default_pack_options();
+
+ private:
+  BnpOptions options_;
+  double height_grid_ = 0.0;
+};
+
+}  // namespace stripack::bnp

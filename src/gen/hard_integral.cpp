@@ -1,0 +1,46 @@
+#include "gen/hard_integral.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace stripack::gen {
+
+HardIntegralInstance hard_integral_family(std::size_t k, std::size_t bursts,
+                                          double spacing, double width) {
+  STRIPACK_EXPECTS(k >= 1);
+  STRIPACK_EXPECTS(bursts >= 1);
+  STRIPACK_EXPECTS(width > 1.0 / 3.0 && width <= 0.5);
+  if (bursts > 1) {
+    STRIPACK_EXPECTS(spacing >= static_cast<double>(k) + 1.0);
+    STRIPACK_EXPECTS(spacing == std::floor(spacing));
+  } else {
+    spacing = 0.0;
+  }
+
+  const std::size_t per_burst = 2 * k + 1;
+  std::vector<Item> items;
+  items.reserve(bursts * per_burst);
+  for (std::size_t b = 0; b < bursts; ++b) {
+    const double release = static_cast<double>(b) * spacing;
+    for (std::size_t i = 0; i < per_burst; ++i) {
+      items.push_back(Item{Rect{width, 1.0}, release});
+    }
+  }
+
+  HardIntegralInstance out{Instance(std::move(items), 1.0), {}};
+  // Each wave must be served at or after its release, and waves are
+  // spaced so every earlier wave fits strictly before the next arrives:
+  // the last wave alone decides the height above rho_R. Fractionally it
+  // needs (2k+1)/2 of the pair configuration; integrally, k pairs plus
+  // one single slab.
+  const double rho_r = static_cast<double>(bursts - 1) * spacing;
+  out.certificate.lp_height =
+      rho_r + static_cast<double>(per_burst) / 2.0;
+  out.certificate.ip_height = rho_r + static_cast<double>(k) + 1.0;
+  out.certificate.n = bursts * per_burst;
+  return out;
+}
+
+}  // namespace stripack::gen

@@ -1,0 +1,44 @@
+// Deterministic instances with a known configuration-LP integrality gap,
+// built to stress branch-and-price (bnp/solve) branching.
+//
+// Core gadget: 2k+1 unit-height rectangles of one width w in (1/3, 1/2].
+// At most two fit side by side and singles waste half a slab, so the
+// fractional configuration LP halves the odd count — value (2k+1)/2 —
+// while any integral configuration solution (and any real packing) needs
+// k+1 slabs. The gap is exactly 1/2 for every k, so dual-bound rounding
+// alone closes it only after branching proves the k+1 incumbent.
+//
+// The released variant repeats the gadget in `bursts` arrival waves
+// spaced `spacing` >= k+1 apart (so each wave fits its own phase): the
+// gap survives phase-differencing, and the branching rules must operate
+// on phase-specific pair totals.
+#pragma once
+
+#include <cstddef>
+
+#include "core/instance.hpp"
+
+namespace stripack::gen {
+
+struct HardIntegralCertificate {
+  /// Exact fractional configuration-LP height (Lemma 3.3 bound).
+  double lp_height = 0.0;
+  /// Exact integral configuration optimum; equals OPT here.
+  double ip_height = 0.0;
+  std::size_t n = 0;
+};
+
+struct HardIntegralInstance {
+  Instance instance;
+  HardIntegralCertificate certificate;
+};
+
+/// The family described above: `bursts * (2k+1)` rectangles of width
+/// `width` in (1/3, 1/2], unit heights, releases 0, spacing, 2*spacing,
+/// ... round-robin by wave. `spacing` must be an integer >= k+1 when
+/// bursts > 1 (ignored for bursts == 1).
+[[nodiscard]] HardIntegralInstance hard_integral_family(
+    std::size_t k, std::size_t bursts = 1, double spacing = 0.0,
+    double width = 0.4);
+
+}  // namespace stripack::gen

@@ -203,6 +203,7 @@ class SimplexEngine::Impl {
 
   Solution solve() {
     Solution solution;
+    cost_shift_.clear();
     const std::int64_t max_iters = default_max_iters();
     // Anti-cycling may have engaged Bland's rule late in a previous solve;
     // start each solve with the configured pricing and let degeneracy
@@ -244,6 +245,14 @@ class SimplexEngine::Impl {
       }
       if (infeas > 1e-7 * (1.0 + b_norm_)) {
         solution.status = SolveStatus::Infeasible;
+        // Phase 1 ended optimal with positive infeasibility: its duals y
+        // satisfy y'a' <= tol for every column (zero phase-1 cost) and
+        // y'b' = infeas > 0 — a Farkas certificate, mapped back through
+        // the row flips.
+        solution.farkas.assign(static_cast<std::size_t>(m_), 0.0);
+        for (int r = 0; r < m_; ++r) {
+          solution.farkas[r] = flipped_[r] ? -y_[r] : y_[r];
+        }
         return solution;
       }
       // Clamp tiny residual infeasibility on still-basic artificials.
@@ -266,8 +275,9 @@ class SimplexEngine::Impl {
   // keeping every reduced cost nonnegative, so phase 1 never runs. Falls
   // back to the primal `solve()` when the retained state is outside dual
   // reach (see the header contract).
-  Solution solve_dual() {
+  Solution solve_dual(bool shift_dual_infeasible) {
     Solution solution;
+    cost_shift_.clear();
     const std::int64_t max_iters = default_max_iters();
     bland_ = forced_bland();
     phase_ = 2;
@@ -282,12 +292,23 @@ class SimplexEngine::Impl {
     recompute_duals();
     // Dual feasibility check: an improving column means the basis was
     // never optimal (or an rhs sign flip perturbed the reduced costs).
+    // With `shift_dual_infeasible`, improving *structural* columns
+    // (Farkas-priced columns landing on an infeasible master) are instead
+    // cost-shifted so their reduced cost clamps to zero; the shifts are
+    // dropped before the closing primal phase below.
     {
       const int limit = num_structural_ + m_;
       for (int pos = 0; pos < limit; ++pos) {
         const int code = code_at(pos);
         if (code == kNoColumn || in_basis(code)) continue;
-        if (reduced_cost(code) < -options_.tol) return solve();
+        const double rc = reduced_cost(code);
+        if (rc < -options_.tol) {
+          if (!shift_dual_infeasible || !is_structural(code)) return solve();
+          if (cost_shift_.empty()) {
+            cost_shift_.assign(static_cast<std::size_t>(num_structural_), 0.0);
+          }
+          cost_shift_[code] = -rc;
+        }
       }
     }
 
@@ -342,8 +363,16 @@ class SimplexEngine::Impl {
       }
       if (entering == kNoColumn) {
         // rho' A >= 0 over every column yet rho' b < 0: row `leave` is a
-        // Farkas certificate that the grown model is infeasible.
+        // Farkas certificate that the grown model is infeasible. Export
+        // y = -rho mapped through the row flips (y'a <= tol for every
+        // column, y'b = -xb[leave] > 0); the certificate only involves A
+        // and b, so it is unaffected by any active cost shifts.
         solution.status = SolveStatus::Infeasible;
+        solution.farkas.assign(static_cast<std::size_t>(m_), 0.0);
+        for (int r = 0; r < m_; ++r) {
+          solution.farkas[r] = flipped_[r] ? u_[r] : -u_[r];
+        }
+        cost_shift_.clear();
         return solution;
       }
 
@@ -372,7 +401,11 @@ class SimplexEngine::Impl {
 
     // Primal cleanup: clamp residual negatives within tolerance and let
     // the primal iteration certify optimality (usually zero pivots — dual
-    // feasibility was maintained throughout).
+    // feasibility was maintained throughout). Any cost shifts are dropped
+    // first: the basis is primal feasible now, so the closing phase-2
+    // iteration prices the ex-shifted columns at their true costs and
+    // pivots them in without ever touching phase 1.
+    cost_shift_.clear();
     for (double& v : xb_) v = std::max(v, 0.0);
     if (solution.dual_iterations > 0) se_reset();
     const SolveStatus status =
@@ -501,7 +534,9 @@ class SimplexEngine::Impl {
 
   [[nodiscard]] double cost_of(int code) const {
     if (phase_ == 1) return is_artificial(code) ? 1.0 : 0.0;
-    return is_structural(code) ? cost2_[code] : 0.0;
+    if (!is_structural(code)) return 0.0;
+    return cost_shift_.empty() ? cost2_[code]
+                               : cost2_[code] + cost_shift_[code];
   }
 
   // Deterministic total order used by ratio-test tie-breaks (structural
@@ -1152,6 +1187,10 @@ class SimplexEngine::Impl {
 
   std::vector<std::vector<RowEntry>> cols_;  // transformed structural columns
   std::vector<double> cost2_;                // phase-2 structural costs
+  // Temporary per-column cost shifts for `solve_dual(true)`: empty when
+  // inactive, else one additive term per structural column. Cleared on
+  // every solve entry and before the closing primal phase.
+  std::vector<double> cost_shift_;
   std::vector<double> b_;                    // transformed rhs (>= 0)
   std::vector<bool> flipped_;
   std::vector<double> slack_sign_;   // +1 LE, -1 GE, 0 EQ (no slack)
@@ -1212,7 +1251,9 @@ bool SimplexEngine::load_basis(const std::vector<int>& basis) {
 
 Solution SimplexEngine::solve() { return impl_->solve(); }
 
-Solution SimplexEngine::solve_dual() { return impl_->solve_dual(); }
+Solution SimplexEngine::solve_dual(bool shift_dual_infeasible) {
+  return impl_->solve_dual(shift_dual_infeasible);
+}
 
 Solution solve(const Model& model, const SimplexOptions& options) {
   STRIPACK_EXPECTS(model.num_rows() > 0);

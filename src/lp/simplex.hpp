@@ -95,6 +95,14 @@ struct Solution {
   std::vector<int> basic_columns;
   /// Full basis encoding (one code per row) for warm-start handoff.
   std::vector<int> basis;
+  /// Farkas certificate, populated when `status == Infeasible`: one
+  /// multiplier per model row (original senses) with y'a_c <= tol for
+  /// every column c currently in the model and y'b > 0, proving that no
+  /// x >= 0 satisfies the rows. For column generation the certificate is
+  /// the pricing surface: only a *new* column a with y'a > tol can
+  /// restore feasibility, and if no such column exists in the full
+  /// (unpriced) universe the verdict extends to the full master.
+  std::vector<double> farkas;
 
   [[nodiscard]] bool optimal() const { return status == SolveStatus::Optimal; }
 };
@@ -144,13 +152,23 @@ class SimplexEngine {
   /// the cheap path after `sync_rows()` added violated cut rows or
   /// tightened an rhs, with `phase1_iterations` staying zero. Returns
   /// `Infeasible` when a violated row admits no entering column (a Farkas
-  /// certificate for the row). Falls back to a primal `solve()` — which
-  /// may run phase 1 — in the two documented cases outside dual reach:
-  /// the retained basis is not dual feasible (e.g. the model was never
-  /// solved, or an rhs change flipped a row's sign), or a freshly added
-  /// equality row has positive residual (its artificial sits basic at a
-  /// positive value).
-  [[nodiscard]] Solution solve_dual();
+  /// certificate for the row, exported as `Solution::farkas`). Falls back
+  /// to a primal `solve()` — which may run phase 1 — in the two documented
+  /// cases outside dual reach: the retained basis is not dual feasible
+  /// (e.g. the model was never solved, or an rhs change flipped a row's
+  /// sign), or a freshly added equality row has positive residual (its
+  /// artificial sits basic at a positive value).
+  ///
+  /// `shift_dual_infeasible` narrows the first fallback: structural
+  /// columns pricing negative (typically Farkas-priced columns appended
+  /// to an infeasible master) get their costs temporarily *shifted* so
+  /// their reduced cost clamps to zero, the dual phase runs on the
+  /// shifted costs, and once primal feasibility is restored the shifts
+  /// are dropped and a warm phase-2 primal finishes the job — so the
+  /// whole re-solve stays free of phase 1. The Farkas certificate is
+  /// cost-independent, so an `Infeasible` verdict under shifts is just as
+  /// valid.
+  [[nodiscard]] Solution solve_dual(bool shift_dual_infeasible = false);
 
  private:
   class Impl;

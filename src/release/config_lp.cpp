@@ -27,6 +27,27 @@ std::size_t width_index_of(const std::vector<double>& widths, double w) {
 
 }  // namespace
 
+bool BranchPredicate::matches(std::span<const int> config_counts,
+                              std::size_t config_phase) const {
+  if (phase >= 0 && static_cast<std::size_t>(phase) != config_phase) {
+    return false;
+  }
+  switch (kind) {
+    case Kind::PhaseTotal:
+      return true;
+    case Kind::PairTogether:
+      if (width_a == width_b) return config_counts[width_a] >= 2;
+      return config_counts[width_a] >= 1 && config_counts[width_b] >= 1;
+    case Kind::Pattern:
+      if (config_counts.size() != counts.size()) return false;
+      for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (config_counts[i] != counts[i]) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
 ConfigLpProblem make_problem(const Instance& instance) {
   instance.check_well_formed();
   STRIPACK_EXPECTS(!instance.empty());
@@ -134,7 +155,17 @@ void add_surplus_columns(lp::Model& model, const RowLayout& layout,
   }
 }
 
+// One branching row of the incremental solver: the predicate names the
+// matching (configuration, phase) columns, `row` its model index. The
+// sense decides the neutral rhs `deactivate_branch_row` parks it at.
+struct BranchRow {
+  BranchPredicate pred;
+  int row = 0;
+  lp::Sense sense = lp::Sense::LE;
+};
+
 std::vector<lp::RowEntry> column_entries(const RowLayout& layout,
+                                         std::span<const BranchRow> branches,
                                          const Configuration& config,
                                          std::size_t phase) {
   std::vector<lp::RowEntry> entries;
@@ -146,9 +177,15 @@ std::vector<lp::RowEntry> column_entries(const RowLayout& layout,
     entries.push_back(
         {layout.demand_row(phase, i), static_cast<double>(config.counts[i])});
   }
-  // The cap row has the largest index, so appending keeps entries sorted.
   if (phase + 1 == layout.num_phases && layout.cap_row >= 0) {
     entries.push_back({layout.cap_row, 1.0});
+  }
+  // Cap and branch rows may interleave in creation order; Model::add_column
+  // sorts entries by row, so appending out of order here is fine.
+  for (const BranchRow& br : branches) {
+    if (br.pred.matches(config.counts, phase)) {
+      entries.push_back({br.row, 1.0});
+    }
   }
   return entries;
 }
@@ -157,15 +194,130 @@ double column_cost(const RowLayout& layout, std::size_t phase) {
   return phase + 1 == layout.num_phases ? 1.0 : 0.0;
 }
 
+// One branching row applying to the phase being priced, with the value a
+// matching configuration collects from it.
+struct AppliedBranchRow {
+  const BranchPredicate* pred = nullptr;
+  double mult = 0.0;
+};
+
+// Branch-and-bound maximization over nonempty configurations of one phase:
+//   max  sum_i counts[i] * value[i] + sum_r mult_r * [pred_r matches]
+// The DFS bound adds every positive multiplier to the classic suffix
+// density bound (admissible: a configuration collects at most that), and
+// widths a positive-multiplier predicate needs are exempt from the
+// "skip non-positive values" pruning so pair/pattern bonuses stay
+// reachable. Returns the best configuration (empty when nothing beats
+// zero) and its adjusted value through `best_value_out`.
+Configuration best_config_for_phase(const ConfigLpProblem& problem,
+                                    const std::vector<double>& value,
+                                    std::span<const AppliedBranchRow> rows,
+                                    std::size_t phase,
+                                    double* best_value_out) {
+  const auto& widths = problem.widths;
+  // Suffix best density for the fractional bound.
+  std::vector<double> suffix_density(widths.size() + 1, 0.0);
+  for (std::size_t i = widths.size(); i-- > 0;) {
+    suffix_density[i] =
+        std::max(suffix_density[i + 1], std::max(value[i], 0.0) / widths[i]);
+  }
+  double bonus_cap = 0.0;
+  std::vector<char> keep(widths.size(), 0);
+  // Pattern matching is *non-monotone*: a penalized (negative-multiplier)
+  // pattern can be escaped by ADDING an item, even one of non-positive
+  // value — so while such a row applies, the skip-non-positive pruning
+  // below must be disabled wholesale. Pair/total predicates are monotone
+  // in the counts, so dropping a non-positive-value item never hurts
+  // them; only widths a positive pair/pattern bonus needs are exempted.
+  bool penalized_pattern = false;
+  for (const AppliedBranchRow& r : rows) {
+    if (r.mult <= 0.0) {
+      if (r.mult < 0.0 &&
+          r.pred->kind == BranchPredicate::Kind::Pattern) {
+        penalized_pattern = true;
+      }
+      continue;
+    }
+    bonus_cap += r.mult;
+    switch (r.pred->kind) {
+      case BranchPredicate::Kind::PhaseTotal:
+        break;
+      case BranchPredicate::Kind::PairTogether:
+        keep[r.pred->width_a] = 1;
+        keep[r.pred->width_b] = 1;
+        break;
+      case BranchPredicate::Kind::Pattern:
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+          if (r.pred->counts[i] > 0) keep[i] = 1;
+        }
+        break;
+    }
+  }
+  if (penalized_pattern) keep.assign(widths.size(), 1);
+  const auto adjusted = [&](const std::vector<int>& counts, double raw) {
+    double v = raw;
+    for (const AppliedBranchRow& r : rows) {
+      if (r.pred->matches(counts, phase)) v += r.mult;
+    }
+    return v;
+  };
+
+  Configuration best;
+  best.counts.assign(widths.size(), 0);
+  double best_value = 0.0;
+  std::vector<int> counts(widths.size(), 0);
+  int total_items = 0;
+
+  auto dfs = [&](auto&& self, std::size_t index, double used,
+                 double current) -> void {
+    if (total_items > 0) {
+      const double adj = adjusted(counts, current);
+      if (adj > best_value + 1e-12) {
+        best_value = adj;
+        best.counts = counts;
+        best.total_width = used;
+        best.total_items = total_items;
+      }
+    }
+    if (index == widths.size()) return;
+    const double cap_left = problem.strip_width - used;
+    if (current + cap_left * suffix_density[index] + bonus_cap <=
+        best_value + 1e-12) {
+      return;  // bound: cannot beat the incumbent
+    }
+    const int max_here =
+        static_cast<int>(std::floor(cap_left / widths[index] + 1e-9));
+    for (int c = max_here; c >= 0; --c) {
+      // Skip negative-value widths — unless a positive branching bonus
+      // needs them present.
+      if (c > 0 && value[index] <= 0.0 && keep[index] == 0) continue;
+      counts[index] = c;
+      total_items += c;
+      self(self, index + 1, used + c * widths[index],
+           current + c * value[index]);
+      total_items -= c;
+    }
+    counts[index] = 0;
+  };
+  dfs(dfs, 0, 0.0, 0.0);
+  *best_value_out = best_value;
+  return best;
+}
+
 // Bounded-knapsack pricing: per phase maximize sum counts[i]*value[i]
 // subject to sum counts[i]*width[i] <= capacity. In the differenced form
 // the dual of demand row (j, i) already equals the suffix sum of the
-// paper's covering duals, so no per-phase accumulation is needed.
+// paper's covering duals, so no per-phase accumulation is needed. Branch
+// rows contribute their dual to every matching configuration, so pricing
+// stays exact at branch-and-price nodes.
 class KnapsackOracle final : public lp::PricingOracle {
  public:
   KnapsackOracle(const ConfigLpProblem& problem, const RowLayout& layout,
-                 ColumnTable& table)
-      : problem_(problem), layout_(layout), table_(table) {}
+                 ColumnTable& table, const std::vector<BranchRow>& branches)
+      : problem_(problem),
+        layout_(layout),
+        table_(table),
+        branches_(branches) {}
 
   std::vector<lp::PricedColumn> price(std::span<const double> duals,
                                       double tol) override {
@@ -183,73 +335,83 @@ class KnapsackOracle final : public lp::PricingOracle {
       } else if (layout_.cap_row >= 0) {
         base_cost -= duals[static_cast<std::size_t>(layout_.cap_row)];
       }
-      Configuration best = best_config(value);
-      if (best.total_items == 0) continue;
       double best_value = 0.0;
-      for (std::size_t i = 0; i < widths; ++i) {
-        best_value += best.counts[i] * value[i];
-      }
+      Configuration best = best_config_for_phase(
+          problem_, value, applied_rows(j, duals), j, &best_value);
+      if (best.total_items == 0) continue;
       const double reduced_cost = base_cost - best_value;
       if (reduced_cost < -std::max(tol, 1e-8)) {
-        lp::PricedColumn col;
-        col.cost = column_cost(layout_, j);
-        col.entries = column_entries(layout_, best, j);
-        col.name = "cg[j=" + std::to_string(j) + "]";
-        out.push_back(std::move(col));
-        table_.add(static_cast<int>(table_.configs.size()), j);
-        table_.configs.push_back(std::move(best));
+        emit(out, std::move(best), j, "cg[j=" + std::to_string(j) + "]");
+      }
+    }
+    return out;
+  }
+
+  /// Farkas pricing: `ray` is an infeasibility certificate y of the
+  /// restricted master (y'a <= tol for every present column, y'b > 0).
+  /// Returns configuration columns with y'a > tol — the only columns
+  /// whose addition can restore feasibility. An empty result proves the
+  /// *full* master infeasible: every absent column is a configuration
+  /// over the same width table, and this search maximizes y'a exactly
+  /// over all of them.
+  std::vector<lp::PricedColumn> price_farkas(std::span<const double> ray,
+                                             double tol) {
+    std::vector<lp::PricedColumn> out;
+    const std::size_t phases = layout_.num_phases;
+    const std::size_t widths = layout_.num_widths;
+    std::vector<double> value(widths, 0.0);
+    for (std::size_t j = 0; j < phases; ++j) {
+      for (std::size_t i = 0; i < widths; ++i) {
+        value[i] = ray[static_cast<std::size_t>(layout_.demand_row(j, i))];
+      }
+      double base = 0.0;
+      if (j + 1 < phases) {
+        base = ray[static_cast<std::size_t>(layout_.packing_row(j))];
+      } else if (layout_.cap_row >= 0) {
+        base = ray[static_cast<std::size_t>(layout_.cap_row)];
+      }
+      double best_value = 0.0;
+      Configuration best = best_config_for_phase(
+          problem_, value, applied_rows(j, ray), j, &best_value);
+      if (best.total_items == 0) continue;
+      if (base + best_value > std::max(tol, 1e-8)) {
+        emit(out, std::move(best), j, "fk[j=" + std::to_string(j) + "]");
       }
     }
     return out;
   }
 
  private:
-  // Branch-and-bound maximization over configurations.
-  Configuration best_config(const std::vector<double>& value) const {
-    const auto& widths = problem_.widths;
-    // Suffix best density for the fractional bound.
-    std::vector<double> suffix_density(widths.size() + 1, 0.0);
-    for (std::size_t i = widths.size(); i-- > 0;) {
-      suffix_density[i] =
-          std::max(suffix_density[i + 1], std::max(value[i], 0.0) / widths[i]);
+  std::span<const AppliedBranchRow> applied_rows(
+      std::size_t phase, std::span<const double> multipliers) {
+    applied_.clear();
+    for (const BranchRow& br : branches_) {
+      if (br.pred.phase >= 0 &&
+          static_cast<std::size_t>(br.pred.phase) != phase) {
+        continue;
+      }
+      applied_.push_back(
+          {&br.pred, multipliers[static_cast<std::size_t>(br.row)]});
     }
-    Configuration best;
-    best.counts.assign(widths.size(), 0);
-    double best_value = 0.0;
-    std::vector<int> counts(widths.size(), 0);
+    return applied_;
+  }
 
-    auto dfs = [&](auto&& self, std::size_t index, double used,
-                   double current) -> void {
-      if (current > best_value + 1e-12) {
-        best_value = current;
-        best.counts = counts;
-        best.total_width = used;
-        best.total_items = 0;
-        for (int c : counts) best.total_items += c;
-      }
-      if (index == widths.size()) return;
-      const double cap_left = problem_.strip_width - used;
-      if (current + cap_left * suffix_density[index] <= best_value + 1e-12) {
-        return;  // bound: cannot beat the incumbent
-      }
-      const int max_here =
-          static_cast<int>(std::floor(cap_left / widths[index] + 1e-9));
-      for (int c = max_here; c >= 0; --c) {
-        // Skip negative-value widths entirely.
-        if (c > 0 && value[index] <= 0.0) continue;
-        counts[index] = c;
-        self(self, index + 1, used + c * widths[index],
-             current + c * value[index]);
-      }
-      counts[index] = 0;
-    };
-    dfs(dfs, 0, 0.0, 0.0);
-    return best;
+  void emit(std::vector<lp::PricedColumn>& out, Configuration best,
+            std::size_t phase, std::string name) {
+    lp::PricedColumn col;
+    col.cost = column_cost(layout_, phase);
+    col.entries = column_entries(layout_, branches_, best, phase);
+    col.name = std::move(name);
+    out.push_back(std::move(col));
+    table_.add(static_cast<int>(table_.configs.size()), phase);
+    table_.configs.push_back(std::move(best));
   }
 
   const ConfigLpProblem& problem_;
   const RowLayout& layout_;  // shared with the solver: sees cap-row updates
   ColumnTable& table_;
+  const std::vector<BranchRow>& branches_;  // shared: sees added rows
+  std::vector<AppliedBranchRow> applied_;   // scratch
 };
 
 FractionalSolution extract(const ConfigLpProblem& problem,
@@ -275,7 +437,7 @@ FractionalSolution extract(const ConfigLpProblem& problem,
 
 // Everything the incremental solver carries between solve() and the dual
 // re-solvers. Heap-held behind ConfigLpSolver so the oracle's references
-// into layout/table stay stable.
+// into layout/table/branch rows stay stable.
 struct ConfigLpSolver::State {
   State(const ConfigLpProblem& p, const ConfigLpOptions& o)
       : problem(p), options(o), layout{p.releases.size(), p.widths.size()} {
@@ -287,6 +449,18 @@ struct ConfigLpSolver::State {
     simplex_options.pricing_threads = options.pricing_threads;
     model = build_rows(problem, layout);
     add_surplus_columns(model, layout, table);
+    // Neutral rhs for deactivated LE branch rows: above the trivial
+    // integral solution (stack everything in phase R, each demand
+    // rounded up — the ceilings keep the bound valid for fractional
+    // demands too), so it can never bind at a node optimum or cut off
+    // any solution a branch-and-price search still cares about —
+    // keeping dormant rows free.
+    double total_demand = 0.0;
+    for (const auto& phase_demand : p.demand) {
+      for (const double d : phase_demand) total_demand += std::ceil(d);
+    }
+    inactive_le_rhs = (p.releases.back() - p.releases.front()) +
+                      total_demand + 1.0;
   }
 
   const ConfigLpProblem& problem;
@@ -294,6 +468,8 @@ struct ConfigLpSolver::State {
   RowLayout layout;
   lp::Model model;
   ColumnTable table;
+  std::vector<BranchRow> branch_rows;
+  double inactive_le_rhs = 0.0;
   lp::SimplexOptions simplex_options;
   std::unique_ptr<KnapsackOracle> oracle;  // column-generation mode only
   std::unique_ptr<lp::SimplexEngine> engine;
@@ -317,26 +493,60 @@ struct ConfigLpSolver::State {
   }
 
   // Dual re-solve after a row change, plus — in colgen mode — pricing
-  // rounds against the new duals (fresh phase-R columns carry the cap
-  // row's coefficient via the shared layout). The re-solve's own
-  // phase1_iterations feed the warm counter: a silent fallback into a
-  // cold primal solve must show up in `colgen_warm_phase1_iterations`,
-  // not vanish.
+  // rounds against the new duals (fresh phase-R columns carry the cap and
+  // branch rows' coefficients via the shared layout and row list). An
+  // infeasible restricted master first goes through Farkas pricing, so
+  // the Infeasible it can return is certified for the full master. The
+  // re-solve's own phase1_iterations feed the warm counter: a silent
+  // fallback into a cold primal solve must show up in
+  // `colgen_warm_phase1_iterations`, not vanish.
   [[nodiscard]] FractionalSolution resolve() {
     engine->sync_rows();
-    lp::Solution solution = engine->solve_dual();
-    const std::int64_t dual_pivots = solution.dual_iterations;
-    if (!solution.optimal() || !options.use_column_generation) {
-      return finish(solution, solution.iterations, 0,
-                    solution.phase1_iterations);
+    const bool colgen = options.use_column_generation;
+    lp::Solution solution = engine->solve_dual(colgen);
+    std::int64_t dual_pivots = solution.dual_iterations;
+    std::int64_t iterations = solution.iterations;
+    std::int64_t warm_phase1 = solution.phase1_iterations;
+    int farkas_rounds = 0;
+    std::size_t farkas_columns = 0;
+    if (colgen) {
+      // Farkas repair loop. Each round's columns have positive
+      // certificate value while every present column has none, so they
+      // are genuinely new — the loop adds at most one column per
+      // (configuration, phase) pair and terminates. Re-solves use the
+      // cost-shifting dual so phase 1 stays untouched.
+      while (solution.status == lp::SolveStatus::Infeasible) {
+        const auto columns =
+            oracle->price_farkas(solution.farkas, simplex_options.tol);
+        if (columns.empty()) break;  // certified for the full master
+        for (const lp::PricedColumn& col : columns) {
+          model.add_column(col.cost, col.entries, col.name);
+        }
+        farkas_columns += columns.size();
+        ++farkas_rounds;
+        engine->sync_columns();
+        solution = engine->solve_dual(true);
+        dual_pivots += solution.dual_iterations;
+        iterations += solution.iterations;
+        warm_phase1 += solution.phase1_iterations;
+      }
+    }
+    if (!solution.optimal() || !colgen) {
+      FractionalSolution out = finish(solution, iterations, 0, warm_phase1);
+      out.dual_iterations = dual_pivots;
+      out.farkas_rounds = farkas_rounds;
+      out.farkas_columns = farkas_columns;
+      return out;
     }
     lp::ColgenResult result = lp::solve_with_column_generation(
         model, *oracle, *engine, simplex_options.tol);
-    result.solution.dual_iterations = dual_pivots;
-    return finish(result.solution,
-                  solution.iterations + result.total_iterations,
-                  result.rounds,
-                  solution.phase1_iterations + result.warm_phase1_iterations);
+    FractionalSolution out =
+        finish(result.solution, iterations + result.total_iterations,
+               result.rounds, warm_phase1 + result.warm_phase1_iterations);
+    out.dual_iterations = dual_pivots;
+    out.farkas_rounds = farkas_rounds;
+    out.farkas_columns = farkas_columns;
+    return out;
   }
 };
 
@@ -360,8 +570,9 @@ FractionalSolution ConfigLpSolver::solve() {
                             configs.size() * s.layout.num_phases);
     for (std::size_t j = 0; j < s.layout.num_phases; ++j) {
       for (std::size_t q = 0; q < configs.size(); ++q) {
-        s.model.add_column(column_cost(s.layout, j),
-                           column_entries(s.layout, configs[q], j));
+        s.model.add_column(
+            column_cost(s.layout, j),
+            column_entries(s.layout, s.branch_rows, configs[q], j));
         s.table.add(static_cast<int>(q), j);
       }
     }
@@ -386,12 +597,14 @@ FractionalSolution ConfigLpSolver::solve() {
   }
   for (std::size_t j = 0; j < s.layout.num_phases; ++j) {
     for (std::size_t i = 0; i < problem.widths.size(); ++i) {
-      s.model.add_column(column_cost(s.layout, j),
-                         column_entries(s.layout, s.table.configs[i], j));
+      s.model.add_column(
+          column_cost(s.layout, j),
+          column_entries(s.layout, s.branch_rows, s.table.configs[i], j));
       s.table.add(static_cast<int>(i), j);
     }
   }
-  s.oracle = std::make_unique<KnapsackOracle>(problem, s.layout, s.table);
+  s.oracle = std::make_unique<KnapsackOracle>(problem, s.layout, s.table,
+                                              s.branch_rows);
   s.engine = std::make_unique<lp::SimplexEngine>(s.model, s.simplex_options);
   const lp::ColgenResult result = lp::solve_with_column_generation(
       s.model, *s.oracle, *s.engine, s.simplex_options.tol);
@@ -427,6 +640,84 @@ FractionalSolution ConfigLpSolver::resolve_with_phase_capacity(
   STRIPACK_EXPECTS(phase + 1 < s.layout.num_phases);
   STRIPACK_EXPECTS(capacity >= 0.0);
   s.model.set_row_rhs(s.layout.packing_row(phase), capacity);
+  return s.resolve();
+}
+
+namespace {
+
+const BranchRow* find_branch_row(const std::vector<BranchRow>& rows,
+                                 int row) {
+  // Branch rows are appended with strictly increasing model row indices,
+  // so the handle lookup is a binary search (branch-and-price touches
+  // every row once per node activation).
+  const auto it = std::lower_bound(
+      rows.begin(), rows.end(), row,
+      [](const BranchRow& br, int r) { return br.row < r; });
+  if (it == rows.end() || it->row != row) return nullptr;
+  return &*it;
+}
+
+}  // namespace
+
+int ConfigLpSolver::add_branch_row(BranchPredicate pred, lp::Sense sense,
+                                   double rhs) {
+  State& s = *state_;
+  STRIPACK_EXPECTS(s.solved);
+  // EQ rows would re-enter through artificials (outside the dual warm
+  // path) and have no neutral rhs to park at; branch-and-price only needs
+  // the two inequality directions.
+  STRIPACK_EXPECTS(sense != lp::Sense::EQ);
+  STRIPACK_EXPECTS(rhs >= 0.0);
+  STRIPACK_EXPECTS(pred.phase < static_cast<int>(s.layout.num_phases));
+  switch (pred.kind) {
+    case BranchPredicate::Kind::PhaseTotal:
+      // Pricing never proposes empty configurations, which a GE total row
+      // would need as columns in column-generation mode (see the header).
+      STRIPACK_EXPECTS(sense == lp::Sense::LE ||
+                       !s.options.use_column_generation);
+      break;
+    case BranchPredicate::Kind::PairTogether:
+      STRIPACK_EXPECTS(pred.width_a < s.problem.widths.size());
+      STRIPACK_EXPECTS(pred.width_b < s.problem.widths.size());
+      break;
+    case BranchPredicate::Kind::Pattern:
+      STRIPACK_EXPECTS(pred.counts.size() == s.problem.widths.size());
+      break;
+  }
+  std::vector<lp::ColumnEntry> entries;
+  for (std::size_t c = 0; c < s.table.config_of.size(); ++c) {
+    const int q = s.table.config_of[c];
+    if (q >= 0 &&
+        pred.matches(s.table.configs[static_cast<std::size_t>(q)].counts,
+                     s.table.phase_of[c])) {
+      entries.push_back({static_cast<int>(c), 1.0});
+    }
+  }
+  const int row = s.model.add_row_with_entries(
+      sense, rhs, entries,
+      "br[" + std::to_string(s.branch_rows.size()) + "]");
+  s.branch_rows.push_back({std::move(pred), row, sense});
+  return row;
+}
+
+void ConfigLpSolver::set_branch_row_rhs(int row, double rhs) {
+  State& s = *state_;
+  STRIPACK_EXPECTS(find_branch_row(s.branch_rows, row) != nullptr);
+  STRIPACK_EXPECTS(rhs >= 0.0);
+  s.model.set_row_rhs(row, rhs);
+}
+
+void ConfigLpSolver::deactivate_branch_row(int row) {
+  State& s = *state_;
+  const BranchRow* br = find_branch_row(s.branch_rows, row);
+  STRIPACK_EXPECTS(br != nullptr);
+  s.model.set_row_rhs(
+      row, br->sense == lp::Sense::LE ? s.inactive_le_rhs : 0.0);
+}
+
+FractionalSolution ConfigLpSolver::resolve() {
+  State& s = *state_;
+  STRIPACK_EXPECTS(s.solved);
   return s.resolve();
 }
 

@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 
 #include "core/instance.hpp"
 #include "lp/simplex.hpp"
@@ -91,6 +92,15 @@ struct FractionalSolution {
   /// Dual-simplex pivots spent by `ConfigLpSolver` re-solves (zero for
   /// plain `solve_config_lp`).
   std::int64_t dual_iterations = 0;
+  /// Farkas pricing activity in `ConfigLpSolver::resolve` (column
+  /// generation mode): repair rounds that injected columns against an
+  /// infeasibility certificate, and how many columns they added. Pure
+  /// diagnostics — an `Infeasible` status from `resolve()` is *always*
+  /// certified for the full master, whether repair rounds were needed
+  /// (rounds > 0) or the very first certificate already ruled out every
+  /// configuration column (rounds == 0, as in enumeration mode).
+  int farkas_rounds = 0;
+  std::size_t farkas_columns = 0;
 };
 
 struct ConfigLpOptions {
@@ -110,6 +120,38 @@ struct ConfigLpOptions {
 /// (covering) and capacity (packing) constraints up to tolerance.
 [[nodiscard]] FractionalSolution solve_config_lp(
     const ConfigLpProblem& problem, const ConfigLpOptions& options = {});
+
+/// Selects (configuration, phase) columns for a branching row — the
+/// branch-and-price constraints of `bnp::solve`. Every matching column
+/// gets coefficient 1, and freshly priced columns that match pick the row
+/// up automatically, so the row constrains the *full* master, not just
+/// the columns present when it was added.
+struct BranchPredicate {
+  enum class Kind {
+    /// Every configuration of the phase (the height-cap row's shape).
+    /// In column-generation mode a GE row of this kind is unsupported:
+    /// pricing never proposes empty configurations, which such a row
+    /// would need as columns.
+    PhaseTotal,
+    /// Configurations holding widths `width_a` and `width_b` together
+    /// (for `width_a == width_b`, at least two copies) — Ryan–Foster
+    /// style pair branching.
+    PairTogether,
+    /// Configurations whose counts vector equals `counts` exactly —
+    /// single-pattern branching, the completeness fallback.
+    Pattern,
+  };
+
+  Kind kind = Kind::PhaseTotal;
+  /// Phase the row applies to, or -1 for every phase.
+  int phase = -1;
+  std::size_t width_a = 0;   // PairTogether
+  std::size_t width_b = 0;   // PairTogether
+  std::vector<int> counts;   // Pattern: one entry per distinct width
+
+  [[nodiscard]] bool matches(std::span<const int> config_counts,
+                             std::size_t config_phase) const;
+};
 
 /// Incremental configuration-LP solver for branch-and-price style use:
 /// solve once, then add or tighten rows and re-solve *dually* from the
@@ -133,10 +175,9 @@ class ConfigLpSolver {
   /// is infeasible — the branch-and-bound "prune by bound" probe. Prune
   /// only on `status == lp::SolveStatus::Infeasible` (a Farkas
   /// certificate), never on bare `!feasible`: an `IterationLimit` result
-  /// is "unknown", not "proven empty". In column-generation mode freshly
-  /// priced phase-R columns see the cap row's dual, but an infeasible
-  /// verdict applies to the restricted master: callers branching on it
-  /// should enumerate.
+  /// is "unknown", not "proven empty". In column-generation mode an
+  /// infeasible restricted master triggers Farkas pricing (see
+  /// `resolve`), so the verdict is certified for the full master.
   [[nodiscard]] FractionalSolution resolve_with_height_cap(double cap);
 
   /// Tightens (or relaxes) the packing capacity of phase j < R — the
@@ -145,6 +186,32 @@ class ConfigLpSolver {
   /// is partially reserved (e.g. by an integral packing prefix).
   [[nodiscard]] FractionalSolution resolve_with_phase_capacity(
       std::size_t phase, double capacity);
+
+  /// Appends the branching row `sum_{(q,j) matching pred} x_q^j sense
+  /// rhs` over every current column, returning its model row index (the
+  /// handle for `set_branch_row_rhs` / `deactivate_branch_row`). Freshly
+  /// priced matching columns pick the row up automatically. Requires a
+  /// prior `solve()`; call `resolve()` to re-optimize afterwards.
+  int add_branch_row(BranchPredicate pred, lp::Sense sense, double rhs);
+
+  /// Replaces a branching row's right-hand side (node activation in
+  /// branch-and-price); `resolve()` picks the change up.
+  void set_branch_row_rhs(int row, double rhs);
+
+  /// Neutralizes a branching row without removing it: the rhs moves to a
+  /// value the row cannot bind at (0 for GE rows, a safe upper bound on
+  /// any column total for LE rows), so sibling nodes can share one model.
+  void deactivate_branch_row(int row);
+
+  /// Dual re-solve after branch-row edits, from the previous basis (no
+  /// phase 1). In column-generation mode this then (a) prices new columns
+  /// against the updated duals and, (b) if the restricted master is
+  /// infeasible, runs *Farkas pricing*: columns are generated against the
+  /// engine's infeasibility certificate until either feasibility is
+  /// restored or no configuration column anywhere has positive
+  /// certificate value — at which point `Infeasible` is proven for the
+  /// full master, never just the restricted one.
+  [[nodiscard]] FractionalSolution resolve();
 
  private:
   struct State;

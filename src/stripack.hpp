@@ -19,6 +19,8 @@
 
 #include "binpack/binpack.hpp"             // IWYU pragma: export
 #include "binpack/precedence_binpack.hpp"  // IWYU pragma: export
+#include "bnp/node_tree.hpp"               // IWYU pragma: export
+#include "bnp/solver.hpp"                  // IWYU pragma: export
 #include "core/bounds.hpp"                 // IWYU pragma: export
 #include "core/instance.hpp"               // IWYU pragma: export
 #include "core/packing.hpp"                // IWYU pragma: export
@@ -30,6 +32,7 @@
 #include "fpga/simulator.hpp"              // IWYU pragma: export
 #include "fpga/workloads.hpp"              // IWYU pragma: export
 #include "gen/dag_gen.hpp"                 // IWYU pragma: export
+#include "gen/hard_integral.hpp"           // IWYU pragma: export
 #include "gen/lowerbound_family.hpp"       // IWYU pragma: export
 #include "gen/rect_gen.hpp"                // IWYU pragma: export
 #include "gen/release_gen.hpp"             // IWYU pragma: export

@@ -282,5 +282,201 @@ TEST(ConfigLpSolver, PhaseCapacityTighteningIsMonotoneAndRuleInvariant) {
   }
 }
 
+// ------------------------------------------------ Farkas pricing
+// Regression for the removed restricted-only caveat: before Farkas
+// pricing, a column-generation master that became infeasible after a
+// branching row was reported Infeasible even when the *full* master was
+// feasible — a branch-and-price caller acting on that verdict would have
+// wrongly pruned a feasible branch.
+TEST(ConfigLpSolver, FarkasPricingRepairsARestrictedInfeasibleBranch) {
+  // One 0.5 and one 0.3 item: the colgen master only ever sees the
+  // singleton seeds and (at most) the {0.5, 0.3} pair. A branch row
+  // demanding one unit of the {0.3, 0.3} pattern is infeasible for that
+  // restricted master, but perfectly feasible for the full one.
+  const Instance ins = items_of({{0.5, 1.0, 0.0}, {0.3, 1.0, 0.0}});
+  const auto problem = make_problem(ins);
+
+  BranchPredicate pattern;
+  pattern.kind = BranchPredicate::Kind::Pattern;
+  pattern.phase = 0;
+  pattern.counts = {0, 2};  // widths descending: [0.5, 0.3]
+
+  ConfigLpOptions colgen_options;
+  colgen_options.use_column_generation = true;
+  ConfigLpSolver colgen(problem, colgen_options);
+  const auto base = colgen.solve();
+  ASSERT_TRUE(base.feasible);
+  // {0.5,0.5} at 1/2 plus {0.3,0.3,0.3} at 1/3 — both items split.
+  EXPECT_NEAR(base.objective, 5.0 / 6.0, 1e-6);
+
+  colgen.add_branch_row(pattern, lp::Sense::GE, 1.0);
+  const auto repaired = colgen.resolve();
+  ASSERT_TRUE(repaired.feasible)
+      << "Farkas pricing must inject the {0.3,0.3} column";
+  EXPECT_GE(repaired.farkas_rounds, 1);
+  EXPECT_GE(repaired.farkas_columns, 1u);
+  EXPECT_EQ(repaired.colgen_warm_phase1_iterations, 0);
+  verify_fractional(problem, repaired);
+
+  // The enumeration-mode master (all columns up front) is the ground
+  // truth for the branched optimum.
+  ConfigLpSolver enumerated(problem);
+  ASSERT_TRUE(enumerated.solve().feasible);
+  enumerated.add_branch_row(pattern, lp::Sense::GE, 1.0);
+  const auto truth = enumerated.resolve();
+  ASSERT_TRUE(truth.feasible);
+  EXPECT_NEAR(repaired.objective, truth.objective, 1e-6);
+  // One forced {0.3,0.3} slab plus {0.5,0.5} at 1/2 for the wide item.
+  EXPECT_NEAR(repaired.objective, 1.5, 1e-6);
+}
+
+TEST(ConfigLpSolver, ColgenHeightCapInfeasibilityIsCertified) {
+  const auto problem = make_problem(cap_test_instance(62));
+  ConfigLpOptions options;
+  options.use_column_generation = true;
+  ConfigLpSolver solver(problem, options);
+  const auto base = solver.solve();
+  ASSERT_TRUE(base.feasible);
+  ASSERT_GT(base.objective, 0.1);
+  // A cap below the optimum is infeasible for the full master too; the
+  // Farkas loop must terminate with that verdict (pricing every candidate
+  // column against the certificate and finding none), matching the
+  // enumeration-mode ground truth.
+  const auto pruned = solver.resolve_with_height_cap(base.objective * 0.5);
+  EXPECT_EQ(pruned.status, lp::SolveStatus::Infeasible);
+  EXPECT_EQ(pruned.colgen_warm_phase1_iterations, 0);
+  ConfigLpSolver enumerated(problem);
+  ASSERT_TRUE(enumerated.solve().feasible);
+  EXPECT_EQ(
+      enumerated.resolve_with_height_cap(base.objective * 0.5).status,
+      lp::SolveStatus::Infeasible);
+  // The colgen solver state survives the certified probe.
+  const auto recovered =
+      solver.resolve_with_height_cap(base.objective + 1.0);
+  verify_fractional(problem, recovered);
+  EXPECT_NEAR(recovered.objective, base.objective, 1e-6);
+  EXPECT_EQ(recovered.colgen_warm_phase1_iterations, 0);
+}
+
+TEST(ConfigLpSolver, PenalizedPatternEscapeColumnIsPriced) {
+  // Minimal concrete instance (found by differential search) where the
+  // node optimum under a forbidden pattern needs a column that *adds* a
+  // zero-dual width to the penalized pattern: forbidding {0.45, 0.45} in
+  // phase 1 makes {0.45, 0.45, 0.1} the only way to keep the objective at
+  // 7/6, and the 0.1 width prices at value 0 (its demand rides along for
+  // free), so the skip-non-positive DFS pruning would hide it and colgen
+  // would report 4/3 — a wrong node bound for branch and price.
+  Instance ins = items_of({{0.1, 1.0, 0.0},
+                           {0.3, 1.0, 1.0},
+                           {0.3, 1.0, 1.0},
+                           {0.45, 1.0, 1.0}});
+  const auto problem = make_problem(ins);
+  ASSERT_EQ(problem.widths,
+            (std::vector<double>{0.45, 0.3, 0.1}));
+  BranchPredicate forbid;
+  forbid.kind = BranchPredicate::Kind::Pattern;
+  forbid.phase = 1;
+  forbid.counts = {2, 0, 0};
+  ConfigLpOptions cgo;
+  cgo.use_column_generation = true;
+  ConfigLpSolver cg(problem, cgo);
+  ASSERT_TRUE(cg.solve().feasible);
+  cg.add_branch_row(forbid, lp::Sense::LE, 0.0);
+  const auto pruned = cg.resolve();
+  ASSERT_TRUE(pruned.feasible);
+  EXPECT_NEAR(pruned.objective, 7.0 / 6.0, 1e-6);
+  EXPECT_EQ(pruned.colgen_warm_phase1_iterations, 0);
+}
+
+TEST(ConfigLpSolver, PenalizedPatternPricingStaysExact) {
+  // Pattern predicates are non-monotone: with an LE (negative-dual) row
+  // on pattern P, pricing can need a column that *adds* a non-positive
+  // value width to P to escape the penalty. The DFS's skip-non-positive
+  // pruning must stand down while such a row applies, or colgen node
+  // bounds drift above the enumeration ground truth. Differential sweep:
+  // forbid (LE 0) each pattern in the fractional support, in both modes.
+  for (const std::uint64_t seed : {2u, 9u, 14u, 27u, 41u}) {
+    Rng rng(seed);
+    const double width_pool[] = {0.45, 0.4, 0.3, 0.25, 0.2, 0.15};
+    Instance ins;
+    const std::size_t n = 6 + seed % 4;
+    for (std::size_t i = 0; i < n; ++i) {
+      ins.add_item(width_pool[rng.uniform_int(0, 5)],
+                   static_cast<double>(rng.uniform_int(1, 2)),
+                   static_cast<double>(rng.uniform_int(0, 1)));
+    }
+    const auto problem = make_problem(ins);
+    ConfigLpOptions colgen_options;
+    colgen_options.use_column_generation = true;
+    ConfigLpSolver cg(problem, colgen_options);
+    const auto cg_base = cg.solve();
+    ASSERT_TRUE(cg_base.feasible);
+    ConfigLpSolver full(problem);
+    ASSERT_TRUE(full.solve().feasible);
+
+    std::vector<int> cg_rows;
+    std::vector<int> full_rows;
+    for (const Slice& s : cg_base.slices) {
+      BranchPredicate pattern;
+      pattern.kind = BranchPredicate::Kind::Pattern;
+      pattern.phase = static_cast<int>(s.phase);
+      pattern.counts = s.config.counts;
+      cg_rows.push_back(cg.add_branch_row(pattern, lp::Sense::LE, 0.0));
+      full_rows.push_back(full.add_branch_row(pattern, lp::Sense::LE, 0.0));
+      const auto pruned = cg.resolve();
+      const auto truth = full.resolve();
+      ASSERT_EQ(pruned.status, truth.status)
+          << "seed=" << seed << " slice phase=" << s.phase;
+      if (truth.feasible) {
+        EXPECT_NEAR(pruned.objective, truth.objective,
+                    1e-6 * (1.0 + truth.objective))
+            << "seed=" << seed;
+        EXPECT_EQ(pruned.colgen_warm_phase1_iterations, 0);
+      }
+      // Relax again so the next pattern is tested in isolation.
+      cg.deactivate_branch_row(cg_rows.back());
+      full.deactivate_branch_row(full_rows.back());
+    }
+  }
+}
+
+TEST(ConfigLpSolver, PairBranchRowsSteerBothDirectionsWarm) {
+  // Ryan–Foster shape: force the {0.4, 0.4} pair out, then force it in,
+  // on one shared warm master; both directions re-solve without phase 1
+  // and match an enumeration-mode cold solve.
+  const Instance ins =
+      items_of({{0.4, 1.0, 0.0}, {0.4, 1.0, 0.0}, {0.4, 1.0, 0.0}});
+  const auto problem = make_problem(ins);
+  BranchPredicate pair;
+  pair.kind = BranchPredicate::Kind::PairTogether;
+  pair.phase = 0;
+  pair.width_a = 0;
+  pair.width_b = 0;  // same width twice: counts[0] >= 2
+  for (const bool colgen : {true, false}) {
+    ConfigLpOptions options;
+    options.use_column_generation = colgen;
+    ConfigLpSolver solver(problem, options);
+    const auto base = solver.solve();
+    ASSERT_TRUE(base.feasible);
+    EXPECT_NEAR(base.objective, 1.5, 1e-6);  // the fractional pair split
+    const int row = solver.add_branch_row(pair, lp::Sense::LE, 0.0);
+    const auto forbidden = solver.resolve();
+    verify_fractional(problem, forbidden);
+    EXPECT_NEAR(forbidden.objective, 3.0, 1e-6) << "colgen=" << colgen;
+    EXPECT_EQ(forbidden.colgen_warm_phase1_iterations, 0);
+    // Deactivating the row restores the fractional optimum.
+    solver.deactivate_branch_row(row);
+    const auto restored = solver.resolve();
+    verify_fractional(problem, restored);
+    EXPECT_NEAR(restored.objective, 1.5, 1e-6);
+    // The GE direction: at least two units of pair height.
+    solver.add_branch_row(pair, lp::Sense::GE, 2.0);
+    const auto forced = solver.resolve();
+    verify_fractional(problem, forced);
+    EXPECT_GE(forced.objective, 2.0 - 1e-6);
+    EXPECT_EQ(forced.colgen_warm_phase1_iterations, 0);
+  }
+}
+
 }  // namespace
 }  // namespace stripack::release

@@ -85,6 +85,25 @@ TEST(Umbrella, ReleaseAptas) {
   EXPECT_EQ(release::count_distinct_releases(ins), 3u);
 }
 
+// bnp: branch and price certifies the hard_integral gap family, the node
+// tree is reachable directly, and the registry knows the "BnP" adapter.
+TEST(Umbrella, BranchAndPrice) {
+  const gen::HardIntegralInstance family = gen::hard_integral_family(1);
+  const bnp::BnpResult result = bnp::solve(family.instance);
+  EXPECT_EQ(result.status, bnp::BnpStatus::Optimal);
+  EXPECT_NEAR(result.height, family.certificate.ip_height, 1e-6);
+  EXPECT_NEAR(result.dual_bound, result.height, 1e-6);
+  EXPECT_TRUE(validate(family.instance, result.packing.placement).ok());
+
+  bnp::NodeTree tree;
+  tree.add_root(1.0);
+  EXPECT_EQ(tree.pop_best(), 0);
+
+  const auto packer = make_packer("BnP");
+  ASSERT_NE(packer, nullptr);
+  EXPECT_EQ(packer->name(), "BnP");
+}
+
 // binpack: first-fit decreasing respects capacity.
 TEST(Umbrella, Binpack) {
   const std::vector<double> sizes{0.6, 0.5, 0.4, 0.3, 0.2};
