@@ -167,8 +167,9 @@ void BM_SimplexPricing(benchmark::State& state) {
   state.counters["pivots"] = static_cast<double>(pivots);
 }
 BENCHMARK(BM_SimplexPricing)
-    ->ArgNames({"n", "rule"})  // rule: 0 Dantzig, 1 Bland, 2 steepest edge
-    ->ArgsProduct({{128, 512}, {0, 1, 2}})
+    // rule: 0 Dantzig, 1 Bland, 2 steepest edge, 3 Devex
+    ->ArgNames({"n", "rule"})
+    ->ArgsProduct({{128, 512}, {0, 1, 2, 3}})
     ->Unit(benchmark::kMillisecond);
 
 namespace dual_row_add {
@@ -336,6 +337,147 @@ BENCHMARK(BM_BranchAndPriceColdNodes)
     ->Arg(10)
     ->Arg(14)
     ->Arg(18)
+    ->Unit(benchmark::kMillisecond);
+
+namespace bnp_scale {
+
+// PR 5 scaling workloads: widths in the two-to-three-per-column regime
+// (persistent fractional pair totals), integer heights 1..2 and releases
+// over a few phases — the searches genuinely branch (the n = 60 instance
+// proves optimality over a ~100-node tree; n = 120 runs under a node
+// budget and reports the bracket). Probed shapes, seed fixed.
+Instance scale_instance(std::size_t n) {
+  int w_lo = 21;
+  int w_hi = 55;
+  int r_max = 2;
+  if (n >= 120) {
+    w_lo = 27;
+    w_hi = 45;
+    r_max = 4;
+  } else if (n >= 60) {
+    w_lo = 27;
+    w_hi = 39;
+  }
+  Rng rng(49);
+  std::vector<Item> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w =
+        static_cast<double>(rng.uniform_int(w_lo, w_hi)) / 100.0;
+    const double h = static_cast<double>(rng.uniform_int(1, 2));
+    const double r = static_cast<double>(rng.uniform_int(0, r_max));
+    items.push_back(Item{Rect{w, h}, r});
+  }
+  return Instance(std::move(items), 1.0);
+}
+
+// One configuration of the PR 5 solver; the serial-vs-parallel pairs
+// share a batch size so their searches are bit-identical and the timing
+// delta is pure evaluation overlap. `pr4_baseline` reverts every PR 5
+// lever (cache, pseudo costs, strong branching, Lagrangian cutoff) to
+// measure the total algorithmic win on the same instances.
+void run_scale(benchmark::State& state, int threads, int node_batch,
+               bool cache, bool pr4_baseline = false) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Instance ins = scale_instance(n);
+  bnp::BnpOptions options;
+  options.rounding_incumbent = false;
+  options.threads = threads;
+  options.node_batch = node_batch;
+  options.pricing_cache = cache;
+  if (pr4_baseline) {
+    options.pseudo_cost_branching = false;
+    options.strong_branching_probes = 0;
+    options.lagrangian_pruning = false;
+  }
+  options.budget.max_nodes = n >= 120 ? 150 : 10'000;
+  bnp::BnpResult last;
+  for (auto _ : state) {
+    last = bnp::solve(ins, options);
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["nodes"] = static_cast<double>(last.nodes);
+  state.counters["batches"] = static_cast<double>(last.batches);
+  state.counters["cutoff_pruned"] =
+      static_cast<double>(last.cutoff_pruned_nodes);
+  state.counters["dfs_expansions"] =
+      static_cast<double>(last.pricing_dfs_expansions);
+  state.counters["memo_hits"] =
+      static_cast<double>(last.pricing_memo_hits);
+  state.counters["height"] = last.height;
+  state.counters["dual_bound"] = last.dual_bound;
+}
+
+}  // namespace bnp_scale
+
+void BM_BnpScaleSerial(benchmark::State& state) {
+  // The classic one-shared-master serial path with the full PR 5 kit
+  // (pricing cache + DP bound, pseudo costs, Lagrangian cutoff).
+  bnp_scale::run_scale(state, 1, 1, true);
+}
+BENCHMARK(BM_BnpScaleSerial)
+    ->ArgNames({"n"})
+    ->Arg(18)
+    ->Arg(60)
+    ->Arg(120)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BnpScaleSerialNoCache(benchmark::State& state) {
+  // Memoized pricing off: the DFS re-enumerates from scratch per node —
+  // the dfs_expansions counter against BM_BnpScaleSerial is the
+  // committed cache win.
+  bnp_scale::run_scale(state, 1, 1, false);
+}
+BENCHMARK(BM_BnpScaleSerialNoCache)
+    ->ArgNames({"n"})
+    ->Arg(18)
+    ->Arg(60)
+    ->Arg(120)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BnpScaleSerialPr4Baseline(benchmark::State& state) {
+  // Every PR 5 lever off (no cache, fractionality branching, no strong
+  // branching, no cutoff): the previous solver's behavior on the new
+  // workloads — the end-to-end algorithmic comparison arm.
+  bnp_scale::run_scale(state, 1, 1, false, /*pr4_baseline=*/true);
+}
+BENCHMARK(BM_BnpScaleSerialPr4Baseline)
+    ->ArgNames({"n"})
+    ->Arg(18)
+    ->Arg(60)
+    ->Arg(120)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BnpScaleBatchT1(benchmark::State& state) {
+  // Batch-synchronous semantics (B = 8) on one thread: the serial arm of
+  // the thread-scaling comparison, bit-identical to the T2/T4 runs.
+  bnp_scale::run_scale(state, 1, 8, true);
+}
+BENCHMARK(BM_BnpScaleBatchT1)
+    ->ArgNames({"n"})
+    ->Arg(18)
+    ->Arg(60)
+    ->Arg(120)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BnpScaleBatchT2(benchmark::State& state) {
+  bnp_scale::run_scale(state, 2, 8, true);
+}
+BENCHMARK(BM_BnpScaleBatchT2)
+    ->ArgNames({"n"})
+    ->Arg(18)
+    ->Arg(60)
+    ->Arg(120)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BnpScaleBatchT4(benchmark::State& state) {
+  bnp_scale::run_scale(state, 4, 8, true);
+}
+BENCHMARK(BM_BnpScaleBatchT4)
+    ->ArgNames({"n"})
+    ->Arg(18)
+    ->Arg(60)
+    ->Arg(120)
     ->Unit(benchmark::kMillisecond);
 
 void BM_FractionalLowerBoundExact(benchmark::State& state) {

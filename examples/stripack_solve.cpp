@@ -3,11 +3,17 @@
 //   $ ./stripack_solve <instance.txt> [--algo dc|uniform|aptas|kr|list|
 //                                       nfdh|ffdh|bfdh|sleator|skyline|bnp]
 //                      [--eps E] [--K k] [--svg out.svg] [--out placement.txt]
+//                      [--threads N] [--node-batch B] [--verbose]
 //
 // Reads the text format of io/instance_io.hpp, picks the algorithm (or
 // chooses one from the instance's constraints when --algo is omitted),
 // validates the result, and reports the height against the certified lower
 // bounds. A downstream user's one-stop entry point.
+//
+// `--threads` / `--node-batch` configure the branch-and-price solver's
+// batch-synchronous parallel node evaluation (bnp only; default serial,
+// 0 = auto). `--verbose` prints the solver's node, pricing-cache and
+// cutoff diagnostics.
 #include <cmath>
 #include <cstring>
 #include <fstream>
@@ -27,8 +33,12 @@ int usage() {
   std::cerr
       << "usage: stripack_solve <instance.txt> [--algo NAME] [--eps E]\n"
          "                      [--K k] [--svg out.svg] [--out place.txt]\n"
+         "                      [--threads N] [--node-batch B] [--verbose]\n"
          "algorithms: dc uniform aptas kr list nfdh ffdh bfdh sleator "
-         "skyline bnp\n";
+         "skyline bnp\n"
+         "bnp flags: --threads N (0 = auto) and --node-batch B (0 = auto)\n"
+         "pick the batch-synchronous parallel node evaluation; --verbose\n"
+         "prints node / pricing-cache / cutoff diagnostics\n";
   return 2;
 }
 
@@ -49,6 +59,9 @@ int main(int argc, char** argv) {
   std::string out_path;
   double eps = 0.5;
   int K = 4;
+  int threads = 1;
+  int node_batch = 0;
+  bool verbose = false;
   const std::string input = argv[1];
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -61,6 +74,9 @@ int main(int argc, char** argv) {
     else if (flag == "--K") K = std::stoi(next());
     else if (flag == "--svg") svg_path = next();
     else if (flag == "--out") out_path = next();
+    else if (flag == "--threads") threads = std::stoi(next());
+    else if (flag == "--node-batch") node_batch = std::stoi(next());
+    else if (flag == "--verbose") verbose = true;
     else return usage();
   }
 
@@ -107,14 +123,63 @@ int main(int argc, char** argv) {
                    std::fabs(it.release - std::round(it.release)) < 1e-6;
       }
       if (integral) {
-        const bnp::BnpResult result = bnp::solve(instance);
-        std::cout << "bnp: certified slice optimum " << result.height
-                  << " over " << result.nodes << " node(s)\n";
+        bnp::BnpOptions options;
+        options.threads = threads;
+        options.node_batch = node_batch;
+        const bnp::BnpResult result = bnp::solve(instance, options);
+        // Only an Optimal status is a certificate; budget-limited or
+        // stalled runs carry a [dual_bound, height] bracket instead.
+        if (result.status == bnp::BnpStatus::Optimal) {
+          std::cout << "bnp: certified slice optimum " << result.height;
+        } else {
+          const char* why =
+              result.status == bnp::BnpStatus::NodeLimit   ? "node budget"
+              : result.status == bnp::BnpStatus::TimeLimit ? "time budget"
+                                                           : "LP stall";
+          std::cout << "bnp: slice optimum in [" << result.dual_bound
+                    << ", " << result.height << "] (" << why
+                    << " hit; incumbent not certified)";
+        }
+        std::cout << " over " << result.nodes << " node(s)";
+        if (options.threads != 1 || options.node_batch != 0) {
+          std::cout << " (threads " << options.threads << ", batch "
+                    << options.node_batch << ")";
+        }
+        std::cout << "\n";
+        if (verbose) {
+          std::cout << "bnp: dual bound " << result.dual_bound
+                    << ", nodes created " << result.nodes_created
+                    << ", batches " << result.batches
+                    << ", cutoff-pruned " << result.cutoff_pruned_nodes
+                    << ", strong-branch probes "
+                    << result.strong_branch_probes << "\n"
+                    << "bnp: branch rows " << result.branch_rows
+                    << ", columns " << result.columns << ", LP pivots "
+                    << result.lp_iterations << " (dual "
+                    << result.dual_iterations << ", warm phase-1 "
+                    << result.warm_phase1_iterations << "), Farkas rounds "
+                    << result.farkas_rounds << "\n"
+                    << "bnp: pricing DFS expansions "
+                    << result.pricing_dfs_expansions << ", cache probes "
+                    << result.pricing_cache_probes << " (seeded "
+                    << result.pricing_cache_hits << ", exact-memo hits "
+                    << result.pricing_memo_hits << ", patterns "
+                    << result.pricing_cache_patterns << ")\n";
+        }
         placement = result.packing.placement;
       } else {
         STRIPACK_ASSERT(!instance.has_release_times(),
                         "bnp needs integer data on release instances");
-        placement = run_packer(instance, "BnP");
+        // Quantizing adapter path: forward the solver flags so --threads
+        // / --node-batch are honoured here too.
+        bnp::BnpOptions options = bnp::BnpPacker::default_pack_options();
+        options.threads = threads;
+        options.node_batch = node_batch;
+        const bnp::BnpPacker packer(options);
+        std::vector<Rect> rects;
+        for (const Item& it : instance.items()) rects.push_back(it.rect);
+        placement =
+            packer.pack(rects, instance.strip_width()).placement;
       }
     } else {
       std::string packer_name = algo;

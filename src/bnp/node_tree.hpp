@@ -26,6 +26,12 @@ struct BranchDecision {
   release::BranchPredicate pred;
   lp::Sense sense = lp::Sense::LE;
   double rhs = 0.0;
+  /// Pseudo-cost bookkeeping: the fractional part of the branched total
+  /// at the parent (LE children observe gains per unit of `frac`, GE
+  /// children per unit of 1 - `frac`) and the parent's LP objective the
+  /// gain is measured against. Zero/ignored on the root.
+  double frac = 0.0;
+  double parent_obj = 0.0;
 };
 
 struct Node {

@@ -6,10 +6,11 @@
 #include <map>
 #include <optional>
 #include <set>
-#include <string>
+#include <thread>
 #include <tuple>
 #include <utility>
 
+#include "bnp/worker_pool.hpp"
 #include "release/integralize.hpp"
 #include "util/assert.hpp"
 #include "util/stopwatch.hpp"
@@ -51,13 +52,105 @@ using PatternKey = std::pair<std::size_t, std::vector<int>>;
   return totals;
 }
 
-// Branching rule: Ryan–Foster style on the most fractional pair total
-// (height of configurations holding widths a and b together in one
-// phase); exact single-pattern branching when every pair total is
-// integral but some pattern total is not. Returns the predicate and the
-// fractional total to split at, or nullopt when the solution is integral.
-[[nodiscard]] std::optional<std::pair<release::BranchPredicate, double>>
-select_branch(const std::map<PatternKey, double>& totals, double tol) {
+// Structured identity of a branching predicate (and, with the sense, of a
+// branch row). Replaces the old per-node string keys: comparisons are
+// integer tuples plus one vector, with no allocation-heavy string
+// building on the hot budget-accounted activation path.
+struct PredKey {
+  int kind = 0;
+  int phase = -1;
+  std::size_t width_a = 0;
+  std::size_t width_b = 0;
+  std::vector<int> counts;
+
+  auto operator<=>(const PredKey&) const = default;
+};
+
+[[nodiscard]] PredKey pred_key(const release::BranchPredicate& pred) {
+  PredKey key;
+  key.kind = static_cast<int>(pred.kind);
+  key.phase = pred.phase;
+  key.width_a = pred.width_a;
+  key.width_b = pred.width_b;
+  key.counts = pred.counts;
+  return key;
+}
+
+using RowKey = std::pair<int, PredKey>;  // (sense, predicate)
+
+[[nodiscard]] RowKey row_key(const BranchDecision& d) {
+  return {d.sense == lp::Sense::LE ? 0 : 1, pred_key(d.pred)};
+}
+
+// Per-predicate pseudo-cost statistics: observed dual-bound gain per unit
+// of fractional distance, separately for the LE ("down") and GE ("up")
+// child. Updated in node-id order, so scores are deterministic and
+// identical across thread counts.
+struct PseudoCost {
+  double down_sum = 0.0;
+  int down_n = 0;
+  double up_sum = 0.0;
+  int up_n = 0;
+};
+
+class PseudoCostTable {
+ public:
+  void add(const PredKey& key, lp::Sense sense, double unit_gain) {
+    PseudoCost& pc = table_[key];
+    if (sense == lp::Sense::LE) {
+      pc.down_sum += unit_gain;
+      ++pc.down_n;
+      global_down_sum_ += unit_gain;
+      ++global_down_n_;
+    } else {
+      pc.up_sum += unit_gain;
+      ++pc.up_n;
+      global_up_sum_ += unit_gain;
+      ++global_up_n_;
+    }
+  }
+
+  [[nodiscard]] bool empty() const {
+    return global_down_n_ == 0 && global_up_n_ == 0;
+  }
+
+  // Product score (standard pseudo-cost branching): estimated bound gain
+  // of the two children, unobserved sides falling back to the global
+  // per-side average (or 1 when nothing was ever observed).
+  [[nodiscard]] double score(const PredKey& key, double frac) const {
+    const auto it = table_.find(key);
+    const double down_avg =
+        it != table_.end() && it->second.down_n > 0
+            ? it->second.down_sum / it->second.down_n
+            : (global_down_n_ > 0 ? global_down_sum_ / global_down_n_ : 1.0);
+    const double up_avg =
+        it != table_.end() && it->second.up_n > 0
+            ? it->second.up_sum / it->second.up_n
+            : (global_up_n_ > 0 ? global_up_sum_ / global_up_n_ : 1.0);
+    constexpr double kEps = 1e-6;
+    return std::max(frac * down_avg, kEps) *
+           std::max((1.0 - frac) * up_avg, kEps);
+  }
+
+ private:
+  std::map<PredKey, PseudoCost> table_;
+  double global_down_sum_ = 0.0;
+  int global_down_n_ = 0;
+  double global_up_sum_ = 0.0;
+  int global_up_n_ = 0;
+};
+
+struct BranchCandidate {
+  release::BranchPredicate pred;
+  double total = 0.0;  // the fractional pair/pattern total to split at
+};
+
+// All fractional pair totals (Ryan–Foster candidates), most-fractional
+// first with deterministic key ties; falls back to single-pattern
+// candidates when every pair total is integral (the completeness
+// fallback). Empty when the solution is integral.
+[[nodiscard]] std::vector<BranchCandidate> branch_candidates(
+    const std::map<PatternKey, double>& totals, double tol) {
   std::map<std::tuple<std::size_t, std::size_t, std::size_t>, double> pairs;
   for (const auto& [key, height] : totals) {
     const std::vector<int>& counts = key.second;
@@ -69,31 +162,64 @@ select_branch(const std::map<PatternKey, double>& totals, double tol) {
       }
     }
   }
-  double best_frac = tol;
-  std::optional<std::pair<release::BranchPredicate, double>> best;
+  std::vector<BranchCandidate> out;
   for (const auto& [key, total] : pairs) {
-    if (frac_dist(total) > best_frac) {
-      best_frac = frac_dist(total);
+    if (frac_dist(total) > tol) {
       release::BranchPredicate pred;
       pred.kind = release::BranchPredicate::Kind::PairTogether;
       pred.phase = static_cast<int>(std::get<0>(key));
       pred.width_a = std::get<1>(key);
       pred.width_b = std::get<2>(key);
-      best = {std::move(pred), total};
+      out.push_back({std::move(pred), total});
     }
   }
-  if (best) return best;
-  for (const auto& [key, total] : totals) {
-    if (frac_dist(total) > best_frac) {
-      best_frac = frac_dist(total);
-      release::BranchPredicate pred;
-      pred.kind = release::BranchPredicate::Kind::Pattern;
-      pred.phase = static_cast<int>(key.first);
-      pred.counts = key.second;
-      best = {std::move(pred), total};
+  if (out.empty()) {
+    for (const auto& [key, total] : totals) {
+      if (frac_dist(total) > tol) {
+        release::BranchPredicate pred;
+        pred.kind = release::BranchPredicate::Kind::Pattern;
+        pred.phase = static_cast<int>(key.first);
+        pred.counts = key.second;
+        out.push_back({std::move(pred), total});
+      }
     }
   }
-  return best;
+  // Most fractional first; map iteration already fixed the tie order.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const BranchCandidate& a, const BranchCandidate& b) {
+                     return frac_dist(a.total) > frac_dist(b.total);
+                   });
+  return out;
+}
+
+// Branching rule: pseudo-cost scores over the candidates once any
+// observation exists (strong branching seeds them at the root);
+// most-fractional otherwise. Deterministic: candidates arrive in a fixed
+// order and only a strictly better score displaces the incumbent.
+[[nodiscard]] std::optional<BranchCandidate> select_branch(
+    const std::map<PatternKey, double>& totals, double tol,
+    const PseudoCostTable& pc, bool use_pc) {
+  std::vector<BranchCandidate> candidates = branch_candidates(totals, tol);
+  if (candidates.empty()) return std::nullopt;
+  if (!use_pc || pc.empty()) return std::move(candidates.front());
+  // Fractionality stays the primary signal: pseudo-cost scores only
+  // arbitrate among the top-F most fractional candidates. Unrestricted
+  // pc selection measured 2-3x slower per node on larger instances (it
+  // drifts toward predicates whose rows make node re-solves expensive).
+  constexpr std::size_t kPcWindow = 8;
+  const std::size_t window = std::min(candidates.size(), kPcWindow);
+  std::size_t best = 0;
+  double best_score = -1.0;
+  for (std::size_t i = 0; i < window; ++i) {
+    const double f =
+        candidates[i].total - std::floor(candidates[i].total);
+    const double score = pc.score(pred_key(candidates[i].pred), f);
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return std::move(candidates[best]);
 }
 
 [[nodiscard]] std::vector<release::Slice> integral_slices(
@@ -179,16 +305,6 @@ select_branch(const std::map<PatternKey, double>& totals, double tol) {
   return slices;
 }
 
-[[nodiscard]] std::string row_key(const BranchDecision& d) {
-  std::string key = d.sense == lp::Sense::LE ? "L|" : "G|";
-  key += std::to_string(static_cast<int>(d.pred.kind)) + "|";
-  key += std::to_string(d.pred.phase) + "|";
-  key += std::to_string(d.pred.width_a) + ",";
-  key += std::to_string(d.pred.width_b) + "|";
-  for (const int c : d.pred.counts) key += std::to_string(c) + ",";
-  return key;
-}
-
 void accumulate(BnpResult& result, const release::FractionalSolution& s) {
   result.lp_iterations += s.iterations;
   result.dual_iterations += s.dual_iterations;
@@ -198,73 +314,105 @@ void accumulate(BnpResult& result, const release::FractionalSolution& s) {
   result.columns = std::max(result.columns, s.lp_cols);
 }
 
-}  // namespace
+void accumulate(BnpResult& result, const release::PricingStats& s) {
+  result.pricing_dfs_expansions += s.dfs_expansions;
+  result.pricing_cache_probes += s.cache_probes;
+  result.pricing_cache_hits += s.cache_hits;
+  result.pricing_memo_hits += s.exact_memo_hits;
+  result.pricing_cache_patterns =
+      std::max(result.pricing_cache_patterns, s.cache_patterns);
+}
 
-BnpResult solve(const Instance& instance, const BnpOptions& options) {
-  instance.check_well_formed();
-  STRIPACK_EXPECTS(!instance.empty());
-  STRIPACK_EXPECTS(!instance.has_precedence());
-  for (const Item& it : instance.items()) {
-    STRIPACK_EXPECTS(near_int(it.height(), 1e-6));
-    STRIPACK_EXPECTS(near_int(it.release, 1e-6));
-  }
-  const Stopwatch watch;
-  const release::ConfigLpProblem problem = release::make_problem(instance);
-  const std::size_t phases = problem.num_releases();
-  const double rho_r = problem.releases.back();
-  const double tol = options.tol;
+// The whole search state threaded through the root handling, the serial
+// path and the batch path. Keeping it in one struct (instead of a dozen
+// lambda captures) makes the two search drivers readable.
+struct Search {
+  Search(const BnpOptions& opts, const release::ConfigLpProblem& prob,
+         release::ConfigLpSolver& s)
+      : options(opts), problem(prob), solver(s) {}
 
-  BnpResult result;
-  release::ConfigLpSolver solver(problem, options.lp);
-  release::FractionalSolution root = solver.solve();
-  accumulate(result, root);
-  // The configuration LP proper is always feasible (phase R is
-  // unbounded); a non-optimal root can only mean the simplex gave up
-  // (iteration limit), which must surface as a Stalled bracket below,
-  // not a crash — the trivial incumbent is still a valid solution.
-  STRIPACK_ASSERT(root.status != lp::SolveStatus::Infeasible,
-                  "the configuration LP is always feasible");
-
+  const BnpOptions& options;
+  const release::ConfigLpProblem& problem;
+  release::ConfigLpSolver& solver;
   NodeTree tree;
-  tree.add_root(root.feasible
-                    ? std::ceil(root.objective - tol * (1.0 + root.objective))
-                    : 0.0);
+  BnpResult result;
+  std::vector<release::Slice> incumbent;
+  PseudoCostTable pseudo_costs;
+  // Branch rows shared across nodes through (sense, predicate) keys; rows
+  // are created parked at their neutral rhs and activated per node.
+  std::map<RowKey, int> row_by_key;
+  // Serial path: rows active at the previously evaluated node, sorted —
+  // the activation diff binary-searches and reserves instead of scanning
+  // every materialized row.
+  std::vector<int> previously_active;
+  bool stalled = false;
+  double stalled_bound = std::numeric_limits<double>::infinity();
+  double tol = 1e-6;
+  std::size_t phases = 0;
 
-  // Incumbent: the trivial stack, improved by the root rounding.
-  std::vector<release::Slice> incumbent = trivial_incumbent(problem);
-  tree.offer_incumbent(slices_objective(incumbent, phases));
-  if (root.feasible && options.rounding_incumbent) {
-    std::vector<release::Slice> rounded =
-        rounded_incumbent(problem, aggregate_patterns(root), tol);
-    if (tree.offer_incumbent(slices_objective(rounded, phases))) {
-      incumbent = std::move(rounded);
+  [[nodiscard]] int ensure_row(const BranchDecision& d) {
+    const RowKey key = row_key(d);
+    const auto it = row_by_key.find(key);
+    if (it != row_by_key.end()) return it->second;
+    const int row = solver.add_branch_row(d.pred, d.sense, d.rhs);
+    // Park immediately: both search drivers treat "not on the active
+    // path" as neutral, and batch clones must snapshot neutral rows.
+    solver.deactivate_branch_row(row);
+    row_by_key.emplace(key, row);
+    return row;
+  }
+
+  // The node's root path as (row, rhs) activation pairs, child-most rhs
+  // winning when a predicate was re-branched deeper down. Sorted rows in
+  // `rows_out` (reserve + binary search; no linear scans over all rows).
+  void node_path(int id, std::vector<std::pair<int, double>>& path,
+                 std::vector<int>& rows_out) {
+    path.clear();
+    rows_out.clear();
+    rows_out.reserve(static_cast<std::size_t>(tree.node(id).depth));
+    for (int n = id; tree.node(n).parent >= 0; n = tree.node(n).parent) {
+      const BranchDecision& d = tree.node(n).decision;
+      const int row = ensure_row(d);
+      const auto it =
+          std::lower_bound(rows_out.begin(), rows_out.end(), row);
+      if (it != rows_out.end() && *it == row) continue;  // child-most wins
+      rows_out.insert(it, row);
+      path.push_back({row, d.rhs});
     }
   }
 
-  // Branch rows are shared across nodes through (predicate, sense) keys:
-  // a node activates the rows on its root path and parks every other row
-  // at a neutral rhs, so siblings re-solve one warm master instead of
-  // rebuilding it.
-  std::map<std::string, int> row_by_key;
-  std::set<int> previously_active;
-  const auto ensure_row = [&](release::ConfigLpSolver& s,
-                              const BranchDecision& d) {
-    const std::string key = row_key(d);
-    const auto it = row_by_key.find(key);
-    if (it != row_by_key.end()) return it->second;
-    const int row = s.add_branch_row(d.pred, d.sense, d.rhs);
-    row_by_key.emplace(key, row);
-    return row;
-  };
+  [[nodiscard]] double cutoff() const {
+    if (!options.lagrangian_pruning || !tree.has_incumbent()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    // Integer objectives: proving the node's LP >= incumbent - 0.4 rules
+    // out any strictly better integer solution in its subtree (the 0.1
+    // inside the half-integer quantum absorbs floating-point drift).
+    return tree.incumbent() - 0.4;
+  }
+
+  // Pseudo-cost observation from a solved child LP.
+  void observe_gain(int id, double objective) {
+    if (!options.pseudo_cost_branching) return;
+    const Node& node = tree.node(id);
+    if (node.parent < 0) return;
+    const BranchDecision& d = node.decision;
+    const double f = d.sense == lp::Sense::LE
+                         ? std::max(d.frac, 1e-6)
+                         : std::max(1.0 - d.frac, 1e-6);
+    const double gain = std::max(0.0, objective - d.parent_obj);
+    pseudo_costs.add(pred_key(d.pred), d.sense, gain / f);
+  }
 
   // Process one solved node: prune by (integer-rounded) bound, harvest an
-  // integral solution, or branch on the chosen fractional total.
-  const auto process = [&](int id, const release::FractionalSolution& sol) {
+  // integral solution, or branch on the selected candidate.
+  void process(int id, const release::FractionalSolution& sol) {
     const double bound =
         std::ceil(sol.objective - tol * (1.0 + sol.objective));
     if (bound >= tree.incumbent() - 0.5) return;
     const std::map<PatternKey, double> totals = aggregate_patterns(sol);
-    const auto branch = select_branch(totals, tol);
+    const auto branch = select_branch(totals, tol, pseudo_costs,
+                                      options.pseudo_cost_branching);
     if (!branch) {
       std::vector<release::Slice> slices =
           integral_slices(totals, problem.widths);
@@ -273,30 +421,96 @@ BnpResult solve(const Instance& instance, const BnpOptions& options) {
       }
       return;
     }
-    const auto& [pred, total] = *branch;
-    BranchDecision le{pred, lp::Sense::LE, std::floor(total)};
-    BranchDecision ge{pred, lp::Sense::GE, std::floor(total) + 1.0};
+    const double frac = branch->total - std::floor(branch->total);
+    BranchDecision le{branch->pred, lp::Sense::LE,
+                      std::floor(branch->total), frac, sol.objective};
+    BranchDecision ge{branch->pred, lp::Sense::GE,
+                      std::floor(branch->total) + 1.0, frac, sol.objective};
     tree.add_child(id, std::move(le), bound);
     tree.add_child(id, std::move(ge), bound);
-  };
-
-  result.nodes = 1;
-  (void)tree.pop_best();  // the root: its LP is the solve above
-  bool stalled = false;
-  double stalled_bound = std::numeric_limits<double>::infinity();
-  if (root.feasible) {
-    process(0, root);
-  } else {
-    stalled = true;
-    stalled_bound = tree.node(0).bound;
   }
+};
+
+// Root strong branching: solve both children's LPs for the top-K most
+// fractional pair candidates, seeding the pseudo-cost table with real
+// per-unit gains before the first branching decision. Runs on the shared
+// master (probe rows are parked again afterwards and the master is
+// re-solved back to its root state), so it is identical across thread
+// counts and batch sizes.
+void strong_branch_root(Search& search,
+                        const release::FractionalSolution& root) {
+  const int probes = search.options.strong_branching_probes;
+  if (probes <= 0 || !search.options.pseudo_cost_branching) return;
+  const std::map<PatternKey, double> totals = aggregate_patterns(root);
+  std::vector<BranchCandidate> candidates =
+      branch_candidates(totals, search.tol);
+  // Pair candidates only (patterns are the rare fallback; probing them
+  // would materialize rows of marginal reuse value).
+  std::erase_if(candidates, [](const BranchCandidate& c) {
+    return c.pred.kind != release::BranchPredicate::Kind::PairTogether;
+  });
+  if (candidates.empty()) return;
+  if (candidates.size() > static_cast<std::size_t>(probes)) {
+    candidates.resize(static_cast<std::size_t>(probes));
+  }
+  const double gain_cap =
+      std::max(1.0, search.tree.incumbent() - root.objective);
+  bool touched = false;
+  for (const BranchCandidate& c : candidates) {
+    const double floor_total = std::floor(c.total);
+    const double frac = c.total - floor_total;
+    for (const lp::Sense sense : {lp::Sense::LE, lp::Sense::GE}) {
+      const double rhs =
+          sense == lp::Sense::LE ? floor_total : floor_total + 1.0;
+      BranchDecision probe{c.pred, sense, rhs, frac, root.objective};
+      const int row = search.ensure_row(probe);
+      search.solver.set_branch_row_rhs(row, rhs);
+      search.solver.set_node_cutoff(search.cutoff());
+      const release::FractionalSolution sol = search.solver.resolve();
+      touched = true;
+      accumulate(search.result, sol);
+      ++search.result.strong_branch_probes;
+      search.solver.deactivate_branch_row(row);
+      double objective;
+      if (sol.cutoff_pruned) {
+        objective = root.objective + gain_cap;
+      } else if (sol.status == lp::SolveStatus::Infeasible) {
+        objective = root.objective + gain_cap;
+      } else if (sol.feasible) {
+        objective = sol.objective;
+      } else {
+        continue;  // iteration limit: no usable observation
+      }
+      const double f = sense == lp::Sense::LE ? std::max(frac, 1e-6)
+                                              : std::max(1.0 - frac, 1e-6);
+      const double gain = std::max(0.0, objective - root.objective);
+      search.pseudo_costs.add(pred_key(c.pred), sense, gain / f);
+    }
+  }
+  if (touched) {
+    // Re-solve the all-neutral master so the retained basis (the clone
+    // snapshot seed) is root-optimal again.
+    search.solver.set_node_cutoff(std::numeric_limits<double>::infinity());
+    const release::FractionalSolution restored = search.solver.resolve();
+    accumulate(search.result, restored);
+  }
+}
+
+// Classic serial driver (node_batch == 1, threads == 1): every node
+// re-solves the one shared master in place — each node sees all columns
+// priced before it, and sibling hops reuse the previous node's basis.
+void run_serial(Search& search, const Stopwatch& watch) {
+  BnpResult& result = search.result;
+  NodeTree& tree = search.tree;
+  std::vector<std::pair<int, double>> path;
+  std::vector<int> active;
   while (!tree.done()) {
-    if (result.nodes >= options.budget.max_nodes) {
+    if (result.nodes >= search.options.budget.max_nodes) {
       result.status = BnpStatus::NodeLimit;
       break;
     }
-    if (options.budget.max_seconds > 0.0 &&
-        watch.seconds() > options.budget.max_seconds) {
+    if (search.options.budget.max_seconds > 0.0 &&
+        watch.seconds() > search.options.budget.max_seconds) {
       result.status = BnpStatus::TimeLimit;
       break;
     }
@@ -306,79 +520,291 @@ BnpResult solve(const Instance& instance, const BnpOptions& options) {
     if (tree.node(id).bound >= tree.incumbent() - 0.5) continue;
     ++result.nodes;
 
-    release::FractionalSolution sol;
-    if (options.reuse_engine) {
-      // Activate exactly this node's path (child-most rhs wins when a
-      // predicate was re-branched deeper down) and dual re-solve warm.
-      // Only the diff against the previously active node is touched, so
-      // activation costs O(path) rather than O(all rows) per node.
-      std::set<int> active;
-      std::vector<std::pair<int, double>> to_set;
-      for (int n = id; tree.node(n).parent >= 0; n = tree.node(n).parent) {
-        const BranchDecision& d = tree.node(n).decision;
-        const int row = ensure_row(solver, d);
-        if (active.insert(row).second) to_set.push_back({row, d.rhs});
+    // Activate exactly this node's path and dual re-solve warm. Only the
+    // diff against the previously active node is touched, so activation
+    // costs O(path log path) rather than O(all rows) per node.
+    search.node_path(id, path, active);
+    for (const int row : search.previously_active) {
+      if (!std::binary_search(active.begin(), active.end(), row)) {
+        search.solver.deactivate_branch_row(row);
       }
-      for (const int row : previously_active) {
-        if (active.find(row) == active.end()) {
-          solver.deactivate_branch_row(row);
-        }
-      }
-      for (const auto& [row, rhs] : to_set) {
-        solver.set_branch_row_rhs(row, rhs);
-      }
-      previously_active = std::move(active);
-      sol = solver.resolve();
-      accumulate(result, sol);
-      STRIPACK_ASSERT(sol.colgen_warm_phase1_iterations == 0,
-                      "branch-and-price node re-solve left the warm path");
-    } else {
-      // Cold baseline: a fresh master per node (BM_BranchAndPrice's
-      // comparison arm).
-      release::ConfigLpSolver fresh(problem, options.lp);
-      release::FractionalSolution fresh_root = fresh.solve();
-      accumulate(result, fresh_root);
-      if (!fresh_root.feasible) {
-        stalled = true;
-        stalled_bound = tree.node(id).bound;
-        break;
-      }
-      std::set<std::string> seen;
-      for (int n = id; tree.node(n).parent >= 0; n = tree.node(n).parent) {
-        const BranchDecision& d = tree.node(n).decision;
-        if (seen.insert(row_key(d)).second) {
-          fresh.add_branch_row(d.pred, d.sense, d.rhs);
-        }
-      }
-      result.branch_rows = std::max(result.branch_rows, seen.size());
-      sol = fresh.resolve();
-      accumulate(result, sol);
     }
+    for (const auto& [row, rhs] : path) {
+      search.solver.set_branch_row_rhs(row, rhs);
+    }
+    search.previously_active = std::move(active);
+    active = {};
+    search.solver.set_node_cutoff(search.cutoff());
+    const release::FractionalSolution sol = search.solver.resolve();
+    accumulate(result, sol);
+    STRIPACK_ASSERT(sol.colgen_warm_phase1_iterations == 0,
+                    "branch-and-price node re-solve left the warm path");
 
+    if (sol.cutoff_pruned) {
+      ++result.cutoff_pruned_nodes;
+      continue;  // certified: the subtree cannot beat the incumbent
+    }
     if (sol.status == lp::SolveStatus::Infeasible) continue;  // certified
     if (!sol.feasible) {
       // IterationLimit is "unknown", not "proven empty": stop with the
       // bracket rather than mis-prune.
-      stalled = true;
-      stalled_bound = tree.node(id).bound;
+      search.stalled = true;
+      search.stalled_bound = tree.node(id).bound;
       break;
     }
-    process(id, sol);
+    search.observe_gain(id, sol.objective);
+    search.process(id, sol);
+  }
+}
+
+// Batch-synchronous driver: pop the top-B open nodes, evaluate them
+// concurrently on per-node clones of the frozen master, then merge
+// children, incumbents, pseudo costs and priced columns back in node-id
+// order. Deterministic for any thread count at a fixed B (see
+// bnp/worker_pool); the master's own rows stay permanently neutral.
+void run_batched(Search& search, const Stopwatch& watch, int batch_size) {
+  BnpResult& result = search.result;
+  NodeTree& tree = search.tree;
+  BnpWorkerPool pool(search.options.threads);
+  std::vector<int> ids;
+  std::vector<NodeTask> tasks;
+  std::vector<int> active_scratch;
+  while (!tree.done()) {
+    if (result.nodes >= search.options.budget.max_nodes) {
+      result.status = BnpStatus::NodeLimit;
+      break;
+    }
+    if (search.options.budget.max_seconds > 0.0 &&
+        watch.seconds() > search.options.budget.max_seconds) {
+      result.status = BnpStatus::TimeLimit;
+      break;
+    }
+    const std::size_t allowance = std::min(
+        static_cast<std::size_t>(batch_size),
+        search.options.budget.max_nodes - result.nodes);
+    ids.clear();
+    tasks.clear();
+    while (ids.size() < allowance) {
+      const std::optional<int> popped = tree.pop_best();
+      if (!popped) break;
+      if (tree.node(*popped).bound >= tree.incumbent() - 0.5) continue;
+      ids.push_back(*popped);
+      tasks.emplace_back();
+      search.node_path(*popped, tasks.back().path, active_scratch);
+    }
+    if (ids.empty()) break;
+
+    const std::vector<NodeEvaluation> evals =
+        pool.evaluate(search.solver, tasks, search.cutoff());
+    ++result.batches;
+
+    // Merge in node-id order (ids are popped best-first = id-ascending on
+    // ties, and each eval only depends on its own task, so this order is
+    // the canonical serial one).
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const int id = ids[i];
+      const NodeEvaluation& eval = evals[i];
+      ++result.nodes;
+      accumulate(result, eval.solution);
+      accumulate(result, eval.pricing);
+      for (const release::AdoptableColumn& col : eval.new_columns) {
+        (void)search.solver.adopt_column(col.config, col.phase);
+      }
+      const release::FractionalSolution& sol = eval.solution;
+      if (sol.cutoff_pruned) {
+        ++result.cutoff_pruned_nodes;
+        continue;
+      }
+      if (sol.status == lp::SolveStatus::Infeasible) continue;
+      if (!sol.feasible) {
+        search.stalled = true;
+        // The whole remainder of the batch leaves the open set here; fold
+        // every unprocessed bound into the bracket so the reported dual
+        // bound never overclaims.
+        for (std::size_t k = i; k < ids.size(); ++k) {
+          search.stalled_bound =
+              std::min(search.stalled_bound, tree.node(ids[k]).bound);
+        }
+        break;
+      }
+      // Nodes evaluated against the frozen incumbent may be prunable by a
+      // sibling's incumbent found in this very batch; process() handles
+      // that through its bound check (deterministically — merge order).
+      search.observe_gain(id, sol.objective);
+      search.process(id, sol);
+    }
+    if (search.stalled) break;
+
+    // Refresh the master every batch: pick up adopted columns and
+    // freshly materialized (neutral) child rows, and leave a root-optimal
+    // basis as the next batch's clone snapshot.
+    search.solver.set_node_cutoff(std::numeric_limits<double>::infinity());
+    const release::FractionalSolution refreshed = search.solver.resolve();
+    accumulate(result, refreshed);
+    STRIPACK_ASSERT(refreshed.colgen_warm_phase1_iterations == 0,
+                    "master refresh left the warm path");
+  }
+}
+
+// Cold baseline driver (reuse_engine == false): a fresh master built and
+// cold-solved at every node — BM_BranchAndPrice's comparison arm.
+void run_cold(Search& search, const Stopwatch& watch) {
+  BnpResult& result = search.result;
+  NodeTree& tree = search.tree;
+  while (!tree.done()) {
+    if (result.nodes >= search.options.budget.max_nodes) {
+      result.status = BnpStatus::NodeLimit;
+      break;
+    }
+    if (search.options.budget.max_seconds > 0.0 &&
+        watch.seconds() > search.options.budget.max_seconds) {
+      result.status = BnpStatus::TimeLimit;
+      break;
+    }
+    const std::optional<int> popped = tree.pop_best();
+    if (!popped) break;
+    const int id = *popped;
+    if (tree.node(id).bound >= tree.incumbent() - 0.5) continue;
+    ++result.nodes;
+
+    release::ConfigLpSolver fresh(search.problem, search.options.lp);
+    release::FractionalSolution fresh_root = fresh.solve();
+    accumulate(result, fresh_root);
+    if (!fresh_root.feasible) {
+      search.stalled = true;
+      search.stalled_bound = tree.node(id).bound;
+      break;
+    }
+    std::set<RowKey> seen;
+    for (int n = id; tree.node(n).parent >= 0; n = tree.node(n).parent) {
+      const BranchDecision& d = tree.node(n).decision;
+      if (seen.insert(row_key(d)).second) {
+        fresh.add_branch_row(d.pred, d.sense, d.rhs);
+      }
+    }
+    result.branch_rows = std::max(result.branch_rows, seen.size());
+    fresh.set_node_cutoff(search.cutoff());
+    const release::FractionalSolution sol = fresh.resolve();
+    accumulate(result, sol);
+    accumulate(result, fresh.pricing_stats());
+
+    if (sol.cutoff_pruned) {
+      ++result.cutoff_pruned_nodes;
+      continue;
+    }
+    if (sol.status == lp::SolveStatus::Infeasible) continue;
+    if (!sol.feasible) {
+      search.stalled = true;
+      search.stalled_bound = tree.node(id).bound;
+      break;
+    }
+    search.observe_gain(id, sol.objective);
+    search.process(id, sol);
+  }
+}
+
+}  // namespace
+
+BnpResult solve(const Instance& instance, const BnpOptions& options) {
+  instance.check_well_formed();
+  STRIPACK_EXPECTS(!instance.empty());
+  STRIPACK_EXPECTS(!instance.has_precedence());
+  STRIPACK_EXPECTS(options.threads >= 0);
+  STRIPACK_EXPECTS(options.node_batch >= 0);
+  for (const Item& it : instance.items()) {
+    STRIPACK_EXPECTS(near_int(it.height(), 1e-6));
+    STRIPACK_EXPECTS(near_int(it.release, 1e-6));
+  }
+  const Stopwatch watch;
+  const release::ConfigLpProblem problem = release::make_problem(instance);
+  const double rho_r = problem.releases.back();
+
+  BnpOptions local = options;
+  // The pattern cache lives inside the ConfigLpSolver (and its clones).
+  local.lp.use_pricing_cache =
+      options.pricing_cache && local.lp.use_column_generation;
+  const int threads = local.threads == 0
+                          ? static_cast<int>(std::max(
+                                1u, std::thread::hardware_concurrency()))
+                          : local.threads;
+  int batch = local.node_batch;
+  if (batch == 0) batch = threads > 1 ? 4 * threads : 1;
+  const bool batch_mode =
+      local.reuse_engine && (batch > 1 || threads > 1);
+
+  release::ConfigLpSolver solver(problem, local.lp);
+  release::FractionalSolution root = solver.solve();
+
+  Search search{local, problem, solver};
+  search.tol = local.tol;
+  search.phases = problem.num_releases();
+  BnpResult& result = search.result;
+  accumulate(result, root);
+  // The configuration LP proper is always feasible (phase R is
+  // unbounded); a non-optimal root can only mean the simplex gave up
+  // (iteration limit), which must surface as a Stalled bracket below,
+  // not a crash — the trivial incumbent is still a valid solution.
+  STRIPACK_ASSERT(root.status != lp::SolveStatus::Infeasible,
+                  "the configuration LP is always feasible");
+
+  search.tree.add_root(
+      root.feasible
+          ? std::ceil(root.objective - local.tol * (1.0 + root.objective))
+          : 0.0);
+
+  // Incumbent: the trivial stack, improved by the root rounding.
+  search.incumbent = trivial_incumbent(problem);
+  search.tree.offer_incumbent(
+      slices_objective(search.incumbent, search.phases));
+  if (root.feasible && local.rounding_incumbent) {
+    std::vector<release::Slice> rounded =
+        rounded_incumbent(problem, aggregate_patterns(root), local.tol);
+    if (search.tree.offer_incumbent(
+            slices_objective(rounded, search.phases))) {
+      search.incumbent = std::move(rounded);
+    }
   }
 
-  result.nodes_created = tree.created();
+  result.nodes = 1;
+  (void)search.tree.pop_best();  // the root: its LP is the solve above
+  if (root.feasible) {
+    if (local.reuse_engine) strong_branch_root(search, root);
+    search.process(0, root);
+  } else {
+    search.stalled = true;
+    search.stalled_bound = search.tree.node(0).bound;
+  }
+
+  if (!search.stalled) {
+    if (!local.reuse_engine) {
+      run_cold(search, watch);
+    } else if (batch_mode) {
+      run_batched(search, watch, batch);
+    } else {
+      run_serial(search, watch);
+    }
+  }
+
+  result.nodes_created = search.tree.created();
   // Warm mode materializes rows once in the shared master; cold mode
   // reports the deepest per-node row count instead.
-  result.branch_rows = std::max(result.branch_rows, row_by_key.size());
-  if (stalled) result.status = BnpStatus::Stalled;
+  result.branch_rows =
+      std::max(result.branch_rows, search.row_by_key.size());
+  if (local.reuse_engine) {
+    accumulate(result, solver.pricing_stats());
+  }
+  if (search.stalled) result.status = BnpStatus::Stalled;
 
-  const double incumbent_obj = tree.incumbent();
-  double global_bound = std::min(incumbent_obj, tree.best_open_bound());
-  if (stalled) global_bound = std::min(global_bound, stalled_bound);
+  const double incumbent_obj = search.tree.incumbent();
+  double global_bound =
+      std::min(incumbent_obj, search.tree.best_open_bound());
+  if (search.stalled) {
+    global_bound = std::min(global_bound, search.stalled_bound);
+  }
   if (result.status == BnpStatus::Optimal) global_bound = incumbent_obj;
   result.height = rho_r + incumbent_obj;
   result.dual_bound = rho_r + global_bound;
-  result.slices = std::move(incumbent);
+  result.slices = std::move(search.incumbent);
 
   release::FractionalSolution incumbent_solution;
   incumbent_solution.feasible = true;

@@ -69,6 +69,40 @@ struct BnpOptions {
   /// default); false re-builds and cold-solves the master at every node —
   /// the baseline `BM_BranchAndPrice` compares against.
   bool reuse_engine = true;
+  /// Worker threads for batch node evaluation (requires `reuse_engine`):
+  /// 1 = serial (the default), 0 = hardware concurrency. For a fixed
+  /// `node_batch`, every thread count produces the bit-identical search
+  /// (tree, bounds, slices, packing) — see bnp/worker_pool.
+  int threads = 1;
+  /// Nodes per batch-synchronous round. 1 (with threads == 1) keeps the
+  /// classic serial semantics: each node re-solves the one shared master
+  /// in place, seeing every previously priced column. Larger batches
+  /// evaluate the top-B open nodes against a master snapshot *frozen at
+  /// the batch start* (on per-node clones) and merge children, incumbents
+  /// and priced columns back in node-id order — the explored tree may
+  /// differ from B = 1 (that is the price of parallel evaluation), but is
+  /// identical for every thread count at the same B. 0 picks
+  /// automatically: 1 when threads == 1, else 4 * threads.
+  int node_batch = 0;
+  /// Memoized pricing: maintain a cross-node pattern cache inside the
+  /// master (and every worker clone) that warm-seeds the exact pricing
+  /// DFS. Pricing stays exact; expansions drop sharply (see
+  /// `pricing_dfs_expansions`).
+  bool pricing_cache = true;
+  /// Pseudo-cost branching: score fractional pair totals by observed
+  /// per-unit dual-bound gains (initialized by strong branching at the
+  /// root, updated after every node LP), instead of raw fractionality.
+  bool pseudo_cost_branching = true;
+  /// Strong-branching probes at the root: the top-K most fractional pair
+  /// candidates get both children's LPs solved to initialize pseudo
+  /// costs. 0 disables (pseudo costs then start from search observations
+  /// only).
+  int strong_branching_probes = 4;
+  /// Lagrangian early termination: node re-solves stop as soon as they
+  /// can *prove* the node's LP optimum cannot beat the incumbent (dual
+  /// objective monotonicity in enumeration mode, Farley's bound between
+  /// pricing rounds in column-generation mode).
+  bool lagrangian_pruning = true;
   /// Recognition tolerance for integrality of pattern totals.
   double tol = 1e-6;
 };
@@ -96,10 +130,25 @@ struct BnpResult {
   std::int64_t lp_iterations = 0;
   std::int64_t dual_iterations = 0;
   /// Phase-1 pivots across all warm node re-solves: 0 on the warm path
-  /// (asserted internally when `reuse_engine`).
+  /// (asserted internally when `reuse_engine` runs serially; worker
+  /// clones may fall back to a cold start if a snapshot basis fails to
+  /// load, which is deterministic and merely slower).
   std::int64_t warm_phase1_iterations = 0;
   int farkas_rounds = 0;
   std::size_t farkas_columns = 0;
+  /// Batch-synchronous rounds executed (0 on the classic serial path).
+  std::size_t batches = 0;
+  /// Nodes pruned by the Lagrangian early-termination bound before their
+  /// LP was solved to optimality.
+  std::size_t cutoff_pruned_nodes = 0;
+  /// Root strong-branching child LPs solved to initialize pseudo costs.
+  std::size_t strong_branch_probes = 0;
+  // Memoized-pricing counters, summed over the master and every clone.
+  std::int64_t pricing_dfs_expansions = 0;
+  std::int64_t pricing_cache_probes = 0;
+  std::int64_t pricing_cache_hits = 0;
+  std::int64_t pricing_memo_hits = 0;
+  std::size_t pricing_cache_patterns = 0;
 };
 
 /// Exact branch and price. The instance must be release-only (no

@@ -1,0 +1,50 @@
+#include "bnp/worker_pool.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace stripack::bnp {
+
+BnpWorkerPool::BnpWorkerPool(int threads) {
+  if (threads == 0) {
+    threads = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  threads_ = std::max(threads, 1);
+  if (threads_ > 1) {
+    // One worker less than requested: the calling thread participates in
+    // ThreadPool::run, so `threads_` OS threads execute tasks in total.
+    pool_ = std::make_unique<ThreadPool>(
+        static_cast<unsigned>(threads_ - 1));
+  }
+}
+
+BnpWorkerPool::~BnpWorkerPool() = default;
+
+std::vector<NodeEvaluation> BnpWorkerPool::evaluate(
+    const release::ConfigLpSolver& master, std::span<const NodeTask> tasks,
+    double cutoff) {
+  std::vector<NodeEvaluation> results(tasks.size());
+  const auto evaluate_one = [&](std::size_t i) {
+    release::ConfigLpSolver clone = master.clone();
+    const std::size_t snapshot_columns = clone.num_columns();
+    for (const auto& [row, rhs] : tasks[i].path) {
+      clone.set_branch_row_rhs(row, rhs);
+    }
+    clone.set_node_cutoff(cutoff);
+    NodeEvaluation& out = results[i];
+    out.solution = clone.resolve();
+    out.new_columns = clone.columns_since(snapshot_columns);
+    out.pricing = clone.pricing_stats();
+  };
+  if (pool_ == nullptr) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) evaluate_one(i);
+  } else {
+    // One chunk per task: the pool balances them across workers; chunk
+    // assignment cannot affect results (tasks are fully independent).
+    pool_->run(tasks.size(), evaluate_one, tasks.size());
+  }
+  return results;
+}
+
+}  // namespace stripack::bnp

@@ -17,12 +17,16 @@ constexpr double kPivotTol = 1e-9;
 constexpr double kEtaDropTol = 1e-12;
 constexpr int kNoColumn = std::numeric_limits<int>::min();
 // Minimum scan size before the optional pricing threads engage.
-// parallel_for spawns and joins fresh threads per call (no pool), which
-// costs on the order of 100us — so threading only pays for scans wide
-// enough to dwarf that (tens of thousands of columns); smaller scans run
-// serial regardless of `pricing_threads`.
-constexpr std::size_t kParallelScanMin = 8192;
+// parallel_for now runs on the shared ThreadPool (a condition-variable
+// wake per call instead of thread spawns), but a parallel section still
+// costs a few microseconds of synchronization — small scans run serial
+// regardless of `pricing_threads`.
+constexpr std::size_t kParallelScanMin = 4096;
 constexpr std::size_t kScanChunk = 1024;
+// Devex reference-framework reset: when the entering variable's weight
+// outgrows this, the max-form approximation has drifted too far from the
+// true steepest-edge norms and the framework re-anchors at unit weights.
+constexpr double kDevexResetWeight = 1e7;
 
 // Per-chunk result of a pricing scan; merged in chunk order so parallel
 // scans reproduce the serial tie-breaks exactly.
@@ -275,7 +279,7 @@ class SimplexEngine::Impl {
   // keeping every reduced cost nonnegative, so phase 1 never runs. Falls
   // back to the primal `solve()` when the retained state is outside dual
   // reach (see the header contract).
-  Solution solve_dual(bool shift_dual_infeasible) {
+  Solution solve_dual(bool shift_dual_infeasible, double objective_cutoff) {
     Solution solution;
     cost_shift_.clear();
     const std::int64_t max_iters = default_max_iters();
@@ -317,6 +321,21 @@ class SimplexEngine::Impl {
       if (solution.iterations >= max_iters) {
         solution.status = SolveStatus::IterationLimit;
         return solution;
+      }
+      // Early termination by objective cutoff: the dual objective y'b is
+      // nondecreasing over dual pivots and — the basis being dual
+      // feasible throughout — a weak-duality lower bound on the LP
+      // optimum. Cost shifts change the effective objective, so the
+      // check stands down while any are live.
+      if (objective_cutoff < std::numeric_limits<double>::infinity() &&
+          cost_shift_.empty()) {
+        double dual_obj = 0.0;
+        for (int r = 0; r < m_; ++r) dual_obj += y_[r] * b_[r];
+        if (dual_obj >= objective_cutoff) {
+          solution.status = SolveStatus::ObjectiveCutoff;
+          solution.objective = dual_obj;
+          return solution;
+        }
       }
       // Leaving row: most negative basic value (first such row on ties —
       // deterministic).
@@ -509,10 +528,18 @@ class SimplexEngine::Impl {
     return options_.bland || options_.pricing == PricingRule::Bland;
   }
 
-  // Steepest edge is live unless Bland's rule (configured or engaged by
-  // the degeneracy fallback) has taken over pricing.
+  // Weighted (steepest-edge or Devex) pricing is live unless Bland's rule
+  // (configured or engaged by the degeneracy fallback) has taken over.
   [[nodiscard]] bool se_on() const {
-    return options_.pricing == PricingRule::SteepestEdge && !bland_;
+    return (options_.pricing == PricingRule::SteepestEdge ||
+            options_.pricing == PricingRule::Devex) &&
+           !bland_;
+  }
+
+  // Exact Forrest–Goldfarb maintenance (needs the extra BTRAN and the
+  // beta dot products); Devex runs the same scan with the max-form update.
+  [[nodiscard]] bool se_exact() const {
+    return options_.pricing == PricingRule::SteepestEdge;
   }
 
   // 0 = hardware concurrency, >1 = that many threads; 1 and any negative
@@ -669,8 +696,17 @@ class SimplexEngine::Impl {
   // Captures the pivot data the fused weight update needs. Must run after
   // update_duals (which stashes rho) and before the eta append in pivot().
   void se_capture(int entering, int leave) {
-    se_tau_ = d_;
-    btran_etas(se_tau_, nullptr);
+    if (!se_exact() && weight_of(entering) > kDevexResetWeight) {
+      // Devex framework reset: re-anchor the reference at the current
+      // basis (unit weights, no pending update). Deterministic — depends
+      // only on the pivot sequence.
+      se_reset();
+      return;
+    }
+    if (se_exact()) {
+      se_tau_ = d_;
+      btran_etas(se_tau_, nullptr);
+    }
     se_inv_pivot_ = 1.0 / d_[leave];
     se_gamma_entering_ = weight_of(entering);
     se_leaving_code_ = basis_[leave];
@@ -684,10 +720,13 @@ class SimplexEngine::Impl {
     se_pending_ = true;
   }
 
-  // One steepest-edge scan step over positions [begin, end): applies the
-  // pending weight update and tracks the best score rc^2 / gamma. Safe to
-  // run concurrently on disjoint ranges (weights are per-column).
+  // One weighted-pricing scan step over positions [begin, end): applies
+  // the pending weight update (exact Forrest–Goldfarb recurrence for
+  // steepest edge, max-form recurrence for Devex) and tracks the best
+  // score rc^2 / gamma. Safe to run concurrently on disjoint ranges
+  // (weights are per-column).
   void se_scan_range(int begin, int end, double tol, ScanBest& out) {
+    const bool exact = se_exact();
     for (int pos = begin; pos < end; ++pos) {
       const int code = code_at(pos);
       if (code == kNoColumn || in_basis(code)) continue;
@@ -699,7 +738,7 @@ class SimplexEngine::Impl {
           rc -= y_[e.row] * e.coef;
           if (se_pending_) {
             alpha += se_rho_[e.row] * e.coef;
-            beta += se_tau_[e.row] * e.coef;
+            if (exact) beta += se_tau_[e.row] * e.coef;
           }
         }
       } else {
@@ -708,14 +747,18 @@ class SimplexEngine::Impl {
         rc -= y_[r] * s;
         if (se_pending_) {
           alpha = se_rho_[r] * s;
-          beta = se_tau_[r] * s;
+          if (exact) beta = se_tau_[r] * s;
         }
       }
       double w = weight_of(code);
       if (se_pending_ && code != se_leaving_code_) {
         const double t = alpha * se_inv_pivot_;
-        w = std::max(w - 2.0 * t * beta + t * t * se_gamma_entering_,
-                     1.0 + t * t);
+        if (exact) {
+          w = std::max(w - 2.0 * t * beta + t * t * se_gamma_entering_,
+                       1.0 + t * t);
+        } else {
+          w = std::max(w, t * t * se_gamma_entering_);
+        }
         set_weight(code, w);
       }
       if (rc < -tol) {
@@ -1251,8 +1294,9 @@ bool SimplexEngine::load_basis(const std::vector<int>& basis) {
 
 Solution SimplexEngine::solve() { return impl_->solve(); }
 
-Solution SimplexEngine::solve_dual(bool shift_dual_infeasible) {
-  return impl_->solve_dual(shift_dual_infeasible);
+Solution SimplexEngine::solve_dual(bool shift_dual_infeasible,
+                                   double objective_cutoff) {
+  return impl_->solve_dual(shift_dual_infeasible, objective_cutoff);
 }
 
 Solution solve(const Model& model, const SimplexOptions& options) {

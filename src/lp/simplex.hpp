@@ -27,13 +27,24 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 
 #include "lp/model.hpp"
 
 namespace stripack::lp {
 
-enum class SolveStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+enum class SolveStatus {
+  Optimal,
+  Infeasible,
+  Unbounded,
+  IterationLimit,
+  /// `solve_dual` stopped early because its monotone dual objective — a
+  /// valid lower bound on the LP optimum whenever the basis is dual
+  /// feasible — reached the caller's `objective_cutoff`. The solution is
+  /// not optimal; `Solution::objective` holds the certified bound.
+  ObjectiveCutoff,
+};
 
 /// Pricing rule for the primal simplex.
 ///  - Dantzig: most negative reduced cost over a partial-pricing candidate
@@ -46,7 +57,16 @@ enum class SolveStatus { Optimal, Infeasible, Unbounded, IterationLimit };
 ///    rc_j^2 / gamma_j over a full scan. Costs O(nnz) per iteration but
 ///    typically cuts the pivot count severalfold on degenerate models —
 ///    the right trade once per-iteration cost is no longer the bottleneck.
-enum class PricingRule { Dantzig, Bland, SteepestEdge };
+///  - Devex: the classic cheap steepest-edge approximation. Same
+///    rc_j^2 / w_j score over the same full scan, but the reference
+///    weights grow by the max-form recurrence
+///    w_j' = max(w_j, (alpha_j / alpha_q)^2 w_q), which needs only the
+///    pivot row alpha (already produced by the incremental dual update) —
+///    no second BTRAN and no beta dot products, roughly halving the
+///    per-entry scan work of exact steepest edge. The framework resets to
+///    unit weights when the entering weight outgrows `kDevexResetWeight`
+///    (deterministically), re-anchoring the approximation.
+enum class PricingRule { Dantzig, Bland, SteepestEdge, Devex };
 
 /// Basis encoding used for warm starts: one code per row. A code >= 0 names
 /// a basic model (structural) column; `slack_code(r)` names the basic
@@ -168,7 +188,19 @@ class SimplexEngine {
   /// whole re-solve stays free of phase 1. The Farkas certificate is
   /// cost-independent, so an `Infeasible` verdict under shifts is just as
   /// valid.
-  [[nodiscard]] Solution solve_dual(bool shift_dual_infeasible = false);
+  ///
+  /// `objective_cutoff` (branch-and-bound early termination): the dual
+  /// simplex's objective y'b is nondecreasing and, while the basis is
+  /// dual feasible, a lower bound on the LP optimum by weak duality. If
+  /// it reaches the cutoff the re-solve stops with
+  /// `SolveStatus::ObjectiveCutoff` and `Solution::objective` set to the
+  /// certified bound — the caller can prune without finishing the solve.
+  /// Ignored (infinity) by default, and inactive while cost shifts are
+  /// live or on the primal fallback paths (no bound is available there).
+  [[nodiscard]] Solution solve_dual(
+      bool shift_dual_infeasible = false,
+      double objective_cutoff =
+          std::numeric_limits<double>::infinity());
 
  private:
   class Impl;

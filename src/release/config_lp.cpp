@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
+#include <utility>
 
+#include "bnp/pricing_cache.hpp"
 #include "lp/colgen.hpp"
 #include "lp/simplex.hpp"
 #include "util/assert.hpp"
@@ -195,11 +198,87 @@ double column_cost(const RowLayout& layout, std::size_t phase) {
 }
 
 // One branching row applying to the phase being priced, with the value a
-// matching configuration collects from it.
+// matching configuration collects from it (and its model row index, the
+// pattern cache's key for memoized match bits).
 struct AppliedBranchRow {
   const BranchPredicate* pred = nullptr;
   double mult = 0.0;
+  int row = 0;
 };
+
+// Width-indexed DP bound for the pricing DFS (memoized-pricing mode).
+// When every width and the strip width sit on a common rational grid
+// (units of 1/denom), `suffix[i][c]` is the *exact* maximum raw value of
+// any configuration drawn from width classes i.. within c capacity units
+// — an unbounded-knapsack DP, O(W * cap_units) to fill. The DFS bounds a
+// subtree by current + suffix[index][units_left] + bonus_cap, which is
+// admissible (raw max dominates any achievable raw value; positive
+// branch-row bonuses top out at bonus_cap), and far tighter than the
+// fractional suffix-density bound — with a warm seed for the incumbent it
+// collapses the search to roughly the argmax path.
+struct DpBound {
+  int cap_units = 0;
+  std::vector<int> width_units;         // one per width class
+  std::vector<std::vector<double>> suffix;  // [W+1][cap_units+1]
+
+  [[nodiscard]] bool valid() const { return cap_units > 0; }
+};
+
+// Smallest denominator <= 4096 putting all widths and the strip width on
+// one integer grid (0 when none). Unit-capacity feasibility then agrees
+// with the DFS's epsilon-relaxed double checks: a config the DFS deems
+// feasible has total units <= cap_units * (1 + 1e-9), and integer totals
+// below cap_units + 1 are <= cap_units.
+int detect_width_grid(const ConfigLpProblem& problem) {
+  const auto on_grid = [](double v, int d) {
+    const double scaled = v * d;
+    return std::fabs(scaled - std::round(scaled)) <= 1e-7 &&
+           std::round(scaled) >= 0.0;
+  };
+  for (int d = 1; d <= 4096; ++d) {
+    if (!on_grid(problem.strip_width, d)) continue;
+    bool ok = true;
+    for (const double w : problem.widths) ok = ok && on_grid(w, d);
+    if (!ok) continue;
+    // Degenerate grids (a zero-unit width) would break the DP.
+    for (const double w : problem.widths) {
+      ok = ok && std::round(w * d) >= 1.0;
+    }
+    if (ok) return d;
+  }
+  return 0;
+}
+
+// Fills `dp` for the given per-class values (reusing its storage).
+void fill_dp_bound(const ConfigLpProblem& problem, int denom,
+                   const std::vector<double>& value, DpBound& dp) {
+  const std::size_t W = problem.widths.size();
+  dp.cap_units =
+      static_cast<int>(std::round(problem.strip_width * denom));
+  if (dp.width_units.size() != W) {
+    dp.width_units.resize(W);
+    for (std::size_t i = 0; i < W; ++i) {
+      dp.width_units[i] =
+          static_cast<int>(std::round(problem.widths[i] * denom));
+    }
+  }
+  const std::size_t cols = static_cast<std::size_t>(dp.cap_units) + 1;
+  dp.suffix.resize(W + 1);
+  for (auto& row : dp.suffix) row.assign(cols, 0.0);
+  for (std::size_t i = W; i-- > 0;) {
+    const std::vector<double>& below = dp.suffix[i + 1];
+    std::vector<double>& here = dp.suffix[i];
+    const int u = dp.width_units[i];
+    const double v = value[i];
+    for (std::size_t c = 0; c < cols; ++c) {
+      double best = below[c];
+      if (v > 0.0 && static_cast<int>(c) >= u) {
+        best = std::max(best, here[c - static_cast<std::size_t>(u)] + v);
+      }
+      here[c] = best;
+    }
+  }
+}
 
 // Branch-and-bound maximization over nonempty configurations of one phase:
 //   max  sum_i counts[i] * value[i] + sum_r mult_r * [pred_r matches]
@@ -209,11 +288,23 @@ struct AppliedBranchRow {
 // "skip non-positive values" pruning so pair/pattern bonuses stay
 // reachable. Returns the best configuration (empty when nothing beats
 // zero) and its adjusted value through `best_value_out`.
+//
+// `seed` (with its exact adjusted value `seed_value` > 0) warm-starts the
+// incumbent at seed_value - 2e-12: every subtree that cannot strictly
+// beat a known-achievable value is pruned immediately, while any pattern
+// of equal or better value still qualifies (the epsilon sits below the
+// 1e-12 improvement threshold), so the returned maximizer matches the
+// unseeded DFS's choice. If nothing improves on the seed, the exact seed
+// value is restored on output. `expansions` counts DFS recursion calls.
 Configuration best_config_for_phase(const ConfigLpProblem& problem,
                                     const std::vector<double>& value,
                                     std::span<const AppliedBranchRow> rows,
                                     std::size_t phase,
-                                    double* best_value_out) {
+                                    double* best_value_out,
+                                    const Configuration* seed = nullptr,
+                                    double seed_value = 0.0,
+                                    std::int64_t* expansions = nullptr,
+                                    const DpBound* dp = nullptr) {
   const auto& widths = problem.widths;
   // Suffix best density for the fractional bound.
   std::vector<double> suffix_density(widths.size() + 1, 0.0);
@@ -265,11 +356,22 @@ Configuration best_config_for_phase(const ConfigLpProblem& problem,
   Configuration best;
   best.counts.assign(widths.size(), 0);
   double best_value = 0.0;
+  bool improved_on_seed = false;
+  if (seed != nullptr && seed_value > 0.0) {
+    best = *seed;
+    best_value = seed_value - 2e-12;
+  }
   std::vector<int> counts(widths.size(), 0);
   int total_items = 0;
 
+  // With a DpBound (memoized-pricing mode on a rational width grid) the
+  // subtree bound is the exact raw suffix optimum at the remaining unit
+  // capacity; otherwise the classic fractional suffix-density bound. Both
+  // only ever skip subtrees that cannot *strictly* improve, so the
+  // returned maximizer is identical either way.
   auto dfs = [&](auto&& self, std::size_t index, double used,
-                 double current) -> void {
+                 int units_left, double current) -> void {
+    if (expansions != nullptr) ++*expansions;
     if (total_items > 0) {
       const double adj = adjusted(counts, current);
       if (adj > best_value + 1e-12) {
@@ -277,12 +379,16 @@ Configuration best_config_for_phase(const ConfigLpProblem& problem,
         best.counts = counts;
         best.total_width = used;
         best.total_items = total_items;
+        improved_on_seed = true;
       }
     }
     if (index == widths.size()) return;
     const double cap_left = problem.strip_width - used;
-    if (current + cap_left * suffix_density[index] + bonus_cap <=
-        best_value + 1e-12) {
+    const double entry_bound =
+        dp != nullptr
+            ? dp->suffix[index][static_cast<std::size_t>(units_left)]
+            : cap_left * suffix_density[index];
+    if (current + entry_bound + bonus_cap <= best_value + 1e-12) {
       return;  // bound: cannot beat the incumbent
     }
     const int max_here =
@@ -291,15 +397,32 @@ Configuration best_config_for_phase(const ConfigLpProblem& problem,
       // Skip negative-value widths — unless a positive branching bonus
       // needs them present.
       if (c > 0 && value[index] <= 0.0 && keep[index] == 0) continue;
+      // Per-count bound: updates need a strict 1e-12 improvement, so
+      // skipping subtrees bounded by best_value + 1e-12 cannot change
+      // the returned maximizer — and with a warm cache seed for
+      // best_value this skips most of the tree before ever recursing.
+      const double c_value = current + c * value[index];
+      int rem_units = units_left;
+      double c_bound;
+      if (dp != nullptr) {
+        rem_units = units_left - c * dp->width_units[index];
+        if (rem_units < 0) continue;  // defensive: double/unit edge
+        c_bound = dp->suffix[index + 1][static_cast<std::size_t>(rem_units)];
+      } else {
+        c_bound = (cap_left - c * widths[index]) * suffix_density[index + 1];
+      }
+      if (c_value + c_bound + bonus_cap <= best_value + 1e-12) continue;
       counts[index] = c;
       total_items += c;
-      self(self, index + 1, used + c * widths[index],
-           current + c * value[index]);
+      self(self, index + 1, used + c * widths[index], rem_units, c_value);
       total_items -= c;
     }
     counts[index] = 0;
   };
-  dfs(dfs, 0, 0.0, 0.0);
+  dfs(dfs, 0, 0.0, dp != nullptr ? dp->cap_units : 0, 0.0);
+  if (seed != nullptr && seed_value > 0.0 && !improved_on_seed) {
+    best_value = seed_value;  // the -2e-12 was only a pruning device
+  }
   *best_value_out = best_value;
   return best;
 }
@@ -313,11 +436,14 @@ Configuration best_config_for_phase(const ConfigLpProblem& problem,
 class KnapsackOracle final : public lp::PricingOracle {
  public:
   KnapsackOracle(const ConfigLpProblem& problem, const RowLayout& layout,
-                 ColumnTable& table, const std::vector<BranchRow>& branches)
+                 ColumnTable& table, const std::vector<BranchRow>& branches,
+                 bnp::PricingCache* cache, int grid_denom)
       : problem_(problem),
         layout_(layout),
         table_(table),
-        branches_(branches) {}
+        branches_(branches),
+        cache_(cache),
+        grid_denom_(grid_denom) {}
 
   std::vector<lp::PricedColumn> price(std::span<const double> duals,
                                       double tol) override {
@@ -325,6 +451,7 @@ class KnapsackOracle final : public lp::PricingOracle {
     const std::size_t phases = layout_.num_phases;
     const std::size_t widths = layout_.num_widths;
     std::vector<double> value(widths, 0.0);
+    min_reduced_cost_ = std::numeric_limits<double>::infinity();
     for (std::size_t j = 0; j < phases; ++j) {
       for (std::size_t i = 0; i < widths; ++i) {
         value[i] = duals[static_cast<std::size_t>(layout_.demand_row(j, i))];
@@ -336,8 +463,12 @@ class KnapsackOracle final : public lp::PricingOracle {
         base_cost -= duals[static_cast<std::size_t>(layout_.cap_row)];
       }
       double best_value = 0.0;
-      Configuration best = best_config_for_phase(
-          problem_, value, applied_rows(j, duals), j, &best_value);
+      Configuration best = best_phase_config(value, duals, j, &best_value);
+      // Exact per-phase maximum value, so base_cost - best_value is the
+      // exact per-phase minimum reduced cost — an empty `best` certifies
+      // that no nonempty configuration scores above 0 (Farley's bound
+      // stays valid with best_value = 0 there).
+      min_reduced_cost_ = std::min(min_reduced_cost_, base_cost - best_value);
       if (best.total_items == 0) continue;
       const double reduced_cost = base_cost - best_value;
       if (reduced_cost < -std::max(tol, 1e-8)) {
@@ -345,6 +476,10 @@ class KnapsackOracle final : public lp::PricingOracle {
       }
     }
     return out;
+  }
+
+  [[nodiscard]] double last_min_reduced_cost() const override {
+    return min_reduced_cost_;
   }
 
   /// Farkas pricing: `ray` is an infeasibility certificate y of the
@@ -371,8 +506,7 @@ class KnapsackOracle final : public lp::PricingOracle {
         base = ray[static_cast<std::size_t>(layout_.cap_row)];
       }
       double best_value = 0.0;
-      Configuration best = best_config_for_phase(
-          problem_, value, applied_rows(j, ray), j, &best_value);
+      Configuration best = best_phase_config(value, ray, j, &best_value);
       if (best.total_items == 0) continue;
       if (base + best_value > std::max(tol, 1e-8)) {
         emit(out, std::move(best), j, "fk[j=" + std::to_string(j) + "]");
@@ -381,7 +515,71 @@ class KnapsackOracle final : public lp::PricingOracle {
     return out;
   }
 
+  [[nodiscard]] std::int64_t dfs_expansions() const {
+    return dfs_expansions_;
+  }
+
  private:
+  // Exact max-value configuration of one phase. With the cache: first an
+  // exact-input memo lookup (bitwise-identical subproblems skip the
+  // search entirely), then a pattern probe for a warm incumbent (an
+  // already-achievable value under the current duals and branch bonuses)
+  // that the seeded DFS verifies or beats. The DFS stays the source of
+  // truth, so pricing is exact either way.
+  Configuration best_phase_config(const std::vector<double>& value,
+                                  std::span<const double> multipliers,
+                                  std::size_t phase, double* best_value_out) {
+    const std::span<const AppliedBranchRow> rows =
+        applied_rows(phase, multipliers);
+    Configuration seed_config;
+    const Configuration* seed = nullptr;
+    double seed_value = 0.0;
+    if (cache_ != nullptr) {
+      probe_rows_.clear();
+      for (const AppliedBranchRow& r : rows) {
+        probe_rows_.push_back({r.row, r.mult});
+      }
+      if (const auto memo = cache_->lookup(value, probe_rows_)) {
+        *best_value_out = memo->value;
+        Configuration out;
+        if (memo->pattern >= 0) {
+          out.counts = cache_->counts(memo->pattern);
+          out.total_width = cache_->total_width(memo->pattern);
+          out.total_items = cache_->total_items(memo->pattern);
+        } else {
+          out.counts.assign(value.size(), 0);
+        }
+        return out;
+      }
+      const bnp::PricingCache::Seed s = cache_->probe(value, probe_rows_);
+      if (s.pattern >= 0) {
+        seed_config.counts = cache_->counts(s.pattern);
+        seed_config.total_width = cache_->total_width(s.pattern);
+        seed_config.total_items = cache_->total_items(s.pattern);
+        seed = &seed_config;
+        seed_value = s.value;
+      }
+    }
+    const DpBound* dp = nullptr;
+    if (cache_ != nullptr && grid_denom_ > 0) {
+      fill_dp_bound(problem_, grid_denom_, value, dp_scratch_);
+      dp = &dp_scratch_;
+    }
+    Configuration best = best_config_for_phase(problem_, value, rows, phase,
+                                               best_value_out, seed,
+                                               seed_value, &dfs_expansions_,
+                                               dp);
+    if (cache_ != nullptr) {
+      bnp::PricingCache::Seed result;
+      result.value = *best_value_out;
+      result.pattern = best.total_items > 0
+                           ? cache_->insert(best.counts, best.total_width)
+                           : -1;
+      cache_->memoize(value, probe_rows_, result);
+    }
+    return best;
+  }
+
   std::span<const AppliedBranchRow> applied_rows(
       std::size_t phase, std::span<const double> multipliers) {
     applied_.clear();
@@ -391,7 +589,7 @@ class KnapsackOracle final : public lp::PricingOracle {
         continue;
       }
       applied_.push_back(
-          {&br.pred, multipliers[static_cast<std::size_t>(br.row)]});
+          {&br.pred, multipliers[static_cast<std::size_t>(br.row)], br.row});
     }
     return applied_;
   }
@@ -403,6 +601,7 @@ class KnapsackOracle final : public lp::PricingOracle {
     col.entries = column_entries(layout_, branches_, best, phase);
     col.name = std::move(name);
     out.push_back(std::move(col));
+    if (cache_ != nullptr) cache_->insert(best.counts, best.total_width);
     table_.add(static_cast<int>(table_.configs.size()), phase);
     table_.configs.push_back(std::move(best));
   }
@@ -411,7 +610,13 @@ class KnapsackOracle final : public lp::PricingOracle {
   const RowLayout& layout_;  // shared with the solver: sees cap-row updates
   ColumnTable& table_;
   const std::vector<BranchRow>& branches_;  // shared: sees added rows
+  bnp::PricingCache* cache_ = nullptr;      // owned by the solver state
+  int grid_denom_ = 0;  // common width grid for the DP bound (0: none)
+  DpBound dp_scratch_;
   std::vector<AppliedBranchRow> applied_;   // scratch
+  std::vector<std::pair<int, double>> probe_rows_;  // scratch
+  std::int64_t dfs_expansions_ = 0;
+  double min_reduced_cost_ = -std::numeric_limits<double>::infinity();
 };
 
 FractionalSolution extract(const ConfigLpProblem& problem,
@@ -449,6 +654,10 @@ struct ConfigLpSolver::State {
     simplex_options.pricing_threads = options.pricing_threads;
     model = build_rows(problem, layout);
     add_surplus_columns(model, layout, table);
+    if (options.use_pricing_cache && options.use_column_generation) {
+      cache = std::make_unique<bnp::PricingCache>();
+      grid_denom = detect_width_grid(problem);
+    }
     // Neutral rhs for deactivated LE branch rows: above the trivial
     // integral solution (stack everything in phase R, each demand
     // rounded up — the ceilings keep the bound valid for fractional
@@ -463,6 +672,41 @@ struct ConfigLpSolver::State {
                       total_demand + 1.0;
   }
 
+  // Deep copy for `ConfigLpSolver::clone`: same problem reference, copied
+  // model / column pool / branch rows / pattern cache, fresh oracle and
+  // engine. The engine warm-starts from `other.last_basis` extended with
+  // slack codes for rows added since that basis was captured (appended
+  // rows enter on their own logicals, exactly as `sync_rows` would).
+  explicit State(const State& other)
+      : problem(other.problem),
+        options(other.options),
+        layout(other.layout),
+        model(other.model),
+        table(other.table),
+        branch_rows(other.branch_rows),
+        inactive_le_rhs(other.inactive_le_rhs),
+        simplex_options(other.simplex_options),
+        grid_denom(other.grid_denom),
+        node_cutoff(other.node_cutoff),
+        last_basis(other.last_basis),
+        solved(other.solved) {
+    STRIPACK_EXPECTS(other.solved);
+    if (other.cache != nullptr) {
+      cache = std::make_unique<bnp::PricingCache>(*other.cache);
+      cache->reset_stats();
+    }
+    if (options.use_column_generation) {
+      oracle = std::make_unique<KnapsackOracle>(
+          problem, layout, table, branch_rows, cache.get(), grid_denom);
+    }
+    std::vector<int> basis = last_basis;
+    for (int r = static_cast<int>(basis.size()); r < model.num_rows(); ++r) {
+      basis.push_back(lp::slack_code(r));
+    }
+    simplex_options.initial_basis = std::move(basis);
+    engine = std::make_unique<lp::SimplexEngine>(model, simplex_options);
+  }
+
   const ConfigLpProblem& problem;
   ConfigLpOptions options;
   RowLayout layout;
@@ -471,9 +715,35 @@ struct ConfigLpSolver::State {
   std::vector<BranchRow> branch_rows;
   double inactive_le_rhs = 0.0;
   lp::SimplexOptions simplex_options;
+  std::unique_ptr<bnp::PricingCache> cache;  // memoized pricing (colgen)
+  /// Common width grid for the pricing DP bound (0: none); computed once
+  /// per problem and inherited by clones.
+  int grid_denom = 0;
   std::unique_ptr<KnapsackOracle> oracle;  // column-generation mode only
   std::unique_ptr<lp::SimplexEngine> engine;
+  /// Lagrangian prune threshold for re-solves (infinity = off).
+  double node_cutoff = std::numeric_limits<double>::infinity();
+  /// Basis of the most recent optimal (re-)solve; clone's warm start.
+  std::vector<int> last_basis;
+  /// Dedup index for `adopt_column`: (phase, counts) of every
+  /// configuration column present, synced lazily from the table.
+  std::map<std::pair<std::size_t, std::vector<int>>, char> column_keys;
+  std::size_t column_keys_synced = 0;
   bool solved = false;
+
+  void sync_column_keys() {
+    for (std::size_t c = column_keys_synced; c < table.config_of.size();
+         ++c) {
+      const int q = table.config_of[c];
+      if (q >= 0) {
+        column_keys.emplace(
+            std::make_pair(table.phase_of[c],
+                           table.configs[static_cast<std::size_t>(q)].counts),
+            0);
+      }
+    }
+    column_keys_synced = table.config_of.size();
+  }
 
   [[nodiscard]] FractionalSolution finish(const lp::Solution& solution,
                                           std::int64_t iterations,
@@ -489,6 +759,7 @@ struct ConfigLpSolver::State {
     if (!options.use_column_generation) {
       out.configurations = table.configs.size();
     }
+    if (solution.optimal()) last_basis = solution.basis;
     return out;
   }
 
@@ -503,7 +774,23 @@ struct ConfigLpSolver::State {
   [[nodiscard]] FractionalSolution resolve() {
     engine->sync_rows();
     const bool colgen = options.use_column_generation;
-    lp::Solution solution = engine->solve_dual(colgen);
+    // Enumeration mode works on the full LP, so the dual simplex's
+    // monotone objective is a valid global bound and can stop at the node
+    // cutoff directly. In column-generation mode the restricted master's
+    // dual objective bounds only the restricted LP; early termination
+    // must wait for Farley's bound in the pricing loop below.
+    lp::Solution solution = engine->solve_dual(
+        colgen, colgen ? std::numeric_limits<double>::infinity()
+                       : node_cutoff);
+    if (solution.status == lp::SolveStatus::ObjectiveCutoff) {
+      FractionalSolution out =
+          finish(solution, solution.iterations, 0,
+                 solution.phase1_iterations);
+      out.dual_iterations = solution.dual_iterations;
+      out.cutoff_pruned = true;
+      out.cutoff_bound = solution.objective;
+      return out;
+    }
     std::int64_t dual_pivots = solution.dual_iterations;
     std::int64_t iterations = solution.iterations;
     std::int64_t warm_phase1 = solution.phase1_iterations;
@@ -538,14 +825,26 @@ struct ConfigLpSolver::State {
       out.farkas_columns = farkas_columns;
       return out;
     }
+    // Farley cutoff mass: sum of packing capacities (the phase-R mass is
+    // the objective itself and is folded into the bound's denominator).
+    lp::ColgenCutoff cutoff;
+    cutoff.objective = node_cutoff;
+    cutoff.column_mass = problem.releases.back() - problem.releases.front();
+    const lp::ColgenCutoff* cutoff_ptr =
+        node_cutoff < std::numeric_limits<double>::infinity() ? &cutoff
+                                                              : nullptr;
     lp::ColgenResult result = lp::solve_with_column_generation(
-        model, *oracle, *engine, simplex_options.tol);
+        model, *oracle, *engine, simplex_options.tol, 500, cutoff_ptr);
     FractionalSolution out =
         finish(result.solution, iterations + result.total_iterations,
                result.rounds, warm_phase1 + result.warm_phase1_iterations);
     out.dual_iterations = dual_pivots;
     out.farkas_rounds = farkas_rounds;
     out.farkas_columns = farkas_columns;
+    if (result.cutoff_reached) {
+      out.cutoff_pruned = true;
+      out.cutoff_bound = result.cutoff_lower_bound;
+    }
     return out;
   }
 };
@@ -593,6 +892,7 @@ FractionalSolution ConfigLpSolver::solve() {
     q.counts[i] = 1;
     q.total_width = problem.widths[i];
     q.total_items = 1;
+    if (s.cache != nullptr) s.cache->insert(q.counts, q.total_width);
     s.table.configs.push_back(std::move(q));
   }
   for (std::size_t j = 0; j < s.layout.num_phases; ++j) {
@@ -604,7 +904,8 @@ FractionalSolution ConfigLpSolver::solve() {
     }
   }
   s.oracle = std::make_unique<KnapsackOracle>(problem, s.layout, s.table,
-                                              s.branch_rows);
+                                              s.branch_rows, s.cache.get(),
+                                              s.grid_denom);
   s.engine = std::make_unique<lp::SimplexEngine>(s.model, s.simplex_options);
   const lp::ColgenResult result = lp::solve_with_column_generation(
       s.model, *s.oracle, *s.engine, s.simplex_options.tol);
@@ -696,6 +997,7 @@ int ConfigLpSolver::add_branch_row(BranchPredicate pred, lp::Sense sense,
   const int row = s.model.add_row_with_entries(
       sense, rhs, entries,
       "br[" + std::to_string(s.branch_rows.size()) + "]");
+  if (s.cache != nullptr) s.cache->register_row(row, pred);
   s.branch_rows.push_back({std::move(pred), row, sense});
   return row;
 }
@@ -719,6 +1021,75 @@ FractionalSolution ConfigLpSolver::resolve() {
   State& s = *state_;
   STRIPACK_EXPECTS(s.solved);
   return s.resolve();
+}
+
+void ConfigLpSolver::set_node_cutoff(double objective) {
+  state_->node_cutoff = objective;
+}
+
+ConfigLpSolver::ConfigLpSolver(std::unique_ptr<State> state)
+    : state_(std::move(state)) {}
+
+ConfigLpSolver ConfigLpSolver::clone() const {
+  STRIPACK_EXPECTS(state_->solved);
+  return ConfigLpSolver(std::make_unique<State>(*state_));
+}
+
+const std::vector<int>& ConfigLpSolver::last_basis() const {
+  return state_->last_basis;
+}
+
+std::size_t ConfigLpSolver::num_columns() const {
+  return state_->table.config_of.size();
+}
+
+std::vector<AdoptableColumn> ConfigLpSolver::columns_since(
+    std::size_t first_column) const {
+  const State& s = *state_;
+  std::vector<AdoptableColumn> out;
+  for (std::size_t c = first_column; c < s.table.config_of.size(); ++c) {
+    const int q = s.table.config_of[c];
+    if (q >= 0) {
+      out.push_back({s.table.configs[static_cast<std::size_t>(q)],
+                     s.table.phase_of[c]});
+    }
+  }
+  return out;
+}
+
+bool ConfigLpSolver::adopt_column(const Configuration& config,
+                                 std::size_t phase) {
+  State& s = *state_;
+  STRIPACK_EXPECTS(s.solved);
+  STRIPACK_EXPECTS(config.counts.size() == s.problem.widths.size());
+  STRIPACK_EXPECTS(phase < s.layout.num_phases);
+  s.sync_column_keys();
+  const auto [it, fresh] =
+      s.column_keys.emplace(std::make_pair(phase, config.counts), 0);
+  if (!fresh) return false;
+  s.model.add_column(column_cost(s.layout, phase),
+                     column_entries(s.layout, s.branch_rows, config, phase),
+                     "ad[j=" + std::to_string(phase) + "]");
+  if (s.cache != nullptr) s.cache->insert(config.counts, config.total_width);
+  s.table.add(static_cast<int>(s.table.configs.size()), phase);
+  s.table.configs.push_back(config);
+  s.column_keys_synced = s.table.config_of.size();
+  return true;
+}
+
+PricingStats ConfigLpSolver::pricing_stats() const {
+  const State& s = *state_;
+  PricingStats stats;
+  if (s.oracle != nullptr) {
+    stats.dfs_expansions = s.oracle->dfs_expansions();
+  }
+  if (s.cache != nullptr) {
+    stats.cache_probes = s.cache->probes();
+    stats.cache_hits = s.cache->hits();
+    stats.exact_memo_hits = s.cache->memo_hits();
+    stats.cache_patterns = s.cache->size();
+  }
+  return stats;
 }
 
 FractionalSolution solve_config_lp(const ConfigLpProblem& problem,

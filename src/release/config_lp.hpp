@@ -43,6 +43,10 @@
 #include "lp/simplex.hpp"
 #include "release/configurations.hpp"
 
+namespace stripack::bnp {
+class PricingCache;  // bnp/pricing_cache.hpp (owned by ConfigLpSolver)
+}  // namespace stripack::bnp
+
 namespace stripack::release {
 
 /// The data the LP is built from.
@@ -101,6 +105,35 @@ struct FractionalSolution {
   /// configuration column (rounds == 0, as in enumeration mode).
   int farkas_rounds = 0;
   std::size_t farkas_columns = 0;
+  /// Lagrangian early termination (see `ConfigLpSolver::set_node_cutoff`):
+  /// the re-solve proved `cutoff_bound` is a lower bound on this LP's
+  /// *full* optimum with `cutoff_bound >= cutoff`, and stopped early.
+  /// Check this BEFORE acting on the other fields: in column-generation
+  /// mode the solution carried here is the restricted master's (an upper
+  /// bound, reported `feasible`); in enumeration mode the solve was
+  /// abandoned (`feasible == false`). Either way the caller should prune.
+  bool cutoff_pruned = false;
+  double cutoff_bound = 0.0;
+};
+
+/// Pricing-side counters of a `ConfigLpSolver` (cumulative since
+/// construction; a clone starts at zero). `dfs_expansions` counts calls
+/// into the exact pricing DFS's recursion — the quantity the pattern
+/// cache exists to shrink.
+struct PricingStats {
+  std::int64_t dfs_expansions = 0;
+  std::int64_t cache_probes = 0;
+  std::int64_t cache_hits = 0;
+  /// Exact-input memo hits: pricing searches skipped outright.
+  std::int64_t exact_memo_hits = 0;
+  std::size_t cache_patterns = 0;
+};
+
+/// A configuration column priced by one solver, exportable into another
+/// (the batch-parallel merge path of bnp/solver).
+struct AdoptableColumn {
+  Configuration config;
+  std::size_t phase = 0;
 };
 
 struct ConfigLpOptions {
@@ -109,11 +142,20 @@ struct ConfigLpOptions {
   double tol = 1e-9;
   /// Entering-variable rule for the underlying simplex. Dantzig is the
   /// cheap default; SteepestEdge trades O(nnz) scans per pivot for far
-  /// fewer pivots on large enumeration models.
+  /// fewer pivots on large enumeration models (Devex approximates it at
+  /// about half the scan cost).
   lp::PricingRule pricing = lp::PricingRule::Dantzig;
   /// Pricing-scan threads (forwarded to `SimplexOptions::pricing_threads`;
   /// 1 = serial, 0 = hardware concurrency; deterministic either way).
   int pricing_threads = 1;
+  /// Memoized pricing (column-generation mode): intern every pattern the
+  /// oracle emits or adopts into a `bnp::PricingCache` and, before each
+  /// exact pricing DFS, probe the cache for a warm incumbent — unchanged
+  /// subproblems become lookups plus a verification pass instead of a
+  /// from-scratch re-enumeration, and branch-row bonuses apply as deltas
+  /// on the cached entries. The DFS keeps the last word, so pricing
+  /// stays exact; the seed only strengthens its pruning bound.
+  bool use_pricing_cache = false;
 };
 
 /// Solves the configuration LP; the returned slices reproduce the demand
@@ -213,8 +255,48 @@ class ConfigLpSolver {
   /// full master, never just the restricted one.
   [[nodiscard]] FractionalSolution resolve();
 
+  /// Lagrangian early-termination cutoff for subsequent `resolve`s: as
+  /// soon as a re-solve can *prove* the full LP optimum is >= `objective`
+  /// it stops and reports `FractionalSolution::cutoff_pruned` instead of
+  /// finishing. Enumeration mode uses the dual simplex's monotone
+  /// objective; column-generation mode uses Farley's bound after each
+  /// pricing round. Infinity (the default) disables the cutoff.
+  void set_node_cutoff(double objective);
+
+  /// Deep copy for batch-parallel node evaluation: the clone shares the
+  /// (const) problem, copies the model / column pool / branch rows /
+  /// pattern cache, and warm-starts a fresh engine from this solver's
+  /// last optimal basis (`last_basis`, extended with slack codes for any
+  /// rows added since it was captured). Requires a prior `solve()`.
+  /// Cloning is const and touches no mutable solver state, so concurrent
+  /// clones of one master are safe; the clone itself is single-threaded.
+  [[nodiscard]] ConfigLpSolver clone() const;
+
+  /// Basis of the most recent optimal (re-)solve — the warm-start seed
+  /// `clone()` uses. Empty before the first optimal solve.
+  [[nodiscard]] const std::vector<int>& last_basis() const;
+
+  /// Total model columns (surpluses + configurations); the cursor for
+  /// `columns_since`.
+  [[nodiscard]] std::size_t num_columns() const;
+
+  /// The configuration columns added at or after model column index
+  /// `first_column` — what a worker clone priced beyond its snapshot.
+  [[nodiscard]] std::vector<AdoptableColumn> columns_since(
+      std::size_t first_column) const;
+
+  /// Adds a configuration column priced elsewhere (deduplicated by
+  /// (phase, counts) against every column already present): the
+  /// batch-merge path. Returns true when the column was actually new.
+  /// The engine picks adopted columns up on the next `resolve()`.
+  bool adopt_column(const Configuration& config, std::size_t phase);
+
+  /// Cumulative pricing counters (DFS expansions, cache probes/hits).
+  [[nodiscard]] PricingStats pricing_stats() const;
+
  private:
   struct State;
+  explicit ConfigLpSolver(std::unique_ptr<State> state);
   std::unique_ptr<State> state_;
 };
 

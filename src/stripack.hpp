@@ -20,7 +20,9 @@
 #include "binpack/binpack.hpp"             // IWYU pragma: export
 #include "binpack/precedence_binpack.hpp"  // IWYU pragma: export
 #include "bnp/node_tree.hpp"               // IWYU pragma: export
+#include "bnp/pricing_cache.hpp"           // IWYU pragma: export
 #include "bnp/solver.hpp"                  // IWYU pragma: export
+#include "bnp/worker_pool.hpp"             // IWYU pragma: export
 #include "core/bounds.hpp"                 // IWYU pragma: export
 #include "core/instance.hpp"               // IWYU pragma: export
 #include "core/packing.hpp"                // IWYU pragma: export
@@ -67,3 +69,4 @@
 #include "util/rng.hpp"                    // IWYU pragma: export
 #include "util/stopwatch.hpp"              // IWYU pragma: export
 #include "util/table.hpp"                  // IWYU pragma: export
+#include "util/thread_pool.hpp"            // IWYU pragma: export

@@ -1,9 +1,9 @@
 #include "util/parallel_for.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <thread>
-#include <vector>
+
+#include "util/thread_pool.hpp"
 
 namespace stripack {
 
@@ -20,27 +20,12 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
     return;
   }
 
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-
-  const std::size_t chunk = (n + workers - 1) / workers;
-  for (unsigned w = 0; w < workers; ++w) {
-    const std::size_t begin = static_cast<std::size_t>(w) * chunk;
-    const std::size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    pool.emplace_back([&, begin, end] {
-      try {
-        for (std::size_t i = begin; i < end; ++i) fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  // The shared pool replaces the old spawn-and-join-per-call threads; the
+  // chunking (ceil(n / workers) contiguous indices per part) is the same,
+  // so the index → chunk assignment is unchanged. Concurrent calls from
+  // different threads are safe but degrade toward caller-only execution
+  // (each run() drains its own batch regardless of worker availability).
+  ThreadPool::shared().run(n, fn, workers);
 }
 
 }  // namespace stripack

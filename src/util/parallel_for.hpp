@@ -7,9 +7,11 @@
 // packing algorithms themselves remain strictly sequential and
 // deterministic. Work is split into static contiguous chunks so the
 // assignment of indices to threads never depends on timing, per the
-// reproducibility conventions in docs/ARCHITECTURE.md. Threads are
-// spawned and joined per call (no pool): callers on hot paths must gate
-// on work size.
+// reproducibility conventions in docs/ARCHITECTURE.md. Calls execute on
+// the process-wide `ThreadPool::shared()` (util/thread_pool.hpp) — a
+// condition-variable wake per call instead of the old spawn-and-join
+// threads — but small scans should still run serial: the synchronization
+// is cheap, not free.
 #pragma once
 
 #include <cstddef>

@@ -234,6 +234,9 @@ std::string config_name(const ::testing::TestParamInfo<DiffConfig>& info) {
     case PricingRule::SteepestEdge:
       name = "SteepestEdge";
       break;
+    case PricingRule::Devex:
+      name = "Devex";
+      break;
   }
   name += info.param.refactor_interval == 1
               ? "Eager"
@@ -303,7 +306,11 @@ INSTANTIATE_TEST_SUITE_P(
                       DiffConfig{PricingRule::SteepestEdge, 1, 1},
                       DiffConfig{PricingRule::SteepestEdge, 64, 1},
                       DiffConfig{PricingRule::SteepestEdge, 1 << 30, 1},
-                      DiffConfig{PricingRule::SteepestEdge, 64, 2}),
+                      DiffConfig{PricingRule::SteepestEdge, 64, 2},
+                      DiffConfig{PricingRule::Devex, 1, 1},
+                      DiffConfig{PricingRule::Devex, 64, 1},
+                      DiffConfig{PricingRule::Devex, 1 << 30, 1},
+                      DiffConfig{PricingRule::Devex, 64, 2}),
     config_name);
 
 // A wide model on which *every* column prices negative at the start (all
@@ -330,7 +337,8 @@ TEST(SimplexParallelPricing, ThreadedScansReproduceTheSerialPivotSequence) {
   // (see kParallelScanMin): they must replicate the serial tie-breaks
   // exactly, so iteration counts and bases — not just objectives — match.
   for (const PricingRule rule :
-       {PricingRule::Dantzig, PricingRule::SteepestEdge}) {
+       {PricingRule::Dantzig, PricingRule::SteepestEdge,
+        PricingRule::Devex}) {
     Rng rng(4242);
     const Model m = rule == PricingRule::Dantzig
                         ? wide_profitable_model(rng, 16, 120000)
@@ -373,6 +381,14 @@ TEST(SimplexSteepestEdge, CutsPivotsOnWideDegenerateModels) {
   ASSERT_TRUE(b.optimal());
   EXPECT_NEAR(a.objective, b.objective, 1e-6 * (1.0 + std::fabs(a.objective)));
   EXPECT_LT(b.iterations, a.iterations);
+  // Devex approximates the steepest-edge pivot counts at roughly half
+  // the scan cost per pivot: it must land well below Dantzig too.
+  SimplexOptions devex;
+  devex.pricing = PricingRule::Devex;
+  const Solution c = solve(m, devex);
+  ASSERT_TRUE(c.optimal());
+  EXPECT_NEAR(a.objective, c.objective, 1e-6 * (1.0 + std::fabs(a.objective)));
+  EXPECT_LT(c.iterations, a.iterations);
 }
 
 }  // namespace

@@ -99,6 +99,20 @@ TEST(Umbrella, BranchAndPrice) {
   tree.add_root(1.0);
   EXPECT_EQ(tree.pop_best(), 0);
 
+  // PR 5 scaling units: the pattern cache and the batch worker pool.
+  bnp::PricingCache cache;
+  const std::vector<int> counts{1, 0};
+  EXPECT_EQ(cache.insert(counts, 0.4), 0);
+  EXPECT_EQ(cache.size(), 1u);
+  bnp::BnpWorkerPool workers(2);
+  EXPECT_EQ(workers.threads(), 2);
+  bnp::BnpOptions batched;
+  batched.threads = 2;
+  batched.node_batch = 4;
+  const bnp::BnpResult parallel = bnp::solve(family.instance, batched);
+  EXPECT_EQ(parallel.status, bnp::BnpStatus::Optimal);
+  EXPECT_NEAR(parallel.height, result.height, 1e-6);
+
   const auto packer = make_packer("BnP");
   ASSERT_NE(packer, nullptr);
   EXPECT_EQ(packer->name(), "BnP");
@@ -175,6 +189,10 @@ TEST(Umbrella, Util) {
   std::vector<int> hits(16, 0);
   parallel_for(hits.size(), [&](std::size_t i) { hits[i] = 1; });
   for (const int h : hits) EXPECT_EQ(h, 1);
+  ThreadPool pool(2);
+  std::vector<int> pooled(16, 0);
+  pool.run(pooled.size(), [&](std::size_t i) { pooled[i] = 1; });
+  for (const int h : pooled) EXPECT_EQ(h, 1);
   const Stopwatch watch;
   EXPECT_GE(watch.seconds(), 0.0);
 }
