@@ -3,7 +3,8 @@
 //   $ ./stripack_solve <instance.txt> [--algo dc|uniform|aptas|kr|list|
 //                                       nfdh|ffdh|bfdh|sleator|skyline|bnp]
 //                      [--eps E] [--K k] [--svg out.svg] [--out placement.txt]
-//                      [--threads N] [--node-batch B] [--verbose]
+//                      [--threads N] [--node-batch B]
+//                      [--backend NAME] [--portfolio MODE] [--verbose]
 //
 // Reads the text format of io/instance_io.hpp, picks the algorithm (or
 // chooses one from the instance's constraints when --algo is omitted),
@@ -12,8 +13,11 @@
 //
 // `--threads` / `--node-batch` configure the branch-and-price solver's
 // batch-synchronous parallel node evaluation (bnp only; default serial,
-// 0 = auto). `--verbose` prints the solver's node, pricing-cache and
-// cutoff diagnostics.
+// 0 = auto). `--backend` picks the master LP's registered `lp::LpBackend`
+// and `--portfolio` its selection mode (single | auto | race |
+// round-robin); racing applies to the enumeration master, colgen masters
+// reduce to the auto shape heuristic (see lp/portfolio.hpp). `--verbose`
+// prints the solver's node, pricing-cache and cutoff diagnostics.
 #include <cmath>
 #include <cstring>
 #include <fstream>
@@ -33,12 +37,23 @@ int usage() {
   std::cerr
       << "usage: stripack_solve <instance.txt> [--algo NAME] [--eps E]\n"
          "                      [--K k] [--svg out.svg] [--out place.txt]\n"
-         "                      [--threads N] [--node-batch B] [--verbose]\n"
+         "                      [--threads N] [--node-batch B]\n"
+         "                      [--backend NAME] [--portfolio MODE] "
+         "[--verbose]\n"
          "algorithms: dc uniform aptas kr list nfdh ffdh bfdh sleator "
          "skyline bnp\n"
          "bnp flags: --threads N (0 = auto) and --node-batch B (0 = auto)\n"
-         "pick the batch-synchronous parallel node evaluation; --verbose\n"
-         "prints node / pricing-cache / cutoff diagnostics\n";
+         "pick the batch-synchronous parallel node evaluation; --backend\n"
+         "selects the master LP backend (";
+  bool first = true;
+  for (const std::string& name : lp::lp_backend_names()) {
+    std::cerr << (first ? "" : " | ") << name;
+    first = false;
+  }
+  std::cerr
+      << "); --portfolio selects\n"
+         "single | auto | race | round-robin; --verbose prints node /\n"
+         "pricing-cache / cutoff diagnostics\n";
   return 2;
 }
 
@@ -61,6 +76,8 @@ int main(int argc, char** argv) {
   int K = 4;
   int threads = 1;
   int node_batch = 0;
+  std::string backend = lp::kDefaultLpBackend;
+  lp::PortfolioMode portfolio = lp::PortfolioMode::Single;
   bool verbose = false;
   const std::string input = argv[1];
   for (int i = 2; i < argc; ++i) {
@@ -76,7 +93,15 @@ int main(int argc, char** argv) {
     else if (flag == "--out") out_path = next();
     else if (flag == "--threads") threads = std::stoi(next());
     else if (flag == "--node-batch") node_batch = std::stoi(next());
-    else if (flag == "--verbose") verbose = true;
+    else if (flag == "--backend") {
+      backend = next();
+      if (!lp::has_lp_backend(backend)) {
+        std::cerr << "unknown LP backend: " << backend << "\n";
+        return usage();
+      }
+    } else if (flag == "--portfolio") {
+      if (!lp::parse_portfolio_mode(next(), portfolio)) return usage();
+    } else if (flag == "--verbose") verbose = true;
     else return usage();
   }
 
@@ -126,6 +151,13 @@ int main(int argc, char** argv) {
         bnp::BnpOptions options;
         options.threads = threads;
         options.node_batch = node_batch;
+        options.lp.backend = backend;
+        options.lp.portfolio = portfolio;
+        if (backend != lp::kDefaultLpBackend ||
+            portfolio != lp::PortfolioMode::Single) {
+          std::cout << "bnp: master LP backend " << backend << ", portfolio "
+                    << lp::to_string(portfolio) << "\n";
+        }
         const bnp::BnpResult result = bnp::solve(instance, options);
         // Only an Optimal status is a certificate; budget-limited or
         // stalled runs carry a [dual_bound, height] bracket instead.
@@ -175,6 +207,8 @@ int main(int argc, char** argv) {
         bnp::BnpOptions options = bnp::BnpPacker::default_pack_options();
         options.threads = threads;
         options.node_batch = node_batch;
+        options.lp.backend = backend;
+        options.lp.portfolio = portfolio;
         const bnp::BnpPacker packer(options);
         std::vector<Rect> rects;
         for (const Item& it : instance.items()) rects.push_back(it.rect);

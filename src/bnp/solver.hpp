@@ -59,6 +59,9 @@ struct BnpOptions {
   /// Underlying LP configuration. Column generation is the default (the
   /// branch-and-price shape, with Farkas pricing at infeasible nodes);
   /// disabling it enumerates every configuration up front instead.
+  /// `lp.backend` picks the master's `lp::LpBackend` from the registry
+  /// ("simplex" production engine, "dense" reference tableau) — node
+  /// clones inherit it, so the whole tree re-solves on one implementation.
   release::ConfigLpOptions lp{.use_column_generation = true};
   SearchBudget budget;
   /// Seed the incumbent from the rounded root LP (floor early-phase

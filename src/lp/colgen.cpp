@@ -5,14 +5,14 @@
 namespace stripack::lp {
 
 ColgenResult solve_with_column_generation(Model& model, PricingOracle& oracle,
-                                          SimplexEngine& engine,
+                                          LpBackend& backend,
                                           double pricing_tol, int max_rounds,
                                           const ColgenCutoff* cutoff) {
   STRIPACK_EXPECTS(max_rounds > 0);
   ColgenResult result;
-  engine.sync_columns();
+  backend.sync_columns();
   while (true) {
-    result.solution = engine.solve();
+    result.solution = backend.solve();
     ++result.rounds;
     result.total_iterations += result.solution.iterations;
     if (result.rounds == 1) {
@@ -48,8 +48,17 @@ ColgenResult solve_with_column_generation(Model& model, PricingOracle& oracle,
       model.add_column(col.cost, col.entries, col.name);
       ++result.columns_added;
     }
-    engine.sync_columns();
+    backend.sync_columns();
   }
+}
+
+ColgenResult solve_with_column_generation(Model& model, PricingOracle& oracle,
+                                          SimplexEngine& engine,
+                                          double pricing_tol, int max_rounds,
+                                          const ColgenCutoff* cutoff) {
+  const auto backend = wrap_engine(engine);
+  return solve_with_column_generation(model, oracle, *backend, pricing_tol,
+                                      max_rounds, cutoff);
 }
 
 ColgenResult solve_with_column_generation(Model& model, PricingOracle& oracle,

@@ -1,0 +1,200 @@
+#include "lp/portfolio.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "util/thread_pool.hpp"
+
+namespace stripack::lp {
+namespace {
+
+const char* pricing_name(PricingRule rule) {
+  switch (rule) {
+    case PricingRule::Dantzig: return "dantzig";
+    case PricingRule::Bland: return "bland";
+    case PricingRule::SteepestEdge: return "steepest-edge";
+    case PricingRule::Devex: return "devex";
+  }
+  return "?";
+}
+
+// Solves one entry cold over its own backend instance. `stop` (optional)
+// lets a race cancel it mid-pivot.
+Solution solve_entry(const Model& model, const PortfolioEntry& entry,
+                     const std::atomic<bool>* stop,
+                     std::int64_t max_iterations = 0) {
+  SimplexOptions options = entry.options;
+  if (stop != nullptr) options.stop = stop;
+  if (max_iterations > 0) options.max_iterations = max_iterations;
+  return make_lp_backend(entry.backend, model, options)->solve();
+}
+
+PortfolioResult finish(PortfolioResult result,
+                       const std::vector<PortfolioEntry>& entries) {
+  if (result.winner >= 0) {
+    const PortfolioEntry& entry =
+        entries[static_cast<std::size_t>(result.winner)];
+    result.winner_label = entry.label();
+    result.winner_backend = entry.backend;
+  }
+  return result;
+}
+
+}  // namespace
+
+const char* to_string(PortfolioMode mode) {
+  switch (mode) {
+    case PortfolioMode::Single: return "single";
+    case PortfolioMode::Auto: return "auto";
+    case PortfolioMode::Race: return "race";
+    case PortfolioMode::RoundRobin: return "round-robin";
+  }
+  return "?";
+}
+
+bool parse_portfolio_mode(const std::string& text, PortfolioMode& mode) {
+  if (text == "single") mode = PortfolioMode::Single;
+  else if (text == "auto") mode = PortfolioMode::Auto;
+  else if (text == "race") mode = PortfolioMode::Race;
+  else if (text == "round-robin" || text == "roundrobin")
+    mode = PortfolioMode::RoundRobin;
+  else return false;
+  return true;
+}
+
+std::string PortfolioEntry::label() const {
+  if (backend == "dense") return backend;  // Bland only; pricing ignored
+  return backend + "/" + pricing_name(options.pricing);
+}
+
+std::string choose_backend(const Model& model) {
+  const bool tiny = model.num_rows() <= 6 && model.num_cols() <= 24;
+  return tiny && has_lp_backend("dense") ? "dense"
+                                         : std::string(kDefaultLpBackend);
+}
+
+std::vector<PortfolioEntry> default_portfolio(const Model& model) {
+  std::vector<PortfolioEntry> entries;
+  PortfolioEntry dantzig;
+  entries.push_back(dantzig);
+  PortfolioEntry weighted;
+  // Wide masters reward the cheap Devex scan; squarer ones the exact
+  // steepest-edge weights (see lp/simplex.hpp).
+  weighted.options.pricing = model.num_cols() >= 4 * model.num_rows()
+                                 ? PricingRule::Devex
+                                 : PricingRule::SteepestEdge;
+  entries.push_back(weighted);
+  if (model.num_rows() <= 12 && has_lp_backend("dense")) {
+    PortfolioEntry dense;
+    dense.backend = "dense";
+    entries.push_back(dense);
+  }
+  return entries;
+}
+
+PortfolioResult portfolio_solve(const Model& model,
+                                const PortfolioOptions& options) {
+  const std::vector<PortfolioEntry> entries =
+      options.entries.empty() ? default_portfolio(model) : options.entries;
+  PortfolioResult result;
+  result.entry_status.assign(entries.size(), SolveStatus::IterationLimit);
+
+  if (options.mode == PortfolioMode::Single ||
+      options.mode == PortfolioMode::Auto) {
+    PortfolioEntry entry = entries.front();
+    if (options.mode == PortfolioMode::Auto && options.entries.empty()) {
+      entry.backend = choose_backend(model);
+      entry.options.pricing = model.num_cols() >= 4 * model.num_rows()
+                                  ? PricingRule::Devex
+                                  : PricingRule::Dantzig;
+    }
+    result.solution = solve_entry(model, entry, nullptr);
+    result.winner = 0;
+    result.entry_status[0] = result.solution.status;
+    result.winner_label = entry.label();
+    result.winner_backend = entry.backend;
+    return result;
+  }
+
+  if (options.mode == PortfolioMode::RoundRobin) {
+    // Deterministic by construction: every turn gives each entry a fresh
+    // cold solve under the same fixed pivot budget (no shared state, no
+    // cancellation), and the winner is the lowest-indexed conclusive
+    // entry of the earliest conclusive turn — a pure function of the
+    // model and the budgets, whatever the thread count.
+    std::vector<Solution> solutions(entries.size());
+    std::int64_t budget = std::max<std::int64_t>(1, options.round_robin_budget);
+    for (int turn = 0; turn < std::max(1, options.max_turns); ++turn) {
+      ++result.turns;
+      ThreadPool::shared().run(
+          entries.size(),
+          [&](std::size_t i) {
+            solutions[i] = solve_entry(model, entries[i], nullptr, budget);
+          },
+          entries.size());
+      int winner = -1;
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        result.entry_status[i] = solutions[i].status;
+        if (winner < 0 && is_conclusive(solutions[i].status)) {
+          winner = static_cast<int>(i);
+        }
+      }
+      if (winner >= 0) {
+        result.winner = winner;
+        result.solution =
+            std::move(solutions[static_cast<std::size_t>(winner)]);
+        return finish(std::move(result), entries);
+      }
+      budget *= 2;
+    }
+    result.solution = std::move(solutions.front());  // best effort
+    return finish(std::move(result), entries);
+  }
+
+  // Race: first conclusive finisher claims the win and cancels the rest.
+  std::atomic<bool> stop{false};
+  std::atomic<int> winner{-1};
+  std::vector<Solution> solutions(entries.size());
+  ThreadPool::shared().run(
+      entries.size(),
+      [&](std::size_t i) {
+        if (options.stagger_seed != 0) {
+          // Deterministic per-(seed, entry) start delay, purely to let
+          // tests perturb finishing order.
+          const unsigned h =
+              options.stagger_seed * 2654435761u + static_cast<unsigned>(i) *
+              40503u;
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              100 * (h % 8)));
+        }
+        solutions[i] = solve_entry(model, entries[i], &stop);
+        if (is_conclusive(solutions[i].status)) {
+          int expected = -1;
+          if (winner.compare_exchange_strong(expected,
+                                             static_cast<int>(i))) {
+            stop.store(true, std::memory_order_relaxed);
+          }
+        }
+      },
+      entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    result.entry_status[i] = solutions[i].status;
+  }
+  int w = winner.load();
+  if (w < 0) {
+    // Nobody concluded within its iteration budget (only possible with
+    // explicit max_iterations); fall back to an uncancelled re-solve of
+    // the first entry so the caller still gets a definitive answer.
+    solutions[0] = solve_entry(model, entries.front(), nullptr);
+    result.entry_status[0] = solutions[0].status;
+    w = 0;
+  }
+  result.winner = w;
+  result.solution = std::move(solutions[static_cast<std::size_t>(w)]);
+  return finish(std::move(result), entries);
+}
+
+}  // namespace stripack::lp

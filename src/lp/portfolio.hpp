@@ -1,0 +1,107 @@
+// LP backend portfolio: shape-based selection, racing, and round-robin.
+//
+// Built on the `lp::LpBackend` registry seam. Three ways to pick a
+// solver for one model:
+//
+//  - Auto: a deterministic model-shape heuristic (`choose_backend`) picks
+//    one backend + pricing rule and solves once. Pure function of the
+//    model dimensions — reproducible by construction.
+//  - Race: every portfolio entry solves an independent instance
+//    concurrently on the shared deterministic `util::ThreadPool`; the
+//    first *conclusive* finisher (Optimal / Infeasible / Unbounded) wins
+//    and cancels the rest through `SimplexOptions::stop`. Which entry wins
+//    depends on timing, so racing is only offered where any certified
+//    answer is acceptable: every entry solves the same model exactly, so
+//    the certified verdict (status, optimal objective) is winner-
+//    independent even though the winning basis may differ. The tests
+//    assert exactly that, under seeded start-time perturbation.
+//  - RoundRobin: when bit-reproducibility is required. Turn t gives every
+//    entry a fresh cold solve with the same fixed pivot budget
+//    (`round_robin_budget << t`); the winner is the lowest-indexed entry
+//    that is conclusive in the earliest turn. Entries never share mutable
+//    state and each solve is deterministic, so the selected entry AND its
+//    bit-exact solution are independent of thread count and scheduling —
+//    asserted, not assumed, by the portfolio tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lp/backend.hpp"
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+
+namespace stripack::lp {
+
+enum class PortfolioMode {
+  Single,      // entries[0] (or the default backend), one solve
+  Auto,        // choose_backend() shape heuristic, one solve
+  Race,        // parallel first-conclusive-wins with cancellation
+  RoundRobin,  // deterministic fixed-budget rounds
+};
+
+/// True for verdicts that settle the model (racing accepts them as wins).
+[[nodiscard]] constexpr bool is_conclusive(SolveStatus status) {
+  return status == SolveStatus::Optimal ||
+         status == SolveStatus::Infeasible ||
+         status == SolveStatus::Unbounded;
+}
+
+[[nodiscard]] const char* to_string(PortfolioMode mode);
+/// Parses "single" / "auto" / "race" / "round-robin" (also "roundrobin").
+[[nodiscard]] bool parse_portfolio_mode(const std::string& text,
+                                        PortfolioMode& mode);
+
+/// One competitor: a registered backend plus its solver options.
+struct PortfolioEntry {
+  std::string backend = kDefaultLpBackend;
+  SimplexOptions options;
+  /// "backend/pricing" display label ("dense" ignores pricing).
+  [[nodiscard]] std::string label() const;
+};
+
+struct PortfolioOptions {
+  PortfolioMode mode = PortfolioMode::Race;
+  /// Competitors; empty = `default_portfolio(model)`.
+  std::vector<PortfolioEntry> entries;
+  /// RoundRobin: pivot budget for turn 0, doubled each turn.
+  std::int64_t round_robin_budget = 256;
+  /// RoundRobin: give up (IterationLimit) after this many turns.
+  int max_turns = 24;
+  /// Race: nonzero seeds a deterministic per-entry start delay (a few
+  /// hundred microseconds) so tests can perturb which entry finishes
+  /// first without touching the scheduler.
+  unsigned stagger_seed = 0;
+};
+
+struct PortfolioResult {
+  Solution solution;
+  int winner = -1;  // index into the entry list; -1 = none conclusive
+  std::string winner_label;
+  /// Registry name of the winning entry's backend (callers adopting the
+  /// winner's basis re-create this backend with `initial_basis`).
+  std::string winner_backend;
+  /// Last observed status per entry (cancelled racers: IterationLimit).
+  std::vector<SolveStatus> entry_status;
+  int turns = 0;  // RoundRobin turns executed
+};
+
+/// Deterministic shape heuristic: tiny models go to the dense reference
+/// backend (its O(m^2) pivots beat eta-file bookkeeping there), everything
+/// else to the production engine.
+[[nodiscard]] std::string choose_backend(const Model& model);
+
+/// Default competitor list for `model`: the production engine under two
+/// pricing rules picked by shape, plus the dense backend on small models.
+[[nodiscard]] std::vector<PortfolioEntry> default_portfolio(
+    const Model& model);
+
+/// Solves `model` cold under the requested portfolio mode. Each entry gets
+/// its own backend instance, so `portfolio_solve` is safe to call from
+/// anywhere the registry backends are (the race uses the shared pool;
+/// don't call it from inside another shared-pool task).
+[[nodiscard]] PortfolioResult portfolio_solve(
+    const Model& model, const PortfolioOptions& options = {});
+
+}  // namespace stripack::lp

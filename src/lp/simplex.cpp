@@ -318,7 +318,7 @@ class SimplexEngine::Impl {
 
     int stall_retries = 0;
     while (true) {
-      if (solution.iterations >= max_iters) {
+      if (solution.iterations >= max_iters || stop_requested()) {
         solution.status = SolveStatus::IterationLimit;
         return solution;
       }
@@ -522,6 +522,13 @@ class SimplexEngine::Impl {
     return options_.max_iterations > 0
                ? options_.max_iterations
                : 5000 + 20LL * (2LL * m_ + num_structural_);
+  }
+
+  // Cooperative cancellation (portfolio racing): relaxed is enough — a
+  // stale read just costs one extra pivot.
+  [[nodiscard]] bool stop_requested() const {
+    return options_.stop != nullptr &&
+           options_.stop->load(std::memory_order_relaxed);
   }
 
   [[nodiscard]] bool forced_bland() const {
@@ -1090,7 +1097,9 @@ class SimplexEngine::Impl {
     int degenerate_streak = 0;
 
     while (true) {
-      if (solution.iterations >= max_iters) return SolveStatus::IterationLimit;
+      if (solution.iterations >= max_iters || stop_requested()) {
+        return SolveStatus::IterationLimit;
+      }
 
       double rc = 0.0;
       const int entering = price(rc);

@@ -26,6 +26,7 @@
 // ([10],[14]); see docs/ARCHITECTURE.md.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -99,6 +100,12 @@ struct SimplexOptions {
   /// Warm-start basis (see slack_code); empty = cold two-phase start. A
   /// singular or primal-infeasible basis silently falls back to cold.
   std::vector<int> initial_basis;
+  /// Cooperative cancellation: when non-null and the flag becomes true the
+  /// solve loops stop at the next pivot boundary and return
+  /// `IterationLimit` (the partial solution carries no certificate). The
+  /// portfolio racer uses this to cancel backends that lost the race; the
+  /// pointee must outlive every solve that references it.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 struct Solution {

@@ -4,10 +4,13 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <stdexcept>
 #include <utility>
 
 #include "bnp/pricing_cache.hpp"
+#include "lp/backend.hpp"
 #include "lp/colgen.hpp"
+#include "lp/portfolio.hpp"
 #include "lp/simplex.hpp"
 #include "util/assert.hpp"
 #include "util/float_eq.hpp"
@@ -652,6 +655,12 @@ struct ConfigLpSolver::State {
     simplex_options.tol = options.tol;
     simplex_options.pricing = options.pricing;
     simplex_options.pricing_threads = options.pricing_threads;
+    backend_name = options.backend;
+    // Fail fast on typos rather than at the first (possibly deep) solve.
+    if (!lp::has_lp_backend(backend_name)) {
+      throw std::invalid_argument("unknown LP backend '" + backend_name +
+                                  "'");
+    }
     model = build_rows(problem, layout);
     add_surplus_columns(model, layout, table);
     if (options.use_pricing_cache && options.use_column_generation) {
@@ -686,6 +695,7 @@ struct ConfigLpSolver::State {
         branch_rows(other.branch_rows),
         inactive_le_rhs(other.inactive_le_rhs),
         simplex_options(other.simplex_options),
+        backend_name(other.backend_name),
         grid_denom(other.grid_denom),
         node_cutoff(other.node_cutoff),
         last_basis(other.last_basis),
@@ -704,7 +714,7 @@ struct ConfigLpSolver::State {
       basis.push_back(lp::slack_code(r));
     }
     simplex_options.initial_basis = std::move(basis);
-    engine = std::make_unique<lp::SimplexEngine>(model, simplex_options);
+    engine = lp::make_lp_backend(backend_name, model, simplex_options);
   }
 
   const ConfigLpProblem& problem;
@@ -715,12 +725,17 @@ struct ConfigLpSolver::State {
   std::vector<BranchRow> branch_rows;
   double inactive_le_rhs = 0.0;
   lp::SimplexOptions simplex_options;
+  /// Registry name of the backend actually solving the master: the
+  /// configured `options.backend`, or whatever the portfolio / Auto
+  /// heuristic picked in `solve()`. Clones inherit it so a node's
+  /// re-solves stay on the same implementation as its parent's basis.
+  std::string backend_name;
   std::unique_ptr<bnp::PricingCache> cache;  // memoized pricing (colgen)
   /// Common width grid for the pricing DP bound (0: none); computed once
   /// per problem and inherited by clones.
   int grid_denom = 0;
   std::unique_ptr<KnapsackOracle> oracle;  // column-generation mode only
-  std::unique_ptr<lp::SimplexEngine> engine;
+  std::unique_ptr<lp::LpBackend> engine;   // see backend_name
   /// Lagrangian prune threshold for re-solves (infinity = off).
   double node_cutoff = std::numeric_limits<double>::infinity();
   /// Basis of the most recent optimal (re-)solve; clone's warm start.
@@ -876,9 +891,28 @@ FractionalSolution ConfigLpSolver::solve() {
       }
     }
     s.table.configs = std::move(configs);
-    s.engine =
-        std::make_unique<lp::SimplexEngine>(s.model, s.simplex_options);
-    const lp::Solution solution = s.engine->solve();
+    lp::Solution solution;
+    if (s.options.portfolio == lp::PortfolioMode::Race ||
+        s.options.portfolio == lp::PortfolioMode::RoundRobin) {
+      // The portfolio owns the cold solve; the State backend is then
+      // re-created on the winner's implementation, warm from the winning
+      // basis, so every later dual re-solve continues seamlessly.
+      lp::PortfolioOptions popts;
+      popts.mode = s.options.portfolio;
+      lp::PortfolioResult raced = lp::portfolio_solve(s.model, popts);
+      if (raced.winner >= 0) s.backend_name = raced.winner_backend;
+      solution = std::move(raced.solution);
+      lp::SimplexOptions warm = s.simplex_options;
+      warm.initial_basis = solution.basis;
+      s.engine = lp::make_lp_backend(s.backend_name, s.model, warm);
+    } else {
+      if (s.options.portfolio == lp::PortfolioMode::Auto) {
+        s.backend_name = lp::choose_backend(s.model);
+      }
+      s.engine =
+          lp::make_lp_backend(s.backend_name, s.model, s.simplex_options);
+      solution = s.engine->solve();
+    }
     s.solved = true;
     return s.finish(solution, solution.iterations, 0, 0);
   }
@@ -906,7 +940,13 @@ FractionalSolution ConfigLpSolver::solve() {
   s.oracle = std::make_unique<KnapsackOracle>(problem, s.layout, s.table,
                                               s.branch_rows, s.cache.get(),
                                               s.grid_denom);
-  s.engine = std::make_unique<lp::SimplexEngine>(s.model, s.simplex_options);
+  // Column generation re-solves one resumable master incrementally, so a
+  // cold-start portfolio has nothing to race: Auto/Race/RoundRobin all
+  // reduce to the shape heuristic here.
+  if (s.options.portfolio != lp::PortfolioMode::Single) {
+    s.backend_name = lp::choose_backend(s.model);
+  }
+  s.engine = lp::make_lp_backend(s.backend_name, s.model, s.simplex_options);
   const lp::ColgenResult result = lp::solve_with_column_generation(
       s.model, *s.oracle, *s.engine, s.simplex_options.tol);
   s.solved = true;

@@ -38,8 +38,11 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 
 #include "core/instance.hpp"
+#include "lp/backend.hpp"
+#include "lp/portfolio.hpp"
 #include "lp/simplex.hpp"
 #include "release/configurations.hpp"
 
@@ -156,6 +159,20 @@ struct ConfigLpOptions {
   /// on the cached entries. The DFS keeps the last word, so pricing
   /// stays exact; the seed only strengthens its pruning bound.
   bool use_pricing_cache = false;
+  /// LP backend (lp/backend.hpp registry name) solving the master:
+  /// "simplex" (the production eta-file engine, default), "dense" (the
+  /// reference tableau simplex), or any name registered at runtime.
+  /// `solve_config_lp` throws std::invalid_argument on unknown names.
+  std::string backend = lp::kDefaultLpBackend;
+  /// Portfolio mode for the *initial* master solve (lp/portfolio.hpp):
+  /// Single = just `backend`. Auto picks a backend by model shape; Race
+  /// runs the default portfolio concurrently and adopts the first
+  /// certified finisher's basis; RoundRobin does the bit-reproducible
+  /// fixed-budget variant. Race/RoundRobin apply in enumeration mode
+  /// only (column generation re-solves the master incrementally, where a
+  /// cold portfolio start has nothing to race) — there they silently
+  /// reduce to Auto.
+  lp::PortfolioMode portfolio = lp::PortfolioMode::Single;
 };
 
 /// Solves the configuration LP; the returned slices reproduce the demand

@@ -150,6 +150,22 @@ TEST(Bnp, ColdNodeSolvesMatchTheWarmPath) {
   EXPECT_NEAR(a.height, family.certificate.ip_height, kTol);
 }
 
+TEST(Bnp, DenseMasterBackendProvesTheSameOptima) {
+  // The master LP runs on the reference dense-tableau backend instead of
+  // the eta-file engine; branch and price must reach the same certified
+  // optimum with a closed gap. Keeps the backend seam honest end to end,
+  // not just at the single-LP conformance level.
+  for (std::size_t k = 1; k <= 3; ++k) {
+    const auto family = gen::hard_integral_family(k);
+    BnpOptions dense;
+    dense.lp.backend = "dense";
+    const BnpResult result = solve(family.instance, dense);
+    EXPECT_EQ(result.status, BnpStatus::Optimal) << "k=" << k;
+    EXPECT_NEAR(result.height, family.certificate.ip_height, kTol) << "k=" << k;
+    EXPECT_NEAR(result.dual_bound, result.height, kTol) << "k=" << k;
+  }
+}
+
 TEST(Bnp, NodeBudgetReturnsABracket) {
   const auto family = gen::hard_integral_family(3);
   BnpOptions options;

@@ -1,0 +1,233 @@
+// Portfolio determinism tests (lp/portfolio.hpp): racing returns the same
+// certified verdict no matter which entry finishes first (perturbed with
+// seeded start-time stagger), round-robin is bit-identical to a serial
+// re-derivation of its selection rule (hence independent of thread count
+// and scheduling), and the Auto shape heuristic is exercised end-to-end
+// through the configuration-LP solver, where Race / RoundRobin must match
+// the single-backend baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "lp/backend.hpp"
+#include "lp/model.hpp"
+#include "lp/portfolio.hpp"
+#include "lp/simplex.hpp"
+#include "lp_test_support.hpp"
+#include "release/config_lp.hpp"
+#include "util/rng.hpp"
+
+namespace stripack::lp {
+namespace {
+
+TEST(LpPortfolio, RaceReturnsCertifiedVerdictUnderStagger) {
+  for (int seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    const Model model = random_covering_model(rng, 5, 14);
+    const Solution baseline = solve(model);
+    // Perturb which entry finishes first; the certified verdict (status,
+    // and the optimal objective when feasible) must never move.
+    for (unsigned stagger = 0; stagger <= 4; ++stagger) {
+      PortfolioOptions options;
+      options.mode = PortfolioMode::Race;
+      options.stagger_seed = stagger;
+      const PortfolioResult raced = portfolio_solve(model, options);
+      ASSERT_GE(raced.winner, 0) << "seed " << seed;
+      EXPECT_FALSE(raced.winner_label.empty());
+      ASSERT_EQ(raced.solution.status, baseline.status)
+          << "seed " << seed << " stagger " << stagger << " winner "
+          << raced.winner_label;
+      if (baseline.optimal()) {
+        certify_optimal_solution(model, raced.solution);
+        EXPECT_NEAR(raced.solution.objective, baseline.objective,
+                    1e-6 * (1.0 + std::fabs(baseline.objective)))
+            << "seed " << seed << " stagger " << stagger;
+      }
+    }
+  }
+}
+
+TEST(LpPortfolio, RaceAgreesOnUnbounded) {
+  Model model;
+  const int r = model.add_row(Sense::GE, 1.0);
+  model.add_column(-1.0, std::vector<RowEntry>{{r, 1.0}});
+  PortfolioOptions options;
+  options.mode = PortfolioMode::Race;
+  const PortfolioResult raced = portfolio_solve(model, options);
+  ASSERT_GE(raced.winner, 0);
+  EXPECT_EQ(raced.solution.status, SolveStatus::Unbounded);
+}
+
+// The round-robin selection rule re-derived serially, one entry at a
+// time, with fresh backends — no pool, no concurrency. The parallel
+// portfolio must reproduce this bit for bit.
+PortfolioResult round_robin_serial(const Model& model,
+                                   const PortfolioOptions& options) {
+  const std::vector<PortfolioEntry> entries =
+      options.entries.empty() ? default_portfolio(model) : options.entries;
+  PortfolioResult result;
+  result.entry_status.assign(entries.size(), SolveStatus::IterationLimit);
+  std::int64_t budget = options.round_robin_budget;
+  for (int turn = 0; turn < options.max_turns; ++turn) {
+    ++result.turns;
+    std::vector<Solution> solutions;
+    for (const PortfolioEntry& entry : entries) {
+      SimplexOptions o = entry.options;
+      o.max_iterations = budget;
+      solutions.push_back(make_lp_backend(entry.backend, model, o)->solve());
+    }
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      result.entry_status[i] = solutions[i].status;
+      if (result.winner < 0 && is_conclusive(solutions[i].status)) {
+        result.winner = static_cast<int>(i);
+      }
+    }
+    if (result.winner >= 0) {
+      result.solution = solutions[static_cast<std::size_t>(result.winner)];
+      result.winner_label =
+          entries[static_cast<std::size_t>(result.winner)].label();
+      result.winner_backend =
+          entries[static_cast<std::size_t>(result.winner)].backend;
+      return result;
+    }
+    budget *= 2;
+  }
+  return result;  // unreachable at the tested budgets
+}
+
+void expect_bit_identical(const Solution& a, const Solution& b) {
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.phase1_iterations, b.phase1_iterations);
+  EXPECT_EQ(a.dual_iterations, b.dual_iterations);
+  ASSERT_EQ(a.x.size(), b.x.size());
+  for (std::size_t i = 0; i < a.x.size(); ++i) {
+    EXPECT_EQ(a.x[i], b.x[i]) << "x[" << i << "] differs in the last bit";
+  }
+  ASSERT_EQ(a.duals.size(), b.duals.size());
+  for (std::size_t i = 0; i < a.duals.size(); ++i) {
+    EXPECT_EQ(a.duals[i], b.duals[i]) << "dual " << i;
+  }
+  EXPECT_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.basis, b.basis);
+  EXPECT_EQ(a.basic_columns, b.basic_columns);
+}
+
+TEST(LpPortfolio, RoundRobinBitReproducible) {
+  for (int seed = 1; seed <= 10; ++seed) {
+    Rng rng(100 + seed);
+    const Model model = random_covering_model(rng, 5, 14);
+    PortfolioOptions options;
+    options.mode = PortfolioMode::RoundRobin;
+    const PortfolioResult serial = round_robin_serial(model, options);
+    ASSERT_GE(serial.winner, 0) << "seed " << seed;
+    // Repeated parallel runs on the shared pool (arbitrary scheduling,
+    // >= 4 workers) must reproduce the serial derivation exactly —
+    // winner, turn count, per-entry statuses, and every solution bit.
+    for (int run = 0; run < 3; ++run) {
+      const PortfolioResult parallel = portfolio_solve(model, options);
+      EXPECT_EQ(parallel.winner, serial.winner) << "seed " << seed;
+      EXPECT_EQ(parallel.turns, serial.turns) << "seed " << seed;
+      EXPECT_EQ(parallel.winner_label, serial.winner_label);
+      ASSERT_EQ(parallel.entry_status.size(), serial.entry_status.size());
+      for (std::size_t i = 0; i < serial.entry_status.size(); ++i) {
+        EXPECT_EQ(parallel.entry_status[i], serial.entry_status[i]);
+      }
+      expect_bit_identical(parallel.solution, serial.solution);
+    }
+  }
+}
+
+TEST(LpPortfolio, RoundRobinEscalatesBudgetDeterministically) {
+  Rng rng(7);
+  const Model model = random_covering_model(rng, 6, 18);
+  PortfolioOptions options;
+  options.mode = PortfolioMode::RoundRobin;
+  options.round_robin_budget = 1;  // force several doubling turns
+  const PortfolioResult a = portfolio_solve(model, options);
+  const PortfolioResult b = portfolio_solve(model, options);
+  ASSERT_GE(a.winner, 0);
+  EXPECT_GT(a.turns, 1);
+  EXPECT_EQ(a.winner, b.winner);
+  EXPECT_EQ(a.turns, b.turns);
+  expect_bit_identical(a.solution, b.solution);
+}
+
+TEST(LpPortfolio, AutoChoosesByShape) {
+  Rng rng(3);
+  const Model tiny = random_covering_model(rng, 4, 10);
+  EXPECT_EQ(choose_backend(tiny), "dense");
+  const Model big = random_covering_model(rng, 20, 60);
+  EXPECT_EQ(choose_backend(big), kDefaultLpBackend);
+  PortfolioOptions options;
+  options.mode = PortfolioMode::Auto;
+  const PortfolioResult result = portfolio_solve(tiny, options);
+  EXPECT_EQ(result.winner_backend, "dense");
+  if (result.solution.optimal()) {
+    certify_optimal_solution(tiny, result.solution);
+  }
+}
+
+TEST(LpPortfolio, ModeNamesRoundTrip) {
+  for (const PortfolioMode mode :
+       {PortfolioMode::Single, PortfolioMode::Auto, PortfolioMode::Race,
+        PortfolioMode::RoundRobin}) {
+    PortfolioMode parsed{};
+    ASSERT_TRUE(parse_portfolio_mode(to_string(mode), parsed));
+    EXPECT_EQ(parsed, mode);
+  }
+  PortfolioMode ignored{};
+  EXPECT_FALSE(parse_portfolio_mode("interior-point", ignored));
+}
+
+// End-to-end through the configuration-LP solver (enumeration mode): the
+// portfolio-raced master must land on the same certified optimum as the
+// single-backend baseline, and round-robin must be run-to-run identical.
+TEST(LpPortfolio, ConfigLpPortfolioMatchesSingleBackendBaseline) {
+  release::ConfigLpProblem problem;
+  problem.widths = {0.6, 0.35, 0.2};
+  problem.releases = {0.0, 1.0};
+  problem.demand = {{1.0, 2.0, 1.5}, {0.5, 1.0, 2.0}};
+  problem.strip_width = 1.0;
+
+  release::ConfigLpOptions base;
+  const release::FractionalSolution single =
+      release::solve_config_lp(problem, base);
+  ASSERT_TRUE(single.feasible);
+
+  for (const lp::PortfolioMode mode :
+       {lp::PortfolioMode::Auto, lp::PortfolioMode::Race,
+        lp::PortfolioMode::RoundRobin}) {
+    release::ConfigLpOptions options;
+    options.portfolio = mode;
+    const release::FractionalSolution got =
+        release::solve_config_lp(problem, options);
+    ASSERT_TRUE(got.feasible) << to_string(mode);
+    EXPECT_NEAR(got.objective, single.objective,
+                1e-7 * (1.0 + std::fabs(single.objective)))
+        << to_string(mode);
+  }
+
+  release::ConfigLpOptions rr;
+  rr.portfolio = lp::PortfolioMode::RoundRobin;
+  const release::FractionalSolution a = release::solve_config_lp(problem, rr);
+  const release::FractionalSolution b = release::solve_config_lp(problem, rr);
+  EXPECT_EQ(a.objective, b.objective);  // bitwise
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(LpPortfolio, ConfigLpRejectsUnknownBackend) {
+  release::ConfigLpProblem problem;
+  problem.widths = {0.5};
+  problem.releases = {0.0};
+  problem.demand = {{1.0}};
+  release::ConfigLpOptions options;
+  options.backend = "no-such-backend";
+  EXPECT_THROW(release::solve_config_lp(problem, options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stripack::lp

@@ -136,6 +136,22 @@ TEST(Umbrella, Lp) {
   const lp::Solution solution = lp::solve(model);
   ASSERT_TRUE(solution.optimal());
   EXPECT_DOUBLE_EQ(solution.objective, 2.0);
+
+  // PR 6 seam: the backend registry, the dense reference backend, and the
+  // portfolio are all reachable through the umbrella.
+  EXPECT_TRUE(lp::has_lp_backend(lp::kDefaultLpBackend));
+  EXPECT_TRUE(lp::has_lp_backend("dense"));
+  const lp::Solution dense =
+      lp::make_lp_backend("dense", model, lp::SimplexOptions{})->solve();
+  ASSERT_TRUE(dense.optimal());
+  EXPECT_DOUBLE_EQ(dense.objective, 2.0);
+  lp::DenseTableauBackend direct(model, {});
+  EXPECT_STREQ(direct.name(), "dense");
+  lp::PortfolioOptions race;
+  race.mode = lp::PortfolioMode::Race;
+  const lp::PortfolioResult raced = lp::portfolio_solve(model, race);
+  ASSERT_GE(raced.winner, 0);
+  EXPECT_DOUBLE_EQ(raced.solution.objective, 2.0);
 }
 
 // kr: Kenyon–Rémila APTAS for plain strip packing.
