@@ -3,7 +3,7 @@
 //   $ ./stripack_solve <instance.txt> [--algo dc|uniform|aptas|kr|list|
 //                                       nfdh|ffdh|bfdh|sleator|skyline|bnp]
 //                      [--eps E] [--K k] [--svg out.svg] [--out placement.txt]
-//                      [--threads N] [--node-batch B]
+//                      [--threads N] [--node-batch B] [--time-limit SEC]
 //                      [--backend NAME] [--portfolio MODE] [--verbose]
 //
 // Reads the text format of io/instance_io.hpp, picks the algorithm (or
@@ -13,11 +13,14 @@
 //
 // `--threads` / `--node-batch` configure the branch-and-price solver's
 // batch-synchronous parallel node evaluation (bnp only; default serial,
-// 0 = auto). `--backend` picks the master LP's registered `lp::LpBackend`
-// and `--portfolio` its selection mode (single | auto | race |
-// round-robin); racing applies to the enumeration master, colgen masters
-// reduce to the auto shape heuristic (see lp/portfolio.hpp). `--verbose`
-// prints the solver's node, pricing-cache and cutoff diagnostics.
+// 0 = auto). `--time-limit` sets the bnp wall-clock deadline in seconds
+// (anytime: the solver still returns its best incumbent with a valid
+// [dual_bound, height] bracket). `--backend` picks the master LP's
+// registered `lp::LpBackend` and `--portfolio` its selection mode
+// (single | auto | race | round-robin); racing applies to the enumeration
+// master, colgen masters reduce to the auto shape heuristic (see
+// lp/portfolio.hpp). `--verbose` prints the solver's node, pricing-cache,
+// cutoff and numerical-recovery diagnostics.
 #include <cmath>
 #include <cstring>
 #include <fstream>
@@ -38,12 +41,13 @@ int usage() {
       << "usage: stripack_solve <instance.txt> [--algo NAME] [--eps E]\n"
          "                      [--K k] [--svg out.svg] [--out place.txt]\n"
          "                      [--threads N] [--node-batch B]\n"
-         "                      [--backend NAME] [--portfolio MODE] "
-         "[--verbose]\n"
+         "                      [--time-limit SEC] [--backend NAME]\n"
+         "                      [--portfolio MODE] [--verbose]\n"
          "algorithms: dc uniform aptas kr list nfdh ffdh bfdh sleator "
          "skyline bnp\n"
          "bnp flags: --threads N (0 = auto) and --node-batch B (0 = auto)\n"
-         "pick the batch-synchronous parallel node evaluation; --backend\n"
+         "pick the batch-synchronous parallel node evaluation;\n"
+         "--time-limit SEC sets the anytime wall-clock deadline; --backend\n"
          "selects the master LP backend (";
   bool first = true;
   for (const std::string& name : lp::lp_backend_names()) {
@@ -76,6 +80,7 @@ int main(int argc, char** argv) {
   int K = 4;
   int threads = 1;
   int node_batch = 0;
+  double time_limit = 0.0;  // 0 = unlimited
   std::string backend = lp::kDefaultLpBackend;
   lp::PortfolioMode portfolio = lp::PortfolioMode::Single;
   bool verbose = false;
@@ -93,6 +98,7 @@ int main(int argc, char** argv) {
     else if (flag == "--out") out_path = next();
     else if (flag == "--threads") threads = std::stoi(next());
     else if (flag == "--node-batch") node_batch = std::stoi(next());
+    else if (flag == "--time-limit") time_limit = std::stod(next());
     else if (flag == "--backend") {
       backend = next();
       if (!lp::has_lp_backend(backend)) {
@@ -151,6 +157,7 @@ int main(int argc, char** argv) {
         bnp::BnpOptions options;
         options.threads = threads;
         options.node_batch = node_batch;
+        options.budget.max_seconds = time_limit;
         options.lp.backend = backend;
         options.lp.portfolio = portfolio;
         if (backend != lp::kDefaultLpBackend ||
@@ -196,7 +203,13 @@ int main(int argc, char** argv) {
                     << result.pricing_cache_probes << " (seeded "
                     << result.pricing_cache_hits << ", exact-memo hits "
                     << result.pricing_memo_hits << ", patterns "
-                    << result.pricing_cache_patterns << ")\n";
+                    << result.pricing_cache_patterns << ")\n"
+                    << "bnp: recovery — refactor retries "
+                    << result.lp_refactor_retries << ", residual repairs "
+                    << result.lp_residual_repairs << ", cold restarts "
+                    << result.lp_cold_restarts << ", master failovers "
+                    << result.master_failovers << ", node retries "
+                    << result.node_retries << "\n";
         }
         placement = result.packing.placement;
       } else {
@@ -207,6 +220,7 @@ int main(int argc, char** argv) {
         bnp::BnpOptions options = bnp::BnpPacker::default_pack_options();
         options.threads = threads;
         options.node_batch = node_batch;
+        if (time_limit > 0.0) options.budget.max_seconds = time_limit;
         options.lp.backend = backend;
         options.lp.portfolio = portfolio;
         const bnp::BnpPacker packer(options);

@@ -1,6 +1,8 @@
 #include "bnp/solver.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <map>
@@ -312,6 +314,19 @@ void accumulate(BnpResult& result, const release::FractionalSolution& s) {
   result.farkas_rounds += s.farkas_rounds;
   result.farkas_columns += s.farkas_columns;
   result.columns = std::max(result.columns, s.lp_cols);
+  result.lp_refactor_retries += s.lp_refactor_retries;
+  result.lp_residual_repairs += s.lp_residual_repairs;
+  result.lp_cold_restarts += s.lp_cold_restarts;
+  result.master_failovers += s.master_failovers;
+}
+
+// The warm-path invariant: node re-solves never run phase 1 — unless the
+// recovery ladder legitimately restarted cold (a cold restart inside the
+// backend, or a full backend failover), or the solve was interrupted /
+// failed before certifying anything.
+[[nodiscard]] bool warm_path_ok(const release::FractionalSolution& s) {
+  return s.colgen_warm_phase1_iterations == 0 || !s.feasible ||
+         s.lp_cold_restarts > 0 || s.master_failovers > 0;
 }
 
 void accumulate(BnpResult& result, const release::PricingStats& s) {
@@ -537,7 +552,7 @@ void run_serial(Search& search, const Stopwatch& watch) {
     search.solver.set_node_cutoff(search.cutoff());
     const release::FractionalSolution sol = search.solver.resolve();
     accumulate(result, sol);
-    STRIPACK_ASSERT(sol.colgen_warm_phase1_iterations == 0,
+    STRIPACK_ASSERT(warm_path_ok(sol),
                     "branch-and-price node re-solve left the warm path");
 
     if (sol.cutoff_pruned) {
@@ -607,6 +622,7 @@ void run_batched(Search& search, const Stopwatch& watch, int batch_size) {
       ++result.nodes;
       accumulate(result, eval.solution);
       accumulate(result, eval.pricing);
+      result.node_retries += eval.retries;
       for (const release::AdoptableColumn& col : eval.new_columns) {
         (void)search.solver.adopt_column(col.config, col.phase);
       }
@@ -641,7 +657,7 @@ void run_batched(Search& search, const Stopwatch& watch, int batch_size) {
     search.solver.set_node_cutoff(std::numeric_limits<double>::infinity());
     const release::FractionalSolution refreshed = search.solver.resolve();
     accumulate(result, refreshed);
-    STRIPACK_ASSERT(refreshed.colgen_warm_phase1_iterations == 0,
+    STRIPACK_ASSERT(warm_path_ok(refreshed),
                     "master refresh left the warm path");
   }
 }
@@ -732,6 +748,40 @@ BnpResult solve(const Instance& instance, const BnpOptions& options) {
   const bool batch_mode =
       local.reuse_engine && (batch > 1 || threads > 1);
 
+  // Anytime deadline: a watchdog thread trips the stop token once the
+  // wall clock passes the budget (or the caller's own stop flag flips),
+  // and the token is threaded into every LP (re-)solve — so the deadline
+  // interrupts at *pivot boundaries* inside a node LP, not just between
+  // nodes. An interrupted LP reports IterationLimit (no certificate); the
+  // drivers fold the node's pre-solve tree bound into the bracket, so
+  // `dual_bound` stays valid on every exit path.
+  std::atomic<bool> stop_flag{false};
+  struct Watchdog {
+    std::atomic<bool> quit{false};
+    std::thread thread;
+    ~Watchdog() {
+      quit.store(true, std::memory_order_relaxed);
+      if (thread.joinable()) thread.join();
+    }
+  } watchdog;
+  if (local.budget.max_seconds > 0.0) {
+    const std::atomic<bool>* caller_stop = local.lp.stop;
+    const double deadline = local.budget.max_seconds;
+    watchdog.thread = std::thread([&watch, &watchdog, &stop_flag,
+                                   caller_stop, deadline] {
+      while (!watchdog.quit.load(std::memory_order_relaxed)) {
+        if (watch.seconds() > deadline ||
+            (caller_stop != nullptr &&
+             caller_stop->load(std::memory_order_relaxed))) {
+          stop_flag.store(true, std::memory_order_relaxed);
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    local.lp.stop = &stop_flag;
+  }
+
   release::ConfigLpSolver solver(problem, local.lp);
   release::FractionalSolution root = solver.solve();
 
@@ -793,7 +843,16 @@ BnpResult solve(const Instance& instance, const BnpOptions& options) {
   if (local.reuse_engine) {
     accumulate(result, solver.pricing_stats());
   }
-  if (search.stalled) result.status = BnpStatus::Stalled;
+  if (search.stalled) {
+    // A stall caused by the deadline tripping mid-LP (the interrupted
+    // solve reports no certificate, exactly like a numerical stall) is a
+    // TimeLimit, not a numerical verdict; the bracket was folded into
+    // `stalled_bound` either way.
+    result.status = local.budget.max_seconds > 0.0 &&
+                            watch.seconds() > local.budget.max_seconds
+                        ? BnpStatus::TimeLimit
+                        : BnpStatus::Stalled;
+  }
 
   const double incumbent_obj = search.tree.incumbent();
   double global_bound =

@@ -48,9 +48,15 @@ enum class BnpStatus {
   Optimal,
   /// Node budget exhausted; height/dual_bound bracket the optimum.
   NodeLimit,
-  /// Time budget exhausted; height/dual_bound bracket the optimum.
+  /// Time budget exhausted; height/dual_bound bracket the optimum. The
+  /// deadline is enforced *inside* node LPs (at pivot boundaries, through
+  /// the stop token threaded into every solve), not just between nodes —
+  /// an interrupted node folds its pre-solve tree bound into the bracket,
+  /// never the partial LP's uncertified objective.
   TimeLimit,
-  /// A node LP failed to converge (iteration limit). The bracket held in
+  /// A node LP failed to converge (iteration limit) or failed numerically
+  /// after the whole recovery ladder — refactorize-and-retry, cold
+  /// restart, backend failover — ran dry. The bracket held in
   /// height/dual_bound is still valid.
   Stalled,
 };
@@ -146,6 +152,16 @@ struct BnpResult {
   std::size_t cutoff_pruned_nodes = 0;
   /// Root strong-branching child LPs solved to initialize pseudo costs.
   std::size_t strong_branch_probes = 0;
+  /// Recovery / anytime diagnostics: recovery-ladder activity summed over
+  /// every LP (re-)solve (see `release::FractionalSolution`), master
+  /// backend failovers, and batch-mode node evaluations retried from a
+  /// fresh clone of the frozen snapshot after a transient failure. All
+  /// zero on a numerically clean run.
+  int lp_refactor_retries = 0;
+  int lp_residual_repairs = 0;
+  int lp_cold_restarts = 0;
+  int master_failovers = 0;
+  int node_retries = 0;
   // Memoized-pricing counters, summed over the master and every clone.
   std::int64_t pricing_dfs_expansions = 0;
   std::int64_t pricing_cache_probes = 0;
@@ -157,6 +173,13 @@ struct BnpResult {
 /// Exact branch and price. The instance must be release-only (no
 /// precedence DAG) with integer heights and integer releases; throws
 /// ContractViolation otherwise.
+///
+/// Anytime contract: whatever ends the search — proof of optimality, the
+/// node budget, a wall-clock deadline interrupting an LP mid-pivot, or a
+/// numerical stall that survived the whole recovery ladder — the result
+/// always carries the best incumbent found, a still-valid `dual_bound`
+/// (`dual_bound <= optimum <= height`), a feasible realized `packing`,
+/// and an honest status; solver-side faults never escape as exceptions.
 [[nodiscard]] BnpResult solve(const Instance& instance,
                               const BnpOptions& options = {});
 

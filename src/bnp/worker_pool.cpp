@@ -25,17 +25,38 @@ std::vector<NodeEvaluation> BnpWorkerPool::evaluate(
     const release::ConfigLpSolver& master, std::span<const NodeTask> tasks,
     double cutoff) {
   std::vector<NodeEvaluation> results(tasks.size());
-  const auto evaluate_one = [&](std::size_t i) {
+  const auto evaluate_node = [&](std::size_t i, NodeEvaluation& out) {
     release::ConfigLpSolver clone = master.clone();
     const std::size_t snapshot_columns = clone.num_columns();
     for (const auto& [row, rhs] : tasks[i].path) {
       clone.set_branch_row_rhs(row, rhs);
     }
     clone.set_node_cutoff(cutoff);
-    NodeEvaluation& out = results[i];
     out.solution = clone.resolve();
     out.new_columns = clone.columns_since(snapshot_columns);
     out.pricing = clone.pricing_stats();
+  };
+  const auto evaluate_one = [&](std::size_t i) {
+    NodeEvaluation& out = results[i];
+    // Exception barrier + one re-clone retry: a failing evaluation must
+    // never propagate through ThreadPool::run (which rethrows into the
+    // caller and abandons sibling results). The snapshot master is
+    // frozen, so re-cloning gives the retry a pristine starting state; a
+    // second failure is reported as a NumericalFailure'd node, which the
+    // solver turns into an honest stalled bracket.
+    try {
+      evaluate_node(i, out);
+      if (out.solution.status != lp::SolveStatus::NumericalFailure) return;
+    } catch (const std::runtime_error&) {
+    }
+    out = NodeEvaluation{};
+    try {
+      evaluate_node(i, out);
+    } catch (const std::runtime_error&) {
+      out = NodeEvaluation{};
+      out.solution.status = lp::SolveStatus::NumericalFailure;
+    }
+    out.retries = 1;
   };
   if (pool_ == nullptr) {
     for (std::size_t i = 0; i < tasks.size(); ++i) evaluate_one(i);

@@ -41,6 +41,11 @@ struct NodeEvaluation {
   std::vector<release::AdoptableColumn> new_columns;
   /// The clone's own pricing counters.
   release::PricingStats pricing;
+  /// 1 when the evaluation failed (threw, or exhausted the LP recovery
+  /// ladder) and was retried once from a fresh clone of the frozen
+  /// snapshot; the retry's outcome — recovered or an honest
+  /// NumericalFailure — is what the fields above hold.
+  int retries = 0;
 };
 
 class BnpWorkerPool {

@@ -24,13 +24,38 @@
 
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "lp/model.hpp"
 #include "lp/simplex.hpp"
 
 namespace stripack::lp {
+
+/// Thrown by multi-backend drivers (the portfolio, failover paths) when
+/// *every* candidate backend failed — threw, or exhausted its recovery
+/// ladder with nothing conclusive to fall back on. A single backend
+/// failing is not exceptional (it is a recorded loser / a
+/// `SolveStatus::NumericalFailure` result); this type marks the point
+/// where no certified answer can be produced at all. Carries one
+/// human-readable reason per entry, in entry order ("" = that entry did
+/// not throw).
+class SolveError : public std::runtime_error {
+ public:
+  SolveError(const std::string& message,
+             std::vector<std::string> entry_errors)
+      : std::runtime_error(message),
+        entry_errors_(std::move(entry_errors)) {}
+
+  [[nodiscard]] const std::vector<std::string>& entry_errors() const {
+    return entry_errors_;
+  }
+
+ private:
+  std::vector<std::string> entry_errors_;
+};
 
 /// Abstract resumable LP solver over a borrowed `Model` (min c'x,
 /// Ax {<=,>=,=} b, x >= 0). Semantics of every member match the

@@ -15,6 +15,9 @@ ColgenResult solve_with_column_generation(Model& model, PricingOracle& oracle,
     result.solution = backend.solve();
     ++result.rounds;
     result.total_iterations += result.solution.iterations;
+    result.refactor_retries += result.solution.refactor_retries;
+    result.residual_repairs += result.solution.residual_repairs;
+    result.cold_restarts += result.solution.cold_restarts;
     if (result.rounds == 1) {
       result.cold_phase1_iterations = result.solution.phase1_iterations;
     } else {

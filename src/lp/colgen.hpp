@@ -77,6 +77,11 @@ struct ColgenResult {
   /// Phase-1 pivots in rounds >= 2: zero when warm starts work, because a
   /// basis that was optimal stays primal feasible after columns are added.
   std::int64_t warm_phase1_iterations = 0;
+  /// Recovery-ladder diagnostics summed over every master re-solve (see
+  /// `lp::Solution`); all zero on a numerically clean run.
+  int refactor_retries = 0;
+  int residual_repairs = 0;
+  int cold_restarts = 0;
   /// Lagrangian early termination (see ColgenCutoff): the loop proved
   /// `cutoff_lower_bound <= z_full` with `cutoff_lower_bound >=`
   /// the cutoff and stopped. `solution` is then the *restricted* master

@@ -5,12 +5,18 @@
 #include <limits>
 #include <utility>
 
+#include "util/fault_injection.hpp"
+
 namespace stripack::lp {
 namespace {
 
 constexpr int kNone = std::numeric_limits<int>::min();
 constexpr double kPivotTol = 1e-9;
 constexpr double kInf = std::numeric_limits<double>::infinity();
+// Residual certification tolerance and rung-1 retry budget, matching the
+// eta-file engine's ladder (lp/simplex.cpp).
+constexpr double kResidualTol = 1e-6;
+constexpr int kMaxNumericalRetries = 3;
 
 }  // namespace
 
@@ -88,8 +94,87 @@ std::int64_t DenseTableauBackend::default_max_iters() const {
 }
 
 bool DenseTableauBackend::stop_requested() const {
-  return options_.stop != nullptr &&
-         options_.stop->load(std::memory_order_relaxed);
+  return fault_stop_ || (options_.stop != nullptr &&
+                         options_.stop->load(std::memory_order_relaxed));
+}
+
+void DenseTableauBackend::perturb_inverse(double magnitude) {
+  if (!binv_.empty()) binv_[0] += magnitude * (1.0 + std::fabs(binv_[0]));
+}
+
+bool DenseTableauBackend::poll_pivot_fault() {
+  if (options_.fault == nullptr) return false;
+  double magnitude = 0.0;
+  switch (options_.fault->poll(FaultSite::Pivot, &magnitude)) {
+    case FaultAction::None: break;
+    case FaultAction::PerturbEta: perturb_inverse(magnitude); break;
+    case FaultAction::NearSingularPivot: fault_bad_pivot_ = true; break;
+    case FaultAction::Throw:
+      throw FaultInjected("injected fault at pivot boundary");
+    case FaultAction::TripStop:
+      fault_stop_ = true;
+      return true;
+  }
+  return false;
+}
+
+void DenseTableauBackend::poll_round_fault() {
+  if (options_.fault == nullptr) return;
+  double magnitude = 0.0;
+  switch (options_.fault->poll(FaultSite::PricingRound, &magnitude)) {
+    case FaultAction::None: break;
+    case FaultAction::PerturbEta: perturb_inverse(magnitude); break;
+    case FaultAction::NearSingularPivot: fault_bad_pivot_ = true; break;
+    case FaultAction::Throw:
+      throw FaultInjected("injected fault at pricing round");
+    case FaultAction::TripStop:
+      fault_stop_ = true;
+      break;
+  }
+}
+
+bool DenseTableauBackend::take_forced_bad_pivot() {
+  const bool forced = fault_bad_pivot_;
+  fault_bad_pivot_ = false;
+  return forced;
+}
+
+bool DenseTableauBackend::residual_ok(const std::vector<double>& xb) const {
+  std::vector<double> resid(static_cast<std::size_t>(m_), 0.0);
+  for (int i = 0; i < m_; ++i) {
+    const double v = xb[i];
+    if (v == 0.0) continue;
+    const int code = basis_[i];
+    if (code >= 0) {
+      for (const RowEntry& e : model_->column_entries(code)) {
+        if (e.row < m_) resid[e.row] += v * e.coef;
+      }
+    } else if (code >= -m_) {
+      const int r = slack_code_row(code);
+      resid[r] += v * logical_coef(r);
+    } else {
+      const int r = art_row(code);
+      resid[r] += v * art_sign_[r];
+    }
+  }
+  double err = 0.0;
+  double bnorm = 0.0;
+  for (int r = 0; r < m_; ++r) {
+    err = std::max(err, std::fabs(resid[r] - model_->row_rhs(r)));
+    bnorm += std::fabs(model_->row_rhs(r));
+  }
+  return err <= kResidualTol * (1.0 + bnorm);
+}
+
+Solution DenseTableauBackend::cold_retry(const Solution& failed) {
+  numerical_retries_ = 0;
+  basis_.clear();
+  binv_valid_ = false;
+  Solution retry = cold_solve(Solution{});
+  retry.refactor_retries += failed.refactor_retries;
+  retry.residual_repairs += failed.residual_repairs;
+  retry.cold_restarts = failed.cold_restarts + 1;
+  return retry;
 }
 
 bool DenseTableauBackend::factorize() {
@@ -213,9 +298,10 @@ SolveStatus DenseTableauBackend::run_primal(bool phase1, Solution& solution) {
     if (solution.iterations >= max_iters || stop_requested()) {
       return SolveStatus::IterationLimit;
     }
+    if (poll_pivot_fault()) return SolveStatus::IterationLimit;
     if (pivots_since_refactor_ >= std::max(1, options_.refactor_interval) &&
         !factorize()) {
-      return SolveStatus::IterationLimit;  // numerically wedged
+      return SolveStatus::NumericalFailure;  // numerically wedged
     }
     compute_basic_values(xb);
     compute_duals(phase1, no_shift, y);
@@ -239,7 +325,19 @@ SolveStatus DenseTableauBackend::run_primal(bool phase1, Solution& solution) {
       if (basic_logical[r] || model_->row_sense(r) == Sense::EQ) continue;
       if (-logical_coef(r) * y[r] < -rtol) entering = slack_code(r);
     }
-    if (entering == kNone) return SolveStatus::Optimal;
+    if (entering == kNone) {
+      // Residual certification (rung 1): a basic solution that no longer
+      // satisfies B xb = b — a corrupted inverse — must not certify.
+      // Rebuild the factorization from the model and re-price, boundedly.
+      if (!residual_ok(xb)) {
+        if (++numerical_retries_ > kMaxNumericalRetries || !factorize()) {
+          return SolveStatus::NumericalFailure;
+        }
+        ++solution.residual_repairs;
+        continue;
+      }
+      return SolveStatus::Optimal;
+    }
     ftran(entering, d);
     // Ratio test. Artificialish basics are pinned to zero, so in phase 2
     // they block the step in *both* directions (denominator |d_i|) and are
@@ -268,6 +366,15 @@ SolveStatus DenseTableauBackend::run_primal(bool phase1, Solution& solution) {
       }
     }
     if (leave == -1) return SolveStatus::Unbounded;
+    // Near-singular pivot guard (rung 1): bounded refactorize-and-retry
+    // instead of dividing by a vanishing pivot element.
+    if (std::fabs(d[leave]) <= kPivotTol || take_forced_bad_pivot()) {
+      if (++numerical_retries_ > kMaxNumericalRetries || !factorize()) {
+        return SolveStatus::NumericalFailure;
+      }
+      ++solution.refactor_retries;
+      continue;
+    }
     pivot(leave, entering, d);
     ++solution.iterations;
     if (phase1) ++solution.phase1_iterations;
@@ -367,6 +474,8 @@ Solution DenseTableauBackend::cold_solve(Solution solution) {
 
 Solution DenseTableauBackend::solve() {
   Solution solution;
+  numerical_retries_ = 0;
+  poll_round_fault();
   if (static_cast<int>(basis_.size()) == m_ && !basis_.empty() &&
       (binv_valid_ || factorize())) {
     std::vector<double> xb;
@@ -384,6 +493,9 @@ Solution DenseTableauBackend::solve() {
       } else {
         solution.status = st;
       }
+      if (solution.status == SolveStatus::NumericalFailure) {
+        return cold_retry(solution);  // rung 2
+      }
       return solution;
     }
   }
@@ -393,6 +505,8 @@ Solution DenseTableauBackend::solve() {
 Solution DenseTableauBackend::solve_dual(bool shift_dual_infeasible,
                                          double objective_cutoff) {
   Solution solution;
+  numerical_retries_ = 0;
+  poll_round_fault();
   if (static_cast<int>(basis_.size()) != m_ || basis_.empty()) return solve();
   if (!binv_valid_ && !factorize()) {
     basis_.clear();
@@ -448,10 +562,14 @@ Solution DenseTableauBackend::solve_dual(bool shift_dual_infeasible,
       solution.status = SolveStatus::IterationLimit;
       return solution;
     }
-    if (pivots_since_refactor_ >= std::max(1, options_.refactor_interval) &&
-        !factorize()) {
+    if (poll_pivot_fault()) {
       solution.status = SolveStatus::IterationLimit;
       return solution;
+    }
+    if (pivots_since_refactor_ >= std::max(1, options_.refactor_interval) &&
+        !factorize()) {
+      solution.status = SolveStatus::NumericalFailure;
+      return cold_retry(solution);  // rung 2
     }
     compute_basic_values(xb);
     compute_duals(false, cost_shift, y);
@@ -526,6 +644,16 @@ Solution DenseTableauBackend::solve_dual(bool shift_dual_infeasible,
       return solution;
     }
     ftran(entering, d);
+    // Near-singular pivot guard (rung 1): the dual ratio test screened
+    // alpha through B^{-1} rows; the FTRAN recomputation must agree.
+    if (std::fabs(d[p]) <= kPivotTol || take_forced_bad_pivot()) {
+      if (++numerical_retries_ > kMaxNumericalRetries || !factorize()) {
+        solution.status = SolveStatus::NumericalFailure;
+        return cold_retry(solution);  // rung 2
+      }
+      ++solution.refactor_retries;
+      continue;
+    }
     pivot(p, entering, d);
     ++solution.iterations;
     ++solution.dual_iterations;
@@ -537,6 +665,9 @@ Solution DenseTableauBackend::solve_dual(bool shift_dual_infeasible,
     extract(solution);
   } else {
     solution.status = st;
+  }
+  if (solution.status == SolveStatus::NumericalFailure) {
+    return cold_retry(solution);  // rung 2
   }
   return solution;
 }

@@ -28,8 +28,10 @@ namespace stripack::lp {
 
 /// Dense revised simplex over a borrowed model; see file comment. Honors
 /// `SimplexOptions::tol`, `max_iterations`, `refactor_interval`,
-/// `initial_basis` and `stop`; the pricing knobs are ignored (always
-/// Bland).
+/// `initial_basis`, `stop` and `fault`; the pricing knobs are ignored
+/// (always Bland). Carries the same recovery ladder as the engine:
+/// refactorize-and-retry, then one cold restart, then
+/// `SolveStatus::NumericalFailure` — never an assert.
 class DenseTableauBackend final : public LpBackend {
  public:
   explicit DenseTableauBackend(const Model& model,
@@ -66,6 +68,17 @@ class DenseTableauBackend final : public LpBackend {
   [[nodiscard]] std::int64_t default_max_iters() const;
   [[nodiscard]] bool stop_requested() const;
 
+  // Fault-injection hooks (no-ops when `options_.fault` is null) and the
+  // recovery ladder's helpers; see lp/simplex.cpp for the shared design.
+  bool poll_pivot_fault();   // true = stop now (TripStop); may throw
+  void poll_round_fault();   // once per public (re-)solve entry
+  [[nodiscard]] bool take_forced_bad_pivot();
+  void perturb_inverse(double magnitude);
+  [[nodiscard]] bool residual_ok(const std::vector<double>& xb) const;
+  // Rung 2: cold restart after a NumericalFailure'd attempt, carrying the
+  // failed attempt's recovery counters forward.
+  Solution cold_retry(const Solution& failed);
+
   bool factorize();  // rebuilds binv_ from basis_; false if singular
   void compute_basic_values(std::vector<double>& xb) const;
   // y = c_B' B^{-1} with phase costs (plus cost shifts when phase2).
@@ -91,6 +104,11 @@ class DenseTableauBackend final : public LpBackend {
   std::vector<double> binv_;       // row-major m_ x m_
   bool binv_valid_ = false;
   int pivots_since_refactor_ = 0;
+  // Recovery-ladder state (see lp/simplex.cpp): per-solve rung-1 budget
+  // and the fault-injection latches.
+  int numerical_retries_ = 0;
+  bool fault_stop_ = false;
+  bool fault_bad_pivot_ = false;
 };
 
 }  // namespace stripack::lp

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
@@ -22,14 +23,27 @@ const char* pricing_name(PricingRule rule) {
 }
 
 // Solves one entry cold over its own backend instance. `stop` (optional)
-// lets a race cancel it mid-pivot.
+// lets a race cancel it mid-pivot. This is the exception barrier of the
+// portfolio: a throwing backend is contained here — recorded in `error`
+// and turned into a NumericalFailure'd (never conclusive, never winning)
+// solution — so nothing ever propagates through the thread pool, whose
+// rethrow would take down sibling racers with it.
 Solution solve_entry(const Model& model, const PortfolioEntry& entry,
                      const std::atomic<bool>* stop,
-                     std::int64_t max_iterations = 0) {
+                     std::int64_t max_iterations, std::string& error) {
   SimplexOptions options = entry.options;
   if (stop != nullptr) options.stop = stop;
   if (max_iterations > 0) options.max_iterations = max_iterations;
-  return make_lp_backend(entry.backend, model, options)->solve();
+  try {
+    return make_lp_backend(entry.backend, model, options)->solve();
+  } catch (const std::exception& e) {
+    error = e.what();
+  } catch (...) {
+    error = "unknown exception";
+  }
+  Solution failed;
+  failed.status = SolveStatus::NumericalFailure;
+  return failed;
 }
 
 PortfolioResult finish(PortfolioResult result,
@@ -99,8 +113,36 @@ PortfolioResult portfolio_solve(const Model& model,
                                 const PortfolioOptions& options) {
   const std::vector<PortfolioEntry> entries =
       options.entries.empty() ? default_portfolio(model) : options.entries;
+  // An unknown backend name is caller misuse, not a solve failure: reject
+  // it up front (same std::invalid_argument as make_lp_backend) instead of
+  // laundering it through the exception barrier as a recorded loser.
+  for (const PortfolioEntry& entry : entries) {
+    if (!has_lp_backend(entry.backend)) {
+      throw std::invalid_argument("portfolio_solve: unknown LP backend '" +
+                                  entry.backend + "'");
+    }
+  }
   PortfolioResult result;
   result.entry_status.assign(entries.size(), SolveStatus::IterationLimit);
+  result.diagnostics.entry_errors.assign(entries.size(), std::string());
+  const auto record_error = [&result](std::size_t i,
+                                      const std::string& error) {
+    if (error.empty()) return;
+    if (result.diagnostics.entry_errors[i].empty()) {
+      ++result.diagnostics.failed_entries;
+    }
+    result.diagnostics.entry_errors[i] = error;
+  };
+  const auto all_failed = [&result, &entries](const char* mode_name) {
+    std::string message = "portfolio_solve(";
+    message += mode_name;
+    message += "): every entry failed:";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      message += " [" + entries[i].label() + ": " +
+                 result.diagnostics.entry_errors[i] + "]";
+    }
+    return SolveError(message, result.diagnostics.entry_errors);
+  };
 
   if (options.mode == PortfolioMode::Single ||
       options.mode == PortfolioMode::Auto) {
@@ -111,7 +153,10 @@ PortfolioResult portfolio_solve(const Model& model,
                                   ? PricingRule::Devex
                                   : PricingRule::Dantzig;
     }
-    result.solution = solve_entry(model, entry, nullptr);
+    std::string error;
+    result.solution = solve_entry(model, entry, nullptr, 0, error);
+    record_error(0, error);
+    if (!error.empty()) throw all_failed(to_string(options.mode));
     result.winner = 0;
     result.entry_status[0] = result.solution.status;
     result.winner_label = entry.label();
@@ -126,22 +171,29 @@ PortfolioResult portfolio_solve(const Model& model,
     // entry of the earliest conclusive turn — a pure function of the
     // model and the budgets, whatever the thread count.
     std::vector<Solution> solutions(entries.size());
+    std::vector<std::string> errors(entries.size());
     std::int64_t budget = std::max<std::int64_t>(1, options.round_robin_budget);
     for (int turn = 0; turn < std::max(1, options.max_turns); ++turn) {
       ++result.turns;
       ThreadPool::shared().run(
           entries.size(),
           [&](std::size_t i) {
-            solutions[i] = solve_entry(model, entries[i], nullptr, budget);
+            errors[i].clear();
+            solutions[i] =
+                solve_entry(model, entries[i], nullptr, budget, errors[i]);
           },
           entries.size());
       int winner = -1;
+      bool any_alive = false;
       for (std::size_t i = 0; i < entries.size(); ++i) {
         result.entry_status[i] = solutions[i].status;
+        record_error(i, errors[i]);
+        if (errors[i].empty()) any_alive = true;
         if (winner < 0 && is_conclusive(solutions[i].status)) {
           winner = static_cast<int>(i);
         }
       }
+      if (!any_alive) throw all_failed("round-robin");
       if (winner >= 0) {
         result.winner = winner;
         result.solution =
@@ -155,9 +207,14 @@ PortfolioResult portfolio_solve(const Model& model,
   }
 
   // Race: first conclusive finisher claims the win and cancels the rest.
+  // Entry bodies are guarded by `solve_entry`'s exception barrier: a
+  // throwing backend is a recorded loser (NumericalFailure, never
+  // conclusive), not a rethrow through `ThreadPool::run` that would tear
+  // down the whole race.
   std::atomic<bool> stop{false};
   std::atomic<int> winner{-1};
   std::vector<Solution> solutions(entries.size());
+  std::vector<std::string> errors(entries.size());
   ThreadPool::shared().run(
       entries.size(),
       [&](std::size_t i) {
@@ -170,7 +227,7 @@ PortfolioResult portfolio_solve(const Model& model,
           std::this_thread::sleep_for(std::chrono::microseconds(
               100 * (h % 8)));
         }
-        solutions[i] = solve_entry(model, entries[i], &stop);
+        solutions[i] = solve_entry(model, entries[i], &stop, 0, errors[i]);
         if (is_conclusive(solutions[i].status)) {
           int expected = -1;
           if (winner.compare_exchange_strong(expected,
@@ -182,15 +239,33 @@ PortfolioResult portfolio_solve(const Model& model,
       entries.size());
   for (std::size_t i = 0; i < entries.size(); ++i) {
     result.entry_status[i] = solutions[i].status;
+    record_error(i, errors[i]);
   }
   int w = winner.load();
   if (w < 0) {
-    // Nobody concluded within its iteration budget (only possible with
-    // explicit max_iterations); fall back to an uncancelled re-solve of
-    // the first entry so the caller still gets a definitive answer.
-    solutions[0] = solve_entry(model, entries.front(), nullptr);
-    result.entry_status[0] = solutions[0].status;
-    w = 0;
+    // Nobody concluded: every entry was cancelled short of its budget,
+    // threw, or failed numerically. Fall back to an uncancelled re-solve
+    // of the first entry that did not throw so the caller still gets a
+    // definitive answer; if there is no such entry, every competitor
+    // failed and the structured error carries all the reasons.
+    int fallback = -1;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (errors[i].empty()) {
+        fallback = static_cast<int>(i);
+        break;
+      }
+    }
+    if (fallback < 0) throw all_failed("race");
+    const auto fb = static_cast<std::size_t>(fallback);
+    std::string error;
+    solutions[fb] = solve_entry(model, entries[fb], nullptr, 0, error);
+    record_error(fb, error);
+    result.entry_status[fb] = solutions[fb].status;
+    if (result.diagnostics.failed_entries ==
+        static_cast<int>(entries.size())) {
+      throw all_failed("race");
+    }
+    w = fallback;
   }
   result.winner = w;
   result.solution = std::move(solutions[static_cast<std::size_t>(w)]);

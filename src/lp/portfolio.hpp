@@ -75,6 +75,19 @@ struct PortfolioOptions {
   unsigned stagger_seed = 0;
 };
 
+/// Failure bookkeeping for one portfolio call. A backend that throws is
+/// contained at the entry boundary (never escapes through the thread
+/// pool): its status is recorded as `SolveStatus::NumericalFailure` — not
+/// conclusive, so it can never win a race — and the exception text lands
+/// here. `lp::SolveError` is thrown only when *every* entry failed.
+struct PortfolioDiagnostics {
+  /// One entry per competitor, in entry order; "" = that entry did not
+  /// throw (it may still have returned a non-conclusive status).
+  std::vector<std::string> entry_errors;
+  /// Number of entries whose solve threw.
+  int failed_entries = 0;
+};
+
 struct PortfolioResult {
   Solution solution;
   int winner = -1;  // index into the entry list; -1 = none conclusive
@@ -82,9 +95,11 @@ struct PortfolioResult {
   /// Registry name of the winning entry's backend (callers adopting the
   /// winner's basis re-create this backend with `initial_basis`).
   std::string winner_backend;
-  /// Last observed status per entry (cancelled racers: IterationLimit).
+  /// Last observed status per entry (cancelled racers: IterationLimit;
+  /// entries whose solve threw: NumericalFailure).
   std::vector<SolveStatus> entry_status;
   int turns = 0;  // RoundRobin turns executed
+  PortfolioDiagnostics diagnostics;
 };
 
 /// Deterministic shape heuristic: tiny models go to the dense reference
@@ -100,7 +115,9 @@ struct PortfolioResult {
 /// Solves `model` cold under the requested portfolio mode. Each entry gets
 /// its own backend instance, so `portfolio_solve` is safe to call from
 /// anywhere the registry backends are (the race uses the shared pool;
-/// don't call it from inside another shared-pool task).
+/// don't call it from inside another shared-pool task). A throwing entry
+/// is contained and recorded in `PortfolioResult::diagnostics`; throws
+/// `lp::SolveError` only when every entry failed.
 [[nodiscard]] PortfolioResult portfolio_solve(
     const Model& model, const PortfolioOptions& options = {});
 

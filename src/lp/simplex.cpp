@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/fault_injection.hpp"
 #include "util/parallel_for.hpp"
 
 namespace stripack::lp {
@@ -15,6 +16,13 @@ namespace {
 
 constexpr double kPivotTol = 1e-9;
 constexpr double kEtaDropTol = 1e-12;
+// Basic-residual certification tolerance (relative to 1 + ||b||_1): loose
+// enough to absorb the feasibility clamps, tight enough that an injected
+// or genuine factorization corruption cannot certify as optimal.
+constexpr double kResidualTol = 1e-6;
+// Rung-1 budget: unscheduled refactorizations per solve attempt before the
+// ladder escalates (cold restart, then NumericalFailure).
+constexpr int kMaxNumericalRetries = 3;
 constexpr int kNoColumn = std::numeric_limits<int>::min();
 // Minimum scan size before the optional pricing threads engage.
 // parallel_for now runs on the shared ThreadPool (a condition-variable
@@ -155,11 +163,9 @@ class SimplexEngine::Impl {
       codes.push_back(slack_sign_[r] != 0.0 ? slack_of(r) : artificial_of(r));
     }
     install_basis(codes);
-    bool singular = false;
-    refactor(&singular);
     // A singular basis can only arise from an rhs sign flip rewriting a
     // basic column; fall back to cold (solve_dual then re-runs phase 1).
-    if (singular) cold_start();
+    if (!refactor()) cold_start();
     candidates_.clear();
     scan_ptr_ = 0;
     se_reset();
@@ -188,9 +194,7 @@ class SimplexEngine::Impl {
       }
     }
     install_basis(basis);
-    bool singular = false;
-    refactor(&singular);
-    if (singular) {
+    if (!refactor()) {
       cold_start();
       return false;
     }
@@ -205,9 +209,26 @@ class SimplexEngine::Impl {
     return true;
   }
 
+  // Public primal solve with the recovery ladder's rung 2: a solve attempt
+  // that exhausted its refactorize-and-retry budget (NumericalFailure) is
+  // retried once from a cold start — dropping the possibly corrupt
+  // factorization and warm state entirely — before the failure is final.
   Solution solve() {
+    poll_round_fault();
+    Solution first = solve_attempt();
+    if (first.status != SolveStatus::NumericalFailure) return first;
+    cold_start();
+    Solution retry = solve_attempt();
+    retry.refactor_retries += first.refactor_retries;
+    retry.residual_repairs += first.residual_repairs;
+    retry.cold_restarts = first.cold_restarts + 1;
+    return retry;
+  }
+
+  Solution solve_attempt() {
     Solution solution;
     cost_shift_.clear();
+    numerical_retries_ = 0;
     const std::int64_t max_iters = default_max_iters();
     // Anti-cycling may have engaged Bland's rule late in a previous solve;
     // start each solve with the configured pricing and let degeneracy
@@ -280,8 +301,27 @@ class SimplexEngine::Impl {
   // back to the primal `solve()` when the retained state is outside dual
   // reach (see the header contract).
   Solution solve_dual(bool shift_dual_infeasible, double objective_cutoff) {
+    poll_round_fault();
+    Solution first = solve_dual_attempt(shift_dual_infeasible,
+                                        objective_cutoff);
+    if (first.status != SolveStatus::NumericalFailure) return first;
+    // Rung 2 for the dual path: the warm basis (or its factorization) is
+    // numerically wedged, so the cheap re-solve is off the table — fall
+    // back to a cold two-phase primal, the same documented fallback used
+    // when the retained basis is outside dual reach.
+    cold_start();
+    Solution retry = solve_attempt();
+    retry.refactor_retries += first.refactor_retries;
+    retry.residual_repairs += first.residual_repairs;
+    retry.cold_restarts = first.cold_restarts + 1;
+    return retry;
+  }
+
+  Solution solve_dual_attempt(bool shift_dual_infeasible,
+                              double objective_cutoff) {
     Solution solution;
     cost_shift_.clear();
+    numerical_retries_ = 0;
     const std::int64_t max_iters = default_max_iters();
     bland_ = forced_bland();
     phase_ = 2;
@@ -319,6 +359,10 @@ class SimplexEngine::Impl {
     int stall_retries = 0;
     while (true) {
       if (solution.iterations >= max_iters || stop_requested()) {
+        solution.status = SolveStatus::IterationLimit;
+        return solution;
+      }
+      if (poll_pivot_fault()) {
         solution.status = SolveStatus::IterationLimit;
         return solution;
       }
@@ -396,14 +440,16 @@ class SimplexEngine::Impl {
       }
 
       ftran(entries_of(entering));
-      if (d_[leave] >= -kPivotTol) {
-        // Eta-file drift: FTRAN disagrees with the BTRAN row. Rebuild the
-        // factorization and retry (bounded).
-        if (++stall_retries > 3) {
-          solution.status = SolveStatus::IterationLimit;
+      if (d_[leave] >= -kPivotTol || take_forced_bad_pivot()) {
+        // Eta-file drift: FTRAN disagrees with the BTRAN row (or the
+        // fault harness reported the pivot near-singular). Rebuild the
+        // factorization and retry (bounded) — rung 1 of the ladder.
+        if (++stall_retries > kMaxNumericalRetries || !refactor()) {
+          solution.status = SolveStatus::NumericalFailure;
           return solution;
         }
-        refactor();  // no xb clamp: negatives are the dual's work queue
+        ++solution.refactor_retries;
+        // No xb clamp: negatives are the dual's work queue.
         recompute_duals();
         continue;
       }
@@ -413,7 +459,10 @@ class SimplexEngine::Impl {
       ++solution.iterations;
       ++solution.dual_iterations;
       if (++pivots_since_refactor_ >= options_.refactor_interval) {
-        refactor();
+        if (!refactor()) {
+          solution.status = SolveStatus::NumericalFailure;
+          return solution;
+        }
         recompute_duals();
       }
     }
@@ -525,10 +574,89 @@ class SimplexEngine::Impl {
   }
 
   // Cooperative cancellation (portfolio racing): relaxed is enough — a
-  // stale read just costs one extra pivot.
+  // stale read just costs one extra pivot. A TripStop fault latches the
+  // same behavior without a caller-owned flag.
   [[nodiscard]] bool stop_requested() const {
-    return options_.stop != nullptr &&
-           options_.stop->load(std::memory_order_relaxed);
+    return fault_stop_ || (options_.stop != nullptr &&
+                           options_.stop->load(std::memory_order_relaxed));
+  }
+
+  // ----- fault-injection hooks (no-ops when options_.fault is null) -------
+  // Corrupts the newest eta entry *and* the incrementally maintained basic
+  // values — the drift a stale or damaged factorization produces. The
+  // residual check at certification must catch it; refactor() repairs it.
+  void perturb_factorization(double magnitude) {
+    if (!etas_.empty()) {
+      Eta& eta = etas_.back();
+      if (!eta.off.empty()) {
+        eta.off.front().coef += magnitude * (1.0 + std::fabs(
+                                                      eta.off.front().coef));
+      } else {
+        eta.inv_pivot *= 1.0 + magnitude;
+      }
+    }
+    if (!xb_.empty()) xb_.front() += magnitude * (1.0 + b_norm_);
+  }
+
+  // Pivot-boundary poll. Returns true when the solve must stop now
+  // (TripStop); may throw FaultInjected.
+  bool poll_pivot_fault() {
+    if (options_.fault == nullptr) return false;
+    double magnitude = 0.0;
+    switch (options_.fault->poll(FaultSite::Pivot, &magnitude)) {
+      case FaultAction::None: break;
+      case FaultAction::PerturbEta: perturb_factorization(magnitude); break;
+      case FaultAction::NearSingularPivot: fault_bad_pivot_ = true; break;
+      case FaultAction::Throw:
+        throw FaultInjected("injected fault at pivot boundary");
+      case FaultAction::TripStop:
+        fault_stop_ = true;
+        return true;
+    }
+    return false;
+  }
+
+  // Pricing-round poll, fired once per (re-)solve entry — each column
+  // generation round lands here exactly once.
+  void poll_round_fault() {
+    if (options_.fault == nullptr) return;
+    double magnitude = 0.0;
+    switch (options_.fault->poll(FaultSite::PricingRound, &magnitude)) {
+      case FaultAction::None: break;
+      case FaultAction::PerturbEta: perturb_factorization(magnitude); break;
+      case FaultAction::NearSingularPivot: fault_bad_pivot_ = true; break;
+      case FaultAction::Throw:
+        throw FaultInjected("injected fault at pricing round");
+      case FaultAction::TripStop:
+        fault_stop_ = true;
+        break;
+    }
+  }
+
+  // Consumes the one-shot "next pivot is near-singular" latch.
+  [[nodiscard]] bool take_forced_bad_pivot() {
+    const bool forced = fault_bad_pivot_;
+    fault_bad_pivot_ = false;
+    return forced;
+  }
+
+  // Basic-residual certification: ||B xb - b||_inf against a clamp-aware
+  // tolerance, computed from the model columns directly (independent of
+  // the eta file, so factorization corruption cannot hide from it).
+  [[nodiscard]] bool residual_ok() {
+    resid_.assign(static_cast<std::size_t>(m_), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const double v = xb_[i];
+      if (v == 0.0) continue;
+      for (const RowEntry& e : entries_of(basis_[i])) {
+        resid_[e.row] += v * e.coef;
+      }
+    }
+    double err = 0.0;
+    for (int r = 0; r < m_; ++r) {
+      err = std::max(err, std::fabs(resid_[r] - b_[r]));
+    }
+    return err <= kResidualTol * (1.0 + b_norm_);
   }
 
   [[nodiscard]] bool forced_bland() const {
@@ -814,7 +942,21 @@ class SimplexEngine::Impl {
   // each column through the etas built so far and pivot on the largest
   // remaining component. Cost scales with basis nonzeros plus kernel fill
   // instead of the m^3 of a dense inversion.
-  void refactor(bool* singular = nullptr) {
+  //
+  // Returns false when the basis matrix proves singular (the partial eta
+  // file is unusable; callers cold-start or escalate to NumericalFailure).
+  [[nodiscard]] bool refactor() {
+    double fault_magnitude = 0.0;
+    FaultAction fault_action = FaultAction::None;
+    if (options_.fault != nullptr) {
+      fault_action =
+          options_.fault->poll(FaultSite::Refactor, &fault_magnitude);
+      if (fault_action == FaultAction::Throw) {
+        throw FaultInjected("injected fault at refactorization");
+      }
+      if (fault_action == FaultAction::TripStop) fault_stop_ = true;
+      if (fault_action == FaultAction::NearSingularPivot) return false;
+    }
     pivots_since_refactor_ = 0;
     etas_.clear();
     etas_.reserve(static_cast<std::size_t>(m_) +
@@ -923,13 +1065,7 @@ class SimplexEngine::Impl {
             piv = i;
           }
         }
-        if (piv < 0 || best <= 1e-12) {
-          if (singular != nullptr) {
-            *singular = true;
-            return;
-          }
-          STRIPACK_ASSERT(false, "singular basis during refactorization");
-        }
+        if (piv < 0 || best <= 1e-12) return false;
         Eta eta;
         eta.row = piv;
         eta.inv_pivot = 1.0 / d_[piv];
@@ -944,7 +1080,6 @@ class SimplexEngine::Impl {
         ++pivots_done;
       }
     }
-    if (singular != nullptr) *singular = false;
 
     // Re-index the basis by pivot row (a pure relabeling of basis slots;
     // the basic set is unchanged) and recompute basic values from scratch:
@@ -953,12 +1088,17 @@ class SimplexEngine::Impl {
     d_ = b_;
     apply_etas(d_);
     xb_ = d_;
+    if (fault_action == FaultAction::PerturbEta) {
+      perturb_factorization(fault_magnitude);
+    }
+    return true;
   }
 
-  void refactor_in_solve() {
-    refactor();
+  [[nodiscard]] bool refactor_in_solve() {
+    if (!refactor()) return false;
     for (double& v : xb_) v = std::max(v, 0.0);
     recompute_duals();
+    return true;
   }
 
   // ----- pricing ----------------------------------------------------------
@@ -1100,6 +1240,7 @@ class SimplexEngine::Impl {
       if (solution.iterations >= max_iters || stop_requested()) {
         return SolveStatus::IterationLimit;
       }
+      if (poll_pivot_fault()) return SolveStatus::IterationLimit;
 
       double rc = 0.0;
       const int entering = price(rc);
@@ -1108,6 +1249,18 @@ class SimplexEngine::Impl {
         // certifies optimality.
         if (!duals_fresh_) {
           recompute_duals();
+          continue;
+        }
+        // Residual certification (rung 1 of the recovery ladder): a basic
+        // solution that does not satisfy B xb = b — eta-file corruption or
+        // accumulated drift — must not certify. Refactorize (recomputing
+        // xb from the model columns) and re-price, boundedly.
+        if (!residual_ok()) {
+          if (++numerical_retries_ > kMaxNumericalRetries ||
+              !refactor_in_solve()) {
+            return SolveStatus::NumericalFailure;
+          }
+          ++solution.residual_repairs;
           continue;
         }
         return SolveStatus::Optimal;
@@ -1166,6 +1319,19 @@ class SimplexEngine::Impl {
         degenerate_streak = 0;
       }
 
+      // Near-singular pivot guard (rung 1): a pivot element inside the
+      // tolerance — only reachable through numerical drift or the fault
+      // harness, since the ratio test selects |d| > kPivotTol — gets a
+      // bounded refactorize-and-retry instead of the old hard assert.
+      if (std::fabs(d_[leave]) <= kPivotTol || take_forced_bad_pivot()) {
+        if (++numerical_retries_ > kMaxNumericalRetries ||
+            !refactor_in_solve()) {
+          return SolveStatus::NumericalFailure;
+        }
+        ++solution.refactor_retries;
+        continue;
+      }
+
       // Duals first (the update needs the pre-pivot eta file), then the
       // steepest-edge capture (needs the pre-pivot etas and direction),
       // then the pivot.
@@ -1175,14 +1341,13 @@ class SimplexEngine::Impl {
       ++solution.iterations;
 
       if (++pivots_since_refactor_ >= options_.refactor_interval) {
-        refactor_in_solve();
+        if (!refactor_in_solve()) return SolveStatus::NumericalFailure;
       }
     }
   }
 
   void pivot(int entering, int leave, double theta) {
     const double dp = d_[leave];
-    STRIPACK_ASSERT(std::fabs(dp) > kPivotTol, "pivot element too small");
 
     for (int i = 0; i < m_; ++i) xb_[i] -= theta * d_[i];
     xb_[leave] = theta;
@@ -1280,6 +1445,13 @@ class SimplexEngine::Impl {
   std::vector<int> new_basis_;
   int scan_ptr_ = 0;
   int pivots_since_refactor_ = 0;
+  // Recovery-ladder state: per-attempt rung-1 budget, the residual-check
+  // scratch, and the fault-injection latches (a TripStop fault persists —
+  // it models a deadline that has already passed).
+  int numerical_retries_ = 0;
+  std::vector<double> resid_;
+  bool fault_stop_ = false;
+  bool fault_bad_pivot_ = false;
 };
 
 SimplexEngine::SimplexEngine(const Model& model, const SimplexOptions& options)

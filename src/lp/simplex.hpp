@@ -33,6 +33,10 @@
 
 #include "lp/model.hpp"
 
+namespace stripack {
+class FaultInjector;  // util/fault_injection.hpp
+}
+
 namespace stripack::lp {
 
 enum class SolveStatus {
@@ -45,6 +49,12 @@ enum class SolveStatus {
   /// feasible — reached the caller's `objective_cutoff`. The solution is
   /// not optimal; `Solution::objective` holds the certified bound.
   ObjectiveCutoff,
+  /// The recovery ladder ran dry: a near-singular pivot or a failed basic
+  /// residual check survived the bounded refactorize-and-retry rung and
+  /// one cold restart. The solution carries no certificate (like
+  /// `IterationLimit`); callers fail over to another backend or treat the
+  /// node as stalled. Never an assert, never an infinite loop.
+  NumericalFailure,
 };
 
 /// Pricing rule for the primal simplex.
@@ -106,6 +116,11 @@ struct SimplexOptions {
   /// portfolio racer uses this to cancel backends that lost the race; the
   /// pointee must outlive every solve that references it.
   const std::atomic<bool>* stop = nullptr;
+  /// Fault-injection hook (tests only): when non-null, engines poll it at
+  /// pivot / refactorization / pricing-round boundaries and simulate the
+  /// returned action — see util/fault_injection.hpp. One null check per
+  /// site when absent; the pointee must outlive every solve.
+  FaultInjector* fault = nullptr;
 };
 
 struct Solution {
@@ -130,6 +145,13 @@ struct Solution {
   /// restore feasibility, and if no such column exists in the full
   /// (unpriced) universe the verdict extends to the full master.
   std::vector<double> farkas;
+  /// Recovery-ladder diagnostics: unscheduled refactorizations forced by a
+  /// near-singular pivot or an eta-drift stall (rung 1), residual-check
+  /// repairs at certification time (also rung 1), and cold restarts after
+  /// rung 1 ran dry (rung 2). All zero on a numerically clean solve.
+  int refactor_retries = 0;
+  int residual_repairs = 0;
+  int cold_restarts = 0;
 
   [[nodiscard]] bool optimal() const { return status == SolveStatus::Optimal; }
 };

@@ -655,6 +655,8 @@ struct ConfigLpSolver::State {
     simplex_options.tol = options.tol;
     simplex_options.pricing = options.pricing;
     simplex_options.pricing_threads = options.pricing_threads;
+    simplex_options.stop = options.stop;
+    simplex_options.fault = options.fault;
     backend_name = options.backend;
     // Fail fast on typos rather than at the first (possibly deep) solve.
     if (!lp::has_lp_backend(backend_name)) {
@@ -745,6 +747,85 @@ struct ConfigLpSolver::State {
   std::map<std::pair<std::size_t, std::vector<int>>, char> column_keys;
   std::size_t column_keys_synced = 0;
   bool solved = false;
+  /// Per-call recovery accumulators: reset at every public (re-)solve
+  /// entry, summed over the `lp::Solution`s that call produced, copied
+  /// into the result by `finish()`. Clones restart at zero (not in the
+  /// copy ctor's init list), like every other per-solver counter.
+  int acc_refactor_retries = 0;
+  int acc_residual_repairs = 0;
+  int acc_cold_restarts = 0;
+  int acc_master_failovers = 0;
+
+  void reset_recovery() {
+    acc_refactor_retries = 0;
+    acc_residual_repairs = 0;
+    acc_cold_restarts = 0;
+    acc_master_failovers = 0;
+  }
+
+  void note(const lp::Solution& solution) {
+    acc_refactor_retries += solution.refactor_retries;
+    acc_residual_repairs += solution.residual_repairs;
+    acc_cold_restarts += solution.cold_restarts;
+  }
+
+  void note_colgen(const lp::ColgenResult& result) {
+    acc_refactor_retries += result.refactor_retries;
+    acc_residual_repairs += result.residual_repairs;
+    acc_cold_restarts += result.cold_restarts;
+  }
+
+  // Backend failover (the ladder's last rung before giving up): the master
+  // model lives in this State, not in the backend, so the failing engine
+  // can be replaced wholesale by a fresh cold instance of the dense
+  // reference backend (or, when dense itself is the one failing, a fresh
+  // cold instance of the same backend — one last restart). Returns false
+  // only if even constructing the replacement throws.
+  [[nodiscard]] bool failover_engine() {
+    ++acc_master_failovers;
+    if (backend_name != "dense" && lp::has_lp_backend("dense")) {
+      backend_name = "dense";
+    }
+    lp::SimplexOptions cold = simplex_options;
+    cold.initial_basis.clear();
+    try {
+      engine = lp::make_lp_backend(backend_name, model, cold);
+    } catch (const std::runtime_error&) {
+      return false;
+    }
+    return true;
+  }
+
+  // Cold initial solve with the failover wrapped around it: a backend that
+  // throws or reports NumericalFailure is replaced (see failover_engine)
+  // and the solve retried once; a second failure is reported honestly as
+  // NumericalFailure, never an exception.
+  [[nodiscard]] lp::Solution guarded_cold_solve() {
+    try {
+      lp::Solution solution = engine->solve();
+      note(solution);
+      if (solution.status != lp::SolveStatus::NumericalFailure) {
+        return solution;
+      }
+    } catch (const std::runtime_error&) {
+    }
+    lp::Solution failed;
+    failed.status = lp::SolveStatus::NumericalFailure;
+    if (!failover_engine()) return failed;
+    try {
+      lp::Solution solution = engine->solve();
+      note(solution);
+      return solution;
+    } catch (const std::runtime_error&) {
+      return failed;
+    }
+  }
+
+  [[nodiscard]] FractionalSolution failed_result() {
+    lp::Solution failed;
+    failed.status = lp::SolveStatus::NumericalFailure;
+    return finish(failed, 0, 0, 0);
+  }
 
   void sync_column_keys() {
     for (std::size_t c = column_keys_synced; c < table.config_of.size();
@@ -771,11 +852,37 @@ struct ConfigLpSolver::State {
     out.colgen_rounds = rounds;
     out.colgen_warm_phase1_iterations = warm_phase1;
     out.dual_iterations = solution.dual_iterations;
+    out.lp_refactor_retries = acc_refactor_retries;
+    out.lp_residual_repairs = acc_residual_repairs;
+    out.lp_cold_restarts = acc_cold_restarts;
+    out.master_failovers = acc_master_failovers;
     if (!options.use_column_generation) {
       out.configurations = table.configs.size();
     }
     if (solution.optimal()) last_basis = solution.basis;
     return out;
+  }
+
+  // Dual re-solve with the backend-failover barrier: one attempt on the
+  // current engine; if it throws or its recovery ladder ran dry
+  // (NumericalFailure), the backend is replaced by a fresh cold dense
+  // reference instance (failover_engine) and the whole re-solve retried
+  // once — the model, column pool and branch rows all live here, so the
+  // replacement sees the exact same master. A second failure returns an
+  // honest NumericalFailure result; exceptions never escape.
+  [[nodiscard]] FractionalSolution resolve() {
+    reset_recovery();
+    try {
+      FractionalSolution out = resolve_attempt();
+      if (out.status != lp::SolveStatus::NumericalFailure) return out;
+    } catch (const std::runtime_error&) {
+    }
+    if (!failover_engine()) return failed_result();
+    try {
+      return resolve_attempt();
+    } catch (const std::runtime_error&) {
+      return failed_result();
+    }
   }
 
   // Dual re-solve after a row change, plus — in colgen mode — pricing
@@ -786,7 +893,7 @@ struct ConfigLpSolver::State {
   // re-solve's own phase1_iterations feed the warm counter: a silent
   // fallback into a cold primal solve must show up in
   // `colgen_warm_phase1_iterations`, not vanish.
-  [[nodiscard]] FractionalSolution resolve() {
+  [[nodiscard]] FractionalSolution resolve_attempt() {
     engine->sync_rows();
     const bool colgen = options.use_column_generation;
     // Enumeration mode works on the full LP, so the dual simplex's
@@ -797,6 +904,7 @@ struct ConfigLpSolver::State {
     lp::Solution solution = engine->solve_dual(
         colgen, colgen ? std::numeric_limits<double>::infinity()
                        : node_cutoff);
+    note(solution);
     if (solution.status == lp::SolveStatus::ObjectiveCutoff) {
       FractionalSolution out =
           finish(solution, solution.iterations, 0,
@@ -828,6 +936,7 @@ struct ConfigLpSolver::State {
         ++farkas_rounds;
         engine->sync_columns();
         solution = engine->solve_dual(true);
+        note(solution);
         dual_pivots += solution.dual_iterations;
         iterations += solution.iterations;
         warm_phase1 += solution.phase1_iterations;
@@ -850,6 +959,7 @@ struct ConfigLpSolver::State {
                                                               : nullptr;
     lp::ColgenResult result = lp::solve_with_column_generation(
         model, *oracle, *engine, simplex_options.tol, 500, cutoff_ptr);
+    note_colgen(result);
     FractionalSolution out =
         finish(result.solution, iterations + result.total_iterations,
                result.rounds, warm_phase1 + result.warm_phase1_iterations);
@@ -891,27 +1001,37 @@ FractionalSolution ConfigLpSolver::solve() {
       }
     }
     s.table.configs = std::move(configs);
+    s.reset_recovery();
     lp::Solution solution;
     if (s.options.portfolio == lp::PortfolioMode::Race ||
         s.options.portfolio == lp::PortfolioMode::RoundRobin) {
       // The portfolio owns the cold solve; the State backend is then
       // re-created on the winner's implementation, warm from the winning
-      // basis, so every later dual re-solve continues seamlessly.
-      lp::PortfolioOptions popts;
-      popts.mode = s.options.portfolio;
-      lp::PortfolioResult raced = lp::portfolio_solve(s.model, popts);
-      if (raced.winner >= 0) s.backend_name = raced.winner_backend;
-      solution = std::move(raced.solution);
-      lp::SimplexOptions warm = s.simplex_options;
-      warm.initial_basis = solution.basis;
-      s.engine = lp::make_lp_backend(s.backend_name, s.model, warm);
+      // basis, so every later dual re-solve continues seamlessly. A
+      // portfolio where *every* entry failed (lp::SolveError) fails over
+      // to a single cold solve on the dense reference backend.
+      try {
+        lp::PortfolioOptions popts;
+        popts.mode = s.options.portfolio;
+        lp::PortfolioResult raced = lp::portfolio_solve(s.model, popts);
+        if (raced.winner >= 0) s.backend_name = raced.winner_backend;
+        solution = std::move(raced.solution);
+        s.note(solution);
+        lp::SimplexOptions warm = s.simplex_options;
+        warm.initial_basis = solution.basis;
+        s.engine = lp::make_lp_backend(s.backend_name, s.model, warm);
+      } catch (const lp::SolveError&) {
+        solution = lp::Solution{};
+        solution.status = lp::SolveStatus::NumericalFailure;
+        if (s.failover_engine()) solution = s.guarded_cold_solve();
+      }
     } else {
       if (s.options.portfolio == lp::PortfolioMode::Auto) {
         s.backend_name = lp::choose_backend(s.model);
       }
       s.engine =
           lp::make_lp_backend(s.backend_name, s.model, s.simplex_options);
-      solution = s.engine->solve();
+      solution = s.guarded_cold_solve();
     }
     s.solved = true;
     return s.finish(solution, solution.iterations, 0, 0);
@@ -947,8 +1067,35 @@ FractionalSolution ConfigLpSolver::solve() {
     s.backend_name = lp::choose_backend(s.model);
   }
   s.engine = lp::make_lp_backend(s.backend_name, s.model, s.simplex_options);
-  const lp::ColgenResult result = lp::solve_with_column_generation(
-      s.model, *s.oracle, *s.engine, s.simplex_options.tol);
+  s.reset_recovery();
+  // Cold column-generation run with the backend-failover barrier: a master
+  // that throws or fails numerically is rebuilt cold on the dense
+  // reference backend and the whole loop rerun once (columns priced before
+  // the failure stay in the model, so no pricing work is lost).
+  lp::ColgenResult result;
+  bool failed = false;
+  try {
+    result = lp::solve_with_column_generation(s.model, *s.oracle, *s.engine,
+                                              s.simplex_options.tol);
+    s.note_colgen(result);
+  } catch (const std::runtime_error&) {
+    failed = true;
+  }
+  if (failed ||
+      result.solution.status == lp::SolveStatus::NumericalFailure) {
+    result = lp::ColgenResult{};
+    result.solution.status = lp::SolveStatus::NumericalFailure;
+    if (s.failover_engine()) {
+      try {
+        result = lp::solve_with_column_generation(
+            s.model, *s.oracle, *s.engine, s.simplex_options.tol);
+        s.note_colgen(result);
+      } catch (const std::runtime_error&) {
+        result = lp::ColgenResult{};
+        result.solution.status = lp::SolveStatus::NumericalFailure;
+      }
+    }
+  }
   s.solved = true;
   return s.finish(result.solution, result.total_iterations, result.rounds,
                   result.warm_phase1_iterations);

@@ -34,6 +34,7 @@
 // bound on OPT used throughout the benches.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -108,6 +109,16 @@ struct FractionalSolution {
   /// configuration column (rounds == 0, as in enumeration mode).
   int farkas_rounds = 0;
   std::size_t farkas_columns = 0;
+  /// Recovery-ladder diagnostics, summed over every LP (re-)solve this
+  /// result covers (see `lp::Solution`): forced refactorizations,
+  /// residual-check repairs, cold restarts inside one backend, and
+  /// `master_failovers` — full backend replacements after the primary
+  /// backend exhausted its ladder (`lp::SolveStatus::NumericalFailure`)
+  /// and the master was re-solved cold on the dense reference backend.
+  int lp_refactor_retries = 0;
+  int lp_residual_repairs = 0;
+  int lp_cold_restarts = 0;
+  int master_failovers = 0;
   /// Lagrangian early termination (see `ConfigLpSolver::set_node_cutoff`):
   /// the re-solve proved `cutoff_bound` is a lower bound on this LP's
   /// *full* optimum with `cutoff_bound >= cutoff`, and stopped early.
@@ -173,6 +184,14 @@ struct ConfigLpOptions {
   /// cold portfolio start has nothing to race) — there they silently
   /// reduce to Auto.
   lp::PortfolioMode portfolio = lp::PortfolioMode::Single;
+  /// Cooperative cancellation, forwarded to every underlying LP solve
+  /// (`SimplexOptions::stop`): when the flag flips, solves stop at the
+  /// next pivot boundary and report `IterationLimit` — the anytime
+  /// deadline path of `bnp::solve`. The pointee must outlive the solver.
+  const std::atomic<bool>* stop = nullptr;
+  /// Fault-injection hook, forwarded to every underlying LP solve
+  /// (`SimplexOptions::fault`; tests only). Must outlive the solver.
+  FaultInjector* fault = nullptr;
 };
 
 /// Solves the configuration LP; the returned slices reproduce the demand

@@ -67,6 +67,7 @@
 #include "release/release_rounding.hpp"    // IWYU pragma: export
 #include "release/width_grouping.hpp"      // IWYU pragma: export
 #include "util/assert.hpp"                 // IWYU pragma: export
+#include "util/fault_injection.hpp"        // IWYU pragma: export
 #include "util/float_eq.hpp"               // IWYU pragma: export
 #include "util/parallel_for.hpp"           // IWYU pragma: export
 #include "util/rng.hpp"                    // IWYU pragma: export

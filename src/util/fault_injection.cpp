@@ -1,0 +1,90 @@
+#include "util/fault_injection.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace stripack {
+
+const char* to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::Pivot: return "pivot";
+    case FaultSite::Refactor: return "refactor";
+    case FaultSite::PricingRound: return "pricing-round";
+  }
+  return "?";
+}
+
+const char* to_string(FaultAction action) {
+  switch (action) {
+    case FaultAction::None: return "none";
+    case FaultAction::PerturbEta: return "perturb-eta";
+    case FaultAction::NearSingularPivot: return "near-singular-pivot";
+    case FaultAction::Throw: return "throw";
+    case FaultAction::TripStop: return "trip-stop";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, int num_events,
+                            std::uint64_t horizon) {
+  STRIPACK_EXPECTS(num_events >= 0);
+  STRIPACK_EXPECTS(horizon >= 1);
+  Rng rng(seed ^ 0xfa017u);
+  FaultPlan plan;
+  plan.events.reserve(static_cast<std::size_t>(num_events));
+  for (int i = 0; i < num_events; ++i) {
+    FaultEvent event;
+    switch (rng.uniform_int(0, 2)) {
+      case 0: event.site = FaultSite::Pivot; break;
+      case 1: event.site = FaultSite::Refactor; break;
+      default: event.site = FaultSite::PricingRound; break;
+    }
+    event.at = static_cast<std::uint64_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(horizon)));
+    switch (rng.uniform_int(0, 3)) {
+      case 0: event.action = FaultAction::PerturbEta; break;
+      case 1: event.action = FaultAction::NearSingularPivot; break;
+      case 2: event.action = FaultAction::Throw; break;
+      default: event.action = FaultAction::TripStop; break;
+    }
+    event.magnitude = rng.uniform(1e-3, 1e-1);
+    plan.events.push_back(event);
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), claimed_(plan_.events.size()) {
+  for (auto& c : claimed_) c.store(false, std::memory_order_relaxed);
+}
+
+FaultAction FaultInjector::poll(FaultSite site, double* magnitude) {
+  const auto index = static_cast<std::size_t>(site);
+  const std::uint64_t count =
+      counters_[index].fetch_add(1, std::memory_order_relaxed) + 1;
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& event = plan_.events[i];
+    if (event.site != site || event.at != count) continue;
+    if (event.action == FaultAction::None) continue;
+    bool expected = false;
+    if (!claimed_[i].compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel)) {
+      continue;  // another poll of this occurrence already claimed it
+    }
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    if (event.action == FaultAction::PerturbEta && magnitude != nullptr) {
+      *magnitude = event.magnitude;
+    }
+    return event.action;
+  }
+  return FaultAction::None;
+}
+
+std::uint64_t FaultInjector::observed(FaultSite site) const {
+  return counters_[static_cast<std::size_t>(site)].load(
+      std::memory_order_relaxed);
+}
+
+}  // namespace stripack

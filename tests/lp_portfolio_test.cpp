@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -216,6 +218,127 @@ TEST(LpPortfolio, ConfigLpPortfolioMatchesSingleBackendBaseline) {
   const release::FractionalSolution b = release::solve_config_lp(problem, rr);
   EXPECT_EQ(a.objective, b.objective);  // bitwise
   EXPECT_EQ(a.iterations, b.iterations);
+}
+
+// A registered backend whose every solve throws — the fault model for "a
+// racer died mid-pivot". Registration is per test binary, so the
+// conformance kit (separate binary) never sees it.
+class ThrowingBackend final : public LpBackend {
+ public:
+  [[nodiscard]] const char* name() const override { return "always-throws"; }
+  void sync_columns() override {}
+  void sync_rows() override {}
+  bool load_basis(const std::vector<int>&) override { return false; }
+  [[nodiscard]] Solution solve() override {
+    throw std::runtime_error("injected backend crash");
+  }
+  [[nodiscard]] Solution solve_dual(bool, double) override {
+    throw std::runtime_error("injected backend crash");
+  }
+};
+
+void register_throwing_backend() {
+  register_lp_backend("always-throws",
+                      [](const Model&, const SimplexOptions&) {
+                        return std::make_unique<ThrowingBackend>();
+                      });
+}
+
+// Exception containment at the race boundary: the throwing entry must be
+// recorded as a NumericalFailure'd loser (with its reason in the
+// diagnostics), never std::terminate through the thread pool, and the
+// surviving entry's certified verdict must be unaffected.
+TEST(LpPortfolio, RaceContainsThrowingEntry) {
+  register_throwing_backend();
+  Rng rng(21);
+  const Model model = random_covering_model(rng, 5, 14);
+  const Solution baseline = solve(model);
+  ASSERT_TRUE(baseline.optimal());
+
+  PortfolioOptions options;
+  options.mode = PortfolioMode::Race;
+  PortfolioEntry bad;
+  bad.backend = "always-throws";
+  PortfolioEntry good;
+  good.backend = "dense";
+  options.entries = {bad, good};
+
+  const PortfolioResult raced = portfolio_solve(model, options);
+  ASSERT_EQ(raced.winner, 1);
+  EXPECT_EQ(raced.winner_backend, "dense");
+  ASSERT_EQ(raced.entry_status.size(), 2u);
+  EXPECT_EQ(raced.entry_status[0], SolveStatus::NumericalFailure);
+  EXPECT_EQ(raced.diagnostics.failed_entries, 1);
+  ASSERT_EQ(raced.diagnostics.entry_errors.size(), 2u);
+  EXPECT_NE(raced.diagnostics.entry_errors[0].find("injected"),
+            std::string::npos);
+  EXPECT_TRUE(raced.diagnostics.entry_errors[1].empty());
+  ASSERT_EQ(raced.solution.status, baseline.status);
+  certify_optimal_solution(model, raced.solution);
+  EXPECT_NEAR(raced.solution.objective, baseline.objective,
+              1e-6 * (1.0 + std::fabs(baseline.objective)));
+}
+
+TEST(LpPortfolio, RoundRobinSurvivesDeadEntry) {
+  register_throwing_backend();
+  Rng rng(22);
+  const Model model = random_covering_model(rng, 5, 14);
+  PortfolioOptions options;
+  options.mode = PortfolioMode::RoundRobin;
+  PortfolioEntry bad;
+  bad.backend = "always-throws";
+  PortfolioEntry good;
+  good.backend = kDefaultLpBackend;
+  options.entries = {bad, good};
+  const PortfolioResult result = portfolio_solve(model, options);
+  ASSERT_EQ(result.winner, 1);
+  EXPECT_EQ(result.entry_status[0], SolveStatus::NumericalFailure);
+  EXPECT_EQ(result.diagnostics.failed_entries, 1);
+  certify_optimal_solution(model, result.solution);
+}
+
+// Only when *every* entry fails does the portfolio throw, and then the
+// structured lp::SolveError carries one reason per entry in entry order.
+TEST(LpPortfolio, AllEntriesFailingRaisesSolveError) {
+  register_throwing_backend();
+  Rng rng(23);
+  const Model model = random_covering_model(rng, 5, 14);
+  PortfolioEntry bad;
+  bad.backend = "always-throws";
+  for (const PortfolioMode mode :
+       {PortfolioMode::Single, PortfolioMode::Race,
+        PortfolioMode::RoundRobin}) {
+    PortfolioOptions options;
+    options.mode = mode;
+    // Single consults entries[0] only; give it exactly the entries it
+    // will attempt so every recorded reason is a real failure.
+    options.entries = mode == PortfolioMode::Single
+                          ? std::vector<PortfolioEntry>{bad}
+                          : std::vector<PortfolioEntry>{bad, bad};
+    try {
+      const PortfolioResult ignored = portfolio_solve(model, options);
+      (void)ignored;
+      FAIL() << "expected lp::SolveError in mode " << to_string(mode);
+    } catch (const SolveError& e) {
+      const std::vector<std::string>& reasons = e.entry_errors();
+      ASSERT_FALSE(reasons.empty()) << to_string(mode);
+      for (const std::string& reason : reasons) {
+        EXPECT_NE(reason.find("injected"), std::string::npos)
+            << to_string(mode);
+      }
+    }
+  }
+}
+
+TEST(LpPortfolio, UnknownEntryBackendIsRejectedUpFront) {
+  Rng rng(24);
+  const Model model = random_covering_model(rng, 4, 10);
+  PortfolioOptions options;
+  options.mode = PortfolioMode::Race;
+  PortfolioEntry ghost;
+  ghost.backend = "no-such-backend";
+  options.entries = {ghost};
+  EXPECT_THROW((void)portfolio_solve(model, options), std::invalid_argument);
 }
 
 TEST(LpPortfolio, ConfigLpRejectsUnknownBackend) {

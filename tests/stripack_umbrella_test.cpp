@@ -211,6 +211,15 @@ TEST(Umbrella, Util) {
   for (const int h : pooled) EXPECT_EQ(h, 1);
   const Stopwatch watch;
   EXPECT_GE(watch.seconds(), 0.0);
+  // util/fault_injection through the umbrella: a seeded plan is
+  // deterministic, and an installed injector fires it exactly once.
+  const FaultPlan plan = FaultPlan::random(11, 2, 20);
+  ASSERT_EQ(plan.events.size(), 2u);
+  EXPECT_EQ(plan.events[0].at, FaultPlan::random(11, 2, 20).events[0].at);
+  FaultInjector injector({{{FaultSite::Pivot, 1, FaultAction::TripStop}}});
+  EXPECT_EQ(injector.poll(FaultSite::Pivot), FaultAction::TripStop);
+  EXPECT_EQ(injector.poll(FaultSite::Pivot), FaultAction::None);
+  EXPECT_EQ(injector.fired(), 1u);
 }
 
 }  // namespace
