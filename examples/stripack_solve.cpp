@@ -31,6 +31,7 @@
 #include "io/svg.hpp"
 #include "kr/kr_aptas.hpp"
 #include "stripack.hpp"
+#include "util/parse_num.hpp"
 
 namespace {
 
@@ -85,30 +86,62 @@ int main(int argc, char** argv) {
   lp::PortfolioMode portfolio = lp::PortfolioMode::Single;
   bool verbose = false;
   const std::string input = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    const std::string flag = argv[i];
-    auto next = [&]() -> std::string {
-      STRIPACK_ASSERT(i + 1 < argc, "missing value after " + flag);
-      return argv[++i];
-    };
-    if (flag == "--algo") algo = next();
-    else if (flag == "--eps") eps = std::stod(next());
-    else if (flag == "--K") K = std::stoi(next());
-    else if (flag == "--svg") svg_path = next();
-    else if (flag == "--out") out_path = next();
-    else if (flag == "--threads") threads = std::stoi(next());
-    else if (flag == "--node-batch") node_batch = std::stoi(next());
-    else if (flag == "--time-limit") time_limit = std::stod(next());
-    else if (flag == "--backend") {
-      backend = next();
-      if (!lp::has_lp_backend(backend)) {
-        std::cerr << "unknown LP backend: " << backend << "\n";
+  try {
+    for (int i = 2; i < argc; ++i) {
+      const std::string flag = argv[i];
+      auto next = [&]() -> std::string {
+        STRIPACK_ASSERT(i + 1 < argc, "missing value after " + flag);
+        return argv[++i];
+      };
+      // Checked parses: malformed or out-of-range numeric flags must end
+      // in a usage error and a non-zero exit, never an uncaught
+      // std::invalid_argument from a bare std::stoi/std::stod.
+      auto next_int = [&](int& out) {
+        const std::string text = next();
+        if (util::parse_int(text, out)) return true;
+        std::cerr << "bad integer for " << flag << ": '" << text << "'\n";
+        return false;
+      };
+      auto next_double = [&](double& out) {
+        const std::string text = next();
+        if (util::parse_double(text, out)) return true;
+        std::cerr << "bad number for " << flag << ": '" << text << "'\n";
+        return false;
+      };
+      if (flag == "--algo") {
+        algo = next();
+      } else if (flag == "--eps") {
+        if (!next_double(eps)) return usage();
+      } else if (flag == "--K") {
+        if (!next_int(K)) return usage();
+      } else if (flag == "--svg") {
+        svg_path = next();
+      } else if (flag == "--out") {
+        out_path = next();
+      } else if (flag == "--threads") {
+        if (!next_int(threads)) return usage();
+      } else if (flag == "--node-batch") {
+        if (!next_int(node_batch)) return usage();
+      } else if (flag == "--time-limit") {
+        if (!next_double(time_limit)) return usage();
+      } else if (flag == "--backend") {
+        backend = next();
+        if (!lp::has_lp_backend(backend)) {
+          std::cerr << "unknown LP backend: " << backend << "\n";
+          return usage();
+        }
+      } else if (flag == "--portfolio") {
+        if (!lp::parse_portfolio_mode(next(), portfolio)) return usage();
+      } else if (flag == "--verbose") {
+        verbose = true;
+      } else {
         return usage();
       }
-    } else if (flag == "--portfolio") {
-      if (!lp::parse_portfolio_mode(next(), portfolio)) return usage();
-    } else if (flag == "--verbose") verbose = true;
-    else return usage();
+    }
+  } catch (const std::exception& e) {
+    // A flag with a missing value trips the STRIPACK_ASSERT in next().
+    std::cerr << "error: " << e.what() << "\n";
+    return usage();
   }
 
   try {

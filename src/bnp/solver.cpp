@@ -369,7 +369,11 @@ struct Search {
     const RowKey key = row_key(d);
     const auto it = row_by_key.find(key);
     if (it != row_by_key.end()) return it->second;
-    const int row = solver.add_branch_row(d.pred, d.sense, d.rhs);
+    // A long-lived master (solve_warm) may already carry this row from an
+    // earlier request; reuse it instead of appending duplicates without
+    // bound. Fresh masters never hit the lookup (no rows yet).
+    int row = solver.find_branch_row(d.pred, d.sense);
+    if (row < 0) row = solver.add_branch_row(d.pred, d.sense, d.rhs);
     // Park immediately: both search drivers treat "not on the active
     // path" as neutral, and batch clones must snapshot neutral rows.
     solver.deactivate_branch_row(row);
@@ -719,14 +723,18 @@ void run_cold(Search& search, const Stopwatch& watch) {
   }
 }
 
-}  // namespace
-
-BnpResult solve(const Instance& instance, const BnpOptions& options) {
+// Shared implementation of `solve` (master == nullptr: build and own a
+// fresh master) and `solve_warm` (master points at a caller-owned
+// persistent master whose column pool / branch rows / pricing cache are
+// reused across requests).
+BnpResult solve_impl(const Instance& instance, const BnpOptions& options,
+                     release::ConfigLpSolver* master) {
   instance.check_well_formed();
   STRIPACK_EXPECTS(!instance.empty());
   STRIPACK_EXPECTS(!instance.has_precedence());
   STRIPACK_EXPECTS(options.threads >= 0);
   STRIPACK_EXPECTS(options.node_batch >= 0);
+  STRIPACK_EXPECTS(master == nullptr || options.reuse_engine);
   for (const Item& it : instance.items()) {
     STRIPACK_EXPECTS(near_int(it.height(), 1e-6));
     STRIPACK_EXPECTS(near_int(it.release, 1e-6));
@@ -782,8 +790,43 @@ BnpResult solve(const Instance& instance, const BnpOptions& options) {
     local.lp.stop = &stop_flag;
   }
 
-  release::ConfigLpSolver solver(problem, local.lp);
-  release::FractionalSolution root = solver.solve();
+  std::optional<release::ConfigLpSolver> owned;
+  if (master == nullptr) owned.emplace(problem, local.lp);
+  release::ConfigLpSolver& solver = master != nullptr ? *master : *owned;
+  // Warm masters outlive `stop_flag` (a stack local): whatever token this
+  // call installs must be cleared before returning, on every exit path.
+  struct StopGuard {
+    release::ConfigLpSolver* solver = nullptr;
+    ~StopGuard() {
+      if (solver != nullptr) solver->set_stop(nullptr);
+    }
+  } stop_guard;
+  release::FractionalSolution root;
+  if (master != nullptr) {
+    // The warm-reuse contract: the master's problem must describe this
+    // very instance. The caller (the service's warm pool) re-points the
+    // demand in place; widths/releases/strip width are the request-class
+    // invariants that make the column pool transferable at all.
+    const release::ConfigLpProblem& mp = master->problem();
+    STRIPACK_EXPECTS(mp.widths == problem.widths);
+    STRIPACK_EXPECTS(mp.releases == problem.releases);
+    STRIPACK_EXPECTS(mp.strip_width == problem.strip_width);
+    STRIPACK_EXPECTS(mp.demand == problem.demand);
+    master->set_stop(local.lp.stop);
+    stop_guard.solver = master;
+    if (master->solved()) {
+      // Demand is pure rhs in the differenced formulation: re-bind the
+      // demand rows, park every left-over branch row, and dual re-solve
+      // the root from the previous request's basis — no phase 1, no
+      // re-enumeration, the entire column pool carried over.
+      master->rebind_demand();
+      root = master->resolve();
+    } else {
+      root = master->solve();  // first request on this master: cold
+    }
+  } else {
+    root = solver.solve();
+  }
 
   Search search{local, problem, solver};
   search.tol = local.tol;
@@ -877,6 +920,17 @@ BnpResult solve(const Instance& instance, const BnpOptions& options) {
                   "incumbent slices must cover every rectangle");
   result.packing = Packing{instance, realized.placement};
   return result;
+}
+
+}  // namespace
+
+BnpResult solve(const Instance& instance, const BnpOptions& options) {
+  return solve_impl(instance, options, nullptr);
+}
+
+BnpResult solve_warm(const Instance& instance, const BnpOptions& options,
+                     release::ConfigLpSolver& master) {
+  return solve_impl(instance, options, &master);
 }
 
 BnpOptions BnpPacker::default_pack_options() {

@@ -183,6 +183,26 @@ struct BnpResult {
 [[nodiscard]] BnpResult solve(const Instance& instance,
                               const BnpOptions& options = {});
 
+/// Warm-pooled entry (the service path): runs the same exact search as
+/// `solve`, but on a caller-owned persistent master instead of building
+/// and cold-solving a fresh one — the cross-request amortization of the
+/// PR 2–5 warm-start machinery. The master's problem must describe
+/// `instance` exactly (same widths, releases, strip width and demand —
+/// asserted); the caller mutates its `ConfigLpProblem::demand` in place
+/// between requests and this entry re-binds the demand rows
+/// (`ConfigLpSolver::rebind_demand`) and dual re-solves the root warm
+/// from the previous request's basis, reusing the whole column pool,
+/// materialized branch rows (deduplicated by predicate, re-parked
+/// per request) and pricing-cache entries. On a never-solved master the
+/// first request performs the cold solve. Requires
+/// `options.reuse_engine`; `options.lp` is ignored in favor of the
+/// master's own configuration, except that the anytime stop token is
+/// installed via `ConfigLpSolver::set_stop` for the duration of the
+/// call. Same anytime contract as `solve`.
+[[nodiscard]] BnpResult solve_warm(const Instance& instance,
+                                   const BnpOptions& options,
+                                   release::ConfigLpSolver& master);
+
 /// Registry adapter ("BnP", `make_packer`): quantizes heights up to an
 /// integer grid, proves the slice optimum of the quantized instance
 /// within the configured budgets, and returns the integralized packing

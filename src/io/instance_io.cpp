@@ -1,5 +1,7 @@
 #include "io/instance_io.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <istream>
@@ -7,29 +9,84 @@
 #include <sstream>
 
 #include "util/assert.hpp"
+#include "util/parse_num.hpp"
 
 namespace stripack::io {
 
 namespace {
 
-// Reads the next non-comment, non-empty line.
-std::string next_line(std::istream& is) {
-  std::string line;
-  while (std::getline(is, line)) {
-    const auto first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos) continue;
-    if (line[first] == '#') continue;
-    return line.substr(first);
-  }
-  STRIPACK_ASSERT(false, "unexpected end of input");
-  return {};
-}
+// Hard ceiling on declared items/edges counts. The format is a hand-off
+// boundary for untrusted bytes: a hostile "items 99999999999999" must
+// fail parse, not pre-reserve gigabytes or loop for hours. Generous for
+// every real workload (the bench ceiling is ~10^3 items).
+constexpr long long kMaxDeclaredCount = 10'000'000;
 
-void expect_token(std::istringstream& ss, const std::string& expected) {
+// Tracks the physical line number so every parse error names the line
+// that caused it — the difference between a fixable bug report and a
+// "the server rejected my file" mystery.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& is) : is_(is) {}
+
+  // Reads the next non-comment, non-empty line.
+  std::string next_line() {
+    std::string line;
+    while (std::getline(is_, line)) {
+      ++line_number_;
+      const auto first = line.find_first_not_of(" \t\r");
+      if (first == std::string::npos) continue;
+      if (line[first] == '#') continue;
+      return line.substr(first);
+    }
+    STRIPACK_ASSERT(false, "unexpected end of input at line " +
+                               std::to_string(line_number_ + 1));
+    return {};
+  }
+
+  [[nodiscard]] std::string where() const {
+    return "line " + std::to_string(line_number_);
+  }
+
+ private:
+  std::istream& is_;
+  std::size_t line_number_ = 0;
+};
+
+void expect_token(std::istringstream& ss, const std::string& expected,
+                  const LineReader& reader) {
   std::string token;
   ss >> token;
-  STRIPACK_ASSERT(token == expected,
-                  "expected '" + expected + "', found '" + token + "'");
+  STRIPACK_ASSERT(token == expected, "expected '" + expected + "', found '" +
+                                         token + "' at " + reader.where());
+}
+
+// Extracts a finite double; rejects nan/inf and non-numeric fields.
+// (istream extraction accepts "nan"/"inf", which no writer emits and
+// which would poison every downstream comparison.)
+double read_finite(std::istringstream& ss, const char* what,
+                   const LineReader& reader) {
+  double value = 0.0;
+  ss >> value;
+  STRIPACK_ASSERT(static_cast<bool>(ss) && std::isfinite(value),
+                  std::string("bad ") + what + " at " + reader.where());
+  return value;
+}
+
+// Parses a declared element count. Signed parse first: `ss >> size_t`
+// on "-5" wraps modulo 2^64 without setting failbit (strtoull
+// semantics), which turned a typo into a multi-gigabyte reserve.
+std::size_t read_count(const LineReader& reader, const std::string& keyword,
+                       std::string line) {
+  std::istringstream ss(std::move(line));
+  expect_token(ss, keyword, reader);
+  std::string token;
+  ss >> token;
+  long long count = -1;
+  STRIPACK_ASSERT(static_cast<bool>(ss) &&
+                      stripack::util::parse_long_long(token, count) &&
+                      count >= 0 && count <= kMaxDeclaredCount,
+                  "bad " + keyword + " count at " + reader.where());
+  return static_cast<std::size_t>(count);
 }
 
 }  // namespace
@@ -48,50 +105,51 @@ void write_instance(std::ostream& os, const Instance& instance) {
 }
 
 Instance read_instance(std::istream& is) {
+  LineReader reader(is);
   {
-    std::istringstream header(next_line(is));
-    expect_token(header, "stripack-instance");
-    expect_token(header, "v1");
+    std::istringstream header(reader.next_line());
+    expect_token(header, "stripack-instance", reader);
+    expect_token(header, "v1", reader);
   }
   double strip_width = 1.0;
   {
-    std::istringstream ss(next_line(is));
-    expect_token(ss, "strip_width");
-    ss >> strip_width;
-    STRIPACK_ASSERT(ss && strip_width > 0, "bad strip_width");
+    std::istringstream ss(reader.next_line());
+    expect_token(ss, "strip_width", reader);
+    strip_width = read_finite(ss, "strip_width", reader);
+    STRIPACK_ASSERT(strip_width > 0,
+                    "bad strip_width at " + reader.where());
   }
-  std::size_t n = 0;
-  {
-    std::istringstream ss(next_line(is));
-    expect_token(ss, "items");
-    ss >> n;
-    STRIPACK_ASSERT(static_cast<bool>(ss), "bad item count");
-  }
+  const std::size_t n = read_count(reader, "items", reader.next_line());
   std::vector<Item> items;
-  items.reserve(n);
+  // Reserve is an optimization, never a commitment: capping it means a
+  // declared-but-absent huge count fails on the missing first item line
+  // instead of allocating first and asking questions later.
+  items.reserve(std::min<std::size_t>(n, 65536));
   for (std::size_t i = 0; i < n; ++i) {
-    std::istringstream ss(next_line(is));
+    std::istringstream ss(reader.next_line());
     Item it;
-    ss >> it.rect.width >> it.rect.height >> it.release;
-    STRIPACK_ASSERT(static_cast<bool>(ss),
-                    "bad item line " + std::to_string(i));
+    it.rect.width = read_finite(ss, "item width", reader);
+    it.rect.height = read_finite(ss, "item height", reader);
+    it.release = read_finite(ss, "item release", reader);
     items.push_back(it);
   }
   Instance instance(std::move(items), strip_width);
-  std::size_t m = 0;
-  {
-    std::istringstream ss(next_line(is));
-    expect_token(ss, "edges");
-    ss >> m;
-    STRIPACK_ASSERT(static_cast<bool>(ss), "bad edge count");
-  }
+  const std::size_t m = read_count(reader, "edges", reader.next_line());
   for (std::size_t e = 0; e < m; ++e) {
-    std::istringstream ss(next_line(is));
-    VertexId from = 0, to = 0;
-    ss >> from >> to;
-    STRIPACK_ASSERT(static_cast<bool>(ss),
-                    "bad edge line " + std::to_string(e));
-    instance.add_precedence(from, to);
+    std::istringstream ss(reader.next_line());
+    std::string from_token, to_token;
+    ss >> from_token >> to_token;
+    long long from = -1, to = -1;
+    STRIPACK_ASSERT(static_cast<bool>(ss) &&
+                        stripack::util::parse_long_long(from_token, from) &&
+                        stripack::util::parse_long_long(to_token, to),
+                    "bad edge line at " + reader.where());
+    STRIPACK_ASSERT(from >= 0 && to >= 0 &&
+                        from < static_cast<long long>(n) &&
+                        to < static_cast<long long>(n),
+                    "edge endpoint out of range at " + reader.where());
+    instance.add_precedence(static_cast<VertexId>(from),
+                            static_cast<VertexId>(to));
   }
   instance.check_well_formed();
   return instance;
@@ -105,24 +163,21 @@ void write_placement(std::ostream& os, const Placement& placement) {
 }
 
 Placement read_placement(std::istream& is) {
+  LineReader reader(is);
   {
-    std::istringstream header(next_line(is));
-    expect_token(header, "stripack-placement");
-    expect_token(header, "v1");
+    std::istringstream header(reader.next_line());
+    expect_token(header, "stripack-placement", reader);
+    expect_token(header, "v1", reader);
   }
-  std::size_t n = 0;
-  {
-    std::istringstream ss(next_line(is));
-    expect_token(ss, "items");
-    ss >> n;
-    STRIPACK_ASSERT(static_cast<bool>(ss), "bad item count");
-  }
-  Placement placement(n);
+  const std::size_t n = read_count(reader, "items", reader.next_line());
+  Placement placement;
+  placement.reserve(std::min<std::size_t>(n, 65536));
   for (std::size_t i = 0; i < n; ++i) {
-    std::istringstream ss(next_line(is));
-    ss >> placement[i].x >> placement[i].y;
-    STRIPACK_ASSERT(static_cast<bool>(ss),
-                    "bad placement line " + std::to_string(i));
+    std::istringstream ss(reader.next_line());
+    Position p;
+    p.x = read_finite(ss, "placement x", reader);
+    p.y = read_finite(ss, "placement y", reader);
+    placement.push_back(p);
   }
   return placement;
 }

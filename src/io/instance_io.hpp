@@ -20,6 +20,10 @@
 
 namespace stripack::io {
 
+/// Readers treat the stream as untrusted: negative/absurd counts,
+/// truncated or non-numeric lines, non-finite fields, and out-of-range
+/// edge endpoints all throw ContractViolation naming the offending line
+/// number. No input may crash, hang, or silently mis-parse.
 void write_instance(std::ostream& os, const Instance& instance);
 [[nodiscard]] Instance read_instance(std::istream& is);
 

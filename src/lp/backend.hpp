@@ -22,6 +22,7 @@
 // backends (interior point, GPU) without touching this seam again.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <stdexcept>
@@ -68,6 +69,13 @@ class LpBackend {
 
   /// Registry name of this backend (e.g. "simplex", "dense").
   [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Re-points the cooperative cancellation token checked at pivot
+  /// boundaries (`SimplexOptions::stop`); nullptr clears it. Default is a
+  /// no-op so existing custom backends keep compiling, but long-lived
+  /// callers (the warm-pooled service masters) rely on it — both builtin
+  /// backends implement it.
+  virtual void set_stop(const std::atomic<bool>* /*stop*/) {}
 
   /// Picks up columns appended to the model since the last sync.
   virtual void sync_columns() = 0;

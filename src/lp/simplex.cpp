@@ -72,6 +72,8 @@ class SimplexEngine::Impl {
     cold_start();
   }
 
+  void set_stop(const std::atomic<bool>* stop) { options_.stop = stop; }
+
   // ----- column codes -----------------------------------------------------
   // code >= 0:           structural column `code` of the model
   // code in [-m, -1]:    slack/surplus of row  -1 - code
@@ -1464,6 +1466,10 @@ SimplexEngine::SimplexEngine(const Model& model, const SimplexOptions& options)
 SimplexEngine::~SimplexEngine() = default;
 SimplexEngine::SimplexEngine(SimplexEngine&&) noexcept = default;
 SimplexEngine& SimplexEngine::operator=(SimplexEngine&&) noexcept = default;
+
+void SimplexEngine::set_stop(const std::atomic<bool>* stop) {
+  impl_->set_stop(stop);
+}
 
 void SimplexEngine::sync_columns() { impl_->sync_columns(); }
 

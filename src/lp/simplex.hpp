@@ -176,6 +176,12 @@ class SimplexEngine {
   SimplexEngine(SimplexEngine&&) noexcept;
   SimplexEngine& operator=(SimplexEngine&&) noexcept;
 
+  /// Re-points the cooperative cancellation token (`SimplexOptions::stop`)
+  /// checked at pivot boundaries; nullptr clears it. Long-lived engines
+  /// (the warm-pooled service masters) swap tokens per request — the
+  /// construction-time option only covers single-solve lifetimes.
+  void set_stop(const std::atomic<bool>* stop);
+
   /// Picks up columns appended to the model since construction or the last
   /// sync; they seed the pricing candidate list for the next solve.
   void sync_columns();

@@ -1133,8 +1133,8 @@ FractionalSolution ConfigLpSolver::resolve_with_phase_capacity(
 
 namespace {
 
-const BranchRow* find_branch_row(const std::vector<BranchRow>& rows,
-                                 int row) {
+const BranchRow* lookup_branch_row(const std::vector<BranchRow>& rows,
+                                   int row) {
   // Branch rows are appended with strictly increasing model row indices,
   // so the handle lookup is a binary search (branch-and-price touches
   // every row once per node activation).
@@ -1191,14 +1191,14 @@ int ConfigLpSolver::add_branch_row(BranchPredicate pred, lp::Sense sense,
 
 void ConfigLpSolver::set_branch_row_rhs(int row, double rhs) {
   State& s = *state_;
-  STRIPACK_EXPECTS(find_branch_row(s.branch_rows, row) != nullptr);
+  STRIPACK_EXPECTS(lookup_branch_row(s.branch_rows, row) != nullptr);
   STRIPACK_EXPECTS(rhs >= 0.0);
   s.model.set_row_rhs(row, rhs);
 }
 
 void ConfigLpSolver::deactivate_branch_row(int row) {
   State& s = *state_;
-  const BranchRow* br = find_branch_row(s.branch_rows, row);
+  const BranchRow* br = lookup_branch_row(s.branch_rows, row);
   STRIPACK_EXPECTS(br != nullptr);
   s.model.set_row_rhs(
       row, br->sense == lp::Sense::LE ? s.inactive_le_rhs : 0.0);
@@ -1262,6 +1262,60 @@ bool ConfigLpSolver::adopt_column(const Configuration& config,
   s.table.configs.push_back(config);
   s.column_keys_synced = s.table.config_of.size();
   return true;
+}
+
+bool ConfigLpSolver::solved() const { return state_->solved; }
+
+const ConfigLpProblem& ConfigLpSolver::problem() const {
+  return state_->problem;
+}
+
+int ConfigLpSolver::find_branch_row(const BranchPredicate& pred,
+                                    lp::Sense sense) const {
+  for (const BranchRow& br : state_->branch_rows) {
+    if (br.sense == sense && br.pred == pred) return br.row;
+  }
+  return -1;
+}
+
+void ConfigLpSolver::set_stop(const std::atomic<bool>* stop) {
+  State& s = *state_;
+  s.options.stop = stop;
+  s.simplex_options.stop = stop;
+  if (s.engine != nullptr) s.engine->set_stop(stop);
+}
+
+void ConfigLpSolver::rebind_demand() {
+  State& s = *state_;
+  STRIPACK_EXPECTS(s.solved);
+  const ConfigLpProblem& p = s.problem;
+  // The columns, layout and packing rows were all built from the widths /
+  // releases / strip width; only demand may have changed under us.
+  STRIPACK_EXPECTS(p.demand.size() == s.layout.num_phases);
+  for (std::size_t j = 0; j < s.layout.num_phases; ++j) {
+    STRIPACK_EXPECTS(p.demand[j].size() == s.layout.num_widths);
+    for (std::size_t i = 0; i < s.layout.num_widths; ++i) {
+      s.model.set_row_rhs(s.layout.demand_row(j, i), p.demand[j][i]);
+    }
+  }
+  // The neutral rhs for dormant LE rows depends on total demand; park
+  // every branch row (and the cap row) at the value recomputed for the
+  // new request so no previous request's branching survives as a live
+  // constraint.
+  double total_demand = 0.0;
+  for (const auto& phase_demand : p.demand) {
+    for (const double d : phase_demand) total_demand += std::ceil(d);
+  }
+  s.inactive_le_rhs =
+      (p.releases.back() - p.releases.front()) + total_demand + 1.0;
+  for (const BranchRow& br : s.branch_rows) {
+    s.model.set_row_rhs(
+        br.row, br.sense == lp::Sense::LE ? s.inactive_le_rhs : 0.0);
+  }
+  if (s.layout.cap_row >= 0) {
+    s.model.set_row_rhs(s.layout.cap_row, s.inactive_le_rhs);
+  }
+  s.node_cutoff = std::numeric_limits<double>::infinity();
 }
 
 PricingStats ConfigLpSolver::pricing_stats() const {

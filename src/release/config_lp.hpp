@@ -229,6 +229,10 @@ struct BranchPredicate {
 
   [[nodiscard]] bool matches(std::span<const int> config_counts,
                              std::size_t config_phase) const;
+
+  /// Structural equality — the dedup key for reusing materialized rows
+  /// across requests on a warm master (`ConfigLpSolver::find_branch_row`).
+  [[nodiscard]] bool operator==(const BranchPredicate&) const = default;
 };
 
 /// Incremental configuration-LP solver for branch-and-price style use:
@@ -329,6 +333,40 @@ class ConfigLpSolver {
 
   /// Cumulative pricing counters (DFS expansions, cache probes/hits).
   [[nodiscard]] PricingStats pricing_stats() const;
+
+  /// True once `solve()` has run — the gate for every re-solver above and
+  /// the warm-reuse entry check of `bnp::solve_warm`.
+  [[nodiscard]] bool solved() const;
+
+  /// The problem this master was built from (the reference passed at
+  /// construction). The warm pool mutates its demand in place between
+  /// requests; see `rebind_demand`.
+  [[nodiscard]] const ConfigLpProblem& problem() const;
+
+  /// Model row of the branch row whose (predicate, sense) equals the
+  /// arguments, or -1 when none was ever materialized. Lets a search
+  /// running on a long-lived master reuse rows added by earlier requests
+  /// instead of appending duplicates without bound.
+  [[nodiscard]] int find_branch_row(const BranchPredicate& pred,
+                                    lp::Sense sense) const;
+
+  /// Re-points the cooperative stop token for all subsequent (re-)solves
+  /// (construction passes `ConfigLpOptions::stop` once; a pooled master
+  /// outlives any single request's watchdog). nullptr clears it.
+  void set_stop(const std::atomic<bool>* stop);
+
+  /// Re-reads every demand-row rhs from the referenced problem and parks
+  /// all branch rows (and the height-cap row, if materialized) at their
+  /// neutral rhs, clearing the node cutoff — the cross-REQUEST warm-start
+  /// seam. Demand enters the differenced formulation only through demand
+  /// row right-hand sides, so a master whose problem kept its widths,
+  /// releases and strip width but changed `demand` in place re-solves
+  /// warm: an rhs-only change keeps the retained basis dual feasible and
+  /// the next `resolve()` runs without phase 1, reusing the entire column
+  /// pool, branch rows and pricing cache. Requires a prior `solve()`;
+  /// widths/releases/strip_width must be unchanged (the request-class
+  /// signature guarantees this — asserted here).
+  void rebind_demand();
 
  private:
   struct State;

@@ -1,0 +1,94 @@
+#include "service/canonical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <numeric>
+#include <sstream>
+#include <tuple>
+
+#include "util/assert.hpp"
+
+namespace stripack::service {
+
+namespace {
+
+[[nodiscard]] bool near_int(double v) {
+  return std::fabs(v - std::round(v)) <= 1e-6;
+}
+
+}  // namespace
+
+CanonicalRequest canonicalize(const Instance& instance) {
+  STRIPACK_ASSERT(!instance.empty(), "service: empty instance");
+  STRIPACK_ASSERT(!instance.has_precedence(),
+                  "service: precedence instances are not servable (the bnp "
+                  "core solves the release-time configuration IP)");
+  const double strip = instance.strip_width();
+  STRIPACK_ASSERT(strip > 0, "service: non-positive strip width");
+
+  CanonicalRequest out;
+  out.scale = strip;
+  out.order.resize(instance.size());
+  std::iota(out.order.begin(), out.order.end(), std::size_t{0});
+  const auto item_key = [&](std::size_t idx) {
+    const Item& it = instance.items()[idx];
+    return std::make_tuple(it.width() / strip, it.height(), it.release);
+  };
+  std::stable_sort(out.order.begin(), out.order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return item_key(a) < item_key(b);
+                   });
+
+  std::vector<Item> items;
+  items.reserve(instance.size());
+  for (const std::size_t idx : out.order) {
+    const Item& it = instance.items()[idx];
+    STRIPACK_ASSERT(near_int(it.height()) && near_int(it.release),
+                    "service: bnp needs integer heights and releases");
+    items.push_back(Item{Rect{it.width() / strip, it.height()}, it.release});
+  }
+  out.instance = Instance(std::move(items), 1.0);
+
+  std::ostringstream key;
+  key << std::setprecision(17);
+  key << "n=" << out.instance.size() << ';';
+  for (const Item& it : out.instance.items()) {
+    key << it.width() << ':' << it.height() << ':' << it.release << ';';
+  }
+  out.key = key.str();
+
+  // Distinct widths (descending) and releases (ascending), exactly the
+  // axes release::make_problem builds the master's rows from.
+  std::vector<double> widths;
+  std::vector<double> releases;
+  for (const Item& it : out.instance.items()) {
+    widths.push_back(it.width());
+    releases.push_back(it.release);
+  }
+  std::sort(widths.begin(), widths.end(), std::greater<>());
+  widths.erase(std::unique(widths.begin(), widths.end()), widths.end());
+  std::sort(releases.begin(), releases.end());
+  releases.erase(std::unique(releases.begin(), releases.end()),
+                 releases.end());
+  std::ostringstream sig;
+  sig << std::setprecision(17) << "W=";
+  for (const double w : widths) sig << w << ',';
+  sig << ";R=";
+  for (const double r : releases) sig << r << ',';
+  out.class_signature = sig.str();
+  return out;
+}
+
+Placement map_placement(const CanonicalRequest& request,
+                        const Placement& canonical) {
+  STRIPACK_EXPECTS(canonical.size() == request.order.size());
+  Placement out(canonical.size());
+  for (std::size_t c = 0; c < canonical.size(); ++c) {
+    out[request.order[c]] =
+        Position{canonical[c].x * request.scale, canonical[c].y};
+  }
+  return out;
+}
+
+}  // namespace stripack::service

@@ -1,0 +1,61 @@
+// Request canonicalization for the solver service.
+//
+// Two requests that are the same instance up to (a) item order and (b) a
+// common positive scaling of all widths together with the strip width
+// describe the same packing problem: permutations relabel items, and the
+// configuration LP only sees width/strip ratios. The canonical form
+// rewrites a request into a normal representative — strip width 1.0,
+// widths divided by the original strip width, items sorted by
+// (width, height, release) — plus the inverse mapping needed to express
+// a canonical-space answer in the request's own labels and units.
+//
+// Two keys come out of it:
+//  - `key`: the full canonical serialization — permutation- and
+//    scaling-invariant, demand included. The result cache's identity.
+//    Exact by construction whenever width/strip divides exactly in
+//    floating point (always for equal instances; for scaled variants
+//    whenever the scale round-trips, e.g. powers of two).
+//  - `class_signature`: the distinct canonical widths + distinct
+//    releases + height grid — everything that fixes the master LP's
+//    rows and column shapes *except* the demand vector. Requests in one
+//    class share a warm master: demand enters the differenced
+//    formulation purely through row right-hand sides.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/packing.hpp"
+
+namespace stripack::service {
+
+struct CanonicalRequest {
+  /// The canonical representative: strip width 1.0, widths scaled,
+  /// items sorted by (width, height, release). No precedence DAG.
+  Instance instance;
+  /// Original strip width: canonical x-coordinates times `scale` are
+  /// original x-coordinates.
+  double scale = 1.0;
+  /// order[c] = original index of canonical item c (the inverse
+  /// permutation applied by `map_placement`).
+  std::vector<std::size_t> order;
+  /// Permutation- and scaling-invariant cache identity (see above).
+  std::string key;
+  /// Warm-pool routing key: the master-LP shape minus demand.
+  std::string class_signature;
+};
+
+/// Canonicalizes `instance`. Throws ContractViolation when the request
+/// is outside the service's solvable family: empty, has a precedence
+/// DAG, or has non-integer heights/releases (the bnp contract).
+[[nodiscard]] CanonicalRequest canonicalize(const Instance& instance);
+
+/// Maps a canonical-space placement back into the request's item order
+/// and units (x scaled by `request.scale`, y unchanged — heights are
+/// never scaled).
+[[nodiscard]] Placement map_placement(const CanonicalRequest& request,
+                                      const Placement& canonical);
+
+}  // namespace stripack::service

@@ -66,10 +66,13 @@
 #include "release/integralize.hpp"         // IWYU pragma: export
 #include "release/release_rounding.hpp"    // IWYU pragma: export
 #include "release/width_grouping.hpp"      // IWYU pragma: export
+#include "service/canonical.hpp"           // IWYU pragma: export
+#include "service/solver_service.hpp"      // IWYU pragma: export
 #include "util/assert.hpp"                 // IWYU pragma: export
 #include "util/fault_injection.hpp"        // IWYU pragma: export
 #include "util/float_eq.hpp"               // IWYU pragma: export
 #include "util/parallel_for.hpp"           // IWYU pragma: export
+#include "util/parse_num.hpp"              // IWYU pragma: export
 #include "util/rng.hpp"                    // IWYU pragma: export
 #include "util/stopwatch.hpp"              // IWYU pragma: export
 #include "util/table.hpp"                  // IWYU pragma: export

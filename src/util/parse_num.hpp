@@ -1,0 +1,58 @@
+// Checked numeric parsing for untrusted text (CLI flags, wire formats).
+//
+// The bare std::stoi/std::stod idiom has three failure modes on hostile
+// input: uncaught std::invalid_argument on junk ("x"), uncaught
+// std::out_of_range on overflow ("1e999"), and silent acceptance of
+// trailing garbage ("3abc" parses as 3). These helpers reject all three
+// and report via a bool so callers can print usage instead of crashing.
+#pragma once
+
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace stripack::util {
+
+/// Parses `text` as a whole-token base-10 long long. Returns false
+/// (leaving `out` untouched) on empty input, non-numeric characters,
+/// trailing garbage, or overflow.
+[[nodiscard]] inline bool parse_long_long(const std::string& text,
+                                          long long& out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno == ERANGE) return false;
+  if (end == text.c_str() || *end != '\0') return false;
+  out = value;
+  return true;
+}
+
+/// Whole-token int; rejects anything outside int's range.
+[[nodiscard]] inline bool parse_int(const std::string& text, int& out) {
+  long long wide = 0;
+  if (!parse_long_long(text, wide)) return false;
+  if (wide < static_cast<long long>(INT_MIN) ||
+      wide > static_cast<long long>(INT_MAX)) {
+    return false;
+  }
+  out = static_cast<int>(wide);
+  return true;
+}
+
+/// Parses `text` as a whole-token finite double into `out`. Returns
+/// false on junk, trailing garbage, or overflow to +-inf ("1e999").
+[[nodiscard]] inline bool parse_double(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') return false;
+  if (!std::isfinite(value)) return false;
+  out = value;
+  return true;
+}
+
+}  // namespace stripack::util

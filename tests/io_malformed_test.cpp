@@ -1,0 +1,154 @@
+// Hostile-input matrix for io/instance_io: the readers sit on a trust
+// boundary (stripack_serve feeds them raw stdin), so every malformed
+// document must end in a ContractViolation naming the offending line —
+// never a crash, an OOM pre-reserve, a hang, or a silently mis-parsed
+// instance. Each case here failed (crash, wrap-around reserve, or
+// silent zero) on the pre-hardening reader.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "io/instance_io.hpp"
+#include "util/assert.hpp"
+
+namespace stripack::io {
+namespace {
+
+[[nodiscard]] std::string read_error(const std::string& text) {
+  std::istringstream is(text);
+  try {
+    const Instance instance = read_instance(is);
+    (void)instance;
+  } catch (const ContractViolation& e) {
+    return e.what();
+  }
+  return {};
+}
+
+[[nodiscard]] std::string placement_error(const std::string& text) {
+  std::istringstream is(text);
+  try {
+    const Placement placement = read_placement(is);
+    (void)placement;
+  } catch (const ContractViolation& e) {
+    return e.what();
+  }
+  return {};
+}
+
+constexpr const char* kGood =
+    "stripack-instance v1\n"
+    "strip_width 10\n"
+    "items 2\n"
+    "4 2 0\n"
+    "6 2 1\n"
+    "edges 1\n"
+    "0 1\n";
+
+TEST(IoMalformed, GoodDocumentStillParses) {
+  std::istringstream is(kGood);
+  const Instance instance = read_instance(is);
+  EXPECT_EQ(instance.size(), 2u);
+  EXPECT_EQ(instance.dag().edges().size(), 1u);
+}
+
+TEST(IoMalformed, NegativeItemCountIsRejectedNotWrapped) {
+  // `ss >> size_t` on "-5" wraps modulo 2^64 without setting failbit;
+  // the unhardened reader pre-reserved accordingly.
+  const std::string err = read_error(
+      "stripack-instance v1\nstrip_width 10\nitems -5\n");
+  EXPECT_NE(err.find("items count"), std::string::npos) << err;
+  EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+}
+
+TEST(IoMalformed, AbsurdItemCountIsRejectedBeforeReserve) {
+  const std::string err = read_error(
+      "stripack-instance v1\nstrip_width 10\nitems 99999999999999\n");
+  EXPECT_NE(err.find("items count"), std::string::npos) << err;
+}
+
+TEST(IoMalformed, NegativeEdgeCountIsRejected) {
+  const std::string err = read_error(
+      "stripack-instance v1\nstrip_width 10\nitems 1\n1 1 0\nedges -1\n");
+  EXPECT_NE(err.find("edges count"), std::string::npos) << err;
+  EXPECT_NE(err.find("line 5"), std::string::npos) << err;
+}
+
+TEST(IoMalformed, TruncatedAfterHeaderNamesNextLine) {
+  const std::string err = read_error("stripack-instance v1\n");
+  EXPECT_NE(err.find("unexpected end of input"), std::string::npos) << err;
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+}
+
+TEST(IoMalformed, TruncatedItemListIsAnError) {
+  const std::string err = read_error(
+      "stripack-instance v1\nstrip_width 10\nitems 3\n4 2 0\n");
+  EXPECT_NE(err.find("unexpected end of input"), std::string::npos) << err;
+}
+
+TEST(IoMalformed, NonNumericItemFieldNamesItsLine) {
+  const std::string err = read_error(
+      "stripack-instance v1\nstrip_width 10\nitems 1\n4 banana 0\n");
+  EXPECT_NE(err.find("height"), std::string::npos) << err;
+  EXPECT_NE(err.find("line 4"), std::string::npos) << err;
+}
+
+TEST(IoMalformed, NonFiniteFieldIsRejected) {
+  // istream extraction happily parses "inf"/"nan"; no writer emits them
+  // and they poison every downstream comparison.
+  const std::string err = read_error(
+      "stripack-instance v1\nstrip_width 10\nitems 1\n4 inf 0\n");
+  EXPECT_NE(err.find("height"), std::string::npos) << err;
+  const std::string err2 = read_error(
+      "stripack-instance v1\nstrip_width nan\nitems 1\n4 2 0\n");
+  EXPECT_NE(err2.find("strip_width"), std::string::npos) << err2;
+}
+
+TEST(IoMalformed, NonPositiveStripWidthIsRejected) {
+  const std::string err = read_error(
+      "stripack-instance v1\nstrip_width 0\nitems 1\n4 2 0\n");
+  EXPECT_NE(err.find("strip_width"), std::string::npos) << err;
+}
+
+TEST(IoMalformed, EdgeEndpointOutOfRangeNamesItsLine) {
+  const std::string err = read_error(
+      "stripack-instance v1\nstrip_width 10\nitems 2\n4 2 0\n6 2 0\n"
+      "edges 1\n0 2\n");
+  EXPECT_NE(err.find("edge endpoint out of range"), std::string::npos)
+      << err;
+  EXPECT_NE(err.find("line 7"), std::string::npos) << err;
+}
+
+TEST(IoMalformed, NegativeEdgeEndpointIsRejectedNotWrapped) {
+  const std::string err = read_error(
+      "stripack-instance v1\nstrip_width 10\nitems 2\n4 2 0\n6 2 0\n"
+      "edges 1\n-1 1\n");
+  EXPECT_NE(err.find("edge endpoint"), std::string::npos) << err;
+}
+
+TEST(IoMalformed, WrongHeaderIsAnError) {
+  const std::string err = read_error("stripack-placement v1\n");
+  EXPECT_NE(err.find("stripack-instance"), std::string::npos) << err;
+}
+
+TEST(IoMalformed, PlacementNegativeCountIsRejected) {
+  const std::string err =
+      placement_error("stripack-placement v1\nitems -3\n");
+  EXPECT_NE(err.find("items count"), std::string::npos) << err;
+}
+
+TEST(IoMalformed, PlacementNonNumericFieldNamesItsLine) {
+  const std::string err =
+      placement_error("stripack-placement v1\nitems 1\n0 oops\n");
+  EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+}
+
+TEST(IoMalformed, PlacementTruncationIsAnError) {
+  const std::string err =
+      placement_error("stripack-placement v1\nitems 2\n0 0\n");
+  EXPECT_NE(err.find("unexpected end of input"), std::string::npos) << err;
+}
+
+}  // namespace
+}  // namespace stripack::io

@@ -194,6 +194,38 @@ TEST(Umbrella, Io) {
   EXPECT_FALSE(io::to_svg(ins, Placement{{0.0, 0.0}, {0.0, 1.0}}).empty());
 }
 
+// service: PR 8 — canonicalization, the warm-pooled solver service and
+// its wire format are all reachable through the umbrella.
+TEST(Umbrella, Service) {
+  const Instance ins({Item{Rect{4.0, 2.0}, 0.0}, Item{Rect{6.0, 2.0}, 0.0}},
+                     10.0);
+  const service::CanonicalRequest canonical = service::canonicalize(ins);
+  EXPECT_EQ(canonical.instance.size(), ins.size());
+  EXPECT_DOUBLE_EQ(canonical.scale, 10.0);
+  EXPECT_FALSE(canonical.key.empty());
+  EXPECT_FALSE(canonical.class_signature.empty());
+
+  service::SolverService svc;
+  (void)svc.enqueue(ins);
+  (void)svc.enqueue(ins);  // identical: the second must hit the cache
+  const std::vector<service::ServiceResponse> responses = svc.run();
+  ASSERT_EQ(responses.size(), 2u);
+  ASSERT_TRUE(responses[0].ok) << responses[0].error;
+  EXPECT_EQ(responses[0].status, bnp::BnpStatus::Optimal);
+  EXPECT_TRUE(responses[1].cache_hit);
+  EXPECT_TRUE(validate(ins, responses[0].placement).ok());
+  EXPECT_EQ(svc.stats().requests, 2u);
+  std::ostringstream wire;
+  service::SolverService::write_response(wire, responses[0]);
+  EXPECT_NE(wire.str().find("stripack-response v1"), std::string::npos);
+
+  // util/parse_num rides along in PR 8: the checked CLI parsers.
+  int value = 0;
+  EXPECT_TRUE(util::parse_int("17", value));
+  EXPECT_EQ(value, 17);
+  EXPECT_FALSE(util::parse_int("17q", value));
+}
+
 // util: rng, float comparisons, tables, parallel_for, stopwatch.
 TEST(Umbrella, Util) {
   Rng rng(7);

@@ -9,6 +9,7 @@
 #include "util/assert.hpp"
 #include "util/float_eq.hpp"
 #include "util/parallel_for.hpp"
+#include "util/parse_num.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -182,6 +183,47 @@ TEST(ParallelFor, PropagatesExceptions) {
           },
           4),
       std::runtime_error);
+}
+
+// ------------------------------------------------------------- parse_num
+// The checked parsers behind every CLI numeric flag: whole-token, finite,
+// in-range — or false, never an exception or a silent wrap.
+TEST(ParseNum, AcceptsWellFormedValues) {
+  int i = 0;
+  EXPECT_TRUE(util::parse_int("42", i));
+  EXPECT_EQ(i, 42);
+  EXPECT_TRUE(util::parse_int("-7", i));
+  EXPECT_EQ(i, -7);
+  long long ll = 0;
+  EXPECT_TRUE(util::parse_long_long("123456789012", ll));
+  EXPECT_EQ(ll, 123456789012LL);
+  double d = 0.0;
+  EXPECT_TRUE(util::parse_double("2.5e-3", d));
+  EXPECT_DOUBLE_EQ(d, 2.5e-3);
+}
+
+TEST(ParseNum, RejectsMalformedTokens) {
+  int i = 0;
+  EXPECT_FALSE(util::parse_int("", i));
+  EXPECT_FALSE(util::parse_int("abc", i));
+  EXPECT_FALSE(util::parse_int("12x", i));  // trailing junk
+  EXPECT_FALSE(util::parse_int("1.5", i));  // not an integer
+  double d = 0.0;
+  EXPECT_FALSE(util::parse_double("", d));
+  EXPECT_FALSE(util::parse_double("4,2", d));
+  EXPECT_FALSE(util::parse_double("1.5banana", d));
+}
+
+TEST(ParseNum, RejectsOutOfRangeAndNonFinite) {
+  int i = 0;
+  EXPECT_FALSE(util::parse_int("99999999999999999999", i));
+  EXPECT_FALSE(util::parse_int("-99999999999999999999", i));
+  long long ll = 0;
+  EXPECT_FALSE(util::parse_long_long("99999999999999999999999", ll));
+  double d = 0.0;
+  EXPECT_FALSE(util::parse_double("1e999", d));  // overflows to inf
+  EXPECT_FALSE(util::parse_double("inf", d));
+  EXPECT_FALSE(util::parse_double("nan", d));
 }
 
 }  // namespace
