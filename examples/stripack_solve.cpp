@@ -4,7 +4,8 @@
 //                                       nfdh|ffdh|bfdh|sleator|skyline|bnp]
 //                      [--eps E] [--K k] [--svg out.svg] [--out placement.txt]
 //                      [--threads N] [--node-batch B] [--time-limit SEC]
-//                      [--backend NAME] [--portfolio MODE] [--verbose]
+//                      [--backend NAME] [--portfolio MODE] [--no-conflicts]
+//                      [--verbose]
 //
 // Reads the text format of io/instance_io.hpp, picks the algorithm (or
 // chooses one from the instance's constraints when --algo is omitted),
@@ -19,8 +20,10 @@
 // registered `lp::LpBackend` and `--portfolio` its selection mode
 // (single | auto | race | round-robin); racing applies to the enumeration
 // master, colgen masters reduce to the auto shape heuristic (see
-// lp/portfolio.hpp). `--verbose` prints the solver's node, pricing-cache,
-// cutoff and numerical-recovery diagnostics.
+// lp/portfolio.hpp). `--no-conflicts` disables the bnp conflict-learning
+// subsystem (bnp/conflicts — on by default). `--verbose` prints the
+// solver's node, conflict, pricing-cache, cutoff and numerical-recovery
+// diagnostics.
 #include <cmath>
 #include <cstring>
 #include <fstream>
@@ -43,7 +46,8 @@ int usage() {
          "                      [--K k] [--svg out.svg] [--out place.txt]\n"
          "                      [--threads N] [--node-batch B]\n"
          "                      [--time-limit SEC] [--backend NAME]\n"
-         "                      [--portfolio MODE] [--verbose]\n"
+         "                      [--portfolio MODE] [--no-conflicts]\n"
+         "                      [--verbose]\n"
          "algorithms: dc uniform aptas kr list nfdh ffdh bfdh sleator "
          "skyline bnp\n"
          "bnp flags: --threads N (0 = auto) and --node-batch B (0 = auto)\n"
@@ -57,8 +61,9 @@ int usage() {
   }
   std::cerr
       << "); --portfolio selects\n"
-         "single | auto | race | round-robin; --verbose prints node /\n"
-         "pricing-cache / cutoff diagnostics\n";
+         "single | auto | race | round-robin; --no-conflicts disables\n"
+         "nogood learning + propagation pruning; --verbose prints node /\n"
+         "conflict / pricing-cache / cutoff diagnostics\n";
   return 2;
 }
 
@@ -84,6 +89,7 @@ int main(int argc, char** argv) {
   double time_limit = 0.0;  // 0 = unlimited
   std::string backend = lp::kDefaultLpBackend;
   lp::PortfolioMode portfolio = lp::PortfolioMode::Single;
+  bool use_conflicts = true;
   bool verbose = false;
   const std::string input = argv[1];
   try {
@@ -132,6 +138,8 @@ int main(int argc, char** argv) {
         }
       } else if (flag == "--portfolio") {
         if (!lp::parse_portfolio_mode(next(), portfolio)) return usage();
+      } else if (flag == "--no-conflicts") {
+        use_conflicts = false;
       } else if (flag == "--verbose") {
         verbose = true;
       } else {
@@ -193,6 +201,7 @@ int main(int argc, char** argv) {
         options.budget.max_seconds = time_limit;
         options.lp.backend = backend;
         options.lp.portfolio = portfolio;
+        options.use_conflicts = use_conflicts;
         if (backend != lp::kDefaultLpBackend ||
             portfolio != lp::PortfolioMode::Single) {
           std::cout << "bnp: master LP backend " << backend << ", portfolio "
@@ -224,8 +233,17 @@ int main(int argc, char** argv) {
                     << ", batches " << result.batches
                     << ", cutoff-pruned " << result.cutoff_pruned_nodes
                     << ", strong-branch probes "
-                    << result.strong_branch_probes << "\n"
-                    << "bnp: branch rows " << result.branch_rows
+                    << result.strong_branch_probes << "\n";
+          if (use_conflicts) {
+            std::cout << "bnp: conflicts — nogoods learned "
+                      << result.nogoods_learned << " (store "
+                      << result.nogood_store_size << ", subsumed "
+                      << result.nogoods_subsumed << ", evicted "
+                      << result.nogoods_evicted << "), prunes "
+                      << result.nogood_prunes << " by nogood / "
+                      << result.propagation_prunes << " by propagation\n";
+          }
+          std::cout << "bnp: branch rows " << result.branch_rows
                     << ", columns " << result.columns << ", LP pivots "
                     << result.lp_iterations << " (dual "
                     << result.dual_iterations << ", warm phase-1 "
@@ -256,6 +274,7 @@ int main(int argc, char** argv) {
         if (time_limit > 0.0) options.budget.max_seconds = time_limit;
         options.lp.backend = backend;
         options.lp.portfolio = portfolio;
+        options.use_conflicts = use_conflicts;
         const bnp::BnpPacker packer(options);
         std::vector<Rect> rects;
         for (const Item& it : instance.items()) rects.push_back(it.rect);

@@ -1,0 +1,106 @@
+#include "bnp/conflicts/nogood.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace stripack::bnp::conflicts {
+
+namespace {
+
+// Branch rhs values are integers produced by floor/floor+1; a hair of
+// slack keeps the dominance tests immune to representation noise.
+constexpr double kRhsTol = 1e-9;
+
+[[nodiscard]] auto key_tuple(const BranchLiteral& l) {
+  return std::make_tuple(static_cast<int>(l.pred.kind), l.pred.phase,
+                         l.pred.width_a, l.pred.width_b,
+                         std::cref(l.pred.counts),
+                         l.sense == lp::Sense::LE ? 0 : 1);
+}
+
+// rhs `a` at least as tight as rhs `b` under the shared sense.
+[[nodiscard]] bool tighter_or_equal(lp::Sense sense, double a, double b) {
+  return sense == lp::Sense::LE ? a <= b + kRhsTol : a >= b - kRhsTol;
+}
+
+}  // namespace
+
+bool literal_key_less(const BranchLiteral& a, const BranchLiteral& b) {
+  return key_tuple(a) < key_tuple(b);
+}
+
+bool literal_key_equal(const BranchLiteral& a, const BranchLiteral& b) {
+  return key_tuple(a) == key_tuple(b);
+}
+
+bool dominates(std::span<const BranchLiteral> general,
+               std::span<const BranchLiteral> specific) {
+  // Merge walk over the two canonical (key-sorted, key-unique) sets.
+  std::size_t j = 0;
+  for (const BranchLiteral& g : general) {
+    while (j < specific.size() && literal_key_less(specific[j], g)) ++j;
+    if (j >= specific.size() || !literal_key_equal(specific[j], g)) {
+      return false;
+    }
+    if (!tighter_or_equal(g.sense, specific[j].rhs, g.rhs)) return false;
+    ++j;
+  }
+  return true;
+}
+
+NogoodStore::NogoodStore(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+void NogoodStore::canonicalize(std::vector<BranchLiteral>& literals) {
+  std::sort(literals.begin(), literals.end(),
+            [](const BranchLiteral& a, const BranchLiteral& b) {
+              if (literal_key_less(a, b)) return true;
+              if (literal_key_less(b, a)) return false;
+              // Tightest rhs first within a key, so unique() keeps it.
+              return a.sense == lp::Sense::LE ? a.rhs < b.rhs : a.rhs > b.rhs;
+            });
+  literals.erase(std::unique(literals.begin(), literals.end(),
+                             literal_key_equal),
+                 literals.end());
+}
+
+bool NogoodStore::learn(std::vector<BranchLiteral> literals) {
+  canonicalize(literals);
+  if (literals.empty()) return false;  // would claim the root infeasible
+  for (const Nogood& n : nogoods_) {
+    if (dominates(n.literals, literals)) {
+      ++rejected_subsumed_;  // an at-least-as-general nogood already covers it
+      return false;
+    }
+  }
+  const std::size_t before = nogoods_.size();
+  std::erase_if(nogoods_, [&](const Nogood& n) {
+    return dominates(literals, n.literals);
+  });
+  erased_subsumed_ += before - nogoods_.size();
+  nogoods_.push_back(Nogood{std::move(literals), next_id_++});
+  ++learned_;
+  while (nogoods_.size() > capacity_) {
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < nogoods_.size(); ++i) {
+      const bool longer =
+          nogoods_[i].literals.size() > nogoods_[victim].literals.size();
+      const bool tie_older =
+          nogoods_[i].literals.size() == nogoods_[victim].literals.size() &&
+          nogoods_[i].id < nogoods_[victim].id;
+      if (longer || tie_older) victim = i;
+    }
+    nogoods_.erase(nogoods_.begin() + static_cast<std::ptrdiff_t>(victim));
+    ++evicted_;
+  }
+  return true;
+}
+
+bool NogoodStore::matches(std::span<const BranchLiteral> active) const {
+  for (const Nogood& n : nogoods_) {
+    if (dominates(n.literals, active)) return true;
+  }
+  return false;
+}
+
+}  // namespace stripack::bnp::conflicts

@@ -1,0 +1,151 @@
+#include "bnp/conflicts/propagate.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace stripack::bnp::conflicts {
+
+namespace {
+
+[[nodiscard]] bool same_pred(const release::BranchPredicate& a,
+                             const release::BranchPredicate& b) {
+  return a == b;
+}
+
+// Minimum strip width a configuration matching the pair must occupy.
+[[nodiscard]] double pair_width(const release::ConfigLpProblem& p,
+                                const release::BranchPredicate& pred) {
+  const double wa = p.widths[pred.width_a];
+  const double wb = p.widths[pred.width_b];
+  return pred.width_a == pred.width_b ? 2.0 * wa : wa + wb;
+}
+
+[[nodiscard]] double pattern_width(const release::ConfigLpProblem& p,
+                                   const std::vector<int>& counts) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < counts.size() && i < p.widths.size(); ++i) {
+    total += counts[i] * p.widths[i];
+  }
+  return total;
+}
+
+[[nodiscard]] bool pattern_contains_pair(
+    const std::vector<int>& counts, const release::BranchPredicate& pair) {
+  if (pair.width_a >= counts.size() || pair.width_b >= counts.size()) {
+    return false;
+  }
+  const int need_a = pair.width_a == pair.width_b ? 2 : 1;
+  return counts[pair.width_a] >= need_a && counts[pair.width_b] >= 1;
+}
+
+// Does the pair literal's row count the columns a phase-`j` pattern row
+// counts? (pair.phase == -1 covers every phase; a concrete pair phase
+// must equal a concrete pattern phase, and cannot pin down a
+// phase-spanning pattern total.)
+[[nodiscard]] bool pair_covers_pattern_phase(int pair_phase,
+                                             int pattern_phase) {
+  return pair_phase == -1 || pair_phase == pattern_phase;
+}
+
+}  // namespace
+
+PropagationVerdict Propagator::propagate(
+    std::span<const BranchLiteral> active) const {
+  const release::ConfigLpProblem& p = *problem_;
+  using Kind = release::BranchPredicate::Kind;
+
+  // interval: the canonical order puts a predicate's LE literal directly
+  // before its GE literal; an empty [ge, le] integer interval is a
+  // conflict (rhs 0: the classic together ∧ apart pair).
+  for (std::size_t i = 0; i + 1 < active.size(); ++i) {
+    const BranchLiteral& le = active[i];
+    const BranchLiteral& ge = active[i + 1];
+    if (le.sense == lp::Sense::LE && ge.sense == lp::Sense::GE &&
+        same_pred(le.pred, ge.pred) && ge.rhs > le.rhs + tol_) {
+      return {true, "interval"};
+    }
+  }
+
+  // pair-width: a GE demand on a structurally empty column set.
+  for (const BranchLiteral& l : active) {
+    if (l.sense != lp::Sense::GE || l.rhs <= tol_) continue;
+    const bool empty_set =
+        (l.pred.kind == Kind::PairTogether &&
+         pair_width(p, l.pred) > p.strip_width + tol_) ||
+        (l.pred.kind == Kind::Pattern &&
+         pattern_width(p, l.pred.counts) > p.strip_width + tol_);
+    if (empty_set) return {true, "pair-width"};
+  }
+
+  // pair-pattern: a pattern containing a pair forwards its GE demand to
+  // the pair's total — conflict when that overshoots the pair's LE cap
+  // (cap 0 is "apart"). Phases must align for the forwarding to hold.
+  for (const BranchLiteral& pat : active) {
+    if (pat.pred.kind != Kind::Pattern || pat.sense != lp::Sense::GE ||
+        pat.rhs <= tol_) {
+      continue;
+    }
+    for (const BranchLiteral& pair : active) {
+      if (pair.pred.kind != Kind::PairTogether ||
+          pair.sense != lp::Sense::LE) {
+        continue;
+      }
+      if (pattern_contains_pair(pat.pred.counts, pair.pred) &&
+          pair_covers_pattern_phase(pair.pred.phase, pat.pred.phase) &&
+          pat.rhs > pair.rhs + tol_) {
+        return {true, "pair-pattern"};
+      }
+    }
+  }
+
+  // phase-capacity: early phase j holds at most releases[j+1] -
+  // releases[j] total height (tightened by PhaseTotal LE literals).
+  // Distinct exact-pattern GE demands occupy disjoint column sets and
+  // sum; a pair GE not contained in any counted pattern is disjoint
+  // from all of them and adds its best demand. Phase R is unbounded.
+  for (std::size_t j = 0; j + 1 < p.num_releases(); ++j) {
+    const int phase = static_cast<int>(j);
+    double cap = p.releases[j + 1] - p.releases[j];
+    for (const BranchLiteral& l : active) {
+      if (l.pred.kind == Kind::PhaseTotal && l.sense == lp::Sense::LE &&
+          (l.pred.phase == phase || l.pred.phase == -1)) {
+        cap = std::min(cap, l.rhs);
+      }
+    }
+    double pattern_sum = 0.0;
+    std::vector<const std::vector<int>*> counted;
+    for (const BranchLiteral& l : active) {
+      if (l.pred.kind == Kind::Pattern && l.sense == lp::Sense::GE &&
+          l.pred.phase == phase && l.rhs > tol_) {
+        pattern_sum += l.rhs;
+        counted.push_back(&l.pred.counts);
+      }
+    }
+    double pair_best = 0.0;
+    for (const BranchLiteral& l : active) {
+      if (l.pred.kind != Kind::PairTogether || l.sense != lp::Sense::GE ||
+          l.pred.phase != phase || l.rhs <= tol_) {
+        continue;
+      }
+      const bool contained =
+          std::any_of(counted.begin(), counted.end(),
+                      [&](const std::vector<int>* counts) {
+                        return pattern_contains_pair(*counts, l.pred);
+                      });
+      if (!contained) pair_best = std::max(pair_best, l.rhs);
+    }
+    double lower = pattern_sum + pair_best;
+    for (const BranchLiteral& l : active) {
+      if (l.pred.kind == Kind::PhaseTotal && l.sense == lp::Sense::GE &&
+          l.pred.phase == phase) {
+        lower = std::max(lower, l.rhs);
+      }
+    }
+    if (lower > cap + tol_) return {true, "phase-capacity"};
+  }
+
+  return {};
+}
+
+}  // namespace stripack::bnp::conflicts

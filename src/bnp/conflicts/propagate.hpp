@@ -1,0 +1,67 @@
+// Per-node bound propagation over branch literals (bnp/conflicts).
+//
+// Before a child node is enqueued, its full literal set (root-path
+// decision chain plus the new decision, canonicalized) runs through a
+// cheap closure of structural rules — integer/width/capacity arithmetic
+// only, never an LP solve. A child proven empty here is pruned at
+// creation: the subtree's LP would have certified Infeasible anyway, so
+// pruning preserves exactness while skipping the re-solves.
+//
+// The rules are the *sound fragment* of classic Ryan–Foster propagation
+// for this aggregate-height encoding. Note what is deliberately absent:
+// together(a,b) ∧ together(b,c) ⇒ together(a,c) is NOT valid here —
+// literals bound the total height of matching configurations, not a
+// partition of items, so configurations counted by (a,b) need not be
+// counted by (b,c) and the transitive implication has no sound analogue.
+// What remains (see PropagationVerdict::rule for which rule fired):
+//
+//   interval        same (predicate) branched GE above its LE — the
+//                   classic together ∧ apart conflict is the rhs-0 case
+//   pair-width      a GE >= 1 on a pair (or an exact pattern) that is
+//                   structurally over-wide: the matching configuration
+//                   set is empty, the row can never be satisfied
+//   pair-pattern    apart(a,b) (pair LE 0, or a structurally empty
+//                   pair) against a pattern GE >= 1 whose counts contain
+//                   the pair in a phase the pair literal covers
+//   phase-capacity  per early phase j: distinct exact-pattern GE
+//                   demands (disjoint column sets — they sum) plus the
+//                   best non-contained pair GE exceed the phase's time
+//                   budget releases[j+1] - releases[j], possibly
+//                   tightened by PhaseTotal LE literals. Phase R is
+//                   unbounded and never swept; demand gives no upper
+//                   bound either (surplus columns absorb oversupply).
+#pragma once
+
+#include <span>
+
+#include "bnp/conflicts/nogood.hpp"
+#include "release/config_lp.hpp"
+
+namespace stripack::bnp::conflicts {
+
+struct PropagationVerdict {
+  bool infeasible = false;
+  /// The rule that fired ("interval", "pair-width", "pair-pattern",
+  /// "phase-capacity"); nullptr when feasibility was not refuted.
+  const char* rule = nullptr;
+};
+
+/// Stateless closure over one node's canonical literal set. The
+/// referenced problem must outlive the propagator.
+class Propagator {
+ public:
+  explicit Propagator(const release::ConfigLpProblem& problem,
+                      double tol = 1e-6)
+      : problem_(&problem), tol_(tol) {}
+
+  /// `active` must be canonical (NogoodStore::canonicalize): key-sorted
+  /// with one literal per (predicate, sense) key.
+  [[nodiscard]] PropagationVerdict propagate(
+      std::span<const BranchLiteral> active) const;
+
+ private:
+  const release::ConfigLpProblem* problem_;
+  double tol_;
+};
+
+}  // namespace stripack::bnp::conflicts

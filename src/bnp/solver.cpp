@@ -12,6 +12,8 @@
 #include <tuple>
 #include <utility>
 
+#include "bnp/conflicts/nogood.hpp"
+#include "bnp/conflicts/propagate.hpp"
 #include "bnp/worker_pool.hpp"
 #include "release/integralize.hpp"
 #include "util/assert.hpp"
@@ -364,6 +366,23 @@ struct Search {
   double stalled_bound = std::numeric_limits<double>::infinity();
   double tol = 1e-6;
   std::size_t phases = 0;
+  // Conflict learning (bnp/conflicts), engaged iff options.use_conflicts.
+  // Both are touched only from serial contexts (the serial/cold loops and
+  // the batch driver's id-ordered merge loop), so prunes are identical
+  // across thread counts.
+  std::optional<conflicts::NogoodStore> nogoods;
+  std::optional<conflicts::Propagator> propagator;
+  // Row -> literal identity, the inverse of ensure_row: turns a Farkas
+  // projection (`farkas_branch_rows`, model row indices) back into
+  // predicate literals.
+  std::map<int, std::pair<release::BranchPredicate, lp::Sense>> pred_by_row;
+  std::vector<conflicts::BranchLiteral> parent_lits;  // process() scratch
+  std::vector<conflicts::BranchLiteral> child_lits;
+  std::vector<conflicts::BranchLiteral> learn_lits;  // learn_from scratch
+  // Pseudo-cost stall gate (options.pseudo_cost_stall_gate): consecutive
+  // observations without dual-bound movement.
+  double stall_gate_bound = -std::numeric_limits<double>::infinity();
+  int stall_gate_count = 0;
 
   [[nodiscard]] int ensure_row(const BranchDecision& d) {
     const RowKey key = row_key(d);
@@ -378,6 +397,7 @@ struct Search {
     // path" as neutral, and batch clones must snapshot neutral rows.
     solver.deactivate_branch_row(row);
     row_by_key.emplace(key, row);
+    if (nogoods) pred_by_row.emplace(row, std::make_pair(d.pred, d.sense));
     return row;
   }
 
@@ -410,6 +430,128 @@ struct Search {
     return tree.incumbent() - 0.4;
   }
 
+  // Cutoff-as-constraint (options.conflict_cutoff_cap): node re-solves
+  // go through resolve_with_height_cap so "cannot beat the incumbent"
+  // surfaces as a *certified infeasible* master — the Farkas certificate
+  // feeds learn_from — instead of a silent Lagrangian early exit, which
+  // proves the same fact but explains nothing. The Lagrangian cutoff is
+  // parked (infinity) in this mode so the infeasibility proof completes.
+  [[nodiscard]] bool cap_mode() const {
+    return nogoods.has_value() && options.conflict_cutoff_cap &&
+           tree.has_incumbent();
+  }
+
+  [[nodiscard]] double cap_rhs() const {
+    // Tighter than cutoff()'s -0.4 and equally exact: objectives are
+    // integral, so any integral solution with objective > incumbent-0.9
+    // is already >= incumbent — an infeasible capped master certifies
+    // the subtree holds nothing strictly better than the incumbent. The
+    // extra 0.5 matters: node LPs habitually land on half-integers
+    // (incumbent - 0.5), which the -0.4 quantum leaves feasible (and
+    // unexplained) but this cap converts into Farkas certificates. The
+    // 0.1 left of the integer absorbs float drift; clamped because a
+    // zero incumbent (everything fits before rho_R) caps at zero.
+    return std::max(0.0, tree.incumbent() - 0.9);
+  }
+
+  // Stall-gate observation: called once per node (serial/cold) or once
+  // per batch round, *before* the pop — a pure function of tree state at
+  // that boundary, so the gate is identical across thread counts.
+  void observe_bound() {
+    if (!options.pseudo_cost_branching ||
+        options.pseudo_cost_stall_gate <= 0) {
+      return;
+    }
+    const double bound = tree.best_open_bound();
+    if (bound > stall_gate_bound + 1e-9) {
+      stall_gate_bound = bound;
+      stall_gate_count = 0;
+    } else {
+      ++stall_gate_count;
+    }
+  }
+
+  [[nodiscard]] bool pseudo_costs_active() const {
+    return options.pseudo_cost_branching &&
+           (options.pseudo_cost_stall_gate <= 0 ||
+            stall_gate_count < options.pseudo_cost_stall_gate);
+  }
+
+  // Learns a nogood from a certified-infeasible node: the literals of
+  // the active branch rows carrying a nonzero certificate multiplier.
+  // Rows active on the path but with a (near-)zero multiplier are
+  // dropped — they do not participate in the proof — as are supported
+  // rows that were *parked* at this node: the parked rhs is the loosest
+  // any node ever holds, so every node's activation only tightens it and
+  // the certificate survives (rhs monotonicity; see bnp/conflicts).
+  void learn_from(
+      const release::FractionalSolution& sol,
+      const std::vector<std::pair<int, double>>& path,
+      const std::map<int, std::pair<release::BranchPredicate, lp::Sense>>&
+          rows) {
+    if (!nogoods || sol.farkas_branch_rows.empty()) return;
+    learn_lits.clear();
+    for (const auto& [row, mult] : sol.farkas_branch_rows) {
+      const auto rit = rows.find(row);
+      if (rit == rows.end()) continue;  // not a row this search activates
+      double rhs = 0.0;
+      bool active = false;
+      for (const auto& [prow, prhs] : path) {
+        if (prow == row) {
+          rhs = prhs;
+          active = true;
+          break;
+        }
+      }
+      if (!active) continue;  // parked: universally dominated, droppable
+      // A valid certificate has y <= 0 on LE rows and y >= 0 on GE rows
+      // (otherwise y'(Ax) >= y'b fails for feasible x) — the property
+      // the nogood's rhs-monotonicity argument rests on. A violation
+      // means the certificate is unusable; learn nothing from it.
+      const bool sign_ok = rit->second.second == lp::Sense::LE
+                               ? mult <= tol
+                               : mult >= -tol;
+      if (!sign_ok) return;
+      learn_lits.push_back(
+          conflicts::BranchLiteral{rit->second.first, rit->second.second,
+                                   rhs});
+    }
+    if (learn_lits.empty()) return;  // defensive: the root is feasible
+    if (nogoods->learn(learn_lits)) ++result.nogoods_learned;
+  }
+
+  // The node's literal set straight from the tree's decision chain (no
+  // row materialization — children consulted here may never be
+  // enqueued). canonicalize collapses re-branched predicates to the
+  // child-most (= tightest) rhs, matching the row activation semantics.
+  void node_literals(int id, std::vector<conflicts::BranchLiteral>& out) {
+    out.clear();
+    for (int n = id; tree.node(n).parent >= 0; n = tree.node(n).parent) {
+      const BranchDecision& d = tree.node(n).decision;
+      out.push_back(conflicts::BranchLiteral{d.pred, d.sense, d.rhs});
+    }
+  }
+
+  // Prune-before-enqueue: a child refuted by structural propagation or
+  // by a stored nogood never enters the open set — its subtree is
+  // proven empty, so skipping it preserves exactness and every bound.
+  void try_child(int parent, BranchDecision d, double bound) {
+    if (nogoods) {
+      child_lits = parent_lits;
+      child_lits.push_back(conflicts::BranchLiteral{d.pred, d.sense, d.rhs});
+      conflicts::NogoodStore::canonicalize(child_lits);
+      if (propagator->propagate(child_lits).infeasible) {
+        ++result.propagation_prunes;
+        return;
+      }
+      if (nogoods->matches(child_lits)) {
+        ++result.nogood_prunes;
+        return;
+      }
+    }
+    tree.add_child(parent, std::move(d), bound);
+  }
+
   // Pseudo-cost observation from a solved child LP.
   void observe_gain(int id, double objective) {
     if (!options.pseudo_cost_branching) return;
@@ -430,8 +572,8 @@ struct Search {
         std::ceil(sol.objective - tol * (1.0 + sol.objective));
     if (bound >= tree.incumbent() - 0.5) return;
     const std::map<PatternKey, double> totals = aggregate_patterns(sol);
-    const auto branch = select_branch(totals, tol, pseudo_costs,
-                                      options.pseudo_cost_branching);
+    const auto branch =
+        select_branch(totals, tol, pseudo_costs, pseudo_costs_active());
     if (!branch) {
       std::vector<release::Slice> slices =
           integral_slices(totals, problem.widths);
@@ -445,8 +587,9 @@ struct Search {
                       std::floor(branch->total), frac, sol.objective};
     BranchDecision ge{branch->pred, lp::Sense::GE,
                       std::floor(branch->total) + 1.0, frac, sol.objective};
-    tree.add_child(id, std::move(le), bound);
-    tree.add_child(id, std::move(ge), bound);
+    if (nogoods) node_literals(id, parent_lits);
+    try_child(id, std::move(le), bound);
+    try_child(id, std::move(ge), bound);
   }
 };
 
@@ -475,6 +618,7 @@ void strong_branch_root(Search& search,
   const double gain_cap =
       std::max(1.0, search.tree.incumbent() - root.objective);
   bool touched = false;
+  std::vector<std::pair<int, double>> probe_path;
   for (const BranchCandidate& c : candidates) {
     const double floor_total = std::floor(c.total);
     const double frac = c.total - floor_total;
@@ -484,8 +628,16 @@ void strong_branch_root(Search& search,
       BranchDecision probe{c.pred, sense, rhs, frac, root.objective};
       const int row = search.ensure_row(probe);
       search.solver.set_branch_row_rhs(row, rhs);
-      search.solver.set_node_cutoff(search.cutoff());
-      const release::FractionalSolution sol = search.solver.resolve();
+      // Probes run capped too: a probe cut off by the incumbent comes
+      // back certified infeasible, and its *unit* nogood prunes every
+      // future child carrying this literal without an LP.
+      const bool capped = search.cap_mode();
+      search.solver.set_node_cutoff(
+          capped ? std::numeric_limits<double>::infinity()
+                 : search.cutoff());
+      const release::FractionalSolution sol =
+          capped ? search.solver.resolve_with_height_cap(search.cap_rhs())
+                 : search.solver.resolve();
       touched = true;
       accumulate(search.result, sol);
       ++search.result.strong_branch_probes;
@@ -494,6 +646,11 @@ void strong_branch_root(Search& search,
       if (sol.cutoff_pruned) {
         objective = root.objective + gain_cap;
       } else if (sol.status == lp::SolveStatus::Infeasible) {
+        // A probe certified empty at the root is a (unit) nogood like
+        // any other — future children re-activating this literal are
+        // pruned without an LP.
+        probe_path.assign(1, {row, rhs});
+        search.learn_from(sol, probe_path, search.pred_by_row);
         objective = root.objective + gain_cap;
       } else if (sol.feasible) {
         objective = sol.objective;
@@ -508,7 +665,11 @@ void strong_branch_root(Search& search,
   }
   if (touched) {
     // Re-solve the all-neutral master so the retained basis (the clone
-    // snapshot seed) is root-optimal again.
+    // snapshot seed) is root-optimal again. The cap row must be parked
+    // with the probe rows: a root whose LP gap to the incumbent is
+    // inside the cap quantum would otherwise make this very re-solve
+    // infeasible.
+    search.solver.clear_height_cap();
     search.solver.set_node_cutoff(std::numeric_limits<double>::infinity());
     const release::FractionalSolution restored = search.solver.resolve();
     accumulate(search.result, restored);
@@ -523,6 +684,10 @@ void run_serial(Search& search, const Stopwatch& watch) {
   NodeTree& tree = search.tree;
   std::vector<std::pair<int, double>> path;
   std::vector<int> active;
+  // A certified-infeasible node leaves the engine without an optimal
+  // basis, so the *next* re-solve may legitimately re-enter phase 1 —
+  // the one excusable departure from the dual warm path.
+  bool prev_infeasible = false;
   while (!tree.done()) {
     if (result.nodes >= search.options.budget.max_nodes) {
       result.status = BnpStatus::NodeLimit;
@@ -533,6 +698,7 @@ void run_serial(Search& search, const Stopwatch& watch) {
       result.status = BnpStatus::TimeLimit;
       break;
     }
+    search.observe_bound();
     const std::optional<int> popped = tree.pop_best();
     if (!popped) break;
     const int id = *popped;
@@ -553,17 +719,42 @@ void run_serial(Search& search, const Stopwatch& watch) {
     }
     search.previously_active = std::move(active);
     active = {};
-    search.solver.set_node_cutoff(search.cutoff());
-    const release::FractionalSolution sol = search.solver.resolve();
+    const bool capped = search.cap_mode();
+    search.solver.set_node_cutoff(
+        capped ? std::numeric_limits<double>::infinity()
+               : search.cutoff());
+    release::FractionalSolution sol =
+        capped ? search.solver.resolve_with_height_cap(search.cap_rhs())
+               : search.solver.resolve();
+    bool fell_back = false;
+    if (capped && !sol.feasible &&
+        sol.status != lp::SolveStatus::Infeasible) {
+      // A cap binding right at the LP optimum can exhaust the iteration
+      // budget without a verdict; re-solve this one node uncapped on the
+      // classic Lagrangian path (a pure function of the node, so the
+      // fallback is deterministic) instead of stalling the search.
+      search.solver.clear_height_cap();
+      search.solver.set_node_cutoff(search.cutoff());
+      sol = search.solver.resolve();
+      fell_back = true;
+    }
     accumulate(result, sol);
-    STRIPACK_ASSERT(warm_path_ok(sol),
+    // Farkas-repaired re-solves (a capped master that dipped infeasible
+    // before pricing restored it) legitimately pass through phase 1, as
+    // does a fallback re-solve recovering from an exhausted capped one.
+    STRIPACK_ASSERT(warm_path_ok(sol) || prev_infeasible ||
+                        sol.farkas_rounds > 0 || fell_back,
                     "branch-and-price node re-solve left the warm path");
+    prev_infeasible = sol.status == lp::SolveStatus::Infeasible;
 
     if (sol.cutoff_pruned) {
       ++result.cutoff_pruned_nodes;
       continue;  // certified: the subtree cannot beat the incumbent
     }
-    if (sol.status == lp::SolveStatus::Infeasible) continue;  // certified
+    if (sol.status == lp::SolveStatus::Infeasible) {  // certified
+      search.learn_from(sol, path, search.pred_by_row);
+      continue;
+    }
     if (!sol.feasible) {
       // IterationLimit is "unknown", not "proven empty": stop with the
       // bracket rather than mis-prune.
@@ -598,6 +789,7 @@ void run_batched(Search& search, const Stopwatch& watch, int batch_size) {
       result.status = BnpStatus::TimeLimit;
       break;
     }
+    search.observe_bound();  // once per batch round: the batch analogue
     const std::size_t allowance = std::min(
         static_cast<std::size_t>(batch_size),
         search.options.budget.max_nodes - result.nodes);
@@ -613,8 +805,14 @@ void run_batched(Search& search, const Stopwatch& watch, int batch_size) {
     }
     if (ids.empty()) break;
 
-    const std::vector<NodeEvaluation> evals =
-        pool.evaluate(search.solver, tasks, search.cutoff());
+    // In cap mode the cap is frozen per round alongside the incumbent
+    // (it is a function of the tree at the pop boundary), so every
+    // worker sees the same rhs regardless of thread count.
+    const std::optional<double> height_cap =
+        search.cap_mode() ? std::optional<double>(search.cap_rhs())
+                          : std::nullopt;
+    const std::vector<NodeEvaluation> evals = pool.evaluate(
+        search.solver, tasks, search.cutoff(), height_cap);
     ++result.batches;
 
     // Merge in node-id order (ids are popped best-first = id-ascending on
@@ -635,7 +833,13 @@ void run_batched(Search& search, const Stopwatch& watch, int batch_size) {
         ++result.cutoff_pruned_nodes;
         continue;
       }
-      if (sol.status == lp::SolveStatus::Infeasible) continue;
+      if (sol.status == lp::SolveStatus::Infeasible) {
+        // Clones share the master's row indices, so the task's path and
+        // the projection line up; learning here — inside the id-ordered
+        // merge loop — keeps the store identical across thread counts.
+        search.learn_from(sol, tasks[i].path, search.pred_by_row);
+        continue;
+      }
       if (!sol.feasible) {
         search.stalled = true;
         // The whole remainder of the batch leaves the open set here; fold
@@ -681,6 +885,7 @@ void run_cold(Search& search, const Stopwatch& watch) {
       result.status = BnpStatus::TimeLimit;
       break;
     }
+    search.observe_bound();
     const std::optional<int> popped = tree.pop_best();
     if (!popped) break;
     const int id = *popped;
@@ -696,15 +901,34 @@ void run_cold(Search& search, const Stopwatch& watch) {
       break;
     }
     std::set<RowKey> seen;
+    // The fresh master's row indices are node-local; carry a local path
+    // and row map so learning can still translate its Farkas projection.
+    std::vector<std::pair<int, double>> cold_path;
+    std::map<int, std::pair<release::BranchPredicate, lp::Sense>> cold_rows;
     for (int n = id; tree.node(n).parent >= 0; n = tree.node(n).parent) {
       const BranchDecision& d = tree.node(n).decision;
       if (seen.insert(row_key(d)).second) {
-        fresh.add_branch_row(d.pred, d.sense, d.rhs);
+        const int row = fresh.add_branch_row(d.pred, d.sense, d.rhs);
+        cold_path.push_back({row, d.rhs});
+        cold_rows.emplace(row, std::make_pair(d.pred, d.sense));
       }
     }
     result.branch_rows = std::max(result.branch_rows, seen.size());
-    fresh.set_node_cutoff(search.cutoff());
-    const release::FractionalSolution sol = fresh.resolve();
+    const bool capped = search.cap_mode();
+    if (capped) fresh.ensure_height_cap_row();
+    fresh.set_node_cutoff(capped
+                              ? std::numeric_limits<double>::infinity()
+                              : search.cutoff());
+    release::FractionalSolution sol =
+        capped ? fresh.resolve_with_height_cap(search.cap_rhs())
+               : fresh.resolve();
+    if (capped && !sol.feasible &&
+        sol.status != lp::SolveStatus::Infeasible) {
+      // Same verdict-less fallback as the serial driver.
+      fresh.clear_height_cap();
+      fresh.set_node_cutoff(search.cutoff());
+      sol = fresh.resolve();
+    }
     accumulate(result, sol);
     accumulate(result, fresh.pricing_stats());
 
@@ -712,7 +936,10 @@ void run_cold(Search& search, const Stopwatch& watch) {
       ++result.cutoff_pruned_nodes;
       continue;
     }
-    if (sol.status == lp::SolveStatus::Infeasible) continue;
+    if (sol.status == lp::SolveStatus::Infeasible) {
+      search.learn_from(sol, cold_path, cold_rows);
+      continue;
+    }
     if (!sol.feasible) {
       search.stalled = true;
       search.stalled_bound = tree.node(id).bound;
@@ -831,6 +1058,17 @@ BnpResult solve_impl(const Instance& instance, const BnpOptions& options,
   Search search{local, problem, solver};
   search.tol = local.tol;
   search.phases = problem.num_releases();
+  if (local.use_conflicts) {
+    // Per-search lifetime by design: nogoods are demand-dependent (the
+    // certificate's y'b involves the demand rhs), so a warm master's
+    // next request — which rebinds demand — must start a fresh store.
+    search.nogoods.emplace(local.nogood_capacity);
+    search.propagator.emplace(problem, local.tol);
+    // Materialize the (parked) cap row before any node is evaluated:
+    // activation is then a pure rhs change on the dual warm path, and
+    // batch clones inherit the row at a fixed index from the snapshot.
+    if (local.conflict_cutoff_cap) solver.ensure_height_cap_row();
+  }
   BnpResult& result = search.result;
   accumulate(result, root);
   // The configuration LP proper is always feasible (phase R is
@@ -879,6 +1117,12 @@ BnpResult solve_impl(const Instance& instance, const BnpOptions& options,
   }
 
   result.nodes_created = search.tree.created();
+  if (search.nogoods) {
+    result.nogoods_subsumed = search.nogoods->rejected_subsumed() +
+                              search.nogoods->erased_subsumed();
+    result.nogoods_evicted = search.nogoods->evicted();
+    result.nogood_store_size = search.nogoods->size();
+  }
   // Warm mode materializes rows once in the shared master; cold mode
   // reports the deepest per-node row count instead.
   result.branch_rows =

@@ -112,6 +112,42 @@ struct BnpOptions {
   /// objective monotonicity in enumeration mode, Farley's bound between
   /// pricing rounds in column-generation mode).
   bool lagrangian_pruning = true;
+  /// Conflict learning (bnp/conflicts): project the Farkas certificate
+  /// of every certified-infeasible node onto its active branch rows,
+  /// store the nonzero-multiplier literals as a nogood, and prune
+  /// children — by structural propagation and by nogood lookup — before
+  /// they are enqueued, without touching the LP. Exactness-preserving
+  /// (only certified-empty subtrees are cut) and deterministic across
+  /// thread counts (the store is touched only in the serial merge
+  /// order).
+  bool use_conflicts = true;
+  /// Cutoff-as-constraint (only meaningful with `use_conflicts`): node
+  /// masters are re-solved under a height-cap row at `incumbent - 0.9`
+  /// (`ConfigLpSolver::resolve_with_height_cap`) instead of the bare
+  /// Lagrangian cutoff comparison. A node that cannot beat the
+  /// incumbent then comes back *certified infeasible* with a Farkas
+  /// certificate — raw material for the explanation extractor — rather
+  /// than silently cutoff-pruned, so one pruned node generalizes into a
+  /// nogood that prunes sibling subtrees LP-free. Exact for the same
+  /// reason the Lagrangian cutoff is: objectives are integral, so any
+  /// integral objective above `incumbent - 0.9` is already >= incumbent
+  /// (the tighter quantum converts the half-integer LP landings the
+  /// -0.4 cutoff leaves feasible into certificates).
+  /// Learned nogoods stay valid as the incumbent improves because the
+  /// cap only tightens (rhs monotonicity, see bnp/conflicts/nogood.hpp).
+  bool conflict_cutoff_cap = true;
+  /// Nogood store size budget; over it, the most-literal (least
+  /// reusable) nogood is evicted deterministically.
+  std::size_t nogood_capacity = 4096;
+  /// Auto-gate for pseudo-cost branching (the n=120 regression fix):
+  /// fall back to most-fractional selection once the proven dual bound
+  /// has sat still for this many consecutive observations — one per
+  /// node on the serial/cold paths, one per batch-synchronous round —
+  /// and re-engage the moment the bound moves again. Gain observation
+  /// never stops, so the table stays warm for the re-engage. 0 leaves
+  /// pseudo costs permanently on. Deterministic: the gate is a function
+  /// of tree state at (batch) boundaries only.
+  int pseudo_cost_stall_gate = 32;
   /// Recognition tolerance for integrality of pattern totals.
   double tol = 1e-6;
 };
@@ -162,6 +198,15 @@ struct BnpResult {
   int lp_cold_restarts = 0;
   int master_failovers = 0;
   int node_retries = 0;
+  // Conflict-learning diagnostics (bnp/conflicts; all zero with
+  // `use_conflicts` off). Prunes count children cut *before* enqueue —
+  // they also never show up in `nodes_created`.
+  std::size_t nogoods_learned = 0;      // accepted into the store
+  std::size_t nogood_prunes = 0;        // children cut by store lookup
+  std::size_t propagation_prunes = 0;   // children cut by closure rules
+  std::size_t nogoods_subsumed = 0;     // rejected or absorbed learns
+  std::size_t nogoods_evicted = 0;      // capacity evictions
+  std::size_t nogood_store_size = 0;    // store size at the end
   // Memoized-pricing counters, summed over the master and every clone.
   std::int64_t pricing_dfs_expansions = 0;
   std::int64_t pricing_cache_probes = 0;

@@ -1,6 +1,7 @@
 #include "bnp/worker_pool.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <thread>
 
 namespace stripack::bnp {
@@ -23,7 +24,7 @@ BnpWorkerPool::~BnpWorkerPool() = default;
 
 std::vector<NodeEvaluation> BnpWorkerPool::evaluate(
     const release::ConfigLpSolver& master, std::span<const NodeTask> tasks,
-    double cutoff) {
+    double cutoff, std::optional<double> height_cap) {
   std::vector<NodeEvaluation> results(tasks.size());
   const auto evaluate_node = [&](std::size_t i, NodeEvaluation& out) {
     release::ConfigLpSolver clone = master.clone();
@@ -31,8 +32,24 @@ std::vector<NodeEvaluation> BnpWorkerPool::evaluate(
     for (const auto& [row, rhs] : tasks[i].path) {
       clone.set_branch_row_rhs(row, rhs);
     }
-    clone.set_node_cutoff(cutoff);
-    out.solution = clone.resolve();
+    // The cap row is appended after every branch row, so the task path's
+    // master row indices — and the solver's Farkas projection onto them
+    // — are unaffected by it. Capped solves park the Lagrangian cutoff
+    // (the infeasibility proof must run to completion to certify).
+    clone.set_node_cutoff(height_cap
+                              ? std::numeric_limits<double>::infinity()
+                              : cutoff);
+    out.solution = height_cap ? clone.resolve_with_height_cap(*height_cap)
+                              : clone.resolve();
+    if (height_cap && !out.solution.feasible &&
+        out.solution.status != lp::SolveStatus::Infeasible) {
+      // No verdict under the cap (iteration limit at the boundary):
+      // deterministically fall back to the uncapped Lagrangian path for
+      // this node before the caller's retry ladder gets involved.
+      clone.clear_height_cap();
+      clone.set_node_cutoff(cutoff);
+      out.solution = clone.resolve();
+    }
     out.new_columns = clone.columns_since(snapshot_columns);
     out.pricing = clone.pricing_stats();
   };

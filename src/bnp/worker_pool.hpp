@@ -19,6 +19,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <utility>
 #include <vector>
@@ -59,11 +60,17 @@ class BnpWorkerPool {
   [[nodiscard]] int threads() const { return threads_; }
 
   /// Evaluates every task against the frozen `master`; result i depends
-  /// only on (master, tasks[i], cutoff). `master` is only read (clone()
-  /// is const and lock-free), so tasks run concurrently.
+  /// only on (master, tasks[i], cutoff, height_cap). `master` is only
+  /// read (clone() is const and lock-free), so tasks run concurrently.
+  /// With `height_cap` set, each clone resolves through
+  /// `resolve_with_height_cap(*height_cap)` — the solver's
+  /// cutoff-as-constraint mode, where a node that cannot beat the
+  /// incumbent comes back certified infeasible with a Farkas
+  /// certificate instead of cutoff-pruned. The cap row lives and dies
+  /// with the clone; the frozen master is never touched.
   [[nodiscard]] std::vector<NodeEvaluation> evaluate(
       const release::ConfigLpSolver& master, std::span<const NodeTask> tasks,
-      double cutoff);
+      double cutoff, std::optional<double> height_cap = std::nullopt);
 
  private:
   std::unique_ptr<ThreadPool> pool_;  // null when serial

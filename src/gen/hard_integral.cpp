@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/rng.hpp"
 
 namespace stripack::gen {
 
@@ -35,6 +36,55 @@ HardIntegralInstance hard_integral_family(std::size_t k, std::size_t bursts,
   // the last wave alone decides the height above rho_R. Fractionally it
   // needs (2k+1)/2 of the pair configuration; integrally, k pairs plus
   // one single slab.
+  const double rho_r = static_cast<double>(bursts - 1) * spacing;
+  out.certificate.lp_height =
+      rho_r + static_cast<double>(per_burst) / 2.0;
+  out.certificate.ip_height = rho_r + static_cast<double>(k) + 1.0;
+  out.certificate.n = bursts * per_burst;
+  return out;
+}
+
+HardIntegralInstance hard_integral_jittered(std::size_t k,
+                                            std::size_t bursts,
+                                            double spacing,
+                                            std::uint64_t seed) {
+  STRIPACK_EXPECTS(k >= 1);
+  STRIPACK_EXPECTS(bursts >= 1);
+  if (bursts > 1) {
+    STRIPACK_EXPECTS(spacing >= static_cast<double>(k) + 1.0);
+    STRIPACK_EXPECTS(spacing == std::floor(spacing));
+  } else {
+    spacing = 0.0;
+  }
+
+  // Distinct widths, same combinatorics: every draw sits in (1/3, 1/2],
+  // so any two items pair in a slab (w_a + w_b <= 1) and three never fit
+  // (3w > 1). The counting argument behind the certificate depends only
+  // on that two-per-slab structure, never on the widths being equal:
+  // fractionally each wave's 2k+1 items half-pair into (2k+1)/2 slabs of
+  // height one; integrally any pairing leaves one item single, so k+1
+  // slabs are necessary and sufficient. What the jitter changes is the
+  // *search*: with 2k+1 distinct width classes per wave the pair space
+  // the branching rules walk is combinatorially rich, so proving the
+  // same gap takes a genuinely deep tree — the conflict-learning
+  // stress regime — instead of the one-branch proof of the uniform
+  // family.
+  Rng rng(seed);
+  const std::size_t per_burst = 2 * k + 1;
+  std::vector<Item> items;
+  items.reserve(bursts * per_burst);
+  for (std::size_t b = 0; b < bursts; ++b) {
+    const double release = static_cast<double>(b) * spacing;
+    for (std::size_t i = 0; i < per_burst; ++i) {
+      // Integer basis points in [0.3334, 0.5000] keeps widths exactly
+      // representable and strictly above 1/3.
+      const double width =
+          static_cast<double>(rng.uniform_int(3334, 5000)) / 10000.0;
+      items.push_back(Item{Rect{width, 1.0}, release});
+    }
+  }
+
+  HardIntegralInstance out{Instance(std::move(items), 1.0), {}};
   const double rho_r = static_cast<double>(bursts - 1) * spacing;
   out.certificate.lp_height =
       rho_r + static_cast<double>(per_burst) / 2.0;

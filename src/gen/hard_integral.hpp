@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "core/instance.hpp"
 
@@ -40,5 +41,16 @@ struct HardIntegralInstance {
 [[nodiscard]] HardIntegralInstance hard_integral_family(
     std::size_t k, std::size_t bursts = 1, double spacing = 0.0,
     double width = 0.4);
+
+/// The jittered variant: same wave structure, but every item draws its
+/// own width from (1/3, 1/2] (deterministic in `seed`). The certificate
+/// is *identical* — the gap argument only needs "any two pair, three
+/// never fit", which every width in the interval satisfies — but the
+/// 2k+1 distinct width classes per wave give the branching rules a
+/// combinatorially rich pair space, so the same 1/2 gap takes a deep
+/// tree to prove: the branching / conflict-learning stress family.
+[[nodiscard]] HardIntegralInstance hard_integral_jittered(
+    std::size_t k, std::size_t bursts = 1, double spacing = 0.0,
+    std::uint64_t seed = 1);
 
 }  // namespace stripack::gen

@@ -229,7 +229,7 @@ class SimplexEngine::Impl {
 
   Solution solve_attempt() {
     Solution solution;
-    cost_shift_.clear();
+    clear_shifts();
     numerical_retries_ = 0;
     const std::int64_t max_iters = default_max_iters();
     // Anti-cycling may have engaged Bland's rule late in a previous solve;
@@ -322,7 +322,7 @@ class SimplexEngine::Impl {
   Solution solve_dual_attempt(bool shift_dual_infeasible,
                               double objective_cutoff) {
     Solution solution;
-    cost_shift_.clear();
+    clear_shifts();
     numerical_retries_ = 0;
     const std::int64_t max_iters = default_max_iters();
     bland_ = forced_bland();
@@ -338,10 +338,14 @@ class SimplexEngine::Impl {
     recompute_duals();
     // Dual feasibility check: an improving column means the basis was
     // never optimal (or an rhs sign flip perturbed the reduced costs).
-    // With `shift_dual_infeasible`, improving *structural* columns
-    // (Farkas-priced columns landing on an infeasible master) are instead
+    // With `shift_dual_infeasible`, improving columns are instead
     // cost-shifted so their reduced cost clamps to zero; the shifts are
-    // dropped before the closing primal phase below.
+    // dropped before the closing primal phase below. Structural shifts
+    // absorb Farkas-priced columns landing on an infeasible master;
+    // logical shifts absorb the dual wreckage such a column leaves when
+    // it pivots basic and the repair round still ends Infeasible — the
+    // exit drops the shifts, so the retained duals (true costs through a
+    // shifted-in basis) can price slacks negative on the next re-solve.
     {
       const int limit = num_structural_ + m_;
       for (int pos = 0; pos < limit; ++pos) {
@@ -349,11 +353,19 @@ class SimplexEngine::Impl {
         if (code == kNoColumn || in_basis(code)) continue;
         const double rc = reduced_cost(code);
         if (rc < -options_.tol) {
-          if (!shift_dual_infeasible || !is_structural(code)) return solve();
-          if (cost_shift_.empty()) {
-            cost_shift_.assign(static_cast<std::size_t>(num_structural_), 0.0);
+          if (!shift_dual_infeasible) return solve();
+          if (is_structural(code)) {
+            if (cost_shift_.empty()) {
+              cost_shift_.assign(static_cast<std::size_t>(num_structural_),
+                                 0.0);
+            }
+            cost_shift_[code] = -rc;
+          } else {
+            if (logical_shift_.empty()) {
+              logical_shift_.assign(static_cast<std::size_t>(2 * m_), 0.0);
+            }
+            logical_shift_[logical_index(code)] = -rc;
           }
-          cost_shift_[code] = -rc;
         }
       }
     }
@@ -374,7 +386,7 @@ class SimplexEngine::Impl {
       // optimum. Cost shifts change the effective objective, so the
       // check stands down while any are live.
       if (objective_cutoff < std::numeric_limits<double>::infinity() &&
-          cost_shift_.empty()) {
+          !shifts_live()) {
         double dual_obj = 0.0;
         for (int r = 0; r < m_; ++r) dual_obj += y_[r] * b_[r];
         if (dual_obj >= objective_cutoff) {
@@ -437,7 +449,7 @@ class SimplexEngine::Impl {
         for (int r = 0; r < m_; ++r) {
           solution.farkas[r] = flipped_[r] ? u_[r] : -u_[r];
         }
-        cost_shift_.clear();
+        clear_shifts();
         return solution;
       }
 
@@ -475,7 +487,7 @@ class SimplexEngine::Impl {
     // first: the basis is primal feasible now, so the closing phase-2
     // iteration prices the ex-shifted columns at their true costs and
     // pivots them in without ever touching phase 1.
-    cost_shift_.clear();
+    clear_shifts();
     for (double& v : xb_) v = std::max(v, 0.0);
     if (solution.dual_iterations > 0) se_reset();
     const SolveStatus status =
@@ -698,9 +710,27 @@ class SimplexEngine::Impl {
 
   [[nodiscard]] double cost_of(int code) const {
     if (phase_ == 1) return is_artificial(code) ? 1.0 : 0.0;
-    if (!is_structural(code)) return 0.0;
+    if (!is_structural(code)) {
+      return logical_shift_.empty() ? 0.0
+                                    : logical_shift_[logical_index(code)];
+    }
     return cost_shift_.empty() ? cost2_[code]
                                : cost2_[code] + cost_shift_[code];
+  }
+
+  // Index into `logical_shift_`: slacks first, artificials after.
+  [[nodiscard]] std::size_t logical_index(int code) const {
+    const auto row = static_cast<std::size_t>(logical_row(code));
+    return is_slack(code) ? row : static_cast<std::size_t>(m_) + row;
+  }
+
+  [[nodiscard]] bool shifts_live() const {
+    return !cost_shift_.empty() || !logical_shift_.empty();
+  }
+
+  void clear_shifts() {
+    cost_shift_.clear();
+    logical_shift_.clear();
   }
 
   // Deterministic total order used by ratio-test tie-breaks (structural
@@ -1410,6 +1440,10 @@ class SimplexEngine::Impl {
   // inactive, else one additive term per structural column. Cleared on
   // every solve entry and before the closing primal phase.
   std::vector<double> cost_shift_;
+  // Same mechanism for logical columns ([slack rows | artificial rows]):
+  // clamps slacks whose duals went sign-infeasible when a shifted column
+  // pivoted basic and the Farkas exit dropped the structural shifts.
+  std::vector<double> logical_shift_;
   std::vector<double> b_;                    // transformed rhs (>= 0)
   std::vector<bool> flipped_;
   std::vector<double> slack_sign_;   // +1 LE, -1 GE, 0 EQ (no slack)

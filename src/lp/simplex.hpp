@@ -214,9 +214,11 @@ class SimplexEngine {
   /// sign), or a freshly added equality row has positive residual (its
   /// artificial sits basic at a positive value).
   ///
-  /// `shift_dual_infeasible` narrows the first fallback: structural
-  /// columns pricing negative (typically Farkas-priced columns appended
-  /// to an infeasible master) get their costs temporarily *shifted* so
+  /// `shift_dual_infeasible` removes the first fallback: columns pricing
+  /// negative — structural (typically Farkas-priced columns appended to
+  /// an infeasible master) and logical (slacks whose duals went
+  /// sign-infeasible after such a column pivoted basic and an Infeasible
+  /// exit dropped the shifts) — get their costs temporarily *shifted* so
   /// their reduced cost clamps to zero, the dual phase runs on the
   /// shifted costs, and once primal feasibility is restored the shifts
   /// are dropped and a warm phase-2 primal finishes the job — so the

@@ -860,6 +860,20 @@ struct ConfigLpSolver::State {
       out.configurations = table.configs.size();
     }
     if (solution.optimal()) last_basis = solution.basis;
+    if (solution.status == lp::SolveStatus::Infeasible &&
+        !solution.farkas.empty()) {
+      // Project the certificate onto the branch rows (every solve path —
+      // enumeration, colgen post-Farkas-pricing, clones — funnels through
+      // here). A multiplier below tolerance contributes nothing to the
+      // proof; conflict learning treats such rows as droppable.
+      for (const BranchRow& br : branch_rows) {
+        const auto r = static_cast<std::size_t>(br.row);
+        if (r < solution.farkas.size() &&
+            std::fabs(solution.farkas[r]) > options.tol) {
+          out.farkas_branch_rows.emplace_back(br.row, solution.farkas[r]);
+        }
+      }
+    }
     return out;
   }
 
@@ -1119,6 +1133,31 @@ FractionalSolution ConfigLpSolver::resolve_with_height_cap(double cap) {
     s.model.set_row_rhs(s.layout.cap_row, cap);
   }
   return s.resolve();
+}
+
+void ConfigLpSolver::clear_height_cap() {
+  State& s = *state_;
+  STRIPACK_EXPECTS(s.solved);
+  if (s.layout.cap_row < 0) return;
+  s.model.set_row_rhs(s.layout.cap_row, s.inactive_le_rhs);
+}
+
+void ConfigLpSolver::ensure_height_cap_row() {
+  State& s = *state_;
+  STRIPACK_EXPECTS(s.solved);
+  if (s.layout.cap_row >= 0) return;
+  std::vector<lp::ColumnEntry> entries;
+  for (std::size_t c = 0; c < s.table.config_of.size(); ++c) {
+    if (s.table.config_of[c] >= 0 &&
+        s.table.phase_of[c] + 1 == s.layout.num_phases) {
+      entries.push_back({static_cast<int>(c), 1.0});
+    }
+  }
+  // Parked at the dormant-LE neutral rhs: cannot bind at any node
+  // optimum, so the retained basis stays optimal and no re-solve is
+  // needed here.
+  s.layout.cap_row = s.model.add_row_with_entries(
+      lp::Sense::LE, s.inactive_le_rhs, entries, "cap[R]");
 }
 
 FractionalSolution ConfigLpSolver::resolve_with_phase_capacity(

@@ -40,6 +40,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 
 #include "core/instance.hpp"
 #include "lp/backend.hpp"
@@ -128,6 +129,16 @@ struct FractionalSolution {
   /// abandoned (`feasible == false`). Either way the caller should prune.
   bool cutoff_pruned = false;
   double cutoff_bound = 0.0;
+  /// Farkas explanation support (populated only when `status ==
+  /// Infeasible` and the engine exported a certificate): the branch rows
+  /// carrying a non-negligible multiplier in `lp::Solution::farkas`, as
+  /// (model row, multiplier) pairs in ascending row order. Branch rows
+  /// absent here — multiplier (near) zero, including every parked row —
+  /// do not participate in the infeasibility proof, so a conflict
+  /// learner may drop them, generalizing the conflict beyond the exact
+  /// activation that exposed it (see bnp/conflicts and the soundness
+  /// argument in docs/ARCHITECTURE.md).
+  std::vector<std::pair<int, double>> farkas_branch_rows;
 };
 
 /// Pricing-side counters of a `ConfigLpSolver` (cumulative since
@@ -261,6 +272,21 @@ class ConfigLpSolver {
   /// infeasible restricted master triggers Farkas pricing (see
   /// `resolve`), so the verdict is certified for the full master.
   [[nodiscard]] FractionalSolution resolve_with_height_cap(double cap);
+
+  /// Materializes the height-cap row *parked* (at the same neutral rhs
+  /// dormant LE branch rows use) without re-solving, so a later
+  /// `resolve_with_height_cap` is a pure rhs change on the dual warm
+  /// path — exactly like branch-row activation — rather than the
+  /// insertion of an already-violated row (which would force a phase-1
+  /// restart mid-search). Idempotent; requires a prior `solve()`.
+  /// Branch-and-price calls this once before a cutoff-as-constraint
+  /// search so every clone inherits the row at a fixed index.
+  void ensure_height_cap_row();
+
+  /// Parks the height-cap row (no-op if it was never materialized)
+  /// without re-solving: the rhs moves back to the dormant-LE neutral
+  /// value, so the next `resolve()` sees an uncapped master.
+  void clear_height_cap();
 
   /// Tightens (or relaxes) the packing capacity of phase j < R — the
   /// rhs of packing row j, by default rho_{j+1} - rho_j — and dual

@@ -19,6 +19,8 @@
 
 #include "binpack/binpack.hpp"             // IWYU pragma: export
 #include "binpack/precedence_binpack.hpp"  // IWYU pragma: export
+#include "bnp/conflicts/nogood.hpp"        // IWYU pragma: export
+#include "bnp/conflicts/propagate.hpp"     // IWYU pragma: export
 #include "bnp/node_tree.hpp"               // IWYU pragma: export
 #include "bnp/pricing_cache.hpp"           // IWYU pragma: export
 #include "bnp/solver.hpp"                  // IWYU pragma: export

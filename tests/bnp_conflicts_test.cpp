@@ -1,0 +1,381 @@
+// PR 9 conflict-learning lockdown (bnp/conflicts): the nogood store's
+// set algebra (dedup, two-way subsumption, deterministic eviction), the
+// propagation closure rule by rule, explanation minimality (the Farkas
+// projection drops active-but-uninvolved branch rows, so the learned
+// conflict is strictly more general than the node path that exposed it),
+// and end-to-end exactness: certified optima are bit-equal with the
+// subsystem on and off, and disabling it zeroes every diagnostic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bnp/conflicts/nogood.hpp"
+#include "bnp/conflicts/propagate.hpp"
+#include "bnp/solver.hpp"
+#include "core/validate.hpp"
+#include "gen/hard_integral.hpp"
+#include "gen/release_gen.hpp"
+#include "release/config_lp.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace stripack::bnp::conflicts {
+namespace {
+
+using release::BranchPredicate;
+using Kind = BranchPredicate::Kind;
+
+BranchLiteral pair_ge(std::size_t a, std::size_t b, double rhs,
+                      int phase = -1) {
+  BranchPredicate pred;
+  pred.kind = Kind::PairTogether;
+  pred.phase = phase;
+  pred.width_a = a;
+  pred.width_b = b;
+  return {pred, lp::Sense::GE, rhs};
+}
+
+BranchLiteral pair_le(std::size_t a, std::size_t b, double rhs,
+                      int phase = -1) {
+  BranchLiteral l = pair_ge(a, b, rhs, phase);
+  l.sense = lp::Sense::LE;
+  return l;
+}
+
+BranchLiteral pattern_ge(std::vector<int> counts, double rhs, int phase) {
+  BranchPredicate pred;
+  pred.kind = Kind::Pattern;
+  pred.phase = phase;
+  pred.counts = std::move(counts);
+  return {pred, lp::Sense::GE, rhs};
+}
+
+BranchLiteral phase_le(int phase, double rhs) {
+  BranchPredicate pred;
+  pred.kind = Kind::PhaseTotal;
+  pred.phase = phase;
+  return {pred, lp::Sense::LE, rhs};
+}
+
+// ------------------------------------------------------- nogood store
+
+TEST(NogoodStore, RejectsEmptyAndDeduplicates) {
+  NogoodStore store;
+  // An empty conjunction would claim the root infeasible.
+  EXPECT_FALSE(store.learn({}));
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(store.learn({pair_ge(0, 1, 1.0)}));
+  // An exact duplicate is subsumed (dominance is reflexive).
+  EXPECT_FALSE(store.learn({pair_ge(0, 1, 1.0)}));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.learned(), 1u);
+  EXPECT_EQ(store.rejected_subsumed(), 1u);
+}
+
+TEST(NogoodStore, CanonicalizeCollapsesRebranchedKeysToTightestRhs) {
+  // Re-branching a predicate deeper down activates the same row at a
+  // tighter rhs; the literal set must collapse to the child-most value.
+  std::vector<BranchLiteral> lits = {pair_le(0, 1, 3.0), pair_ge(2, 3, 1.0),
+                                     pair_le(0, 1, 1.0)};
+  NogoodStore::canonicalize(lits);
+  ASSERT_EQ(lits.size(), 2u);
+  for (const BranchLiteral& l : lits) {
+    if (l.sense == lp::Sense::LE) {
+      EXPECT_EQ(l.rhs, 1.0);  // tightest LE wins
+    }
+  }
+}
+
+TEST(NogoodStore, SubsumptionAbsorbsInBothDirections) {
+  {
+    // Stored general nogood rejects a more specific newcomer: if
+    // {together(0,1)} is infeasible, so is any superset.
+    NogoodStore store;
+    EXPECT_TRUE(store.learn({pair_ge(0, 1, 1.0)}));
+    EXPECT_FALSE(store.learn({pair_ge(0, 1, 1.0), pair_le(2, 3, 0.0)}));
+    EXPECT_EQ(store.size(), 1u);
+  }
+  {
+    // A more general newcomer erases the stored specific one.
+    NogoodStore store;
+    EXPECT_TRUE(store.learn({pair_ge(0, 1, 1.0), pair_le(2, 3, 0.0)}));
+    EXPECT_TRUE(store.learn({pair_ge(0, 1, 1.0)}));
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.erased_subsumed(), 1u);
+    ASSERT_EQ(store.nogoods().front().literals.size(), 1u);
+  }
+}
+
+TEST(NogoodStore, RhsDominanceOrdersMatches) {
+  NogoodStore store;
+  // "Total of pair (0,1) >= 2 is infeasible."
+  EXPECT_TRUE(store.learn({pair_ge(0, 1, 2.0)}));
+  // A node demanding >= 3 is tighter: refuted. >= 1 is looser: not.
+  EXPECT_TRUE(store.matches(std::vector<BranchLiteral>{pair_ge(0, 1, 3.0)}));
+  EXPECT_FALSE(store.matches(std::vector<BranchLiteral>{pair_ge(0, 1, 1.0)}));
+  // The sense matters: an LE literal on the same predicate never
+  // dominates a GE explanation.
+  EXPECT_FALSE(store.matches(std::vector<BranchLiteral>{pair_le(0, 1, 2.0)}));
+}
+
+TEST(NogoodStore, EvictionIsMostLiteralsFirstThenOldest) {
+  NogoodStore store(2);
+  EXPECT_TRUE(store.learn({pair_ge(0, 1, 1.0), pair_ge(2, 3, 1.0)}));  // id 0
+  EXPECT_TRUE(store.learn({pair_ge(4, 5, 1.0)}));                      // id 1
+  // Insertion over capacity evicts the most-specific stored nogood (two
+  // literals beats one), not the newcomer and not the oldest.
+  EXPECT_TRUE(store.learn({pair_ge(6, 7, 1.0)}));  // id 2
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.evicted(), 1u);
+  for (const Nogood& n : store.nogoods()) {
+    EXPECT_EQ(n.literals.size(), 1u);
+  }
+  // Equal literal counts: the smallest insertion id goes first.
+  EXPECT_TRUE(store.learn({pair_ge(8, 9, 1.0)}));  // evicts id 1
+  ASSERT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.nogoods()[0].id, 2u);
+  EXPECT_EQ(store.nogoods()[1].id, 3u);
+}
+
+// -------------------------------------------------------- propagation
+
+// Two widths that pair (0.6 + 0.4 <= 1) plus one over-wide partner, two
+// release phases of budget 5 each plus unbounded phase R.
+release::ConfigLpProblem propagation_problem() {
+  release::ConfigLpProblem p;
+  p.widths = {0.7, 0.6, 0.4};
+  p.releases = {0.0, 5.0, 10.0};
+  p.demand = {{4.0, 4.0, 4.0}, {0.0, 2.0, 2.0}, {0.0, 0.0, 1.0}};
+  p.strip_width = 1.0;
+  return p;
+}
+
+TEST(Propagator, IntervalRuleCatchesTogetherApart) {
+  const auto p = propagation_problem();
+  const Propagator prop(p);
+  // together >= 1 and apart (<= 0) on the same predicate.
+  std::vector<BranchLiteral> lits = {pair_ge(1, 2, 1.0), pair_le(1, 2, 0.0)};
+  NogoodStore::canonicalize(lits);
+  const auto verdict = prop.propagate(lits);
+  ASSERT_TRUE(verdict.infeasible);
+  EXPECT_STREQ(verdict.rule, "interval");
+  // A satisfiable interval [1, 2] passes.
+  std::vector<BranchLiteral> ok = {pair_ge(1, 2, 1.0), pair_le(1, 2, 2.0)};
+  NogoodStore::canonicalize(ok);
+  EXPECT_FALSE(prop.propagate(ok).infeasible);
+}
+
+TEST(Propagator, PairWidthRuleCatchesOverWideDemand) {
+  const auto p = propagation_problem();
+  const Propagator prop(p);
+  // widths 0.7 + 0.6 = 1.3 > 1: no configuration holds the pair, so a
+  // GE demand on it is structurally unsatisfiable.
+  std::vector<BranchLiteral> lits = {pair_ge(0, 1, 1.0)};
+  const auto verdict = prop.propagate(lits);
+  ASSERT_TRUE(verdict.infeasible);
+  EXPECT_STREQ(verdict.rule, "pair-width");
+  // The same pair *forbidden* is fine (LE 0 on an empty set holds).
+  EXPECT_FALSE(prop.propagate(std::vector<BranchLiteral>{pair_le(0, 1, 0.0)})
+                   .infeasible);
+  // A pair that fits passes.
+  EXPECT_FALSE(prop.propagate(std::vector<BranchLiteral>{pair_ge(1, 2, 1.0)})
+                   .infeasible);
+}
+
+TEST(Propagator, PairPatternRuleForwardsPatternDemand) {
+  const auto p = propagation_problem();
+  const Propagator prop(p);
+  // Pattern {0,1,1} (one 0.6 plus one 0.4) demanded at height 1 in
+  // phase 0, while the (0.6, 0.4) pair is capped at 0 everywhere.
+  std::vector<BranchLiteral> lits = {pattern_ge({0, 1, 1}, 1.0, 0),
+                                     pair_le(1, 2, 0.0)};
+  NogoodStore::canonicalize(lits);
+  const auto verdict = prop.propagate(lits);
+  ASSERT_TRUE(verdict.infeasible);
+  EXPECT_STREQ(verdict.rule, "pair-pattern");
+  // Phase mismatch on a concrete pair phase: no forwarding.
+  std::vector<BranchLiteral> other = {pattern_ge({0, 1, 1}, 1.0, 0),
+                                      pair_le(1, 2, 0.0, /*phase=*/1)};
+  NogoodStore::canonicalize(other);
+  EXPECT_FALSE(prop.propagate(other).infeasible);
+}
+
+TEST(Propagator, PhaseCapacityRuleSumsDisjointDemands) {
+  const auto p = propagation_problem();
+  const Propagator prop(p);
+  // Phase 0 holds at most releases[1] - releases[0] = 5 height units.
+  // Two distinct exact patterns demand 3 + 3 = 6 there: conflict.
+  std::vector<BranchLiteral> lits = {pattern_ge({0, 0, 2}, 3.0, 0),
+                                     pattern_ge({0, 1, 1}, 3.0, 0)};
+  NogoodStore::canonicalize(lits);
+  const auto verdict = prop.propagate(lits);
+  ASSERT_TRUE(verdict.infeasible);
+  EXPECT_STREQ(verdict.rule, "phase-capacity");
+  // 3 + 1 = 4 fits.
+  std::vector<BranchLiteral> ok = {pattern_ge({0, 0, 2}, 3.0, 0),
+                                   pattern_ge({0, 1, 1}, 1.0, 0)};
+  NogoodStore::canonicalize(ok);
+  EXPECT_FALSE(prop.propagate(ok).infeasible);
+  // A PhaseTotal LE literal tightens the budget: 3 + 1 > 3.5.
+  std::vector<BranchLiteral> tight = {pattern_ge({0, 0, 2}, 3.0, 0),
+                                      pattern_ge({0, 1, 1}, 1.0, 0),
+                                      phase_le(0, 3.5)};
+  NogoodStore::canonicalize(tight);
+  ASSERT_TRUE(prop.propagate(tight).infeasible);
+  // Phase R is unbounded: the same demands in the last phase pass.
+  std::vector<BranchLiteral> last = {pattern_ge({0, 0, 2}, 9.0, 2),
+                                     pattern_ge({0, 1, 1}, 9.0, 2)};
+  NogoodStore::canonicalize(last);
+  EXPECT_FALSE(prop.propagate(last).infeasible);
+}
+
+// ------------------------------------------- explanation minimality
+
+TEST(ConflictExplanation, ActiveButUninvolvedRowsAreDropped) {
+  // The red-test: a node path whose full literal set is NOT the minimal
+  // conflict. The infeasibility is driven entirely by the height cap;
+  // the active pair branch row is satisfied by the optimal basis with
+  // slack, so a minimality-respecting projection must exclude it.
+  Rng rng(62);
+  gen::ReleaseWorkloadParams params;
+  params.n = 30;
+  params.K = 3;
+  const Instance ins = gen::poisson_release_workload(params, rng);
+  const auto problem = release::make_problem(ins);
+  ASSERT_GE(problem.num_widths(), 2u);
+  for (const bool colgen : {false, true}) {
+    release::ConfigLpOptions options;
+    options.use_column_generation = colgen;
+    release::ConfigLpSolver solver(problem, options);
+    const auto base = solver.solve();
+    ASSERT_TRUE(base.feasible);
+    // An irrelevant-but-active branch row: "pair (0, 1) total >= 0" is
+    // satisfied by every solution, so no valid certificate needs it.
+    release::BranchPredicate pred;
+    pred.kind = Kind::PairTogether;
+    pred.width_a = 0;
+    pred.width_b = 1;
+    const int row = solver.add_branch_row(pred, lp::Sense::GE, 0.0);
+    const auto pruned = solver.resolve_with_height_cap(base.objective * 0.5);
+    ASSERT_EQ(pruned.status, lp::SolveStatus::Infeasible)
+        << "colgen=" << colgen;
+    for (const auto& [r, mult] : pruned.farkas_branch_rows) {
+      EXPECT_NE(r, row) << "colgen=" << colgen
+                        << ": zero-multiplier row in the explanation";
+    }
+  }
+}
+
+// --------------------------------------------------- end-to-end bnp
+
+Instance seeded_instance(std::uint64_t seed, std::size_t n, int w_lo,
+                         int w_hi, int h_max, int r_max) {
+  Rng rng(seed);
+  std::vector<Item> items;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = static_cast<double>(rng.uniform_int(w_lo, w_hi)) / 100.0;
+    const double h = static_cast<double>(rng.uniform_int(1, h_max));
+    const double r =
+        r_max > 0 ? static_cast<double>(rng.uniform_int(0, r_max)) : 0.0;
+    items.push_back(Item{Rect{w, h}, r});
+  }
+  return Instance(std::move(items), 1.0);
+}
+
+std::vector<Instance> exactness_sweep() {
+  std::vector<Instance> out;
+  out.push_back(seeded_instance(3, 20, 27, 39, 1, 0));
+  out.push_back(seeded_instance(11, 20, 27, 39, 2, 2));
+  out.push_back(seeded_instance(23, 18, 21, 55, 1, 2));
+  out.push_back(gen::hard_integral_family(2).instance);
+  out.push_back(gen::hard_integral_family(2, 3, 4.0).instance);
+  out.push_back(gen::hard_integral_family(3, 2, 4.0).instance);
+  return out;
+}
+
+TEST(BnpConflicts, CertifiedOptimaAreBitEqualOnAndOff) {
+  // Conflict learning may reshape the explored tree (the cutoff cap
+  // perturbs degenerate vertex selection even when it never binds), but
+  // every certified quantity must be *exactly* preserved.
+  for (const bool rounding : {true, false}) {
+    std::size_t index = 0;
+    for (const Instance& ins : exactness_sweep()) {
+      BnpOptions with;
+      with.rounding_incumbent = rounding;
+      with.use_conflicts = true;
+      BnpOptions without = with;
+      without.use_conflicts = false;
+      const BnpResult a = solve(ins, with);
+      const BnpResult b = solve(ins, without);
+      const std::string label =
+          "instance " + std::to_string(index) + " rounding " +
+          std::to_string(rounding);
+      ASSERT_EQ(a.status, BnpStatus::Optimal) << label;
+      ASSERT_EQ(b.status, BnpStatus::Optimal) << label;
+      EXPECT_EQ(a.height, b.height) << label;
+      EXPECT_EQ(a.dual_bound, b.dual_bound) << label;
+      EXPECT_TRUE(testing::placement_valid(ins, a.packing.placement))
+          << label;
+      ++index;
+    }
+  }
+}
+
+TEST(BnpConflicts, DisabledMeansEveryDiagnosticIsZero) {
+  for (const Instance& ins : exactness_sweep()) {
+    BnpOptions options;
+    options.use_conflicts = false;
+    const BnpResult r = solve(ins, options);
+    EXPECT_EQ(r.nogoods_learned, 0u);
+    EXPECT_EQ(r.nogood_prunes, 0u);
+    EXPECT_EQ(r.propagation_prunes, 0u);
+    EXPECT_EQ(r.nogoods_subsumed, 0u);
+    EXPECT_EQ(r.nogoods_evicted, 0u);
+    EXPECT_EQ(r.nogood_store_size, 0u);
+  }
+}
+
+TEST(BnpConflicts, CutoffCapLearnsOnGapFamilies) {
+  // On a hard_integral release-wave family the root's strong-branching
+  // probes run against the rounding incumbent's cap and certify their
+  // prunes, so the subsystem demonstrably learns (the store ends
+  // non-empty) while the certified optimum matches the certificate.
+  const auto fam = gen::hard_integral_family(3, 2, 4.0);
+  BnpOptions options;
+  const BnpResult r = solve(fam.instance, options);
+  ASSERT_EQ(r.status, BnpStatus::Optimal);
+  EXPECT_EQ(r.height, fam.certificate.ip_height);
+  EXPECT_GE(r.nogoods_learned, 1u);
+  EXPECT_EQ(r.nogood_store_size, r.nogoods_learned);
+  // The uncapped variant must stay exact too.
+  BnpOptions uncapped;
+  uncapped.conflict_cutoff_cap = false;
+  const BnpResult u = solve(fam.instance, uncapped);
+  ASSERT_EQ(u.status, BnpStatus::Optimal);
+  EXPECT_EQ(u.height, fam.certificate.ip_height);
+}
+
+TEST(BnpConflicts, JitteredFamilyKeepsTheCertificate) {
+  // The jittered generator draws per-item widths from (1/3, 1/2] but the
+  // certificate is the uniform family's: any two items pair, three never
+  // fit, so lp = rho_R + (2k+1)/2 and ip = rho_R + k + 1 regardless of
+  // the draws. Both conflict arms must certify exactly that optimum.
+  for (const std::uint64_t seed : {1, 2, 3}) {
+    const auto fam = gen::hard_integral_jittered(2, 2, 3.0, seed);
+    EXPECT_DOUBLE_EQ(fam.certificate.lp_height, 3.0 + 2.5);
+    EXPECT_DOUBLE_EQ(fam.certificate.ip_height, 3.0 + 3.0);
+    for (const bool conflicts : {true, false}) {
+      BnpOptions options;
+      options.use_conflicts = conflicts;
+      const BnpResult r = solve(fam.instance, options);
+      ASSERT_EQ(r.status, BnpStatus::Optimal)
+          << "seed=" << seed << " conflicts=" << conflicts;
+      EXPECT_EQ(r.height, fam.certificate.ip_height) << "seed=" << seed;
+      EXPECT_EQ(r.dual_bound, fam.certificate.ip_height) << "seed=" << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stripack::bnp::conflicts

@@ -66,6 +66,13 @@ void expect_bit_identical(const BnpResult& a, const BnpResult& b,
   EXPECT_EQ(a.batches, b.batches) << label;
   EXPECT_EQ(a.branch_rows, b.branch_rows) << label;
   EXPECT_EQ(a.cutoff_pruned_nodes, b.cutoff_pruned_nodes) << label;
+  // Conflict-learning state is part of the determinism contract: the
+  // store is only touched in the serial merge order, so learned nogoods
+  // and both prune kinds must replay exactly across thread counts.
+  EXPECT_EQ(a.nogoods_learned, b.nogoods_learned) << label;
+  EXPECT_EQ(a.nogood_prunes, b.nogood_prunes) << label;
+  EXPECT_EQ(a.propagation_prunes, b.propagation_prunes) << label;
+  EXPECT_EQ(a.nogood_store_size, b.nogood_store_size) << label;
   ASSERT_EQ(a.slices.size(), b.slices.size()) << label;
   for (std::size_t i = 0; i < a.slices.size(); ++i) {
     EXPECT_EQ(a.slices[i].phase, b.slices[i].phase) << label;
@@ -91,6 +98,10 @@ TEST(BnpParallel, ThreadCountsAreBitIdenticalAtFixedBatch) {
       serial.rounding_incumbent = rounding;
       serial.threads = 1;
       serial.node_batch = 8;
+      // Explicitly pin conflict learning ON (the default): the sweep
+      // must prove the nogood store + cutoff-cap path is bit-identical
+      // across thread counts, not just the plain search.
+      serial.use_conflicts = true;
       const BnpResult base = solve(ins, serial);
       total_nodes += base.nodes;
       for (const int threads : {2, 4}) {

@@ -136,6 +136,42 @@ TEST(Bnp, BranchingIsExercisedWithoutTheRoundingIncumbent) {
   EXPECT_EQ(result.warm_phase1_iterations, 0);
 }
 
+TEST(Bnp, PseudoCostStallGateKeepsCertifiedOptima) {
+  // The stall auto-gate (options.pseudo_cost_stall_gate) swaps the
+  // branching *selector* mid-search when the dual bound flatlines; the
+  // selector never affects soundness, so certified optima must agree
+  // between a gate tight enough to trip on any multi-node search, the
+  // default, and the gate disabled.
+  std::vector<Instance> instances;
+  instances.push_back(gen::hard_integral_family(2).instance);
+  instances.push_back(gen::hard_integral_family(2, 3, 4.0).instance);
+  {
+    Rng rng(7);
+    std::vector<Item> items;
+    for (std::size_t i = 0; i < 16; ++i) {
+      const double w =
+          static_cast<double>(rng.uniform_int(27, 39)) / 100.0;
+      items.push_back(Item{Rect{w, 1.0}, 0.0});
+    }
+    instances.push_back(Instance(std::move(items), 1.0));
+  }
+  for (const Instance& ins : instances) {
+    BnpOptions reference;
+    reference.rounding_incumbent = false;
+    reference.pseudo_cost_stall_gate = 0;  // gate off: pseudo costs stay on
+    const BnpResult base = solve(ins, reference);
+    ASSERT_EQ(base.status, BnpStatus::Optimal);
+    for (const int gate : {1, 32}) {
+      BnpOptions gated = reference;
+      gated.pseudo_cost_stall_gate = gate;
+      const BnpResult result = solve(ins, gated);
+      ASSERT_EQ(result.status, BnpStatus::Optimal) << "gate=" << gate;
+      EXPECT_EQ(result.height, base.height) << "gate=" << gate;
+      EXPECT_EQ(result.dual_bound, base.dual_bound) << "gate=" << gate;
+    }
+  }
+}
+
 TEST(Bnp, ColdNodeSolvesMatchTheWarmPath) {
   const auto family = gen::hard_integral_family(3);
   BnpOptions warm;
