@@ -1,0 +1,168 @@
+// PR 10 — network front-end overhead and shedding (google-benchmark).
+//
+// Three arms isolate what the TCP seam costs and what saying no costs:
+//
+//  - `BM_NetRoundTrip/cache:1` sends the *same* request repeatedly over
+//    one keep-alive loopback connection: after the first hit the solver
+//    answers from the per-class result cache, so the measured time is
+//    almost pure transport — framing, epoll dispatch, the solver-thread
+//    handoff and the response write. Compare against
+//    `BM_StreamRoundTrip/cache:1` (the identical request stream through
+//    `serve_stream` on in-memory streams — PR 8's stdin path) and the
+//    delta is the socket tax per request.
+//  - `cache:0` varies the demand each request (a genuine warm re-solve
+//    per round trip), showing the tax as a fraction of real service.
+//  - `BM_NetShedding` saturates a `shed_backlog = 0` server: every
+//    request takes the structured-overload fast path, measuring how
+//    cheaply the server degrades at saturation — shedding must cost
+//    much less than serving, or overload control is itself an overload.
+//
+// Capture machines here are single-core containers: absolute round-trip
+// times include scheduler handoffs between the client, epoll and solver
+// threads that vanish on real multi-core hosts, so read the *ratios*
+// (net vs stream, shed vs served), not the absolute microseconds — the
+// same caveat as the PR 5/8 baselines (BENCH_pr10_net.json).
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "io/instance_io.hpp"
+#include "service/net/client.hpp"
+#include "service/net/server.hpp"
+#include "service/solver_service.hpp"
+
+namespace {
+
+using namespace stripack;
+
+Instance make(const std::vector<std::array<double, 3>>& rows,
+              double strip) {
+  std::vector<Item> items;
+  items.reserve(rows.size());
+  for (const std::array<double, 3>& r : rows) {
+    items.push_back(Item{Rect{r[0], r[1]}, r[2]});
+  }
+  return Instance(std::move(items), strip);
+}
+
+/// cached == true: one fixed request (every hit after the first is a
+/// cache hit — pure transport). cached == false: demand varies per
+/// request index inside one class (every hit is a warm re-solve).
+std::string request_text(bool cached, std::size_t i) {
+  const double a = cached ? 2.0 : static_cast<double>(1 + i % 3);
+  const double b = cached ? 3.0 : static_cast<double>(2 + i % 4);
+  std::ostringstream os;
+  io::write_instance(
+      os, make({{4, a, 0}, {6, b, 0}, {4, b, 0}, {6, a, 0}}, 10));
+  return os.str();
+}
+
+class ServerHarness {
+ public:
+  explicit ServerHarness(service::net::ServerOptions options)
+      : server_(std::move(options)) {
+    port_ = server_.start();
+    loop_ = std::thread([this] { (void)server_.run(); });
+  }
+  ~ServerHarness() {
+    server_.request_drain();
+    loop_.join();
+  }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  service::net::StripackServer server_;
+  std::thread loop_;
+  std::uint16_t port_ = 0;
+};
+
+void BM_NetRoundTrip(benchmark::State& state) {
+  const bool cached = state.range(0) != 0;
+  service::net::ServerOptions options;
+  ServerHarness harness(options);
+  service::net::ClientOptions copts;
+  copts.port = harness.port();
+  service::net::FrameClient client(copts);
+  // Warm the class (and, for the cached arm, the cache) off the clock.
+  (void)client.request(request_text(cached, 0));
+  std::size_t i = 1;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string body = request_text(cached, i++);
+    const service::net::ClientResult r = client.request(body);
+    if (!r.ok) {
+      state.SkipWithError(r.error.c_str());
+      break;
+    }
+    bytes += body.size() + r.body.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_NetRoundTrip)
+    ->ArgName("cache")
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_StreamRoundTrip(benchmark::State& state) {
+  const bool cached = state.range(0) != 0;
+  // The PR 8 path: same service configuration, no socket — each
+  // iteration pushes one document through in-memory streams.
+  service::SolverService service;
+  {
+    std::istringstream is(request_text(cached, 0));
+    std::ostringstream os;
+    (void)service.serve_stream(is, os);
+  }
+  std::size_t i = 1;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::istringstream is(request_text(cached, i++));
+    std::ostringstream os;
+    if (service.serve_stream(is, os) != 1) {
+      state.SkipWithError("serve_stream dropped the request");
+      break;
+    }
+    bytes += is.str().size() + os.str().size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_StreamRoundTrip)
+    ->ArgName("cache")
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_NetShedding(benchmark::State& state) {
+  service::net::ServerOptions options;
+  options.shed_backlog = 0;  // saturation: every request sheds
+  ServerHarness harness(options);
+  service::net::ClientOptions copts;
+  copts.port = harness.port();
+  service::net::FrameClient client(copts);
+  const std::string body = request_text(true, 0);
+  for (auto _ : state) {
+    const service::net::ClientResult r = client.request(body);
+    if (!r.ok) {
+      state.SkipWithError(r.error.c_str());
+      break;
+    }
+    if (r.body.find("error overloaded") == std::string::npos) {
+      state.SkipWithError("expected an overload shed");
+      break;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NetShedding)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

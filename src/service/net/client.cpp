@@ -1,0 +1,207 @@
+#include "service/net/client.hpp"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace stripack::service::net {
+
+namespace {
+
+void sleep_seconds(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+/// Abortive close: SO_LINGER(0) makes close() send RST instead of FIN,
+/// which the server's epoll sees as EPOLLERR/EPOLLHUP.
+void abortive_close(util::Fd& fd) {
+  if (!fd) return;
+  linger lg{};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  fd.reset();
+}
+
+[[nodiscard]] bool is_overload_response(const std::string& body) {
+  return body.find("\nerror overloaded") != std::string::npos;
+}
+
+}  // namespace
+
+FrameClient::FrameClient(ClientOptions options)
+    : options_(std::move(options)),
+      rng_(options_.jitter_seed ^ 0x5eedf00dULL) {}
+FrameClient::~FrameClient() = default;
+FrameClient::FrameClient(FrameClient&&) noexcept = default;
+FrameClient& FrameClient::operator=(FrameClient&&) noexcept = default;
+
+void FrameClient::close() { fd_.reset(); }
+
+bool FrameClient::ensure_connected(std::string& error) {
+  if (fd_) return true;
+  try {
+    fd_ = util::connect_tcp(options_.host, options_.port,
+                            options_.connect_timeout_seconds);
+  } catch (const std::exception& e) {
+    error = e.what();
+    return false;
+  }
+  if (options_.faults != nullptr) {
+    switch (options_.faults->poll(ConnFaultSite::Connect)) {
+      case ConnFaultAction::None:
+      case ConnFaultAction::ShortWrite:
+      case ConnFaultAction::Trickle:
+      case ConnFaultAction::Oversize:
+        break;  // connect-site variants of these degenerate to no-ops
+      case ConnFaultAction::Disconnect:
+        fd_.reset();
+        error = "fault: disconnect after connect";
+        return false;
+      case ConnFaultAction::AbortiveClose:
+        abortive_close(fd_);
+        error = "fault: abortive close after connect";
+        return false;
+    }
+  }
+  return true;
+}
+
+bool FrameClient::send_frame(const std::string& body, std::string& error) {
+  std::string frame = util::encode_frame(body);
+  ConnFaultAction action = ConnFaultAction::None;
+  if (options_.faults != nullptr) {
+    action = options_.faults->poll(ConnFaultSite::Send);
+  }
+
+  if (action == ConnFaultAction::Oversize) {
+    // Declare a body far beyond any sane --max-request-bytes; the real
+    // body follows so the server must reject on the declaration alone.
+    std::array<char, util::kFrameHeaderBytes> header{};
+    util::encode_frame_header(0xffffffffu, header);
+    std::copy(header.begin(), header.end(), frame.begin());
+  }
+
+  if (action == ConnFaultAction::ShortWrite ||
+      action == ConnFaultAction::Trickle) {
+    // Dribble the frame one byte at a time, exercising every partial-
+    // read resume in the server; Trickle adds pauses so a short server
+    // read deadline expires mid-frame (slowloris).
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      if (action == ConnFaultAction::Trickle && i > 0) {
+        sleep_seconds(options_.trickle_delay_seconds);
+      }
+      if (!util::write_all(fd_.get(), frame.data() + i, 1,
+                           options_.io_timeout_seconds)) {
+        fd_.reset();
+        error = "send failed mid-dribble (peer closed or deadline)";
+        return false;
+      }
+    }
+    return true;
+  }
+
+  if (action == ConnFaultAction::Disconnect ||
+      action == ConnFaultAction::AbortiveClose) {
+    // Half the frame, then vanish: the server must see a mid-frame EOF
+    // (or RST) and tear the connection down without poisoning anything.
+    const std::size_t half = std::max<std::size_t>(1, frame.size() / 2);
+    (void)util::write_all(fd_.get(), frame.data(), half,
+                          options_.io_timeout_seconds);
+    if (action == ConnFaultAction::AbortiveClose) {
+      abortive_close(fd_);
+      error = "fault: abortive close mid-frame";
+    } else {
+      fd_.reset();
+      error = "fault: disconnect mid-frame";
+    }
+    return false;
+  }
+
+  if (!util::write_all(fd_.get(), frame.data(), frame.size(),
+                       options_.io_timeout_seconds)) {
+    fd_.reset();
+    error = "send failed (peer closed or deadline)";
+    return false;
+  }
+  return true;
+}
+
+bool FrameClient::recv_frame(std::string& body, std::string& error) {
+  if (options_.faults != nullptr) {
+    switch (options_.faults->poll(ConnFaultSite::Recv)) {
+      case ConnFaultAction::None:
+      case ConnFaultAction::ShortWrite:
+      case ConnFaultAction::Trickle:
+      case ConnFaultAction::Oversize:
+        break;  // receive-side reads are paced by the kernel anyway
+      case ConnFaultAction::Disconnect:
+        // Walk away before reading: the solve's result must be dropped
+        // on arrival server-side, never delivered, never fatal.
+        fd_.reset();
+        error = "fault: disconnect before response";
+        return false;
+      case ConnFaultAction::AbortiveClose:
+        abortive_close(fd_);
+        error = "fault: abortive close before response";
+        return false;
+    }
+  }
+  std::array<char, util::kFrameHeaderBytes> header{};
+  if (!util::read_exact(fd_.get(), header.data(), header.size(),
+                        options_.io_timeout_seconds)) {
+    fd_.reset();
+    error = "response header read failed (peer closed or deadline)";
+    return false;
+  }
+  std::uint32_t len = 0;
+  if (!util::decode_frame_header(header, len)) {
+    fd_.reset();
+    error = "response frame has bad magic";
+    return false;
+  }
+  body.resize(len);
+  if (len > 0 && !util::read_exact(fd_.get(), body.data(), len,
+                                   options_.io_timeout_seconds)) {
+    fd_.reset();
+    error = "response body read failed (peer closed or deadline)";
+    return false;
+  }
+  return true;
+}
+
+ClientResult FrameClient::request(const std::string& body) {
+  ClientResult result;
+  const int attempts = std::max(1, options_.max_attempts);
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    result.attempts = attempt;
+    if (attempt > 1) {
+      const double exp = options_.backoff_base_seconds *
+                         static_cast<double>(1ULL << (attempt - 2));
+      const double capped = std::min(exp, options_.backoff_max_seconds);
+      sleep_seconds(capped * rng_.uniform(0.5, 1.0));
+    }
+    std::string error;
+    if (!ensure_connected(error) || !send_frame(body, error) ||
+        !recv_frame(result.body, error)) {
+      result.error = error;
+      continue;
+    }
+    if (options_.retry_overload && is_overload_response(result.body) &&
+        attempt < attempts) {
+      result.error = "overloaded (retrying)";
+      continue;
+    }
+    result.ok = true;
+    result.error.clear();
+    return result;
+  }
+  return result;
+}
+
+}  // namespace stripack::service::net

@@ -1,0 +1,92 @@
+// Frame-protocol client helper for StripackServer.
+//
+// `FrameClient` speaks the util/net.hpp frame protocol over one blocking
+// TCP connection (sequential request/response, reconnecting lazily), and
+// `FrameClient::request` wraps the exchange in bounded exponential
+// backoff with deterministic jitter: transport failures (connect refused,
+// reset mid-exchange, I/O deadline) are retried up to `max_attempts`,
+// while any complete response frame — including structured `status error`
+// documents — is a *successful* exchange and returned as-is. The one
+// exception is `retry_overload`: a structured overload shed is the
+// server explicitly saying "try again later", so it can opt into the
+// same backoff loop.
+//
+// The client doubles as the fault-injection vehicle for the connection
+// robustness tests: an optional `util::ConnFaultInjector` is polled at
+// the connect / send / recv sites and the scheduled `ConnFaultAction`
+// (short writes, slowloris trickle, mid-frame disconnect, oversized
+// declaration, abortive SO_LINGER(0) close) is acted out against the
+// server. Faulted exchanges report transport errors like real ones; the
+// injector's exactly-once claims make a seeded plan produce the same
+// faults regardless of which thread's request hits them first.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/fault_injection.hpp"
+#include "util/net.hpp"
+#include "util/rng.hpp"
+
+namespace stripack::service::net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  double connect_timeout_seconds = 5.0;
+  /// Whole-transfer budget for each frame sent or received.
+  double io_timeout_seconds = 10.0;
+  /// Total tries per `request` (first attempt + retries).
+  int max_attempts = 3;
+  /// Backoff before retry k (1-based) is
+  /// `min(base * 2^(k-1), max) * U[0.5, 1)` with deterministic jitter.
+  double backoff_base_seconds = 0.05;
+  double backoff_max_seconds = 1.0;
+  std::uint64_t jitter_seed = 0;
+  /// Treat a structured `error overloaded...` response as retryable.
+  bool retry_overload = false;
+  /// Pause between dribbled bytes when a Trickle fault is acted out.
+  double trickle_delay_seconds = 0.01;
+  /// Optional connection-chaos schedule (not owned; may be shared by
+  /// many clients — claims are exactly-once across all of them).
+  ConnFaultInjector* faults = nullptr;
+};
+
+struct ClientResult {
+  /// A complete, well-framed response arrived (its body may still be a
+  /// structured `status error` document — that is the server answering,
+  /// not the transport failing).
+  bool ok = false;
+  std::string body;
+  /// Transport-level failure description when !ok.
+  std::string error;
+  /// Attempts consumed (1 = first try succeeded).
+  int attempts = 0;
+};
+
+class FrameClient {
+ public:
+  explicit FrameClient(ClientOptions options);
+  ~FrameClient();
+  FrameClient(FrameClient&&) noexcept;
+  FrameClient& operator=(FrameClient&&) noexcept;
+
+  /// One request/response exchange with retry: sends `body` as a frame,
+  /// awaits the response frame. Never throws; transport failure after
+  /// all attempts yields `ok == false`.
+  [[nodiscard]] ClientResult request(const std::string& body);
+
+  /// Drops the current connection (the next request reconnects).
+  void close();
+
+ private:
+  [[nodiscard]] bool ensure_connected(std::string& error);
+  [[nodiscard]] bool send_frame(const std::string& body, std::string& error);
+  [[nodiscard]] bool recv_frame(std::string& body, std::string& error);
+
+  ClientOptions options_;
+  util::Fd fd_;
+  Rng rng_;
+};
+
+}  // namespace stripack::service::net

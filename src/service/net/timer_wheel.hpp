@@ -1,0 +1,149 @@
+// Monotonic hashed timing wheel for per-connection deadlines.
+//
+// The epoll loop arms one deadline per connection (what the deadline
+// *means* depends on the connection's state: finish reading the frame,
+// finish writing the response, or hear back from the solver). Deadlines
+// are coarse by design — enforcing "a few seconds, give or take a tick"
+// — so the wheel trades precision for O(1) arm/cancel/re-arm:
+//
+//   - `slots` buckets, each `tick` wide, indexed by deadline time modulo
+//     one rotation; arming drops the id into its bucket.
+//   - re-arm and cancel are lazy: the authoritative deadline lives in a
+//     side map, and a bucket entry whose recorded deadline no longer
+//     matches the map is discarded when its bucket comes up.
+//   - `expire(now)` walks only the buckets the cursor passed since the
+//     last call, so a quiet wheel costs nothing per loop iteration.
+//
+// Expired ids are returned in (deadline, id) order, making timeout
+// processing deterministic for simultaneous deadlines. The wheel is
+// single-threaded on purpose: it belongs to the epoll loop, which is the
+// only place connection deadlines exist.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace stripack::service::net {
+
+class TimerWheel {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit TimerWheel(Clock::duration tick = std::chrono::milliseconds(10),
+                      std::size_t slots = 256)
+      : tick_(tick), slots_(slots), buckets_(slots) {
+    STRIPACK_EXPECTS(tick > Clock::duration::zero());
+    STRIPACK_EXPECTS(slots >= 2);
+    origin_ = Clock::now();
+    cursor_ = 0;
+  }
+
+  /// Arms (or re-arms, overriding any previous deadline) timer `id`.
+  /// Deadlines already in the past land in the cursor's bucket, so the
+  /// next `expire` sees them immediately.
+  void arm(std::uint64_t id, Clock::time_point deadline) {
+    armed_[id] = deadline;
+    const std::uint64_t t =
+        std::max(ticks_since_origin(deadline), cursor_);
+    buckets_[static_cast<std::size_t>(t % slots_)].push_back(
+        Entry{id, deadline});
+  }
+
+  /// Disarms `id` (no-op when not armed). Lazy: the bucket entry is
+  /// dropped when its slot next comes around.
+  void cancel(std::uint64_t id) { armed_.erase(id); }
+
+  [[nodiscard]] bool is_armed(std::uint64_t id) const {
+    return armed_.count(id) != 0;
+  }
+
+  [[nodiscard]] std::size_t armed() const { return armed_.size(); }
+
+  /// Earliest armed deadline (for the epoll_wait timeout), scanning the
+  /// authoritative map — O(armed), fine for the connection counts a
+  /// single loop carries.
+  [[nodiscard]] std::optional<Clock::time_point> next_deadline() const {
+    std::optional<Clock::time_point> best;
+    for (const auto& [id, deadline] : armed_) {
+      if (!best || deadline < *best) best = deadline;
+    }
+    return best;
+  }
+
+  /// Collects every id whose deadline is <= now, in (deadline, id) order,
+  /// disarming them. Ids re-armed to a later deadline or cancelled since
+  /// their bucket entry was written are skipped (lazy deletion).
+  [[nodiscard]] std::vector<std::uint64_t> expire(Clock::time_point now) {
+    std::vector<Entry> due;
+    const std::uint64_t target = ticks_since_origin(now);
+    // Walk the cursor forward at most one full rotation: buckets repeat
+    // after `slots_`, so one lap visits every bucket that can hold an
+    // entry due by `now`.
+    const std::uint64_t steps = std::min<std::uint64_t>(
+        target >= cursor_ ? target - cursor_ : 0, slots_);
+    for (std::uint64_t s = 0; s <= steps; ++s) {
+      collect_due(buckets_[static_cast<std::size_t>((cursor_ + s) % slots_)],
+                  now, due);
+    }
+    cursor_ = std::max(cursor_, target);
+    std::sort(due.begin(), due.end(), [](const Entry& a, const Entry& b) {
+      return a.deadline != b.deadline ? a.deadline < b.deadline
+                                      : a.id < b.id;
+    });
+    std::vector<std::uint64_t> out;
+    out.reserve(due.size());
+    for (const Entry& e : due) out.push_back(e.id);
+    return out;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t id = 0;
+    Clock::time_point deadline;  // as recorded at arm() time
+  };
+
+  [[nodiscard]] std::uint64_t ticks_since_origin(
+      Clock::time_point t) const {
+    if (t <= origin_) return 0;
+    return static_cast<std::uint64_t>((t - origin_) / tick_);
+  }
+
+  [[nodiscard]] std::size_t slot_of(Clock::time_point t) const {
+    return static_cast<std::size_t>(ticks_since_origin(t) % slots_);
+  }
+
+  void collect_due(std::vector<Entry>& bucket, Clock::time_point now,
+                   std::vector<Entry>& due) {
+    std::size_t keep = 0;
+    for (Entry& e : bucket) {
+      const auto it = armed_.find(e.id);
+      if (it == armed_.end() || it->second != e.deadline) {
+        continue;  // cancelled or re-armed: this entry is stale
+      }
+      if (e.deadline <= now) {
+        // Disarm immediately so a duplicate bucket entry (re-armed to the
+        // same deadline) cannot expire the id twice.
+        due.push_back(e);
+        armed_.erase(it);
+      } else {
+        bucket[keep++] = e;  // future rotation: keep in place
+      }
+    }
+    bucket.resize(keep);
+  }
+
+  Clock::duration tick_;
+  std::size_t slots_;
+  Clock::time_point origin_;
+  std::uint64_t cursor_ = 0;  // ticks processed so far
+  std::vector<std::vector<Entry>> buckets_;
+  std::unordered_map<std::uint64_t, Clock::time_point> armed_;
+};
+
+}  // namespace stripack::service::net

@@ -12,6 +12,7 @@
 #include "io/instance_io.hpp"
 #include "release/config_lp.hpp"
 #include "service/canonical.hpp"
+#include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 
 namespace stripack::service {
@@ -61,6 +62,12 @@ namespace {
 
 }  // namespace
 
+struct SolverService::Pending {
+  std::size_t id = 0;
+  bool degraded = false;
+  CanonicalRequest request;
+};
+
 struct SolverService::ClassState {
   struct CacheEntry {
     std::size_t tick = 0;  // class-local tick of the solve that filled it
@@ -69,13 +76,10 @@ struct SolverService::ClassState {
     double dual_bound = 0.0;
     Placement placement;  // canonical space; mapped per request on a hit
   };
-  struct Pending {
-    std::size_t id = 0;
-    bool degraded = false;
-    CanonicalRequest request;
-  };
 
   std::string signature;
+  /// Admission queue: appended under Sync::mutex (enqueue is safe during
+  /// run()), snapshotted-and-cleared under the same lock by run().
   std::vector<Pending> pending;
   /// Requests this class has processed, ever — the clock staleness and
   /// eviction are measured against.
@@ -91,44 +95,60 @@ struct SolverService::ClassState {
 };
 
 SolverService::SolverService(ServiceOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)), sync_(std::make_unique<Sync>()) {}
 SolverService::~SolverService() = default;
 SolverService::SolverService(SolverService&&) noexcept = default;
 SolverService& SolverService::operator=(SolverService&&) noexcept = default;
 
-const ServiceStats& SolverService::stats() const { return stats_; }
+ServiceStats SolverService::stats() const {
+  const std::lock_guard<std::mutex> lock(sync_->mutex);
+  return stats_;
+}
 
-std::size_t SolverService::enqueue(const Instance& instance) {
-  const std::size_t id = next_id_++;
+std::size_t SolverService::enqueue(const Instance& instance,
+                                   bool force_degraded) {
+  // Canonicalization is pure; only the admission bookkeeping below needs
+  // the lock, so concurrent enqueuers don't serialize on the sort.
+  CanonicalRequest canonical;
+  std::string error;
+  bool ok = true;
   try {
-    CanonicalRequest canonical = canonicalize(instance);
-    const auto [slot, inserted] = class_by_signature_.try_emplace(
-        canonical.class_signature, classes_.size());
-    if (inserted) {
-      classes_.push_back(std::make_unique<ClassState>());
-      classes_.back()->signature = canonical.class_signature;
-    }
-    ClassState& cls = *classes_[slot->second];
-    ClassState::Pending pending;
-    pending.id = id;
-    // Admission control: the decision depends only on the in-class
-    // backlog this request joins — a pure function of the enqueue order,
-    // so it replays identically at any worker count.
-    pending.degraded = cls.pending.size() >= options_.backlog_threshold;
-    pending.request = std::move(canonical);
-    cls.pending.push_back(std::move(pending));
+    canonical = canonicalize(instance);
   } catch (const std::exception& e) {
+    ok = false;
+    error = one_line(e.what());
+  }
+  const std::lock_guard<std::mutex> lock(sync_->mutex);
+  const std::size_t id = next_id_++;
+  if (!ok) {
     ServiceResponse rejected;
     rejected.id = id;
-    rejected.error = one_line(e.what());
+    rejected.error = std::move(error);
     rejected_.push_back(std::move(rejected));
+    return id;
   }
+  const auto [slot, inserted] = class_by_signature_.try_emplace(
+      canonical.class_signature, classes_.size());
+  if (inserted) {
+    classes_.push_back(std::make_unique<ClassState>());
+    classes_.back()->signature = canonical.class_signature;
+  }
+  ClassState& cls = *classes_[slot->second];
+  Pending pending;
+  pending.id = id;
+  // Admission control: the decision depends only on the in-class backlog
+  // this request joins (or an explicit caller override) — a pure function
+  // of the enqueue order, so it replays identically at any worker count.
+  pending.degraded =
+      force_degraded || cls.pending.size() >= options_.backlog_threshold;
+  pending.request = std::move(canonical);
+  cls.pending.push_back(std::move(pending));
   return id;
 }
 
-void SolverService::process_class(ClassState& cls,
+void SolverService::process_class(ClassState& cls, std::vector<Pending>& batch,
                                   std::vector<ServiceResponse>& out) const {
-  for (ClassState::Pending& p : cls.pending) {
+  for (Pending& p : batch) {
     ServiceResponse r;
     r.id = p.id;
     r.degraded = p.degraded;
@@ -207,13 +227,40 @@ void SolverService::process_class(ClassState& cls,
     }
     out.push_back(std::move(r));
   }
-  cls.pending.clear();
 }
 
 std::vector<ServiceResponse> SolverService::run() {
+  // Documented rejection (not a lock): a second run() would race the
+  // first for the warm masters, and blocking it behind a mutex would
+  // silently reorder batches. Misuse must be loud.
+  bool expected = false;
+  if (!sync_->running.compare_exchange_strong(expected, true)) {
+    throw ContractViolation(
+        "SolverService::run() is not reentrant: a batch is already in "
+        "flight (enqueue is the only concurrency-safe entry point)");
+  }
+  struct RunningGuard {
+    std::atomic<bool>& flag;
+    ~RunningGuard() { flag.store(false); }
+  } guard{sync_->running};
+
+  // Snapshot the admission queues under the lock: everything queued
+  // before this point is the batch; enqueues racing past it land in the
+  // class queues untouched and wait for the next run().
+  std::vector<ServiceResponse> out;
   std::vector<ClassState*> active;
-  for (const std::unique_ptr<ClassState>& cls : classes_) {
-    if (!cls->pending.empty()) active.push_back(cls.get());
+  std::vector<std::vector<Pending>> batches;
+  {
+    const std::lock_guard<std::mutex> lock(sync_->mutex);
+    out = std::move(rejected_);
+    rejected_.clear();
+    for (const std::unique_ptr<ClassState>& cls : classes_) {
+      if (!cls->pending.empty()) {
+        active.push_back(cls.get());
+        batches.push_back(std::move(cls->pending));
+        cls->pending.clear();
+      }
+    }
   }
 
   // One chunk per class: classes share nothing (separate masters, caches,
@@ -221,7 +268,7 @@ std::vector<ServiceResponse> SolverService::run() {
   // class — the responses are bitwise identical at any worker count.
   std::vector<std::vector<ServiceResponse>> per_class(active.size());
   const auto work = [&](std::size_t k) {
-    process_class(*active[k], per_class[k]);
+    process_class(*active[k], batches[k], per_class[k]);
   };
   if (options_.workers <= 1 || active.size() <= 1) {
     for (std::size_t k = 0; k < active.size(); ++k) work(k);
@@ -230,8 +277,6 @@ std::vector<ServiceResponse> SolverService::run() {
     pool.run(active.size(), work, active.size());
   }
 
-  std::vector<ServiceResponse> out = std::move(rejected_);
-  rejected_.clear();
   for (std::vector<ServiceResponse>& chunk : per_class) {
     for (ServiceResponse& r : chunk) out.push_back(std::move(r));
   }
@@ -240,13 +285,16 @@ std::vector<ServiceResponse> SolverService::run() {
               return a.id < b.id;
             });
 
-  stats_.classes = classes_.size();
-  for (const ServiceResponse& r : out) {
-    ++stats_.requests;
-    if (!r.ok) ++stats_.errors;
-    if (r.cache_hit) ++stats_.cache_hits;
-    if (r.degraded) ++stats_.degraded;
-    if (r.warm_root) ++stats_.warm_roots;
+  {
+    const std::lock_guard<std::mutex> lock(sync_->mutex);
+    stats_.classes = classes_.size();
+    for (const ServiceResponse& r : out) {
+      ++stats_.requests;
+      if (!r.ok) ++stats_.errors;
+      if (r.cache_hit) ++stats_.cache_hits;
+      if (r.degraded) ++stats_.degraded;
+      if (r.warm_root) ++stats_.warm_roots;
+    }
   }
   return out;
 }
@@ -260,16 +308,25 @@ std::size_t SolverService::serve_stream(std::istream& is, std::ostream& os) {
       // The v1 format has no resync point: report this request as broken
       // and stop ingesting rather than mis-parse the remainder.
       ServiceResponse rejected;
-      rejected.id = next_id_++;
       rejected.error = one_line(e.what());
+      const std::lock_guard<std::mutex> lock(sync_->mutex);
+      rejected.id = next_id_++;
       rejected_.push_back(std::move(rejected));
       break;
     }
   }
   const std::vector<ServiceResponse> responses = run();
-  for (const ServiceResponse& r : responses) write_response(os, r);
-  os.flush();
-  return responses.size();
+  // A sink that dies mid-stream (reader closed the pipe, disk full) puts
+  // `os` into a failed state; every further insertion would be a silent
+  // no-op. Flush per response so failure is observed at the response
+  // boundary, stop writing, and report only what actually went out.
+  std::size_t written = 0;
+  for (const ServiceResponse& r : responses) {
+    write_response(os, r);
+    if (!os.flush()) break;
+    ++written;
+  }
+  return written;
 }
 
 void SolverService::write_response(std::ostream& os,

@@ -34,10 +34,12 @@
 // that bitwise replay for bounded latency: deadlines are wall-clock.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -119,12 +121,21 @@ class SolverService {
   /// Queues one request; returns its id (stream position, the key
   /// responses are ordered by). Never throws on a bad request — the
   /// failure is recorded and surfaces as an `ok == false` response from
-  /// the next `run()`.
-  std::size_t enqueue(const Instance& instance);
+  /// the next `run()`. Thread-safe, including concurrently with an
+  /// in-flight `run()`: admission is a locked queue, and a request
+  /// enqueued while a batch is executing is simply not part of that
+  /// batch — it is served by the next `run()`. `force_degraded` admits
+  /// the request degraded regardless of the in-class backlog (the network
+  /// front end's connection-backpressure ladder flows in through this).
+  std::size_t enqueue(const Instance& instance, bool force_degraded = false);
 
-  /// Processes every queued request (FIFO per class, classes in
-  /// parallel per `ServiceOptions::workers`) and returns all responses
-  /// sorted by id. Warm masters, caches and stats persist across calls.
+  /// Processes every request queued *before this call* (FIFO per class,
+  /// classes in parallel per `ServiceOptions::workers`) and returns their
+  /// responses sorted by id. Warm masters, caches and stats persist
+  /// across calls. NOT reentrant: `run()` owns the warm masters for its
+  /// whole duration, so a second concurrent `run()` is rejected with
+  /// ContractViolation (documented rejection rather than a silent data
+  /// race; `enqueue` remains safe concurrently).
   [[nodiscard]] std::vector<ServiceResponse> run();
 
   /// Reads a concatenated stream of `stripack-instance v1` documents
@@ -132,12 +143,17 @@ class SolverService {
   /// enqueues each, runs, and writes one `stripack-response v1` document
   /// per request to `os` in request order. A mid-document parse error
   /// poisons the rest of the stream (no resync point): the broken
-  /// request gets an error response and ingestion stops there. Returns
-  /// the number of responses written.
+  /// request gets an error response and ingestion stops there. A sink
+  /// that fails mid-response (`os` goes bad, e.g. the reader vanished)
+  /// stops the writer cleanly: remaining responses are dropped, never
+  /// spun on. Returns the number of responses *fully written and
+  /// flushed* — compare against `stats().requests` to detect a truncated
+  /// response stream.
   std::size_t serve_stream(std::istream& is, std::ostream& os);
 
-  /// Cumulative counters since construction.
-  [[nodiscard]] const ServiceStats& stats() const;
+  /// Snapshot of the cumulative counters since construction (by value —
+  /// safe to call while requests are being enqueued concurrently).
+  [[nodiscard]] ServiceStats stats() const;
 
   /// Line-oriented response writer (shared by serve_stream, the
   /// stripack_serve binary and the tests):
@@ -156,8 +172,16 @@ class SolverService {
 
  private:
   struct ClassState;
-  void process_class(ClassState& cls,
+  struct Pending;
+  void process_class(ClassState& cls, std::vector<Pending>& batch,
                      std::vector<ServiceResponse>& responses) const;
+
+  /// Admission lock + run() reentrancy flag, behind a pointer so the
+  /// service stays movable (moves are not thread-safe, like any object's).
+  struct Sync {
+    mutable std::mutex mutex;
+    std::atomic<bool> running{false};
+  };
 
   ServiceOptions options_;
   ServiceStats stats_;
@@ -167,6 +191,7 @@ class SolverService {
   /// error responses by the next run().
   std::vector<ServiceResponse> rejected_;
   std::size_t next_id_ = 0;
+  std::unique_ptr<Sync> sync_;
 };
 
 }  // namespace stripack::service

@@ -69,10 +69,14 @@
 #include "release/release_rounding.hpp"    // IWYU pragma: export
 #include "release/width_grouping.hpp"      // IWYU pragma: export
 #include "service/canonical.hpp"           // IWYU pragma: export
+#include "service/net/client.hpp"          // IWYU pragma: export
+#include "service/net/server.hpp"          // IWYU pragma: export
+#include "service/net/timer_wheel.hpp"     // IWYU pragma: export
 #include "service/solver_service.hpp"      // IWYU pragma: export
 #include "util/assert.hpp"                 // IWYU pragma: export
 #include "util/fault_injection.hpp"        // IWYU pragma: export
 #include "util/float_eq.hpp"               // IWYU pragma: export
+#include "util/net.hpp"                    // IWYU pragma: export
 #include "util/parallel_for.hpp"           // IWYU pragma: export
 #include "util/parse_num.hpp"              // IWYU pragma: export
 #include "util/rng.hpp"                    // IWYU pragma: export

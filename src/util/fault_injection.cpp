@@ -87,4 +87,82 @@ std::uint64_t FaultInjector::observed(FaultSite site) const {
       std::memory_order_relaxed);
 }
 
+const char* to_string(ConnFaultSite site) {
+  switch (site) {
+    case ConnFaultSite::Connect: return "connect";
+    case ConnFaultSite::Send: return "send";
+    case ConnFaultSite::Recv: return "recv";
+  }
+  return "?";
+}
+
+const char* to_string(ConnFaultAction action) {
+  switch (action) {
+    case ConnFaultAction::None: return "none";
+    case ConnFaultAction::ShortWrite: return "short-write";
+    case ConnFaultAction::Trickle: return "trickle";
+    case ConnFaultAction::Disconnect: return "disconnect";
+    case ConnFaultAction::Oversize: return "oversize";
+    case ConnFaultAction::AbortiveClose: return "abortive-close";
+  }
+  return "?";
+}
+
+ConnFaultPlan ConnFaultPlan::random(std::uint64_t seed, int num_events,
+                                    std::uint64_t horizon) {
+  STRIPACK_EXPECTS(num_events >= 0);
+  STRIPACK_EXPECTS(horizon >= 1);
+  Rng rng(seed ^ 0xc0991u);
+  ConnFaultPlan plan;
+  plan.events.reserve(static_cast<std::size_t>(num_events));
+  for (int i = 0; i < num_events; ++i) {
+    ConnFaultEvent event;
+    switch (rng.uniform_int(0, 2)) {
+      case 0: event.site = ConnFaultSite::Connect; break;
+      case 1: event.site = ConnFaultSite::Send; break;
+      default: event.site = ConnFaultSite::Recv; break;
+    }
+    event.at = static_cast<std::uint64_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(horizon)));
+    switch (rng.uniform_int(0, 4)) {
+      case 0: event.action = ConnFaultAction::ShortWrite; break;
+      case 1: event.action = ConnFaultAction::Trickle; break;
+      case 2: event.action = ConnFaultAction::Disconnect; break;
+      case 3: event.action = ConnFaultAction::Oversize; break;
+      default: event.action = ConnFaultAction::AbortiveClose; break;
+    }
+    plan.events.push_back(event);
+  }
+  return plan;
+}
+
+ConnFaultInjector::ConnFaultInjector(ConnFaultPlan plan)
+    : plan_(std::move(plan)), claimed_(plan_.events.size()) {
+  for (auto& c : claimed_) c.store(false, std::memory_order_relaxed);
+}
+
+ConnFaultAction ConnFaultInjector::poll(ConnFaultSite site) {
+  const auto index = static_cast<std::size_t>(site);
+  const std::uint64_t count =
+      counters_[index].fetch_add(1, std::memory_order_relaxed) + 1;
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const ConnFaultEvent& event = plan_.events[i];
+    if (event.site != site || event.at != count) continue;
+    if (event.action == ConnFaultAction::None) continue;
+    bool expected = false;
+    if (!claimed_[i].compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel)) {
+      continue;  // another poll of this occurrence already claimed it
+    }
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    return event.action;
+  }
+  return ConnFaultAction::None;
+}
+
+std::uint64_t ConnFaultInjector::observed(ConnFaultSite site) const {
+  return counters_[static_cast<std::size_t>(site)].load(
+      std::memory_order_relaxed);
+}
+
 }  // namespace stripack

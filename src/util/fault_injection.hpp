@@ -104,4 +104,82 @@ class FaultInjector {
   std::atomic<std::uint64_t> fired_{0};
 };
 
+// --- connection fault dimension (service/net) ------------------------------
+//
+// The same exactly-once, seeded-plan discipline extended to the network
+// front end. Sites are the client-side I/O boundaries of
+// `service::net::FrameClient` (the misbehaving-client harness the
+// loopback tests drive): the server under test must contain every action
+// with a structured error response or a clean close — never a hang, a
+// crash, or a poisoned warm master.
+
+/// Client I/O boundary at which a connection fault can fire.
+enum class ConnFaultSite { Connect, Send, Recv };
+inline constexpr int kNumConnFaultSites = 3;
+
+/// What the client simulates when an event fires:
+///  - ShortWrite:    dribble the frame in 1-byte writes (benign; forces
+///                   the server through every partial-read resume path).
+///  - Trickle:       slowloris — tiny writes with pauses, so a short
+///                   server read deadline expires mid-frame.
+///  - Disconnect:    orderly close mid-frame (Send) or before reading the
+///                   response (Recv).
+///  - Oversize:      declare a frame length beyond the server's
+///                   --max-request-bytes cap.
+///  - AbortiveClose: SO_LINGER(0) close — the peer sees RST/EPOLLHUP
+///                   (the storm variant is a loop of these).
+enum class ConnFaultAction {
+  None,
+  ShortWrite,
+  Trickle,
+  Disconnect,
+  Oversize,
+  AbortiveClose,
+};
+
+[[nodiscard]] const char* to_string(ConnFaultSite site);
+[[nodiscard]] const char* to_string(ConnFaultAction action);
+
+/// One connection event: fires the first time `site`'s counter reaches
+/// `at` (counters start at 1, like FaultEvent).
+struct ConnFaultEvent {
+  ConnFaultSite site = ConnFaultSite::Send;
+  std::uint64_t at = 1;
+  ConnFaultAction action = ConnFaultAction::None;
+};
+
+/// A reproducible schedule of connection faults (seeded like FaultPlan;
+/// kept a separate type so LP plans and connection plans never mix and
+/// existing seeded LP sweeps keep their exact event streams).
+struct ConnFaultPlan {
+  std::vector<ConnFaultEvent> events;
+
+  [[nodiscard]] static ConnFaultPlan random(std::uint64_t seed,
+                                            int num_events,
+                                            std::uint64_t horizon);
+};
+
+/// Thread-safe exactly-once dispenser for a ConnFaultPlan; one injector
+/// can serve many concurrent client threads.
+class ConnFaultInjector {
+ public:
+  explicit ConnFaultInjector(ConnFaultPlan plan);
+
+  /// Advances `site`'s counter and claims + returns the action of the (at
+  /// most one) unfired event scheduled for this occurrence.
+  ConnFaultAction poll(ConnFaultSite site);
+
+  [[nodiscard]] std::uint64_t fired() const {
+    return fired_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t observed(ConnFaultSite site) const;
+
+ private:
+  ConnFaultPlan plan_;
+  std::vector<std::atomic<bool>> claimed_;
+  std::array<std::atomic<std::uint64_t>, kNumConnFaultSites> counters_{};
+  std::atomic<std::uint64_t> fired_{0};
+};
+
 }  // namespace stripack

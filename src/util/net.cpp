@@ -1,0 +1,254 @@
+#include "util/net.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace stripack::util {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  if (left <= 0) return 0;
+  if (left > 60'000) return 60'000;
+  return static_cast<int>(left);
+}
+
+/// poll() for `events` until the deadline; false on timeout or error.
+[[nodiscard]] bool wait_for(int fd, short events, Clock::time_point deadline) {
+  for (;;) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int ms = remaining_ms(deadline);
+    if (ms == 0) return false;
+    const int rc = ::poll(&p, 1, ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+}  // namespace
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+IoResult read_some(int fd, void* buf, std::size_t n) {
+  for (;;) {
+    const ssize_t rc = ::read(fd, buf, n);
+    if (rc > 0) {
+      return {IoResult::Kind::Ok, static_cast<std::size_t>(rc), 0};
+    }
+    if (rc == 0) return {IoResult::Kind::Eof, 0, 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoResult::Kind::WouldBlock, 0, 0};
+    }
+    return {IoResult::Kind::Error, 0, errno};
+  }
+}
+
+IoResult write_some(int fd, const void* buf, std::size_t n) {
+  for (;;) {
+    // MSG_NOSIGNAL: a peer that vanished mid-response must produce EPIPE
+    // on this connection, not SIGPIPE for the whole process.
+    ssize_t rc = ::send(fd, buf, n, MSG_NOSIGNAL);
+    if (rc < 0 && errno == ENOTSOCK) rc = ::write(fd, buf, n);
+    if (rc >= 0) return {IoResult::Kind::Ok, static_cast<std::size_t>(rc), 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoResult::Kind::WouldBlock, 0, 0};
+    }
+    return {IoResult::Kind::Error, 0, errno};
+  }
+}
+
+bool set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, want) == 0;
+}
+
+namespace {
+
+[[nodiscard]] sockaddr_in make_addr(const std::string& host,
+                                    std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  STRIPACK_ASSERT(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                  "not an IPv4 address: " + host);
+  return addr;
+}
+
+}  // namespace
+
+Fd listen_tcp(const std::string& host, std::uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  STRIPACK_ASSERT(static_cast<bool>(fd),
+                  std::string("socket: ") + std::strerror(errno));
+  const int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const sockaddr_in addr = make_addr(host, port);
+  STRIPACK_ASSERT(::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                         sizeof(addr)) == 0,
+                  "bind " + host + ":" + std::to_string(port) + ": " +
+                      std::strerror(errno));
+  STRIPACK_ASSERT(::listen(fd.get(), backlog) == 0,
+                  std::string("listen: ") + std::strerror(errno));
+  STRIPACK_ASSERT(set_nonblocking(fd.get()), "listener O_NONBLOCK");
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  STRIPACK_ASSERT(
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+      std::string("getsockname: ") + std::strerror(errno));
+  return ntohs(addr.sin_port);
+}
+
+Fd connect_tcp(const std::string& host, std::uint16_t port,
+               double timeout_seconds) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_seconds));
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  STRIPACK_ASSERT(static_cast<bool>(fd),
+                  std::string("socket: ") + std::strerror(errno));
+  STRIPACK_ASSERT(set_nonblocking(fd.get()), "connect O_NONBLOCK");
+  const sockaddr_in addr = make_addr(host, port);
+  int rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno == EINTR) {
+    // POSIX: the connect continues asynchronously; wait like EINPROGRESS.
+    rc = -1;
+    errno = EINPROGRESS;
+  }
+  if (rc != 0) {
+    STRIPACK_ASSERT(errno == EINPROGRESS,
+                    "connect " + host + ":" + std::to_string(port) + ": " +
+                        std::strerror(errno));
+    STRIPACK_ASSERT(wait_for(fd.get(), POLLOUT, deadline),
+                    "connect timeout to " + host + ":" +
+                        std::to_string(port));
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    STRIPACK_ASSERT(::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &soerr,
+                                 &len) == 0 &&
+                        soerr == 0,
+                    "connect " + host + ":" + std::to_string(port) + ": " +
+                        std::strerror(soerr));
+  }
+  STRIPACK_ASSERT(set_nonblocking(fd.get(), false), "connect blocking mode");
+  return fd;
+}
+
+bool read_exact(int fd, void* buf, std::size_t n, double timeout_seconds) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_seconds));
+  char* out = static_cast<char*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const IoResult r = read_some(fd, out + got, n - got);
+    switch (r.kind) {
+      case IoResult::Kind::Ok:
+        got += r.bytes;
+        break;
+      case IoResult::Kind::WouldBlock:
+        if (!wait_for(fd, POLLIN, deadline)) return false;
+        break;
+      case IoResult::Kind::Eof:
+      case IoResult::Kind::Error:
+        return false;
+    }
+    if (got < n && Clock::now() >= deadline) return false;
+  }
+  return true;
+}
+
+bool write_all(int fd, const void* buf, std::size_t n,
+               double timeout_seconds) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_seconds));
+  const char* in = static_cast<const char*>(buf);
+  std::size_t put = 0;
+  while (put < n) {
+    const IoResult r = write_some(fd, in + put, n - put);
+    switch (r.kind) {
+      case IoResult::Kind::Ok:
+        put += r.bytes;
+        break;
+      case IoResult::Kind::WouldBlock:
+        if (!wait_for(fd, POLLOUT, deadline)) return false;
+        break;
+      case IoResult::Kind::Eof:
+      case IoResult::Kind::Error:
+        return false;
+    }
+    if (put < n && Clock::now() >= deadline) return false;
+  }
+  return true;
+}
+
+void encode_frame_header(std::uint32_t body_length,
+                         std::array<char, kFrameHeaderBytes>& out) {
+  out[0] = kFrameMagic[0];
+  out[1] = kFrameMagic[1];
+  out[2] = kFrameMagic[2];
+  out[3] = kFrameMagic[3];
+  out[4] = static_cast<char>((body_length >> 24) & 0xff);
+  out[5] = static_cast<char>((body_length >> 16) & 0xff);
+  out[6] = static_cast<char>((body_length >> 8) & 0xff);
+  out[7] = static_cast<char>(body_length & 0xff);
+}
+
+bool decode_frame_header(const std::array<char, kFrameHeaderBytes>& in,
+                         std::uint32_t& body_length) {
+  if (in[0] != kFrameMagic[0] || in[1] != kFrameMagic[1] ||
+      in[2] != kFrameMagic[2] || in[3] != kFrameMagic[3]) {
+    return false;
+  }
+  body_length = (static_cast<std::uint32_t>(static_cast<unsigned char>(in[4]))
+                 << 24) |
+                (static_cast<std::uint32_t>(static_cast<unsigned char>(in[5]))
+                 << 16) |
+                (static_cast<std::uint32_t>(static_cast<unsigned char>(in[6]))
+                 << 8) |
+                static_cast<std::uint32_t>(static_cast<unsigned char>(in[7]));
+  return true;
+}
+
+std::string encode_frame(const std::string& body) {
+  STRIPACK_EXPECTS(body.size() <= 0xffffffffu);
+  std::array<char, kFrameHeaderBytes> header{};
+  encode_frame_header(static_cast<std::uint32_t>(body.size()), header);
+  std::string out;
+  out.reserve(kFrameHeaderBytes + body.size());
+  out.append(header.data(), header.size());
+  out.append(body);
+  return out;
+}
+
+}  // namespace stripack::util

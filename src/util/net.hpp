@@ -1,0 +1,126 @@
+// Low-level POSIX socket helpers for the network front end (service/net).
+//
+// Everything here is deliberately boring and auditable: RAII file
+// descriptors, EINTR-safe partial reads/writes that report would-block /
+// EOF / error as values instead of errno spelunking at every call site,
+// and SIGPIPE-immune writes (MSG_NOSIGNAL — a peer that resets mid-write
+// must surface as an I/O error on that connection, never as a
+// process-killing signal). The framing codec for the wire protocol lives
+// here too so the server, the client helper and the tests share one
+// definition:
+//
+//   frame := magic "SPK1" (4 bytes) | body length (u32, big endian)
+//          | body (length bytes)
+//
+// The body of a request frame is one `stripack-instance v1` document; the
+// body of a response frame is one `stripack-response v1` document (both
+// io/instance_io text — the length prefix adds out-of-band boundaries so
+// a reader never has to scan hostile text to find the end of a message,
+// and can reject oversized requests before buffering them).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace stripack::util {
+
+/// Move-only RAII owner of a POSIX file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) reset(other.release());
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] explicit operator bool() const { return fd_ >= 0; }
+  /// Releases ownership without closing.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  /// Closes the current descriptor (if any) and adopts `fd`. Close is not
+  /// retried on EINTR: on Linux the descriptor is gone either way, and a
+  /// retry could close an unrelated, freshly reused descriptor.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Result of one partial I/O attempt.
+struct IoResult {
+  enum class Kind {
+    Ok,          ///< `bytes` > 0 transferred.
+    WouldBlock,  ///< non-blocking descriptor, no progress possible now
+    Eof,         ///< orderly shutdown by the peer (reads only)
+    Error,       ///< connection-level failure; `error` holds errno
+  };
+  Kind kind = Kind::Error;
+  std::size_t bytes = 0;
+  int error = 0;
+};
+
+/// One read attempt, retried on EINTR. Never blocks beyond what the
+/// descriptor's blocking mode implies.
+[[nodiscard]] IoResult read_some(int fd, void* buf, std::size_t n);
+
+/// One write attempt, retried on EINTR and SIGPIPE-immune: sockets are
+/// written with send(MSG_NOSIGNAL) so a dead peer yields EPIPE as an
+/// ordinary `Error`, falling back to write() for non-socket descriptors
+/// (pipes in tests).
+[[nodiscard]] IoResult write_some(int fd, const void* buf, std::size_t n);
+
+/// Sets / clears O_NONBLOCK. Returns false on fcntl failure.
+bool set_nonblocking(int fd, bool on = true);
+
+/// Creates a non-blocking listening TCP socket bound to host:port
+/// (port 0 = kernel-assigned ephemeral port; read it back with
+/// `local_port`). SO_REUSEADDR is set so drain/restart cycles do not trip
+/// over TIME_WAIT. Throws ContractViolation on failure.
+[[nodiscard]] Fd listen_tcp(const std::string& host, std::uint16_t port,
+                            int backlog = 128);
+
+/// The port a bound socket actually listens on.
+[[nodiscard]] std::uint16_t local_port(int fd);
+
+/// Blocking connect with a deadline (the socket is returned in blocking
+/// mode). Throws ContractViolation on failure or timeout.
+[[nodiscard]] Fd connect_tcp(const std::string& host, std::uint16_t port,
+                             double timeout_seconds);
+
+/// Blocking loops for the client side: transfer exactly `n` bytes within
+/// `timeout_seconds` (whole-transfer budget, enforced with poll()).
+/// Return false on EOF, error, or deadline; EINTR never aborts them.
+[[nodiscard]] bool read_exact(int fd, void* buf, std::size_t n,
+                              double timeout_seconds);
+[[nodiscard]] bool write_all(int fd, const void* buf, std::size_t n,
+                             double timeout_seconds);
+
+// --- frame codec -----------------------------------------------------------
+
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+inline constexpr std::array<char, 4> kFrameMagic = {'S', 'P', 'K', '1'};
+
+/// Writes the 8-byte header for a `body_length`-byte frame.
+void encode_frame_header(std::uint32_t body_length,
+                         std::array<char, kFrameHeaderBytes>& out);
+
+/// Parses an 8-byte header; returns false on a magic mismatch (the stream
+/// is not speaking this protocol — there is no resync point, close it).
+[[nodiscard]] bool decode_frame_header(
+    const std::array<char, kFrameHeaderBytes>& in, std::uint32_t& body_length);
+
+/// Convenience: header + body in one contiguous buffer.
+[[nodiscard]] std::string encode_frame(const std::string& body);
+
+}  // namespace stripack::util

@@ -6,10 +6,12 @@
 // silent zero) on the pre-hardening reader.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 #include <string>
 
 #include "io/instance_io.hpp"
+#include "service/solver_service.hpp"
 #include "util/assert.hpp"
 
 namespace stripack::io {
@@ -148,6 +150,70 @@ TEST(IoMalformed, PlacementTruncationIsAnError) {
   const std::string err =
       placement_error("stripack-placement v1\nitems 2\n0 0\n");
   EXPECT_NE(err.find("unexpected end of input"), std::string::npos) << err;
+}
+
+/// A sink whose buffer starts rejecting bytes after `capacity` — the
+/// stream-level shape of a reader vanishing (SIGPIPE'd pipe) or a disk
+/// filling mid-response.
+class FailingBuf : public std::stringbuf {
+ public:
+  explicit FailingBuf(std::size_t capacity) : capacity_(capacity) {}
+
+ protected:
+  int overflow(int ch) override {
+    if (written_ >= capacity_) return traits_type::eof();
+    ++written_;
+    return std::stringbuf::overflow(ch);
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    if (written_ >= capacity_) return 0;
+    const std::streamsize room = std::min<std::streamsize>(
+        n, static_cast<std::streamsize>(capacity_ - written_));
+    const std::streamsize put = std::stringbuf::xsputn(s, room);
+    written_ += static_cast<std::size_t>(put);
+    return put < n ? put : n;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t written_ = 0;
+};
+
+TEST(IoMalformed, ServeStreamStopsCleanlyWhenSinkFailsAtFlush) {
+  // Two good requests; measure each response's size against a healthy
+  // sink first.
+  const std::string requests =
+      "stripack-instance v1\nstrip_width 10\nitems 2\n4 2 0\n6 2 0\n"
+      "edges 0\n"
+      "stripack-instance v1\nstrip_width 10\nitems 1\n4 2 0\nedges 0\n";
+  std::size_t first_len = 0;
+  std::size_t total_len = 0;
+  {
+    service::SolverService service;
+    std::istringstream is(requests);
+    std::ostringstream os;
+    ASSERT_EQ(service.serve_stream(is, os), 2u);
+    const std::string out = os.str();
+    total_len = out.size();
+    first_len = out.find("stripack-response v1", 1);
+    ASSERT_NE(first_len, std::string::npos);
+  }
+  // A sink that dies between the first and second response: the writer
+  // must stop at the failed flush — reporting one fully written response,
+  // not hanging or pretending both went out.
+  FailingBuf buf(first_len + (total_len - first_len) / 2);
+  std::ostream os(&buf);
+  service::SolverService service;
+  std::istringstream is(requests);
+  EXPECT_EQ(service.serve_stream(is, os), 1u);
+  EXPECT_FALSE(os.good());
+
+  // A sink dead on arrival writes nothing.
+  FailingBuf dead(0);
+  std::ostream dead_os(&dead);
+  service::SolverService fresh;
+  std::istringstream again(requests);
+  EXPECT_EQ(fresh.serve_stream(again, dead_os), 0u);
 }
 
 }  // namespace

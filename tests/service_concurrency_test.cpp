@@ -1,0 +1,171 @@
+// SolverService concurrency contract: `enqueue` is safe from many
+// threads, including while a `run()` batch is in flight (late enqueues
+// land in the next batch, never lost, never duplicated), a concurrent
+// second `run()` is rejected loudly with ContractViolation rather than
+// racing the warm masters, and `stats()` snapshots safely. Run under
+// TSan in CI (the sanitize job), where the pre-lock enqueue raced run()'s
+// batch snapshot.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "service/solver_service.hpp"
+#include "util/assert.hpp"
+
+namespace stripack::service {
+namespace {
+
+Instance make(const std::vector<std::array<double, 3>>& rows,
+              double strip) {
+  std::vector<Item> items;
+  items.reserve(rows.size());
+  for (const std::array<double, 3>& r : rows) {
+    items.push_back(Item{Rect{r[0], r[1]}, r[2]});
+  }
+  return Instance(std::move(items), strip);
+}
+
+/// Tiny per-thread instance in thread `t`'s own class, cheap to solve.
+Instance tiny(int t) { return make({{4, 2, 0}, {6, 2, 0}}, 10.0 + t); }
+
+TEST(SolverServiceConcurrency, ParallelEnqueueLosesNothing) {
+  SolverService service;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::array<std::vector<std::size_t>, kThreads> ids;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ids[static_cast<std::size_t>(t)].push_back(
+            service.enqueue(tiny(t)));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Ids are unique across threads and dense in [0, total).
+  std::set<std::size_t> unique;
+  for (const std::vector<std::size_t>& per : ids) {
+    for (const std::size_t id : per) unique.insert(id);
+  }
+  ASSERT_EQ(unique.size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(*unique.rbegin(), unique.size() - 1);
+
+  // One batch serves them all, every id answered exactly once.
+  const std::vector<ServiceResponse> responses = service.run();
+  ASSERT_EQ(responses.size(), unique.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(responses[i].id, i);
+    EXPECT_TRUE(responses[i].ok) << responses[i].error;
+  }
+}
+
+TEST(SolverServiceConcurrency, EnqueueDuringRunJoinsTheNextBatch) {
+  SolverService service;
+  constexpr int kSeed = 16;
+  constexpr int kRacing = 64;
+  for (int i = 0; i < kSeed; ++i) (void)service.enqueue(tiny(i % 4));
+
+  // Hammer enqueue while run() executes; every response from both runs
+  // together must cover every id exactly once.
+  std::atomic<bool> go{false};
+  std::thread racer([&] {
+    while (!go.load()) std::this_thread::yield();
+    for (int i = 0; i < kRacing; ++i) (void)service.enqueue(tiny(i % 4));
+  });
+  go.store(true);
+  std::vector<ServiceResponse> responses = service.run();
+  racer.join();
+  const std::vector<ServiceResponse> rest = service.run();
+  responses.insert(responses.end(), rest.begin(), rest.end());
+
+  ASSERT_EQ(responses.size(), static_cast<std::size_t>(kSeed + kRacing));
+  std::set<std::size_t> seen;
+  for (const ServiceResponse& r : responses) {
+    EXPECT_TRUE(seen.insert(r.id).second) << "duplicate id " << r.id;
+    EXPECT_TRUE(r.ok) << r.error;
+  }
+  EXPECT_EQ(*seen.rbegin(), seen.size() - 1);
+  EXPECT_TRUE(service.run().empty());  // nothing left behind
+}
+
+TEST(SolverServiceConcurrency, ConcurrentRunIsRejectedNotRaced) {
+  SolverService service;
+  constexpr int kRequests = 24;
+  for (int i = 0; i < kRequests; ++i) (void)service.enqueue(tiny(i % 3));
+
+  // Two threads race run() in a loop. Whatever the interleaving, every
+  // overlap must be a loud ContractViolation (never a silent data race),
+  // and the union of successful batches must answer each id once.
+  std::atomic<int> rejections{0};
+  std::mutex collect_mutex;
+  std::vector<ServiceResponse> collected;
+  auto contender = [&] {
+    for (int round = 0; round < 8; ++round) {
+      try {
+        std::vector<ServiceResponse> batch = service.run();
+        const std::lock_guard<std::mutex> lock(collect_mutex);
+        for (ServiceResponse& r : batch) {
+          collected.push_back(std::move(r));
+        }
+      } catch (const ContractViolation&) {
+        ++rejections;
+      }
+    }
+  };
+  std::thread a(contender);
+  std::thread b(contender);
+  a.join();
+  b.join();
+
+  ASSERT_EQ(collected.size(), static_cast<std::size_t>(kRequests));
+  std::set<std::size_t> seen;
+  for (const ServiceResponse& r : collected) {
+    EXPECT_TRUE(seen.insert(r.id).second) << "duplicate id " << r.id;
+    EXPECT_TRUE(r.ok) << r.error;
+  }
+  // No flaky assertion on the rejection count: overlap is scheduling-
+  // dependent. Conservation above is the real contract; rejections only
+  // have to be non-destructive.
+  EXPECT_GE(rejections.load(), 0);
+}
+
+TEST(SolverServiceConcurrency, StatsSnapshotIsSafeDuringEnqueue) {
+  SolverService service;
+  std::atomic<bool> stop{false};
+  std::thread enqueuer([&] {
+    for (int i = 0; i < 200; ++i) (void)service.enqueue(tiny(i % 2));
+    stop.store(true);
+  });
+  std::size_t observations = 0;
+  while (!stop.load()) {
+    const ServiceStats snapshot = service.stats();
+    observations += snapshot.requests;  // value snapshot, data-race free
+  }
+  enqueuer.join();
+  EXPECT_EQ(service.stats().requests, 0u);  // nothing ran yet
+  EXPECT_EQ(service.run().size(), 200u);
+  EXPECT_EQ(service.stats().requests, 200u);
+}
+
+TEST(SolverServiceConcurrency, ForceDegradedOverridesEmptyBacklog) {
+  SolverService service;
+  (void)service.enqueue(tiny(0), /*force_degraded=*/true);
+  (void)service.enqueue(tiny(0));
+  const std::vector<ServiceResponse> responses = service.run();
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_TRUE(responses[0].degraded);   // forced despite empty backlog
+  EXPECT_FALSE(responses[1].degraded);  // backlog of one is below threshold
+}
+
+}  // namespace
+}  // namespace stripack::service

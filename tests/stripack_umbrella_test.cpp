@@ -4,7 +4,10 @@
 // compiling, so the umbrella stays an accurate export of the library.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <sstream>
+#include <thread>
 
 #include "stripack.hpp"
 
@@ -241,6 +244,50 @@ TEST(Umbrella, Service) {
   EXPECT_TRUE(util::parse_int("17", value));
   EXPECT_EQ(value, 17);
   EXPECT_FALSE(util::parse_int("17q", value));
+}
+
+// service/net + util/net: PR 10 — the TCP front end, its frame codec,
+// client helper, timer wheel and the connection-fault dimension are all
+// reachable through the umbrella.
+TEST(Umbrella, ServiceNet) {
+  const std::string frame = util::encode_frame("ping");
+  EXPECT_EQ(frame.size(), util::kFrameHeaderBytes + 4);
+  std::array<char, util::kFrameHeaderBytes> header{};
+  std::copy(frame.begin(), frame.begin() + util::kFrameHeaderBytes,
+            header.begin());
+  std::uint32_t len = 0;
+  ASSERT_TRUE(util::decode_frame_header(header, len));
+  EXPECT_EQ(len, 4u);
+
+  service::net::TimerWheel wheel;
+  wheel.arm(1, service::net::TimerWheel::Clock::now());
+  EXPECT_TRUE(wheel.is_armed(1));
+
+  const ConnFaultPlan conn_plan = ConnFaultPlan::random(11, 2, 20);
+  ASSERT_EQ(conn_plan.events.size(), 2u);
+  EXPECT_EQ(conn_plan.events[0].at,
+            ConnFaultPlan::random(11, 2, 20).events[0].at);
+
+  service::net::ServerOptions server_options;
+  server_options.service.node_budget = 16;
+  service::net::StripackServer server(server_options);
+  const std::uint16_t port = server.start();
+  EXPECT_GT(port, 0);
+  std::thread loop([&] { EXPECT_TRUE(server.run()); });
+  service::net::ClientOptions client_options;
+  client_options.port = port;
+  service::net::FrameClient client(client_options);
+  std::ostringstream request;
+  io::write_instance(
+      request,
+      Instance({Item{Rect{4.0, 2.0}, 0.0}, Item{Rect{6.0, 2.0}, 0.0}},
+               10.0));
+  const service::net::ClientResult reply = client.request(request.str());
+  ASSERT_TRUE(reply.ok) << reply.error;
+  EXPECT_NE(reply.body.find("stripack-response v1"), std::string::npos);
+  server.request_drain();
+  loop.join();
+  EXPECT_EQ(server.stats().responses, 1u);
 }
 
 // util: rng, float comparisons, tables, parallel_for, stopwatch.
